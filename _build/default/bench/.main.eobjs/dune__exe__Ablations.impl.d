@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Common Costmodel Float Format Layoutopt List Memsim Printf Storage Workloads

@@ -1,0 +1,1 @@
+bench/adaptive.ml: Common Engines Format Layoutopt List Memsim Relalg Storage Workloads

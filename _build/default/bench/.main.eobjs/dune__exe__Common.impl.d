@@ -1,0 +1,1 @@
+bench/common.ml: Engines Memsim Mrdb_util Printf String Sys Workloads

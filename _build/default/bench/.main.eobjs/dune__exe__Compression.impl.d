@@ -1,0 +1,1 @@
+bench/compression.ml: Common Costmodel Engines List Memsim Mrdb_util Printf Relalg Storage

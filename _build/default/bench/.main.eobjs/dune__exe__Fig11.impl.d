@@ -1,0 +1,1 @@
+bench/fig11.ml: Common Hashtbl Layoutopt List Memsim Option Printf Storage String Workloads

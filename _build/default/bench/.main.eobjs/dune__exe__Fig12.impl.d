@@ -1,0 +1,1 @@
+bench/fig12.ml: Common Layoutopt List Memsim Printf Storage String Workloads

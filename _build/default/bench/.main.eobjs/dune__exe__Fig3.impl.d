@@ -1,0 +1,1 @@
+bench/fig3.ml: Common Engines List Memsim Printf Storage Workloads

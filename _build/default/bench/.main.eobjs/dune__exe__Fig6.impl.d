@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Common Costmodel List Memsim Printf Storage Workloads

@@ -1,0 +1,1 @@
+bench/fig8.ml: Common Costmodel Format List Memsim Printf

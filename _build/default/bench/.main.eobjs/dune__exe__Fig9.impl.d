@@ -1,0 +1,1 @@
+bench/fig9.ml: Common Engines Hashtbl Layoutopt List Memsim Storage String Workloads

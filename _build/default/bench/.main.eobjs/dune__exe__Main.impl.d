@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Adaptive Array Compression Fig10 Fig11 Fig12 Fig3 Fig6 Fig8 Fig9 List Printf Sparse String Sys Table1b Table4 Vectors Wallclock

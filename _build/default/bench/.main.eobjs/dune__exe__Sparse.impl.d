@@ -1,0 +1,1 @@
+bench/sparse.ml: Array Common Engines List Memsim Mrdb_util Printf Relalg Storage

@@ -1,0 +1,1 @@
+bench/table1b.ml: Common Costmodel Format Memsim Storage Workloads

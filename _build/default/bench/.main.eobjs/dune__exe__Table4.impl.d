@@ -1,0 +1,1 @@
+bench/table4.ml: Common Format Layoutopt List Memsim Printf Storage Workloads

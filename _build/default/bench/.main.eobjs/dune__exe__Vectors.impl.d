@@ -1,0 +1,1 @@
+bench/vectors.ml: Common Engines List Memsim Printf Storage Workloads

@@ -1,0 +1,1 @@
+bench/wallclock.ml: Analyze Bechamel Benchmark Common Engines Hashtbl Instance List Measure Printf Staged Storage String Test Time Toolkit Workloads

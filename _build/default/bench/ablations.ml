@@ -1,0 +1,118 @@
+(* Ablations for the design choices DESIGN.md calls out:
+   (a) prefetch-aware cost function (Eq. 5/6) vs. the original additive one;
+   (b) extended vs. classic reasonable cuts in the optimizer;
+   (c) modeling conditional reads as s_trav_cr vs. rr_acc. *)
+
+let mean_rel_err pairs =
+  let n = List.length pairs in
+  if n = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc (est, act) ->
+        acc +. (Float.abs (est -. act) /. Float.max 1.0 act))
+      0.0 pairs
+    /. float_of_int n
+
+let cost_function_ablation () =
+  Common.header
+    "Ablation (a) — prefetch-aware vs. additive cost function (example query)";
+  let n = 200_000 in
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  Storage.Catalog.set_layout cat "R" Workloads.Microbench.pdsm_layout;
+  let sels = [ 0.001; 0.01; 0.05; 0.1; 0.3; 0.5; 1.0 ] in
+  let tab =
+    Common.Texttab.create [ "s"; "simulated"; "prefetch-aware"; "additive" ]
+  in
+  let aware = ref [] and additive = ref [] in
+  List.iter
+    (fun sel ->
+      let plan = Workloads.Microbench.plan cat ~sel in
+      let actual =
+        float_of_int
+          (Common.measure Common.run_jit cat plan
+             (Workloads.Microbench.params ~sel))
+      in
+      let est_aware = Costmodel.Model.query_cost cat plan in
+      let est_add = Costmodel.Model.query_cost ~additive:true cat plan in
+      aware := (est_aware, actual) :: !aware;
+      additive := (est_add, actual) :: !additive;
+      Common.Texttab.row tab
+        [
+          Printf.sprintf "%.3f" sel;
+          Common.pow10_label actual;
+          Common.pow10_label est_aware;
+          Common.pow10_label est_add;
+        ])
+    sels;
+  Common.Texttab.print tab;
+  Common.note "mean relative error: prefetch-aware %.2f, additive %.2f"
+    (mean_rel_err !aware) (mean_rel_err !additive);
+  Common.note
+    "note: on this sequential-scan-dominated query the additive function's \
+     overestimate of prefetched misses happens to offset other \
+     approximations (our simulator charges prefetched lines the LLC access \
+     latency); the prefetch-aware function is the conservative lower bound \
+     and, unlike the additive one, distinguishes miss kinds for mixed \
+     patterns (ablation c / Fig. 6)"
+
+let cuts_ablation () =
+  Common.header "Ablation (b) — extended vs. classic reasonable cuts";
+  let hier = Memsim.Hierarchy.create () in
+  let sd = Workloads.Sap_sd.build ~hier ~scale:0.25 () in
+  let cat = sd.Workloads.Sap_sd.cat in
+  let wl =
+    Workloads.Workload.plans ~use_indexes:false (Workloads.Sap_sd.adrc_queries sd)
+  in
+  let schema = Storage.Relation.schema (Storage.Catalog.find cat "ADRC") in
+  List.iter
+    (fun (label, extended) ->
+      let r =
+        Layoutopt.Optimizer.optimize_table ~extended
+          ~algorithm:(Layoutopt.Optimizer.Bpi 0.002) cat "ADRC" wl
+      in
+      Format.printf "  %-8s cost %.0f  layout %a@." label
+        r.Layoutopt.Optimizer.estimated_cost (Storage.Layout.pp schema)
+        r.Layoutopt.Optimizer.layout)
+    [ ("classic", false); ("extended", true) ];
+  Common.note
+    "classic cuts cannot separate NAME1 from NAME2 (same query), so their \
+     best layout costs more"
+
+let strav_cr_ablation () =
+  Common.header "Ablation (c) — s_trav_cr vs. rr_acc for conditional reads";
+  let params = Memsim.Params.nehalem in
+  let n = 400_000 and w = 32 in
+  let tab =
+    Common.Texttab.create
+      [ "s"; "s_trav_cr total (lines)"; "rr_acc total (lines)" ]
+  in
+  List.iter
+    (fun s ->
+      let lines = float_of_int (n * w / 64) in
+      let cr =
+        Costmodel.Miss_model.atom_misses params
+          (Costmodel.Pattern.S_trav_cr { n; w; u = w; s })
+      in
+      let r = int_of_float (s *. float_of_int n) in
+      let rr =
+        Costmodel.Miss_model.atom_misses params
+          (Costmodel.Pattern.Rr_acc { n; w; u = w; r = max 1 r })
+      in
+      Common.Texttab.row tab
+        [
+          Printf.sprintf "%.3f" s;
+          Printf.sprintf "%.3f"
+            (cr.Costmodel.Miss_model.levels.(2).Costmodel.Miss_model.total
+            /. lines);
+          Printf.sprintf "%.3f"
+            (rr.Costmodel.Miss_model.levels.(2).Costmodel.Miss_model.total
+            /. lines);
+        ])
+    [ 0.01; 0.05; 0.1; 0.3; 0.5; 1.0 ];
+  Common.Texttab.print tab
+
+let run () =
+  cost_function_ablation ();
+  cuts_ablation ();
+  strav_cr_ablation ()

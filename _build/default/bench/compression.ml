@@ -1,0 +1,99 @@
+(* Extension bench: partial (dictionary) compression — the paper's
+   Section VII suggestion that small-domain columns suit compression and
+   that the hardware-conscious cost model can drive the choice.  A 16-byte
+   low-cardinality string column is scanned plain vs. dictionary-encoded;
+   the dictionary stays cache resident while the stored column shrinks from
+   16 to 4 bytes per tuple. *)
+
+module V = Storage.Value
+
+let build ~encoded n =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Storage.Catalog.create ~hier () in
+  let schema =
+    Storage.Schema.make "sales"
+      [
+        ("id", V.Int);
+        ("country", V.Varchar 16);
+        ("product", V.Varchar 16);
+        ("amount", V.Int);
+      ]
+  in
+  let encodings =
+    if encoded then [ (1, Storage.Encoding.Dict); (2, Storage.Encoding.Dict) ]
+    else []
+  in
+  let rel =
+    Storage.Catalog.add ~encodings cat schema (Storage.Layout.column schema)
+  in
+  let rng = Mrdb_util.Rng.create 77 in
+  Storage.Relation.load rel ~n (fun ~row ->
+      [|
+        V.VInt row;
+        V.VStr (Printf.sprintf "country_%02d" (Mrdb_util.Rng.int rng 20));
+        V.VStr (Printf.sprintf "product_%03d" (Mrdb_util.Rng.int rng 500));
+        V.VInt (Mrdb_util.Rng.int rng 10_000);
+      |]);
+  cat
+
+let run () =
+  Common.header
+    "Extension — dictionary compression (cycles; 16B strings vs 4B codes)";
+  let n = 200_000 in
+  let queries =
+    [
+      ( "scan: sum by country filter",
+        "select sum(amount) s from sales where country = $1",
+        [| V.VStr "country_07" |] );
+      ( "group by low-cardinality column",
+        "select country, count(*) c from sales group by country",
+        [||] );
+      ( "point reconstruction",
+        "select * from sales where id = $1",
+        [| V.VInt 123_456 |] );
+    ]
+  in
+  let tab =
+    Common.Texttab.create
+      [ "query"; "plain"; "dict"; "plain est"; "dict est"; "speedup" ]
+  in
+  let cats = [ ("plain", build ~encoded:false n); ("dict", build ~encoded:true n) ] in
+  List.iter
+    (fun (label, sql, params) ->
+      let measure cat =
+        let plan =
+          Relalg.Planner.plan
+            ~estimate:(fun (e : Relalg.Expr.t) ->
+              match e with
+              | Relalg.Expr.Cmp (Relalg.Expr.Eq, Relalg.Expr.Col 1, _) ->
+                  Some 0.05
+              | Relalg.Expr.Cmp (Relalg.Expr.Eq, Relalg.Expr.Col 0, _) ->
+                  Some (1.0 /. float_of_int n)
+              | _ -> None)
+            cat
+            (Relalg.Sql.parse cat sql)
+        in
+        let est = Costmodel.Model.query_cost cat plan in
+        let _, st =
+          Engines.Engine.run_measured Engines.Engine.Jit cat plan ~params
+        in
+        (Memsim.Stats.total_cycles st, est)
+      in
+      let plain, plain_est = measure (List.assoc "plain" cats) in
+      let dict, dict_est = measure (List.assoc "dict" cats) in
+      Common.Texttab.row tab
+        [
+          label;
+          Common.pow10_label (float_of_int plain);
+          Common.pow10_label (float_of_int dict);
+          Common.pow10_label plain_est;
+          Common.pow10_label dict_est;
+          Printf.sprintf "%.2fx" (float_of_int plain /. float_of_int dict);
+        ])
+    queries;
+  Common.Texttab.print tab;
+  Common.note
+    "expected shape: scans over the compressed column speed up (4x fewer \
+     lines, dictionary cache-resident); the cost model predicts the same \
+     direction because partition widths shrink and decodes are modeled as \
+     rr_acc into the dictionary region"

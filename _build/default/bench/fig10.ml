@@ -1,0 +1,70 @@
+(* Fig. 10: queries 6-8 with and without indexes on each layout (JiT
+   engine).  Q6 measures index maintenance on insert; Q7/Q8 replace scans
+   with hash / RB-tree lookups. *)
+
+let run () =
+  Common.header "Fig. 10 — indexed vs. unindexed Q6-Q8 (cycles, JiT)";
+  let scale = Common.scale_env "MRDB_SD_SCALE" 0.5 in
+  let layout_kinds = [ ("row", `Row); ("column", `Column); ("hybrid", `Hybrid) ] in
+  let tab =
+    Common.Texttab.create
+      ("query/config"
+      :: List.map (fun (n, _) -> n) layout_kinds)
+  in
+  (* build twice: once bare, once with indexes, so maintenance costs show *)
+  let run_config ~indexed =
+    let hier = Memsim.Hierarchy.create () in
+    let sd = Workloads.Sap_sd.build ~hier ~scale () in
+    let cat = sd.Workloads.Sap_sd.cat in
+    if indexed then Workloads.Sap_sd.create_indexes sd;
+    let workload =
+      Workloads.Workload.plans ~use_indexes:false sd.Workloads.Sap_sd.queries
+    in
+    let hybrid = Layoutopt.Optimizer.optimize cat workload in
+    let apply kind =
+      List.iter
+        (fun t ->
+          let schema = Storage.Relation.schema (Storage.Catalog.find cat t) in
+          let l =
+            match kind with
+            | `Row -> Storage.Layout.row schema
+            | `Column -> Storage.Layout.column schema
+            | `Hybrid -> (
+                match
+                  List.find_opt
+                    (fun (r : Layoutopt.Optimizer.table_result) ->
+                      String.equal r.Layoutopt.Optimizer.table t)
+                    hybrid
+                with
+                | Some r -> r.Layoutopt.Optimizer.layout
+                | None -> Storage.Layout.row schema)
+          in
+          Storage.Catalog.set_layout cat t l)
+        Workloads.Sap_sd.tables
+    in
+    fun qname kind ->
+      apply kind;
+      let q = Workloads.Sap_sd.query sd qname in
+      Common.measure_query Common.run_jit cat q ~use_indexes:indexed
+  in
+  let unindexed = run_config ~indexed:false in
+  let indexed = run_config ~indexed:true in
+  List.iter
+    (fun qname ->
+      List.iter
+        (fun (label, f) ->
+          let cells =
+            List.map
+              (fun (_, kind) ->
+                Common.pow10_label (float_of_int (f qname kind)))
+              layout_kinds
+          in
+          Common.Texttab.row tab
+            (Printf.sprintf "%s %s" qname label :: cells))
+        [ ("unindexed", unindexed); ("indexed", indexed) ])
+    [ "Q6"; "Q7"; "Q8" ];
+  Common.Texttab.print tab;
+  Common.note
+    "expected shape: Q7/Q8 gain orders of magnitude from indexes (more on \
+     row than column storage, since tuple reconstruction then dominates); \
+     Q6's index-maintenance penalty is small"

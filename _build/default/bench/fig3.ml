@@ -1,0 +1,53 @@
+(* Fig. 3: the example select-and-aggregate query under every combination of
+   processing model (Volcano / Bulk / JiT) and storage model (NSM / DSM /
+   PDSM), over selectivity.  The paper runs 25M tuples; we default to 200k
+   (simulated cycles scale linearly; crossovers are size-independent).
+   Override with MRDB_FIG3_N. *)
+
+let selectivities = [ 0.0001; 0.001; 0.01; 0.1; 0.5; 1.0 ]
+
+let layouts () =
+  [
+    ("row", Storage.Layout.row Workloads.Microbench.schema);
+    ("column", Storage.Layout.column Workloads.Microbench.schema);
+    ("pdsm", Workloads.Microbench.pdsm_layout);
+  ]
+
+let engines = [ Common.run_volcano; Common.run_bulk; Common.run_jit ]
+
+let run () =
+  Common.header
+    "Fig. 3 — Costs of the example query (cycles; rows = engine x layout)";
+  let n =
+    int_of_float (Common.scale_env "MRDB_FIG3_N" 200_000.0)
+  in
+  Common.note "n = %d tuples, 16 int attributes (paper: 25M)" n;
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  let tab =
+    Common.Texttab.create
+      ("engine/layout"
+      :: List.map (fun s -> Printf.sprintf "s=%g" s) selectivities)
+  in
+  List.iter
+    (fun (lname, layout) ->
+      Storage.Catalog.set_layout cat "R" layout;
+      List.iter
+        (fun engine ->
+          let cells =
+            List.map
+              (fun sel ->
+                let plan = Workloads.Microbench.plan cat ~sel in
+                let params = Workloads.Microbench.params ~sel in
+                Common.pow10_label
+                  (float_of_int (Common.measure engine cat plan params)))
+              selectivities
+          in
+          Common.Texttab.row tab
+            (Printf.sprintf "%s/%s" (Engines.Engine.name engine) lname :: cells))
+        engines)
+    (layouts ());
+  Common.Texttab.print tab;
+  Common.note
+    "expected shape: volcano flat and ~2 orders above jit; bulk close to jit \
+     at low s, worse at high s (materialization); jit/pdsm lowest overall"

@@ -1,0 +1,94 @@
+(* Fig. 9: SAP-SD queries 1-12, HyPer (JiT) vs. HYRISE-style processing,
+   each on row / column / hybrid storage (cycles, log scale in the paper). *)
+
+let run () =
+  Common.header "Fig. 9 — SAP-SD: JiT (HyPer) vs. HYRISE on three layouts";
+  let scale = Common.scale_env "MRDB_SD_SCALE" 0.5 in
+  let hier = Memsim.Hierarchy.create () in
+  let sd = Workloads.Sap_sd.build ~hier ~scale () in
+  let cat = sd.Workloads.Sap_sd.cat in
+  let queries = sd.Workloads.Sap_sd.queries in
+  let workload = Workloads.Workload.plans ~use_indexes:false queries in
+  (* the hybrid layouts come from the optimizer over the full workload *)
+  let hybrid = Layoutopt.Optimizer.optimize cat workload in
+  let layout_for kind table =
+    let schema = Storage.Relation.schema (Storage.Catalog.find cat table) in
+    match kind with
+    | `Row -> Storage.Layout.row schema
+    | `Column -> Storage.Layout.column schema
+    | `Hybrid -> (
+        match
+          List.find_opt
+            (fun (r : Layoutopt.Optimizer.table_result) ->
+              String.equal r.Layoutopt.Optimizer.table table)
+            hybrid
+        with
+        | Some r -> r.Layoutopt.Optimizer.layout
+        | None -> Storage.Layout.row schema)
+  in
+  let tab =
+    Common.Texttab.create
+      [
+        "query"; "jit/row"; "jit/column"; "jit/hybrid"; "hyrise/row";
+        "hyrise/column"; "hyrise/hybrid";
+      ]
+  in
+  let results = Hashtbl.create 64 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun t -> Storage.Catalog.set_layout cat t (layout_for kind t))
+        Workloads.Sap_sd.tables;
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun (q : Workloads.Workload.query) ->
+              let c = Common.measure_query engine cat q ~use_indexes:false in
+              Hashtbl.replace results
+                (q.Workloads.Workload.name, Engines.Engine.name engine, kind)
+                c)
+            queries)
+        [ Common.run_jit; Common.run_hyrise ])
+    [ `Row; `Column; `Hybrid ];
+  List.iter
+    (fun (q : Workloads.Workload.query) ->
+      let name = q.Workloads.Workload.name in
+      let cell engine kind =
+        match Hashtbl.find_opt results (name, engine, kind) with
+        | Some c -> Common.pow10_label (float_of_int c)
+        | None -> "-"
+      in
+      Common.Texttab.row tab
+        [
+          name;
+          cell "jit" `Row;
+          cell "jit" `Column;
+          cell "jit" `Hybrid;
+          cell "hyrise" `Row;
+          cell "hyrise" `Column;
+          cell "hyrise" `Hybrid;
+        ])
+    queries;
+  Common.Texttab.print tab;
+  (* summary factor *)
+  let geo l =
+    exp (List.fold_left (fun a x -> a +. log x) 0.0 l /. float_of_int (List.length l))
+  in
+  let ratios =
+    List.filter_map
+      (fun (q : Workloads.Workload.query) ->
+        match
+          ( Hashtbl.find_opt results (q.Workloads.Workload.name, "jit", `Hybrid),
+            Hashtbl.find_opt results (q.Workloads.Workload.name, "hyrise", `Hybrid) )
+        with
+        | Some j, Some h when j > 0 -> Some (float_of_int h /. float_of_int j)
+        | _ -> None)
+      queries
+  in
+  Common.note "geometric mean HYRISE/JiT cost ratio on hybrid: %.1fx"
+    (geo ratios);
+  Common.note
+    "expected shape: relative costs across layouts similar for both \
+     processors, but HYRISE's are uniformly 1-2 orders higher (per-value \
+     function calls); paper notes Q9/Q10 favour HYRISE (it exploits implicit \
+     ordering metadata we, like HyPer, do not)"

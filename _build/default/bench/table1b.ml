@@ -1,0 +1,20 @@
+(* Table Ib: the access pattern program of the example query. *)
+
+let run () =
+  Common.header "Table Ib — access pattern of the example query (s = 0.01)";
+  let hier = Memsim.Hierarchy.create () in
+  let n = 200_000 in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  Storage.Catalog.set_layout cat "R" Workloads.Microbench.pdsm_layout;
+  let plan = Workloads.Microbench.plan cat ~sel:0.01 in
+  let pattern, descs = Costmodel.Emit.emit cat plan in
+  Format.printf "  %a@." Costmodel.Pattern.pp pattern;
+  Format.printf "  descriptors: %a@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (Costmodel.Emit.pp_desc cat))
+    descs;
+  Common.note
+    "paper (25M tuples): s_trav(26214400,4) . rr_acc(26214400,16,262144) . \
+     rr_acc(1,16,262144); with the s_trav_cr extension the middle atom \
+     becomes s_trav_cr([B..E], s=0.01)"

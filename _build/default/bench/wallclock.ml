@@ -1,0 +1,81 @@
+(* Real wall-clock validation with Bechamel: the CPU-efficiency ordering of
+   the processing models must also hold for actual OCaml execution (no
+   simulator attached).  One Test.make per engine on the example query, plus
+   one per benchmark table family. *)
+
+open Bechamel
+open Toolkit
+
+let make_catalog () =
+  (* untraced catalog: full-speed execution *)
+  Workloads.Microbench.build ~n:50_000 ()
+
+let engine_tests () =
+  let cat = make_catalog () in
+  Storage.Catalog.set_layout cat "R" Workloads.Microbench.pdsm_layout;
+  let plan = Workloads.Microbench.plan cat ~sel:0.01 in
+  let params = Workloads.Microbench.params ~sel:0.01 in
+  List.map
+    (fun engine ->
+      Test.make
+        ~name:(Printf.sprintf "example-query/%s" (Engines.Engine.name engine))
+        (Staged.stage (fun () ->
+             ignore (Engines.Engine.run engine cat plan ~params))))
+    [ Engines.Engine.Volcano; Engines.Engine.Bulk; Engines.Engine.Jit ]
+
+let layout_tests () =
+  let cat = make_catalog () in
+  List.map
+    (fun (name, layout) ->
+      Storage.Catalog.set_layout cat "R" layout;
+      (* each test gets its own catalog state snapshot via rebuild *)
+      let cat = make_catalog () in
+      Storage.Catalog.set_layout cat "R" layout;
+      let plan = Workloads.Microbench.plan cat ~sel:0.01 in
+      let params = Workloads.Microbench.params ~sel:0.01 in
+      Test.make
+        ~name:(Printf.sprintf "jit-layout/%s" name)
+        (Staged.stage (fun () ->
+             ignore (Engines.Engine.run Engines.Engine.Jit cat plan ~params))))
+    [
+      ("row", Storage.Layout.row Workloads.Microbench.schema);
+      ("column", Storage.Layout.column Workloads.Microbench.schema);
+      ("pdsm", Workloads.Microbench.pdsm_layout);
+    ]
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"mrdb" ~fmt:"%s %s" tests)
+  in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
+  results
+
+let print_results results =
+  Hashtbl.iter
+    (fun measure tbl ->
+      if String.equal measure (Measure.label Instance.monotonic_clock) then
+        Hashtbl.iter
+          (fun name ols ->
+            match Bechamel.Analyze.OLS.estimates ols with
+            | Some [ est ] ->
+                Printf.printf "  %-40s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+          tbl)
+    results
+
+let run () =
+  Common.header "Wall-clock (Bechamel) — real execution, no simulator";
+  let tests = engine_tests () @ layout_tests () in
+  print_results (benchmark tests);
+  Common.note
+    "expected: volcano is several times slower than jit/bulk in real \
+     execution — per-tuple closure indirection is a genuine overhead, not \
+     only a simulated one.  (The HYRISE engine is omitted here: it differs \
+     from bulk only in the CPU cycles charged to the simulator.)"

@@ -1,0 +1,272 @@
+(* mrdb — command-line front end.
+
+   Loads one of the built-in demo databases (the paper's benchmarks), then
+   runs SQL, explains plans through the cost model, renders the JiT C code,
+   optimizes layouts, or calibrates the memory-hierarchy model. *)
+
+open Cmdliner
+
+let demo_databases = [ "micro"; "sd"; "ch"; "cnet" ]
+
+let load_db name scale =
+  let hier = Memsim.Hierarchy.create () in
+  let cat =
+    match name with
+    | "micro" ->
+        Workloads.Microbench.build ~hier
+          ~n:(int_of_float (200_000.0 *. scale))
+          ()
+    | "sd" -> (Workloads.Sap_sd.build ~hier ~scale ()).Workloads.Sap_sd.cat
+    | "ch" -> (Workloads.Ch.build ~hier ~scale ()).Workloads.Ch.cat
+    | "cnet" ->
+        (Workloads.Cnet.build ~hier
+           ~n_products:(int_of_float (20_000.0 *. scale))
+           ())
+          .Workloads.Cnet.cat
+    | other -> failwith (Printf.sprintf "unknown database %S" other)
+  in
+  (cat, hier)
+
+let db_arg =
+  let doc =
+    Printf.sprintf "Demo database to load (%s)."
+      (String.concat ", " demo_databases)
+  in
+  Arg.(value & opt (enum (List.map (fun d -> (d, d)) demo_databases)) "sd"
+       & info [ "d"; "db" ] ~docv:"DB" ~doc)
+
+let scale_arg =
+  Arg.(value & opt float 0.2
+       & info [ "s"; "scale" ] ~docv:"SCALE" ~doc:"Data scale factor.")
+
+let engine_arg =
+  let engines =
+    List.map (fun e -> (Engines.Engine.name e, e)) Engines.Engine.all
+  in
+  Arg.(value & opt (enum engines) Engines.Engine.Jit
+       & info [ "e"; "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine (volcano, bulk, vectorized, hyrise, jit).")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"SQL text.")
+
+let param_arg =
+  Arg.(value & opt_all string []
+       & info [ "p"; "param" ] ~docv:"VALUE"
+           ~doc:"Query parameter (repeat for \\$1, \\$2, ...); integers are \
+                 parsed, everything else is a string.")
+
+let parse_params strs =
+  Array.of_list
+    (List.map
+       (fun s ->
+         match int_of_string_opt s with
+         | Some i -> Storage.Value.VInt i
+         | None -> Storage.Value.VStr s)
+       strs)
+
+let print_stats st =
+  Printf.printf "-- %d cycles (mem %d, cpu %d); llc misses: %d prefetched, %d random\n"
+    (Memsim.Stats.total_cycles st)
+    st.Memsim.Stats.mem_cycles st.Memsim.Stats.cpu_cycles
+    st.Memsim.Stats.llc_seq_misses st.Memsim.Stats.llc_rand_misses
+
+let sample_flag =
+  Arg.(value & flag
+       & info [ "sample" ]
+           ~doc:"Estimate predicate selectivities by sampling the data                  instead of textbook heuristics.")
+
+let plan_of ~sample cat sql params =
+  let logical = Relalg.Sql.parse cat sql in
+  if sample then Relalg.Planner.plan ~sample_with:params cat logical
+  else Relalg.Planner.plan cat logical
+
+let run_cmd =
+  let run db scale engine sql params sample =
+    let cat, _ = load_db db scale in
+    let plan = plan_of ~sample cat sql (parse_params params) in
+    let result, st =
+      Engines.Engine.run_measured engine cat plan ~params:(parse_params params)
+    in
+    Format.printf "%a" Engines.Runtime.pp_result result;
+    Printf.printf "-- %d rows\n" (List.length result.Engines.Runtime.rows);
+    print_stats st
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a SQL statement and report simulated cycles.")
+    Term.(
+      const run $ db_arg $ scale_arg $ engine_arg $ sql_arg $ param_arg
+      $ sample_flag)
+
+let explain_cmd =
+  let explain db scale sql params sample =
+    let cat, _ = load_db db scale in
+    let plan = plan_of ~sample cat sql (parse_params params) in
+    Format.printf "physical plan:@.%a@.@." Relalg.Physical.pp plan;
+    print_endline (Costmodel.Model.explain cat plan)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the physical plan, its access-pattern program and the cost \
+          model's estimate.")
+    Term.(const explain $ db_arg $ scale_arg $ sql_arg $ param_arg $ sample_flag)
+
+let codegen_cmd =
+  let codegen db scale sql =
+    let cat, _ = load_db db scale in
+    let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+    print_string (Engines.C_emitter.emit cat plan)
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Render the C99 code the JiT compiler corresponds to (Fig. 2c).")
+    Term.(const codegen $ db_arg $ scale_arg $ sql_arg)
+
+let layout_cmd =
+  let show db scale =
+    let cat, _ = load_db db scale in
+    List.iter
+      (fun name ->
+        let rel = Storage.Catalog.find cat name in
+        let schema = Storage.Relation.schema rel in
+        Format.printf "%-12s %-10s %a@." name
+          (Storage.Layout.kind_label (Storage.Relation.layout rel))
+          (Storage.Layout.pp schema)
+          (Storage.Relation.layout rel))
+      (Storage.Catalog.names cat)
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Show the stored layout of every table.")
+    Term.(const show $ db_arg $ scale_arg)
+
+let optimize_cmd =
+  let optimize db scale threshold =
+    (* build the workload together with its own catalog so queries and data
+       always match *)
+    let hier = Memsim.Hierarchy.create () in
+    let cat, queries =
+      match db with
+      | "sd" ->
+          let sd = Workloads.Sap_sd.build ~hier ~scale () in
+          (sd.Workloads.Sap_sd.cat, sd.Workloads.Sap_sd.queries)
+      | "ch" ->
+          let ch = Workloads.Ch.build ~hier ~scale () in
+          (ch.Workloads.Ch.cat, ch.Workloads.Ch.queries @ ch.Workloads.Ch.transactions)
+      | "cnet" ->
+          let cn =
+            Workloads.Cnet.build ~hier
+              ~n_products:(int_of_float (20_000.0 *. scale))
+              ()
+          in
+          (cn.Workloads.Cnet.cat, cn.Workloads.Cnet.queries)
+      | _ -> failwith "optimize supports --db sd, ch or cnet"
+    in
+    let wl = Workloads.Workload.plans ~use_indexes:false queries in
+    let results =
+      Layoutopt.Optimizer.optimize
+        ~algorithm:(Layoutopt.Optimizer.Bpi threshold) cat wl
+    in
+    List.iter
+      (fun (r : Layoutopt.Optimizer.table_result) ->
+        let schema =
+          Storage.Relation.schema (Storage.Catalog.find cat r.Layoutopt.Optimizer.table)
+        in
+        Format.printf "%-12s  est %.3g (row %.3g, column %.3g)@.  %a@."
+          r.Layoutopt.Optimizer.table r.Layoutopt.Optimizer.estimated_cost
+          r.Layoutopt.Optimizer.row_cost r.Layoutopt.Optimizer.column_cost
+          (Storage.Layout.pp schema) r.Layoutopt.Optimizer.layout)
+      results
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.005
+         & info [ "t"; "threshold" ] ~docv:"T"
+             ~doc:"BPi relative improvement threshold.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Run the BPi layout optimizer over the demo workload.")
+    Term.(const optimize $ db_arg $ scale_arg $ threshold_arg)
+
+let export_cmd =
+  let table_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE" ~doc:"Table name.")
+  in
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let export db scale table path =
+    let cat, _ = load_db db scale in
+    Storage.Csv.export (Storage.Catalog.find cat table) path;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a demo table to CSV.")
+    Term.(const export $ db_arg $ scale_arg $ table_arg $ path_arg)
+
+let import_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input CSV path.")
+  in
+  let name_arg =
+    Arg.(value & opt string "imported"
+         & info [ "n"; "name" ] ~docv:"NAME" ~doc:"Name for the created table.")
+  in
+  let sql_opt =
+    Arg.(value & opt (some string) None
+         & info [ "q"; "query" ] ~docv:"SQL" ~doc:"Query to run after loading.")
+  in
+  let import path name sql =
+    let hier = Memsim.Hierarchy.create () in
+    let cat = Storage.Catalog.create ~hier () in
+    let rel = Storage.Csv.import_new cat ~name path in
+    Format.printf "loaded %d rows into %s: %a@."
+      (Storage.Relation.nrows rel) name Storage.Schema.pp
+      (Storage.Relation.schema rel);
+    match sql with
+    | None -> ()
+    | Some q ->
+        let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat q) in
+        let result, st =
+          Engines.Engine.run_measured Engines.Engine.Jit cat plan ~params:[||]
+        in
+        Format.printf "%a" Engines.Runtime.pp_result result;
+        print_stats st
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Load a CSV file into a fresh table (types inferred) and              optionally query it.")
+    Term.(const import $ path_arg $ name_arg $ sql_opt)
+
+let calibrate_cmd =
+  let calibrate () =
+    let params = Memsim.Params.nehalem in
+    Format.printf "%a@.@." Memsim.Params.pp params;
+    let pts = Memsim.Calibrator.run_random ~accesses:150_000 params in
+    List.iter
+      (fun (p : Memsim.Calibrator.point) ->
+        Printf.printf "%10d B  %6.2f cycles/access\n"
+          p.Memsim.Calibrator.region_bytes p.Memsim.Calibrator.cycles_per_access)
+      pts;
+    print_newline ();
+    List.iter
+      (fun (name, lat) -> Printf.printf "%-8s ~%d cycles\n" name lat)
+      (Memsim.Calibrator.fit_latencies params pts)
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Run the configuring experiment (Fig. 8) and fit Table III.")
+    Term.(const calibrate $ const ())
+
+let main_cmd =
+  let doc =
+    "memory-resident DBMS with JiT execution and partially decomposed storage"
+  in
+  Cmd.group
+    (Cmd.info "mrdb" ~version:Core.version ~doc)
+    [
+      run_cmd; explain_cmd; codegen_cmd; layout_cmd; optimize_cmd;
+      export_cmd; import_cmd; calibrate_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

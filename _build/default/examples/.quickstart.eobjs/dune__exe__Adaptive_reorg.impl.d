@@ -1,0 +1,1 @@
+examples/adaptive_reorg.ml: Core Engines Format Layoutopt List Memsim Printf Relalg Storage Workloads

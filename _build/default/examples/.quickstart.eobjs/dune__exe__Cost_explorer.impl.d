@@ -1,0 +1,1 @@
+examples/cost_explorer.ml: Core Costmodel Engines Format List Memsim Printf Storage Workloads

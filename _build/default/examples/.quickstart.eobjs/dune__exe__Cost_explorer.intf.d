@@ -1,0 +1,1 @@
+examples/cost_explorer.mli:

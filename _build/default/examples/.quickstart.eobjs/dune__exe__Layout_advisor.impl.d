@@ -1,0 +1,1 @@
+examples/layout_advisor.ml: Costmodel Engines Format Layoutopt List Memsim Printf Storage String Workloads

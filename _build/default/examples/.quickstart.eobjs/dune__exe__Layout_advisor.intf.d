@@ -1,0 +1,1 @@
+examples/layout_advisor.mli:

@@ -1,0 +1,1 @@
+examples/mixed_workload.ml: Core Engines Hashtbl Layoutopt List Memsim Option Printf Storage String Workloads

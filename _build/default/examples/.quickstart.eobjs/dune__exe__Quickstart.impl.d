@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Engines Format List Memsim Printf Storage String

@@ -1,0 +1,102 @@
+(* Layout advisor: walk through the paper's schema-decomposition machinery on
+   the CNET product catalog — access descriptors, extended reasonable cuts,
+   the BPi search, and a predicted-vs-measured comparison of the result.
+
+   Run with: dune exec examples/layout_advisor.exe *)
+
+let () =
+  let hier = Memsim.Hierarchy.create () in
+  let cn = Workloads.Cnet.build ~hier ~n_products:10_000 ~n_extra:54 () in
+  let cat = cn.Workloads.Cnet.cat in
+  let schema = Storage.Relation.schema (Storage.Catalog.find cat "products") in
+  let workload = Workloads.Workload.plans ~use_indexes:true cn.Workloads.Cnet.queries in
+
+  print_endline "== workload ==";
+  List.iter
+    (fun (q : Workloads.Workload.query) ->
+      Printf.printf "  %-3s freq %6.0f  %s\n" q.Workloads.Workload.name
+        q.Workloads.Workload.freq q.Workloads.Workload.sql)
+    cn.Workloads.Cnet.queries;
+
+  print_endline "\n== access descriptors per query ==";
+  List.iter
+    (fun (q : Workloads.Workload.query) ->
+      let plan = q.Workloads.Workload.make_plan ~use_indexes:true in
+      let _, descs = Costmodel.Emit.emit cat plan in
+      Format.printf "  %s:@." q.Workloads.Workload.name;
+      List.iter
+        (fun d ->
+          if List.length d.Costmodel.Emit.attrs <= 6 then
+            Format.printf "    %a@." (Costmodel.Emit.pp_desc cat) d
+          else
+            Format.printf "    products{...%d attributes}:%s@."
+              (List.length d.Costmodel.Emit.attrs)
+              (match d.Costmodel.Emit.kind with
+              | Costmodel.Emit.Seq -> "seq"
+              | Costmodel.Emit.Seq_cond s -> Printf.sprintf "seq_cond(%g)" s
+              | Costmodel.Emit.Rand -> "rand"))
+        descs)
+    cn.Workloads.Cnet.queries;
+
+  print_endline "\n== extended reasonable cuts ==";
+  let cuts = Layoutopt.Optimizer.cuts_for_table cat "products" workload in
+  List.iter
+    (fun c ->
+      if List.length c <= 6 then
+        Format.printf "  %a@." (Layoutopt.Cut.pp schema) c
+      else Printf.printf "  {...%d attributes}\n" (List.length c))
+    cuts;
+
+  print_endline "\n== BPi search ==";
+  let r = Layoutopt.Optimizer.optimize_table cat "products" workload in
+  Printf.printf "  %d cost evaluations over %d nodes\n"
+    r.Layoutopt.Optimizer.search.Layoutopt.Bpi.cost_evaluations
+    r.Layoutopt.Optimizer.search.Layoutopt.Bpi.nodes_visited;
+  Printf.printf "  estimated workload cycles: hybrid %.3g | row %.3g | column %.3g\n"
+    r.Layoutopt.Optimizer.estimated_cost r.Layoutopt.Optimizer.row_cost
+    r.Layoutopt.Optimizer.column_cost;
+  let groups =
+    Storage.Layout.to_name_groups schema r.Layoutopt.Optimizer.layout
+  in
+  print_endline "  chosen partitions:";
+  List.iter
+    (fun g ->
+      if List.length g <= 8 then
+        Printf.printf "    {%s}\n" (String.concat "," g)
+      else Printf.printf "    {...%d attributes}\n" (List.length g))
+    groups;
+
+  print_endline "\n== predicted vs measured (weighted workload cycles) ==";
+  let layouts =
+    [
+      ("row", Storage.Layout.row schema);
+      ("column", Storage.Layout.column schema);
+      ("hybrid", r.Layoutopt.Optimizer.layout);
+    ]
+  in
+  List.iter
+    (fun (name, layout) ->
+      let predicted =
+        Costmodel.Model.workload_cost ~layouts:[ ("products", layout) ] cat
+          workload
+      in
+      Storage.Catalog.set_layout cat "products" layout;
+      let measured =
+        List.fold_left
+          (fun acc (q : Workloads.Workload.query) ->
+            let plan = q.Workloads.Workload.make_plan ~use_indexes:true in
+            let _, st =
+              Engines.Engine.run_measured Engines.Engine.Jit cat plan
+                ~params:q.Workloads.Workload.params
+            in
+            acc
+            +. (q.Workloads.Workload.freq
+               *. float_of_int (Memsim.Stats.total_cycles st)))
+          0.0 cn.Workloads.Cnet.queries
+      in
+      Printf.printf "  %-7s predicted %12.3g   measured %12.3g\n" name predicted
+        measured)
+    layouts;
+  print_endline
+    "\nThe hybrid keeps the hot point-lookup (C4) near row-store cost while \
+     giving the\nanalytical queries column-store scans - the paper's Fig. 12."

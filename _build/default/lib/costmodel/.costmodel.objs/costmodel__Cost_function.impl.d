@@ -1,0 +1,1 @@
+lib/costmodel/cost_function.ml: Array Float List Memsim Miss_model Pattern

@@ -1,0 +1,1 @@
+lib/costmodel/cost_function.mli: Memsim Miss_model Pattern

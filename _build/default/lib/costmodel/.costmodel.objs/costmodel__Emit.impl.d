@@ -1,0 +1,1 @@
+lib/costmodel/emit.ml: Array Float Format Fun Hashtbl List Memsim Pattern Printf Relalg Storage String

@@ -1,0 +1,1 @@
+lib/costmodel/emit.mli: Format Pattern Relalg Storage

@@ -1,0 +1,1 @@
+lib/costmodel/miss_model.ml: Array Float Memsim Pattern

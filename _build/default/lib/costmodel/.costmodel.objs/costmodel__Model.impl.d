@@ -1,0 +1,1 @@
+lib/costmodel/model.ml: Cost_function Emit Format List Memsim Pattern

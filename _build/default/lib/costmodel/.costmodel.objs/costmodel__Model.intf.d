@@ -1,0 +1,1 @@
+lib/costmodel/model.mli: Memsim Relalg Storage

@@ -1,0 +1,1 @@
+lib/costmodel/pattern.mli: Format

@@ -1,0 +1,59 @@
+(* Latency of an access served by level i+1 (a miss at level i):
+   l.(0) = register/processing cost, l.(i) = params.levels.(i-1).latency for
+   deeper levels, memory last. *)
+let latencies (params : Memsim.Params.t) =
+  let n = Array.length params.Memsim.Params.levels in
+  Array.init (n + 1) (fun i ->
+      if i < n then float_of_int params.Memsim.Params.levels.(i).Memsim.Params.latency
+      else float_of_int params.Memsim.Params.memory_latency)
+
+(* The paper's l1 is "the time it takes to load and process one value";
+   loading costs the L1 latency and processing roughly one more cycle. *)
+let process_per_word = 2.0
+
+let cost_of_misses (params : Memsim.Params.t) (m : Miss_model.t) =
+  let l = latencies params in
+  let faster =
+    (m.Miss_model.m0 *. process_per_word *. l.(0))
+    +. (m.Miss_model.levels.(0).Miss_model.total *. l.(1))
+    +. (m.Miss_model.levels.(1).Miss_model.total *. l.(2))
+  in
+  let llc = m.Miss_model.levels.(2) in
+  let mem_lat = l.(3) in
+  (* Equation 5: prefetched fetches overlap with faster-layer work *)
+  let t_seq = Float.max 0.0 ((llc.Miss_model.seq *. mem_lat) -. faster) in
+  let t_rand = llc.Miss_model.rand *. mem_lat in
+  let tlb =
+    m.Miss_model.tlb *. float_of_int params.Memsim.Params.tlb.Memsim.Params.latency
+  in
+  (* Equation 6 *)
+  faster +. t_seq +. t_rand +. tlb
+
+let cost_of_misses_additive (params : Memsim.Params.t) (m : Miss_model.t) =
+  let l = latencies params in
+  (m.Miss_model.m0 *. process_per_word *. l.(0))
+  +. (m.Miss_model.levels.(0).Miss_model.total *. l.(1))
+  +. (m.Miss_model.levels.(1).Miss_model.total *. l.(2))
+  +. (m.Miss_model.levels.(2).Miss_model.total *. l.(3))
+  +. (m.Miss_model.tlb
+     *. float_of_int params.Memsim.Params.tlb.Memsim.Params.latency)
+
+let rec cost_with_share ~additive ~share params (p : Pattern.t) =
+  match p with
+  | Pattern.Atom a ->
+      let m = Miss_model.atom_misses ~capacity_share:share params a in
+      if additive then cost_of_misses_additive params m
+      else cost_of_misses params m
+  | Pattern.Seq ts ->
+      List.fold_left
+        (fun acc t -> acc +. cost_with_share ~additive ~share params t)
+        0.0 ts
+  | Pattern.Par ts ->
+      let k = float_of_int (max 1 (List.length ts)) in
+      List.fold_left
+        (fun acc t ->
+          acc +. cost_with_share ~additive ~share:(share /. k) params t)
+        0.0 ts
+
+let cost ?(additive = false) params p =
+  cost_with_share ~additive ~share:1.0 params p

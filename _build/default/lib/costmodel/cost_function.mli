@@ -1,0 +1,18 @@
+(** The prefetching-aware cost function — Equations (5) and (6).
+
+    Sequential (prefetched) LLC misses cost only what is {e not} hidden
+    behind the work done in the faster layers: [T_s3 = max(0, Ms3*l4 - sum_i
+    Mi*l_{i+1})].  Random misses pay the full memory latency. *)
+
+val cost_of_misses : Memsim.Params.t -> Miss_model.t -> float
+(** Total cycles for the given miss counts (Equation 6). *)
+
+val cost_of_misses_additive : Memsim.Params.t -> Miss_model.t -> float
+(** The original Generic Cost Model's purely additive cost function
+    (constant weights, no prefetch overlap) — kept for the ablation
+    experiment comparing the two. *)
+
+val cost : ?additive:bool -> Memsim.Params.t -> Pattern.t -> float
+(** Cost of a complete pattern: ⊕ children add up; ⊙ children add up too but
+    each sees only its share of the cache capacities (concurrent patterns
+    compete for the caches). *)

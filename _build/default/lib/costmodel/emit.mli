@@ -1,0 +1,34 @@
+(** Translation of physical plans into access-pattern programs (Table II,
+    Section IV-D).
+
+    The plan is traversed like the JiT code generator would traverse it, and
+    each operator appends ("emits") its access patterns: the cost model is
+    treated as a programmable machine whose instructions are the atomic
+    patterns.  Emission is layout-aware: a scan of a partially decomposed
+    relation contributes one atom per touched partition, with the partition
+    tuple width as the region width — this is what lets the same query be
+    costed under hypothetical layouts during schema decomposition.
+
+    Alongside the pattern, emission collects layout-{e independent} access
+    descriptors — which attribute sets a query touches together, in which
+    manner, at which selectivity.  The layout optimizer derives its extended
+    reasonable cuts from these (Section V-A). *)
+
+type access_kind =
+  | Seq  (** unconditional sequential access *)
+  | Seq_cond of float  (** conditional access at the given probability *)
+  | Rand  (** point access (index lookups, updates) *)
+
+type access_desc = { table : string; attrs : int list; kind : access_kind }
+
+val emit :
+  ?layouts:(string * Storage.Layout.t) list ->
+  ?estimate:(Relalg.Expr.t -> float option) ->
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  Pattern.t * access_desc list
+(** [layouts] overrides the stored layout of named tables (used by the
+    optimizer to evaluate candidate decompositions); [estimate] refines
+    per-conjunct selectivities. *)
+
+val pp_desc : Storage.Catalog.t -> Format.formatter -> access_desc -> unit

@@ -1,0 +1,84 @@
+type level_misses = { total : float; seq : float; rand : float }
+
+type t = { m0 : float; levels : level_misses array; tlb : float }
+
+let cardenas ~r ~n =
+  if n <= 0.0 || r <= 0.0 then 0.0
+  else n *. (1.0 -. ((1.0 -. (1.0 /. n)) ** r))
+
+let p_access ~s ~per_line =
+  1.0 -. ((1.0 -. s) ** float_of_int per_line)
+
+let p_seq ~s ~per_line =
+  let p = p_access ~s ~per_line in
+  p *. p
+
+let p_rand ~s ~per_line = p_access ~s ~per_line -. p_seq ~s ~per_line
+
+let words u = float_of_int (max 1 ((u + 7) / 8))
+
+(* Lines actually touched when each accessed item uses only [u] of its [w]
+   bytes: for narrow items (w < B) whole region lines; for wide items only
+   ceil(u/B) lines per item. *)
+let touched_lines ~block ~n ~w ~u =
+  let region_lines = Float.max 1.0 (float_of_int n *. float_of_int w /. block) in
+  let per_item = Float.max 1.0 (Float.of_int u /. block) in
+  Float.min region_lines (float_of_int n *. per_item)
+
+(* Misses of one atom at one cache level. *)
+let misses_at_level ~capacity_share (lvl : Memsim.Params.level) atom =
+  let block = float_of_int lvl.Memsim.Params.block in
+  let capacity = capacity_share *. float_of_int lvl.Memsim.Params.capacity in
+  match (atom : Pattern.atom) with
+  | Pattern.S_trav { n; w; u } ->
+      (* cold-cache compulsory misses on every touched line; all prefetched
+         thanks to the constant stride *)
+      let lines = touched_lines ~block ~n ~w ~u in
+      { total = lines; seq = lines; rand = 0.0 }
+  | Pattern.R_trav { n; w; u } ->
+      let lines = touched_lines ~block ~n ~w ~u in
+      { total = lines; seq = 0.0; rand = lines }
+  | Pattern.Rr_acc { n; w; r; u } ->
+      let region = float_of_int n *. float_of_int w in
+      let lines = touched_lines ~block ~n ~w ~u in
+      let unique = cardenas ~r:(float_of_int r) ~n:lines in
+      let total =
+        if region <= capacity then
+          (* the whole region stays resident: compulsory misses only *)
+          unique
+        else
+          (* steady state: re-accesses hit only with probability
+             capacity/region *)
+          let revisits = Float.max 0.0 (float_of_int r -. unique) in
+          unique +. (revisits *. (1.0 -. (capacity /. region)))
+      in
+      { total; seq = 0.0; rand = total }
+  | Pattern.S_trav_cr { n; w; s; u } ->
+      let lines = touched_lines ~block ~n ~w ~u in
+      let per_line = max 1 (lvl.Memsim.Params.block / max 1 w) in
+      let p = p_access ~s ~per_line in
+      let ps = p_seq ~s ~per_line in
+      let pr = p_rand ~s ~per_line in
+      { total = p *. lines; seq = ps *. lines; rand = pr *. lines }
+
+let atom_m0 atom =
+  match (atom : Pattern.atom) with
+  | Pattern.S_trav { n; u; _ } | Pattern.R_trav { n; u; _ } ->
+      float_of_int n *. words u
+  | Pattern.Rr_acc { r; u; _ } -> float_of_int r *. words u
+  | Pattern.S_trav_cr { n; u; s; _ } ->
+      (* conditional reads execute only for selected items: the driving
+         per-tuple iteration is charged by the pattern's unconditional
+         companion atom (the predicate traversal), not here *)
+      float_of_int n *. s *. (1.0 +. words u)
+
+let atom_misses ?(capacity_share = 1.0) (params : Memsim.Params.t) atom =
+  let levels =
+    Array.map
+      (fun lvl -> misses_at_level ~capacity_share lvl atom)
+      params.Memsim.Params.levels
+  in
+  let tlb =
+    (misses_at_level ~capacity_share params.Memsim.Params.tlb atom).total
+  in
+  { m0 = atom_m0 atom; levels; tlb }

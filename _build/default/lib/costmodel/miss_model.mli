@@ -1,0 +1,35 @@
+(** Cache-miss estimation for atomic access patterns — Equations (1)–(4)
+    and the Cardenas distinct-block formula (7) of the paper. *)
+
+type level_misses = {
+  total : float;  (** expected misses at this level *)
+  seq : float;  (** of which prefetched ("sequential") — meaningful at the LLC *)
+  rand : float;
+}
+
+type t = {
+  m0 : float;  (** processed data words (register-level accesses) *)
+  levels : level_misses array;  (** per cache level, fastest first *)
+  tlb : float;  (** TLB misses *)
+}
+
+val cardenas : r:float -> n:float -> float
+(** [cardenas ~r ~n]: expected number of distinct items hit when drawing [r]
+    times uniformly from [n] items — Equation (7). *)
+
+val p_access : s:float -> per_line:int -> float
+(** Equation (1): probability that a cache line holding [per_line] items is
+    touched when each item is read with probability [s]. *)
+
+val p_seq : s:float -> per_line:int -> float
+(** Equation (2): probability that a touched line was prefetched (its
+    predecessor was touched too). *)
+
+val p_rand : s:float -> per_line:int -> float
+(** Equation (3). *)
+
+val atom_misses :
+  ?capacity_share:float -> Memsim.Params.t -> Pattern.atom -> t
+(** Expected misses of one atom on the given hierarchy.  [capacity_share]
+    (default 1.0) scales effective cache capacities, modeling concurrent
+    patterns dividing the caches between them. *)

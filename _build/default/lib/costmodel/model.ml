@@ -1,0 +1,21 @@
+let query_cost ?layouts ?estimate ?(params = Memsim.Params.nehalem)
+    ?(additive = false) cat plan =
+  let pattern, _ = Emit.emit ?layouts ?estimate cat plan in
+  Cost_function.cost ~additive params pattern
+
+let workload_cost ?layouts ?estimate ?params ?additive cat queries =
+  List.fold_left
+    (fun acc (plan, freq) ->
+      acc +. (freq *. query_cost ?layouts ?estimate ?params ?additive cat plan))
+    0.0 queries
+
+let explain ?layouts ?estimate ?(params = Memsim.Params.nehalem) cat plan =
+  let pattern, descs = Emit.emit ?layouts ?estimate cat plan in
+  let cost = Cost_function.cost params pattern in
+  Format.asprintf
+    "@[<v>pattern: %a@,descriptors: %a@,estimated cycles: %.0f@]" Pattern.pp
+    pattern
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (Emit.pp_desc cat))
+    descs cost

@@ -1,0 +1,33 @@
+(** End-to-end query cost estimation: plan → pattern program → cycles. *)
+
+val query_cost :
+  ?layouts:(string * Storage.Layout.t) list ->
+  ?estimate:(Relalg.Expr.t -> float option) ->
+  ?params:Memsim.Params.t ->
+  ?additive:bool ->
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  float
+(** Estimated cycles for one execution of the plan under the given (or
+    stored) layouts.  [additive] switches to the original non-prefetch-aware
+    cost function (for ablations). *)
+
+val workload_cost :
+  ?layouts:(string * Storage.Layout.t) list ->
+  ?estimate:(Relalg.Expr.t -> float option) ->
+  ?params:Memsim.Params.t ->
+  ?additive:bool ->
+  Storage.Catalog.t ->
+  (Relalg.Physical.t * float) list ->
+  float
+(** Frequency-weighted sum over a workload of (plan, frequency) pairs. *)
+
+val explain :
+  ?layouts:(string * Storage.Layout.t) list ->
+  ?estimate:(Relalg.Expr.t -> float option) ->
+  ?params:Memsim.Params.t ->
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  string
+(** Human-readable emission: the pattern program, the access descriptors,
+    and the cost estimate. *)

@@ -1,0 +1,76 @@
+type atom =
+  | S_trav of { n : int; w : int; u : int }
+  | R_trav of { n : int; w : int; u : int }
+  | Rr_acc of { n : int; w : int; u : int; r : int }
+  | S_trav_cr of { n : int; w : int; u : int; s : float }
+
+type t = Atom of atom | Seq of t list | Par of t list
+
+let s_trav ?u ~n ~w () =
+  Atom (S_trav { n; w; u = Option.value u ~default:w })
+
+let r_trav ?u ~n ~w () =
+  Atom (R_trav { n; w; u = Option.value u ~default:w })
+
+let rr_acc ?u ~n ~w ~r () =
+  Atom (Rr_acc { n; w; u = Option.value u ~default:w; r })
+
+let s_trav_cr ?u ~n ~w ~s () =
+  Atom (S_trav_cr { n; w; u = Option.value u ~default:w; s })
+
+let is_empty = function Seq [] | Par [] -> true | _ -> false
+
+let seq ts =
+  let ts =
+    List.concat_map
+      (function Seq inner -> inner | t -> if is_empty t then [] else [ t ])
+      (List.filter (fun t -> not (is_empty t)) ts)
+  in
+  match ts with [ t ] -> t | ts -> Seq ts
+
+let par ts =
+  let ts =
+    List.concat_map
+      (function Par inner -> inner | t -> if is_empty t then [] else [ t ])
+      (List.filter (fun t -> not (is_empty t)) ts)
+  in
+  match ts with [ t ] -> t | ts -> Par ts
+
+let empty = Seq []
+
+let rec atoms = function
+  | Atom a -> [ a ]
+  | Seq ts | Par ts -> List.concat_map atoms ts
+
+let pp_atom ppf = function
+  | S_trav { n; w; u } ->
+      if u = w then Format.fprintf ppf "s_trav(%d,%d)" n w
+      else Format.fprintf ppf "s_trav(%d,%d,u=%d)" n w u
+  | R_trav { n; w; u } ->
+      if u = w then Format.fprintf ppf "r_trav(%d,%d)" n w
+      else Format.fprintf ppf "r_trav(%d,%d,u=%d)" n w u
+  | Rr_acc { n; w; u; r } ->
+      if u = w then Format.fprintf ppf "rr_acc(%d,%d,%d)" n w r
+      else Format.fprintf ppf "rr_acc(%d,%d,%d,u=%d)" n w r u
+  | S_trav_cr { n; w; u; s } ->
+      if u = w then Format.fprintf ppf "s_trav_cr(%d,%d,s=%.4g)" n w s
+      else Format.fprintf ppf "s_trav_cr(%d,%d,u=%d,s=%.4g)" n w u s
+
+let rec pp ppf = function
+  | Atom a -> pp_atom ppf a
+  | Seq [] -> Format.pp_print_string ppf "ε"
+  | Seq ts ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " (+) ")
+           pp)
+        ts
+  | Par [] -> Format.pp_print_string ppf "ε"
+  | Par ts ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " (.) ")
+           pp)
+        ts
+
+let to_string t = Format.asprintf "%a" pp t

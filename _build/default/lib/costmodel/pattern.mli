@@ -1,0 +1,46 @@
+(** The memory access pattern algebra of the Generic Cost Model
+    (Manegold et al.), extended with the paper's
+    Sequential Traversal / Conditional Read atom (Section IV-C1).
+
+    Atoms describe how a region of [n] data items of width [w] bytes is
+    accessed; [u <= w] bytes of each accessed item are actually used.
+    Complex patterns compose atoms sequentially ([⊕], one after the other)
+    or concurrently ([⊙], interleaved, sharing the caches). *)
+
+type atom =
+  | S_trav of { n : int; w : int; u : int }
+      (** sequential traversal, every item accessed *)
+  | R_trav of { n : int; w : int; u : int }
+      (** traversal of all items in random order *)
+  | Rr_acc of { n : int; w : int; u : int; r : int }
+      (** [r] repetitive random accesses into the region *)
+  | S_trav_cr of { n : int; w : int; u : int; s : float }
+      (** the new atom: sequential traversal where each item is read only
+          with probability [s] (a selective projection) *)
+
+type t =
+  | Atom of atom
+  | Seq of t list  (** ⊕ *)
+  | Par of t list  (** ⊙ *)
+
+val s_trav : ?u:int -> n:int -> w:int -> unit -> t
+val r_trav : ?u:int -> n:int -> w:int -> unit -> t
+val rr_acc : ?u:int -> n:int -> w:int -> r:int -> unit -> t
+val s_trav_cr : ?u:int -> n:int -> w:int -> s:float -> unit -> t
+
+val seq : t list -> t
+(** Flattening constructor for ⊕ (drops empty children). *)
+
+val par : t list -> t
+(** Flattening constructor for ⊙. *)
+
+val empty : t
+(** The no-op pattern ([Seq []]). *)
+
+val atoms : t -> atom list
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation, e.g.
+    [s_trav(26214400,4) ⊙ s_trav_cr(26214400,16,0.01)]. *)
+
+val to_string : t -> string

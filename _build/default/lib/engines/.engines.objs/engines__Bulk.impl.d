@@ -1,0 +1,1 @@
+lib/engines/bulk.ml: Array Cpu_model Dml Fun List Memsim Relalg Runtime Storage

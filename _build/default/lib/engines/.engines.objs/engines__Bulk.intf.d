@@ -1,0 +1,1 @@
+lib/engines/bulk.mli: Relalg Runtime Storage

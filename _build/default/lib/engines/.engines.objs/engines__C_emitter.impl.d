@@ -1,0 +1,1 @@
+lib/engines/c_emitter.ml: Array Buffer List Printf Relalg Storage String

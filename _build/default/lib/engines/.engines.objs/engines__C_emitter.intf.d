@@ -1,0 +1,1 @@
+lib/engines/c_emitter.mli: Relalg Storage

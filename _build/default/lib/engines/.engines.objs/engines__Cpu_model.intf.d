@@ -1,0 +1,1 @@
+lib/engines/cpu_model.mli:

@@ -1,0 +1,1 @@
+lib/engines/dml.ml: List Relalg Runtime Storage

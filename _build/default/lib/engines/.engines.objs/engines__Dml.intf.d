@@ -1,0 +1,1 @@
+lib/engines/dml.mli: Relalg Storage

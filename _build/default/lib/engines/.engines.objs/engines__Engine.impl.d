@@ -1,0 +1,1 @@
+lib/engines/engine.ml: Bulk Hyrise Jit Memsim Storage String Vectorized Volcano

@@ -1,0 +1,1 @@
+lib/engines/engine.mli: Memsim Relalg Runtime Storage

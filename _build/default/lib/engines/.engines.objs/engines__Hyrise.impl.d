@@ -1,0 +1,1 @@
+lib/engines/hyrise.ml: Bulk Cpu_model

@@ -1,0 +1,1 @@
+lib/engines/hyrise.mli: Relalg Runtime Storage

@@ -1,0 +1,1 @@
+lib/engines/jit.ml: Array Cpu_model Dml List Memsim Relalg Runtime Storage

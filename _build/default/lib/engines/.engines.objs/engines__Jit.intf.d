@@ -1,0 +1,1 @@
+lib/engines/jit.mli: Relalg Runtime Storage

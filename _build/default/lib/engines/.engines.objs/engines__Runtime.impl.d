@@ -1,0 +1,1 @@
+lib/engines/runtime.ml: Array Cpu_model Float Format Hashtbl List Memsim Mrdb_util Relalg Storage String

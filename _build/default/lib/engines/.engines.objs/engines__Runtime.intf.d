@@ -1,0 +1,1 @@
+lib/engines/runtime.mli: Format Memsim Relalg Storage

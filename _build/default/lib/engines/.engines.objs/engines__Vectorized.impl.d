@@ -1,0 +1,1 @@
+lib/engines/vectorized.ml: Array Bulk Cpu_model List Memsim Option Relalg Runtime Storage

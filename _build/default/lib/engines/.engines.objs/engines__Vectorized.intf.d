@@ -1,0 +1,1 @@
+lib/engines/vectorized.mli: Relalg Runtime Storage

@@ -1,0 +1,1 @@
+lib/engines/volcano.ml: Array Cpu_model Dml List Memsim Relalg Runtime Storage

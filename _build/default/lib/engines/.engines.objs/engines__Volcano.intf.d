@@ -1,0 +1,1 @@
+lib/engines/volcano.mli: Relalg Runtime Storage

@@ -1,0 +1,19 @@
+(** A bulk (column-at-a-time) processor in the MonetDB tradition.
+
+    Each operator is a tight loop over one column that fully materializes
+    its intermediate result (candidate-position vectors and value vectors)
+    in simulator-visible buffers — CPU efficient, but cache inefficient at
+    high selectivities because of the materialization traffic, exactly the
+    trade-off of Fig. 3.
+
+    The [per_value] CPU cost parameterizes the engine: with
+    {!Cpu_model.bulk_per_value} it models MonetDB-style primitives; with
+    {!Cpu_model.hyrise_per_value} it models HYRISE's partition-at-a-time
+    processing, whose per-value function calls dominate (Fig. 9). *)
+
+val run :
+  ?per_value:int ->
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result

@@ -1,0 +1,343 @@
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Layout = Storage.Layout
+module Schema = Storage.Schema
+module Value = Storage.Value
+module Physical = Relalg.Physical
+module Expr = Relalg.Expr
+module Aggregate = Relalg.Aggregate
+
+type ctx = {
+  cat : Catalog.t;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable tmp : int;
+}
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let fresh ctx prefix =
+  ctx.tmp <- ctx.tmp + 1;
+  Printf.sprintf "%s%d" prefix ctx.tmp
+
+let c_type = function
+  | Value.Int | Value.Date -> "int64_t"
+  | Value.Float -> "double"
+  | Value.Bool -> "bool"
+  | Value.Varchar n -> Printf.sprintf "char[%d]" n
+
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '(' || c = ')' || c = '*' then '_' else c) name
+
+(* A "slot" describes how an operator's output column is available in the
+   generated code: as a C expression string. *)
+type slots = string array
+
+let rec c_expr (slots : slots) params e =
+  match (e : Expr.t) with
+  | Expr.Col i -> slots.(i)
+  | Expr.Param n -> (
+      ignore params;
+      Printf.sprintf "param%d" n)
+  | Expr.Const v -> (
+      match v with
+      | Value.VInt x -> string_of_int x
+      | Value.VFloat f -> Printf.sprintf "%g" f
+      | Value.VBool b -> if b then "true" else "false"
+      | Value.VDate d -> string_of_int d
+      | Value.VStr s -> Printf.sprintf "%S" s
+      | Value.Null -> "NULL")
+  | Expr.Cmp (op, a, b) ->
+      let sym =
+        match op with
+        | Expr.Eq -> "=="
+        | Expr.Ne -> "!="
+        | Expr.Lt -> "<"
+        | Expr.Le -> "<="
+        | Expr.Gt -> ">"
+        | Expr.Ge -> ">="
+      in
+      Printf.sprintf "(%s %s %s)" (c_expr slots params a) sym (c_expr slots params b)
+  | Expr.Like (a, b) ->
+      Printf.sprintf "like(%s, %s)" (c_expr slots params a) (c_expr slots params b)
+  | Expr.And es ->
+      "(" ^ String.concat " && " (List.map (c_expr slots params) es) ^ ")"
+  | Expr.Or es ->
+      "(" ^ String.concat " || " (List.map (c_expr slots params) es) ^ ")"
+  | Expr.Not a -> Printf.sprintf "(!%s)" (c_expr slots params a)
+  | Expr.IsNull a -> Printf.sprintf "is_null(%s)" (c_expr slots params a)
+  | Expr.Arith (op, a, b) ->
+      let sym =
+        match op with
+        | Expr.Add -> "+"
+        | Expr.Sub -> "-"
+        | Expr.Mul -> "*"
+        | Expr.Div -> "/"
+        | Expr.Mod -> "%"
+      in
+      Printf.sprintf "(%s %s %s)" (c_expr slots params a) sym (c_expr slots params b)
+
+(* struct definition for a relation's partitions *)
+let emit_struct ctx table =
+  let rel = Catalog.find ctx.cat table in
+  let schema = Relation.schema rel in
+  let layout = Relation.layout rel in
+  line ctx "struct %s_t {" table;
+  ctx.indent <- ctx.indent + 1;
+  Array.iteri
+    (fun p attrs ->
+      if Array.length attrs = 1 then begin
+        let a = Schema.attr schema attrs.(0) in
+        line ctx "%s %s[N_%s];" (c_type a.Schema.ty) a.Schema.name table
+      end
+      else begin
+        line ctx "struct {";
+        ctx.indent <- ctx.indent + 1;
+        Array.iter
+          (fun ai ->
+            let a = Schema.attr schema ai in
+            line ctx "%s %s;" (c_type a.Schema.ty) a.Schema.name)
+          attrs;
+        ctx.indent <- ctx.indent - 1;
+        line ctx "} p%d[N_%s];" p table
+      end)
+    (Layout.partitions layout);
+  ctx.indent <- ctx.indent - 1;
+  line ctx "};"
+
+(* C expression for attribute [a] of the current tuple of [table] *)
+let attr_access ctx table tid a =
+  let rel = Catalog.find ctx.cat table in
+  let schema = Relation.schema rel in
+  let layout = Relation.layout rel in
+  let p = Layout.partition_of_attr layout a in
+  let name = (Schema.attr schema a).Schema.name in
+  if Array.length (Layout.partition_attrs layout p) = 1 then
+    Printf.sprintf "%s->%s[%s]" table name tid
+  else Printf.sprintf "%s->p%d[%s].%s" table p tid name
+
+let rec produce ctx (plan : Physical.t) (consume : slots -> unit) =
+  match plan with
+  | Physical.Scan { table; access; post; _ } ->
+      let rel = Catalog.find ctx.cat table in
+      let arity = Schema.arity (Relation.schema rel) in
+      let tid = fresh ctx "tid" in
+      (match access with
+      | Physical.Full_scan ->
+          line ctx "for (int64_t %s = 0; %s < N_%s; ++%s) {" tid tid table tid
+      | Physical.Index_eq _ ->
+          line ctx "for (int64_t %s : %s_index_lookup(key)) {" tid table
+      | Physical.Index_range _ ->
+          line ctx "for (int64_t %s : %s_index_range(lo, hi)) {" tid table);
+      ctx.indent <- ctx.indent + 1;
+      let slots = Array.init arity (attr_access ctx table tid) in
+      (match post with
+      | Some pred ->
+          line ctx "if (%s) {" (c_expr slots [||] pred);
+          ctx.indent <- ctx.indent + 1;
+          consume slots;
+          ctx.indent <- ctx.indent - 1;
+          line ctx "}"
+      | None -> consume slots);
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}"
+  | Physical.Select { child; pred; _ } ->
+      produce ctx child (fun slots ->
+          line ctx "if (%s) {" (c_expr slots [||] pred);
+          ctx.indent <- ctx.indent + 1;
+          consume slots;
+          ctx.indent <- ctx.indent - 1;
+          line ctx "}")
+  | Physical.Project { child; exprs } ->
+      produce ctx child (fun slots ->
+          let out =
+            Array.of_list
+              (List.map
+                 (fun (e, name) ->
+                   let v = sanitize name in
+                   line ctx "auto %s = %s;" v (c_expr slots [||] e);
+                   v)
+                 exprs)
+          in
+          consume out)
+  | Physical.Hash_join { build; probe; build_keys; probe_keys; _ } ->
+      let ht = fresh ctx "ht" in
+      let build_arity = Array.length (Physical.schema ctx.cat build) in
+      line ctx "hashtable %s;" ht;
+      produce ctx build (fun slots ->
+          line ctx "%s.insert({%s}, {%s});" ht
+            (String.concat ", " (List.map (fun k -> slots.(k)) build_keys))
+            (String.concat ", " (Array.to_list slots)));
+      produce ctx probe (fun slots ->
+          let m = fresh ctx "m" in
+          line ctx "for (auto* %s : %s.lookup({%s})) {" m ht
+            (String.concat ", " (List.map (fun k -> slots.(k)) probe_keys));
+          ctx.indent <- ctx.indent + 1;
+          let out =
+            Array.init
+              (build_arity + Array.length slots)
+              (fun i ->
+                if i < build_arity then Printf.sprintf "%s->v%d" m i
+                else slots.(i - build_arity))
+          in
+          consume out;
+          ctx.indent <- ctx.indent - 1;
+          line ctx "}")
+  | Physical.Group_by { child; keys; aggs; _ } ->
+      let n_keys = List.length keys in
+      if keys = [] then begin
+        (* global aggregation: accumulators live in registers (Fig. 2c) *)
+        List.iter
+          (fun (a : Aggregate.t) ->
+            line ctx "auto %s = init_%s();" (sanitize a.Aggregate.name)
+              (match a.Aggregate.func with
+              | Aggregate.Count_star | Aggregate.Count -> "count"
+              | Aggregate.Sum -> "sum"
+              | Aggregate.Min -> "min"
+              | Aggregate.Max -> "max"
+              | Aggregate.Avg -> "avg"))
+          aggs;
+        produce ctx child (fun slots ->
+            List.iter
+              (fun (a : Aggregate.t) ->
+                match a.Aggregate.expr with
+                | Some e ->
+                    line ctx "%s += %s;" (sanitize a.Aggregate.name)
+                      (c_expr slots [||] e)
+                | None -> line ctx "%s += 1;" (sanitize a.Aggregate.name))
+              aggs);
+        let out =
+          Array.of_list
+            (List.map (fun (a : Aggregate.t) -> sanitize a.Aggregate.name) aggs)
+        in
+        consume out
+      end
+      else begin
+        let groups = fresh ctx "groups" in
+        line ctx "aggtable %s;" groups;
+        produce ctx child (fun slots ->
+            line ctx "%s.update({%s}, {%s});" groups
+              (String.concat ", "
+                 (List.map (fun (e, _) -> c_expr slots [||] e) keys))
+              (String.concat ", "
+                 (List.map
+                    (fun (a : Aggregate.t) ->
+                      match a.Aggregate.expr with
+                      | Some e -> c_expr slots [||] e
+                      | None -> "1")
+                    aggs)));
+        let g = fresh ctx "g" in
+        line ctx "for (auto* %s : %s) {" g groups;
+        ctx.indent <- ctx.indent + 1;
+        let out =
+          Array.init
+            (n_keys + List.length aggs)
+            (fun i ->
+              if i < n_keys then Printf.sprintf "%s->key%d" g i
+              else Printf.sprintf "%s->agg%d" g (i - n_keys))
+        in
+        consume out;
+        ctx.indent <- ctx.indent - 1;
+        line ctx "}"
+      end
+  | Physical.Sort { child; keys } ->
+      let run = fresh ctx "run" in
+      line ctx "vector %s;" run;
+      produce ctx child (fun slots ->
+          line ctx "%s.push_back({%s});" run
+            (String.concat ", " (Array.to_list slots)));
+      line ctx "sort(%s, by(%s));" run
+        (String.concat ", "
+           (List.map
+              (fun (i, d) ->
+                Printf.sprintf "%d %s" i
+                  (match (d : Relalg.Plan.dir) with
+                  | Relalg.Plan.Asc -> "asc"
+                  | Relalg.Plan.Desc -> "desc"))
+              keys));
+      let r = fresh ctx "r" in
+      line ctx "for (auto* %s : %s) {" r run;
+      ctx.indent <- ctx.indent + 1;
+      let arity = Array.length (Physical.schema ctx.cat child) in
+      consume (Array.init arity (fun i -> Printf.sprintf "%s->v%d" r i));
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}"
+  | Physical.Limit { child; n } ->
+      let c = fresh ctx "seen" in
+      line ctx "int64_t %s = 0;" c;
+      produce ctx child (fun slots ->
+          line ctx "if (%s++ < %d) {" c n;
+          ctx.indent <- ctx.indent + 1;
+          consume slots;
+          ctx.indent <- ctx.indent - 1;
+          line ctx "}")
+  | Physical.Insert { table; values } ->
+      line ctx "%s_append({%s});" table
+        (String.concat ", " (List.map (c_expr [||] [||]) values));
+      consume [||]
+  | Physical.Update { table; access; post; assignments; _ } ->
+      let rel = Catalog.find ctx.cat table in
+      let arity = Schema.arity (Relation.schema rel) in
+      let tid = fresh ctx "tid" in
+      (match access with
+      | Physical.Full_scan ->
+          line ctx "for (int64_t %s = 0; %s < N_%s; ++%s) {" tid tid table tid
+      | Physical.Index_eq _ ->
+          line ctx "for (int64_t %s : %s_index_lookup(key)) {" tid table
+      | Physical.Index_range _ ->
+          line ctx "for (int64_t %s : %s_index_range(lo, hi)) {" tid table);
+      ctx.indent <- ctx.indent + 1;
+      let slots = Array.init arity (attr_access ctx table tid) in
+      let body () =
+        List.iter
+          (fun (a, e) ->
+            line ctx "%s = %s;" slots.(a) (c_expr slots [||] e))
+          assignments
+      in
+      (match post with
+      | Some pred ->
+          line ctx "if (%s) {" (c_expr slots [||] pred);
+          ctx.indent <- ctx.indent + 1;
+          body ();
+          ctx.indent <- ctx.indent - 1;
+          line ctx "}"
+      | None -> body ());
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}";
+      consume [||]
+
+let emit cat plan =
+  let ctx = { cat; buf = Buffer.create 1024; indent = 0; tmp = 0 } in
+  (* struct definitions for every scanned table *)
+  let rec scan_tables acc = function
+    | Physical.Scan { table; _ }
+    | Physical.Insert { table; _ }
+    | Physical.Update { table; _ } ->
+        table :: acc
+    | Physical.Select { child; _ }
+    | Physical.Project { child; _ }
+    | Physical.Group_by { child; _ }
+    | Physical.Sort { child; _ }
+    | Physical.Limit { child; _ } ->
+        scan_tables acc child
+    | Physical.Hash_join { build; probe; _ } ->
+        scan_tables (scan_tables acc build) probe
+  in
+  let tables = List.sort_uniq compare (scan_tables [] plan) in
+  List.iter (emit_struct ctx) tables;
+  line ctx "";
+  line ctx "void query(%s, row_buffer* out) {"
+    (String.concat ", "
+       (List.map (fun t -> Printf.sprintf "const struct %s_t* %s" t t) tables));
+  ctx.indent <- 1;
+  produce ctx plan (fun slots ->
+      line ctx "out->emit(%s);" (String.concat ", " (Array.to_list slots)));
+  ctx.indent <- 0;
+  line ctx "}";
+  Buffer.contents ctx.buf

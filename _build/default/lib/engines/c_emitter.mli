@@ -1,0 +1,10 @@
+(** C99 rendering of JiT-compiled plans — the style of the paper's Fig. 2c.
+
+    HyPer generates LLVM assembler; for inspection the paper shows the
+    equivalent C.  This module renders the code our closure compiler would
+    correspond to: one struct per stored partition (PDSM-aware), operators
+    fused into loops, values kept in locals until no longer needed.  The
+    output is documentation, not compiled — the executable semantics live in
+    {!Jit}. *)
+
+val emit : Storage.Catalog.t -> Relalg.Physical.t -> string

@@ -1,0 +1,62 @@
+module Value = Storage.Value
+module Relation = Storage.Relation
+module Catalog = Storage.Catalog
+module Physical = Relalg.Physical
+module Expr = Relalg.Expr
+
+let index_tids cat params table access =
+  let rel = Catalog.find cat table in
+  match (access : Physical.access) with
+  | Physical.Full_scan -> None
+  | Physical.Index_eq { attrs; keys } -> (
+      let key_values =
+        List.map (fun e -> Expr.eval e ~params (fun _ -> assert false)) keys
+      in
+      match Catalog.find_index cat table ~attrs with
+      | Some idx -> Some (Storage.Index.lookup_eq idx rel key_values)
+      | None -> assert false)
+  | Physical.Index_range { attr; lo; hi } -> (
+      let ev e = Expr.eval e ~params (fun _ -> assert false) in
+      match Catalog.find_index cat table ~attrs:[ attr ] with
+      | Some idx -> Some (Storage.Index.lookup_range idx ~lo:(ev lo) ~hi:(ev hi))
+      | None -> assert false)
+
+let update ~per_value ~call_cost cat ~params ~table ~access ~post ~assignments
+    =
+  let rel = Catalog.find cat table in
+  let hier = Catalog.hier cat in
+  let charge n = Runtime.charge hier n in
+  let updated = ref 0 in
+  let visit tid =
+    charge call_cost;
+    let col i =
+      charge per_value;
+      Relation.get rel tid i
+    in
+    let matches =
+      match post with
+      | None -> true
+      | Some pred -> Expr.truthy (Expr.eval pred ~params col)
+    in
+    if matches then begin
+      (* evaluate every right-hand side against the OLD tuple first *)
+      let new_values =
+        List.map (fun (a, e) -> (a, Expr.eval e ~params col)) assignments
+      in
+      List.iter
+        (fun (a, v) ->
+          charge per_value;
+          Relation.set rel tid a v)
+        new_values;
+      incr updated
+    end
+  in
+  (match index_tids cat params table access with
+  | Some tids -> List.iter visit tids
+  | None ->
+      for tid = 0 to Relation.nrows rel - 1 do
+        visit tid
+      done);
+  if !updated > 0 then
+    Catalog.rebuild_indexes_for cat table ~attrs:(List.map fst assignments);
+  !updated

@@ -1,0 +1,19 @@
+(** Shared executor for UPDATE statements.
+
+    All engines funnel updates through this module: the dataflow (locate
+    matching tuples, evaluate new values against the old tuple, write in
+    place, rebuild affected indexes) is identical across processing models —
+    only the per-value instruction costs differ, which callers pass in. *)
+
+val update :
+  per_value:int ->
+  call_cost:int ->
+  Storage.Catalog.t ->
+  params:Storage.Value.t array ->
+  table:string ->
+  access:Relalg.Physical.access ->
+  post:Relalg.Expr.t option ->
+  assignments:(int * Relalg.Expr.t) list ->
+  int
+(** Returns the number of updated tuples.  Indexes whose key includes an
+    assigned attribute are rebuilt afterwards. *)

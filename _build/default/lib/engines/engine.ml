@@ -1,0 +1,37 @@
+type kind = Volcano | Bulk | Vectorized | Hyrise | Jit
+
+let all = [ Volcano; Bulk; Vectorized; Hyrise; Jit ]
+
+let name = function
+  | Volcano -> "volcano"
+  | Bulk -> "bulk"
+  | Vectorized -> "vectorized"
+  | Hyrise -> "hyrise"
+  | Jit -> "jit"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "volcano" -> Some Volcano
+  | "bulk" -> Some Bulk
+  | "vectorized" -> Some Vectorized
+  | "hyrise" -> Some Hyrise
+  | "jit" -> Some Jit
+  | _ -> None
+
+let run kind cat plan ~params =
+  match kind with
+  | Volcano -> Volcano.run cat plan ~params
+  | Bulk -> Bulk.run cat plan ~params
+  | Vectorized -> Vectorized.run cat plan ~params
+  | Hyrise -> Hyrise.run cat plan ~params
+  | Jit -> Jit.run cat plan ~params
+
+let run_measured ?(cold = true) kind cat plan ~params =
+  match Storage.Catalog.hier cat with
+  | None ->
+      let r = run kind cat plan ~params in
+      (r, Memsim.Stats.create ())
+  | Some h ->
+      if cold then Memsim.Hierarchy.reset h else Memsim.Hierarchy.reset_stats h;
+      let r = run kind cat plan ~params in
+      (r, Memsim.Hierarchy.snapshot h)

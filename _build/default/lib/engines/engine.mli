@@ -1,0 +1,31 @@
+(** Engine dispatch and measured execution.
+
+    Five processing models over the same physical plans: Volcano iterators,
+    bulk (column-at-a-time), vectorized (X100-style, cache-resident
+    vectors), HYRISE-style (bulk with per-value call costs) and JiT
+    (fused compiled pipelines). *)
+
+type kind = Volcano | Bulk | Vectorized | Hyrise | Jit
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+
+val run :
+  kind ->
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result
+
+val run_measured :
+  ?cold:bool ->
+  kind ->
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result * Memsim.Stats.t
+(** Reset the simulator counters (and, when [cold] — the default — the cache
+    contents), run the query, and return the result together with the
+    counters it produced.  If the catalog has no hierarchy attached the
+    stats are all zero. *)

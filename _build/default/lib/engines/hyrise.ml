@@ -1,0 +1,2 @@
+let run cat plan ~params =
+  Bulk.run ~per_value:Cpu_model.hyrise_per_value cat plan ~params

@@ -1,0 +1,14 @@
+(** A HYRISE-style hybrid-storage processor.
+
+    The paper characterizes HYRISE as "bulk-oriented but still relying on
+    function calls to process multiple attributes within one partition",
+    which gives it the same relative costs across layouts as the JiT engine
+    but a much higher constant factor (Fig. 9).  We model it as the bulk
+    dataflow charged with {!Cpu_model.hyrise_per_value} per processed
+    value. *)
+
+val run :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result

@@ -1,0 +1,266 @@
+module Value = Storage.Value
+module Relation = Storage.Relation
+module Catalog = Storage.Catalog
+module Physical = Relalg.Physical
+module Expr = Relalg.Expr
+module Aggregate = Relalg.Aggregate
+
+(* A row in flight is a lazy accessor from column position to value. *)
+type row = int -> Value.t
+
+type ctx = {
+  cat : Catalog.t;
+  params : Value.t array;
+  hier : Memsim.Hierarchy.t option;
+  arena : Storage.Arena.t;
+}
+
+let charge ctx n = Runtime.charge ctx.hier n
+
+(* The number of columns of an operator's output. *)
+let arity ctx plan = Array.length (Physical.schema ctx.cat plan)
+
+(* Fetch tids matched by an index access path. *)
+let index_tids ctx table access =
+  let rel = Catalog.find ctx.cat table in
+  match (access : Physical.access) with
+  | Physical.Full_scan -> invalid_arg "index_tids: full scan"
+  | Physical.Index_eq { attrs; keys } -> (
+      let key_values =
+        List.map
+          (fun e -> Expr.eval e ~params:ctx.params (fun _ -> assert false))
+          keys
+      in
+      match Catalog.find_index ctx.cat table ~attrs with
+      | Some idx -> Storage.Index.lookup_eq idx rel key_values
+      | None -> invalid_arg "index_tids: planner chose a missing index")
+  | Physical.Index_range { attr; lo; hi } -> (
+      let ev e = Expr.eval e ~params:ctx.params (fun _ -> assert false) in
+      match Catalog.find_index ctx.cat table ~attrs:[ attr ] with
+      | Some idx -> Storage.Index.lookup_range idx ~lo:(ev lo) ~hi:(ev hi)
+      | None -> invalid_arg "index_tids: planner chose a missing index")
+
+(* compile: returns a thunk that drives the pipeline(s), pushing rows into
+   [consume]. *)
+let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
+    =
+  match plan with
+  | Physical.Scan { table; access; post; _ } ->
+      let rel = Catalog.find ctx.cat table in
+      let n_attrs = Storage.Schema.arity (Relation.schema rel) in
+      (* lazy per-tuple column cache: each stored column is read at most once
+         per tuple, on first use *)
+      let cur_tid = ref (-1) in
+      let cache = Array.make n_attrs Value.Null in
+      let gen = Array.make n_attrs (-1) in
+      let getcol i =
+        if gen.(i) = !cur_tid then cache.(i)
+        else begin
+          charge ctx Cpu_model.jit_per_value;
+          let v = Relation.get rel !cur_tid i in
+          cache.(i) <- v;
+          gen.(i) <- !cur_tid;
+          v
+        end
+      in
+      let pass =
+        match post with
+        | None -> fun () -> true
+        | Some pred ->
+            let p = Expr.specialize pred ~params:ctx.params getcol in
+            fun () ->
+              charge ctx Cpu_model.jit_per_value;
+              Expr.truthy (p ())
+      in
+      let visit tid =
+        cur_tid := tid;
+        if pass () then consume getcol
+      in
+      fun () ->
+        (match access with
+        | Physical.Full_scan ->
+            let n = Relation.nrows rel in
+            for tid = 0 to n - 1 do
+              visit tid
+            done
+        | Physical.Index_eq _ | Physical.Index_range _ ->
+            List.iter visit (index_tids ctx table access))
+  | Physical.Select { child; pred; _ } ->
+      let cur_row = ref (fun (_ : int) -> Value.Null) in
+      let p = Expr.specialize pred ~params:ctx.params (fun i -> !cur_row i) in
+      compile ctx child ~consume:(fun row ->
+          cur_row := row;
+          charge ctx Cpu_model.jit_per_value;
+          if Expr.truthy (p ()) then consume row)
+  | Physical.Project { child; exprs } ->
+      let cur_row = ref (fun (_ : int) -> Value.Null) in
+      let compiled =
+        Array.of_list
+          (List.map
+             (fun (e, _) ->
+               Expr.specialize e ~params:ctx.params (fun i -> !cur_row i))
+             exprs)
+      in
+      compile ctx child ~consume:(fun row ->
+          cur_row := row;
+          let out i =
+            charge ctx Cpu_model.jit_per_value;
+            compiled.(i) ()
+          in
+          consume out)
+  | Physical.Hash_join { build; probe; build_keys; probe_keys; _ } ->
+      let build_arity = arity ctx build in
+      let build_schema = Physical.schema ctx.cat build in
+      let entry_width =
+        8 (* next pointer *)
+        + Array.fold_left
+            (fun acc (a : Storage.Schema.attr) ->
+              acc + Storage.Schema.stored_width a)
+            0 build_schema
+      in
+      let ht =
+        Runtime.Sim_hash.create ?hier:ctx.hier ctx.arena ~entry_width ()
+      in
+      (* build pipeline: materialize the build row into the hash table *)
+      let run_build =
+        compile ctx build ~consume:(fun row ->
+            let key = List.map row build_keys in
+            let payload = Array.init build_arity row in
+            Runtime.Sim_hash.add ht ~key payload)
+      in
+      let run_probe =
+        compile ctx probe ~consume:(fun row ->
+            let key = List.map row probe_keys in
+            List.iter
+              (fun payload ->
+                let out i =
+                  if i < build_arity then payload.(i) else row (i - build_arity)
+                in
+                consume out)
+              (Runtime.Sim_hash.find_all ht ~key))
+      in
+      fun () ->
+        run_build ();
+        run_probe ()
+  | Physical.Group_by { child; keys; aggs; _ } ->
+      let child_schema = Physical.schema ctx.cat child in
+      let cur_row = ref (fun (_ : int) -> Value.Null) in
+      let key_fns =
+        List.map
+          (fun (e, _) ->
+            Expr.specialize e ~params:ctx.params (fun i -> !cur_row i))
+          keys
+      in
+      let agg_fns =
+        List.map
+          (fun (a : Aggregate.t) ->
+            match a.Aggregate.expr with
+            | Some e -> Expr.specialize e ~params:ctx.params (fun i -> !cur_row i)
+            | None -> fun () -> Value.Null)
+          aggs
+      in
+      let key_cols =
+        List.concat_map (fun (e, _) -> Expr.cols e) keys
+        |> List.sort_uniq compare
+      in
+      let key_width =
+        List.fold_left
+          (fun acc c ->
+            acc
+            + Storage.Value.data_width child_schema.(c).Storage.Schema.ty
+            + if child_schema.(c).Storage.Schema.nullable then 1 else 0)
+          0 key_cols
+      in
+      let table =
+        Runtime.Agg_table.create ?hier:ctx.hier ctx.arena ~aggs
+          ~global:(keys = [])
+          ~key_width:(max 8 key_width) ()
+      in
+      let run_child =
+        compile ctx child ~consume:(fun row ->
+            cur_row := row;
+            charge ctx (Cpu_model.jit_per_value * (1 + List.length aggs));
+            let key = List.map (fun f -> f ()) key_fns in
+            let inputs = Array.of_list (List.map (fun f -> f ()) agg_fns) in
+            Runtime.Agg_table.update table ~key ~inputs)
+      in
+      let n_keys = List.length keys in
+      fun () ->
+        run_child ();
+        Runtime.Agg_table.emit table (fun key finished ->
+            let key_arr = Array.of_list key in
+            let out i =
+              if i < n_keys then
+                if Array.length key_arr = 0 then Value.Null else key_arr.(i)
+              else finished.(i - n_keys)
+            in
+            consume out)
+  | Physical.Sort { child; keys } ->
+      let out_arity = arity ctx child in
+      let schema = Physical.schema ctx.cat child in
+      let row_width =
+        Array.fold_left
+          (fun acc (a : Storage.Schema.attr) ->
+            acc + Storage.Schema.stored_width a)
+          0 schema
+      in
+      let rows = ref [] in
+      let run_child =
+        compile ctx child ~consume:(fun row ->
+            rows := Array.init out_arity row :: !rows)
+      in
+      fun () ->
+        run_child ();
+        let sorted =
+          Runtime.sort_rows ?hier:ctx.hier ctx.arena ~row_width:(max 8 row_width)
+            ~keys (List.rev !rows)
+        in
+        List.iter (fun r -> consume (fun i -> r.(i))) sorted
+  | Physical.Limit { child; n } ->
+      let seen = ref 0 in
+      compile ctx child ~consume:(fun row ->
+          if !seen < n then begin
+            incr seen;
+            consume row
+          end)
+  | Physical.Update { table; access; post; assignments; _ } ->
+      fun () ->
+        let n =
+          Dml.update ~per_value:Cpu_model.jit_per_value ~call_cost:0 ctx.cat
+            ~params:ctx.params ~table ~access ~post ~assignments
+        in
+        ignore n;
+        ignore consume
+  | Physical.Insert { table; values } ->
+      let rel = Catalog.find ctx.cat table in
+      let compiled =
+        List.map
+          (fun e ->
+            Expr.specialize e ~params:ctx.params (fun _ ->
+                invalid_arg "INSERT values cannot reference columns"))
+          values
+      in
+      fun () ->
+        let tuple = Array.of_list (List.map (fun f -> f ()) compiled) in
+        charge ctx (Cpu_model.jit_per_value * Array.length tuple);
+        let tid = Relation.append rel tuple in
+        Catalog.notify_insert ctx.cat table ~tid;
+        consume (fun _ -> Value.VInt tid)
+
+let run cat plan ~params =
+  let hier = Catalog.hier cat in
+  let ctx = { cat; params; hier; arena = Catalog.arena cat } in
+  let schema = Physical.schema cat plan in
+  let columns =
+    Array.map (fun (a : Storage.Schema.attr) -> a.Storage.Schema.name) schema
+  in
+  let out_arity = Array.length schema in
+  let rows = ref [] in
+  let consume row =
+    let materialized = Array.init (max out_arity 1) row in
+    rows := (if out_arity = 0 then [||] else materialized) :: !rows
+  in
+  let consume = if out_arity = 0 then fun _ -> () else consume in
+  let execute = compile ctx plan ~consume in
+  execute ();
+  { Runtime.columns; rows = List.rev !rows }

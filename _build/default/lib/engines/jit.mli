@@ -1,0 +1,15 @@
+(** The JiT-compiled query engine (HyPer's data-centric model, Section III-B).
+
+    A physical plan is "compiled" once into a tree of OCaml closures: all
+    table/partition/offset lookups, predicate constants and query parameters
+    are resolved at compile time, and execution runs one tight loop per
+    pipeline with no dispatch on the plan structure — our OCaml stand-in for
+    LLVM code generation.  Rows in flight are lazy accessors, so a column is
+    fetched from storage only when an operator actually uses it: exactly the
+    conditional-read behaviour the paper's [s_trav_cr] pattern models. *)
+
+val run :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result

@@ -1,0 +1,203 @@
+module Value = Storage.Value
+module Aggregate = Relalg.Aggregate
+
+type result = { columns : string array; rows : Value.t array list }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%s@." (String.concat " | " (Array.to_list r.columns));
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%s@."
+        (String.concat " | "
+           (Array.to_list (Array.map Value.to_display row))))
+    r.rows
+
+let charge hier n =
+  match hier with Some h -> Memsim.Hierarchy.add_cpu h n | None -> ()
+
+module Sim_hash = struct
+  type 'v t = {
+    hier : Memsim.Hierarchy.t option;
+    arena : Storage.Arena.t;
+    entry_width : int;
+    tbl : (int, (Value.t list * 'v) list ref) Hashtbl.t;
+    mutable order : Value.t list list; (* insertion order of distinct keys *)
+    mutable base : int;
+    mutable slots : int;
+    mutable count : int;
+  }
+
+  let initial_slots = 64
+
+  let create ?hier arena ~entry_width () =
+    {
+      hier;
+      arena;
+      entry_width;
+      tbl = Hashtbl.create 64;
+      order = [];
+      base = Storage.Arena.alloc arena (initial_slots * 16);
+      slots = initial_slots;
+      count = 0;
+    }
+
+  let key_hash key = Storage.Hash_index.key_of_values key
+
+  let touch t ~write h =
+    match t.hier with
+    | Some hier ->
+        let slot = (h land max_int) mod t.slots in
+        let addr = t.base + (slot * t.entry_width) in
+        let width = min t.entry_width 64 in
+        Memsim.Hierarchy.add_cpu hier Cpu_model.hash_op;
+        if write then Memsim.Hierarchy.write hier ~addr ~width
+        else Memsim.Hierarchy.read hier ~addr ~width
+    | None -> ()
+
+  let maybe_grow t =
+    if 2 * t.count > t.slots then begin
+      t.slots <- t.slots * 2;
+      t.base <- Storage.Arena.alloc t.arena (t.slots * t.entry_width)
+    end
+
+  let add t ~key v =
+    maybe_grow t;
+    let h = key_hash key in
+    touch t ~write:true h;
+    (match Hashtbl.find_opt t.tbl h with
+    | Some cell -> (
+        match List.assoc_opt key !cell with
+        | Some _ -> cell := !cell @ [ (key, v) ]
+        | None ->
+            t.order <- key :: t.order;
+            cell := !cell @ [ (key, v) ])
+    | None ->
+        Hashtbl.add t.tbl h (ref [ (key, v) ]);
+        t.order <- key :: t.order);
+    t.count <- t.count + 1
+
+  let find_all t ~key =
+    let h = key_hash key in
+    touch t ~write:false h;
+    match Hashtbl.find_opt t.tbl h with
+    | None -> []
+    | Some cell ->
+        List.filter_map
+          (fun (k, v) -> if List.for_all2 Value.equal k key then Some v else None)
+          (try !cell with _ -> [])
+
+  let update t ~key ~init f =
+    let h = key_hash key in
+    touch t ~write:false h;
+    touch t ~write:true h;
+    let cell =
+      match Hashtbl.find_opt t.tbl h with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add t.tbl h c;
+          c
+    in
+    match List.assoc_opt key !cell with
+    | Some v -> f v
+    | None ->
+        maybe_grow t;
+        let v = init () in
+        f v;
+        cell := (key, v) :: !cell;
+        t.order <- key :: t.order;
+        t.count <- t.count + 1
+
+  let iter t f =
+    List.iter
+      (fun key ->
+        let h = key_hash key in
+        match Hashtbl.find_opt t.tbl h with
+        | None -> ()
+        | Some cell -> (
+            match List.assoc_opt key !cell with
+            | Some v -> f key v
+            | None -> ()))
+      (List.rev t.order)
+
+  let length t = List.length t.order
+end
+
+module Agg_table = struct
+  type t = {
+    aggs : Aggregate.t list;
+    table : Aggregate.state array Sim_hash.t;
+    global : bool;
+    mutable saw_row : bool;
+  }
+
+  let create ?hier arena ~aggs ?(global = false) ~key_width () =
+    let entry_width = key_width + (16 * List.length aggs) in
+    {
+      aggs;
+      table = Sim_hash.create ?hier arena ~entry_width:(max 16 entry_width) ();
+      global;
+      saw_row = false;
+    }
+
+  let update t ~key ~inputs =
+    t.saw_row <- true;
+    Sim_hash.update t.table ~key
+      ~init:(fun () ->
+        Array.of_list
+          (List.map (fun (a : Aggregate.t) -> Aggregate.init a.func) t.aggs))
+      (fun states ->
+        List.iteri (fun i _ -> Aggregate.step states.(i) inputs.(i)) t.aggs)
+
+  let emit t f =
+    if t.global && (not t.saw_row) && Sim_hash.length t.table = 0 then begin
+      (* global aggregate over the empty input: one group of initial states *)
+      let states =
+        Array.of_list
+          (List.map (fun (a : Aggregate.t) -> Aggregate.init a.func) t.aggs)
+      in
+      f [] (Array.map Aggregate.finish states)
+    end
+    else
+      Sim_hash.iter t.table (fun key states ->
+          f key (Array.map Aggregate.finish states))
+end
+
+let sort_rows ?hier arena ~row_width ~keys rows =
+  let arr = Array.of_list rows in
+  let n = Array.length arr in
+  if n > 1 then begin
+    (match hier with
+    | Some h ->
+        let base = Storage.Arena.alloc arena (n * row_width) in
+        (* materialize the run *)
+        for i = 0 to n - 1 do
+          Memsim.Hierarchy.write h ~addr:(base + (i * row_width))
+            ~width:(min row_width 64)
+        done;
+        (* n log n random touches for the comparison-based sort *)
+        let log2n =
+          int_of_float (Float.ceil (Float.log (float_of_int n) /. Float.log 2.0))
+        in
+        let rng = Mrdb_util.Rng.create (n lxor 0x50F7) in
+        for _ = 1 to n * log2n do
+          let i = Mrdb_util.Rng.int rng n in
+          Memsim.Hierarchy.read h
+            ~addr:(base + (i * row_width))
+            ~width:(min row_width 64);
+          Memsim.Hierarchy.add_cpu h 1
+        done
+    | None -> ());
+    let compare_rows a b =
+      let rec go = function
+        | [] -> 0
+        | (col, dir) :: rest ->
+            let c = Value.compare a.(col) b.(col) in
+            let c = match (dir : Relalg.Plan.dir) with Asc -> c | Desc -> -c in
+            if c <> 0 then c else go rest
+      in
+      go keys
+    in
+    Array.stable_sort compare_rows arr
+  end;
+  Array.to_list arr

@@ -1,0 +1,77 @@
+(** Shared runtime facilities for the execution engines: query results,
+    simulator-resident hash tables, aggregation tables, and a sort helper
+    whose memory traffic is visible to the simulator. *)
+
+module Value = Storage.Value
+
+type result = { columns : string array; rows : Value.t array list }
+
+val pp_result : Format.formatter -> result -> unit
+
+val charge : Memsim.Hierarchy.t option -> int -> unit
+(** Charge CPU cycles if a hierarchy is attached. *)
+
+(** A hash table whose probe/update traffic is modeled as repetitive random
+    accesses into a simulator region (the [rr_acc] of the cost model).  The
+    actual key/value storage is an OCaml hashtable — the simulator only
+    needs the addresses. *)
+module Sim_hash : sig
+  type 'v t
+
+  val create :
+    ?hier:Memsim.Hierarchy.t ->
+    Storage.Arena.t ->
+    entry_width:int ->
+    unit ->
+    'v t
+  (** [entry_width] is the modeled bytes per entry (key plus payload). *)
+
+  val add : 'v t -> key:Value.t list -> 'v -> unit
+
+  val find_all : 'v t -> key:Value.t list -> 'v list
+  (** All values added under an equal key, oldest first. *)
+
+  val update :
+    'v t -> key:Value.t list -> init:(unit -> 'v) -> ('v -> unit) -> unit
+  (** Find-or-create the entry for [key], then mutate it in place (one read
+      plus one write of the entry). *)
+
+  val iter : 'v t -> (Value.t list -> 'v -> unit) -> unit
+  (** Iterate entries in insertion order of their keys (deterministic). *)
+
+  val length : 'v t -> int
+end
+
+(** Aggregation table: one {!Aggregate.state} vector per key. *)
+module Agg_table : sig
+  type t
+
+  val create :
+    ?hier:Memsim.Hierarchy.t ->
+    Storage.Arena.t ->
+    aggs:Relalg.Aggregate.t list ->
+    ?global:bool ->
+    key_width:int ->
+    unit ->
+    t
+  (** [global] marks a group-by without keys: on empty input it emits one
+      all-initial group (SQL semantics for global aggregates). *)
+
+  val update : t -> key:Value.t list -> inputs:Value.t array -> unit
+  (** [inputs] holds, positionally per aggregate, the evaluated argument
+      ([Null] for count-star). *)
+
+  val emit : t -> (Value.t list -> Value.t array -> unit) -> unit
+  (** Iterate groups as (key values, finished aggregate values); a global
+      table that consumed no rows emits a single group of initial states. *)
+end
+
+val sort_rows :
+  ?hier:Memsim.Hierarchy.t ->
+  Storage.Arena.t ->
+  row_width:int ->
+  keys:(int * Relalg.Plan.dir) list ->
+  Value.t array list ->
+  Value.t array list
+(** Sort materialized rows.  Models the traffic of an out-of-place sort:
+    a sequential write of all rows followed by [n log n] random accesses. *)

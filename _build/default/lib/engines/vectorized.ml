@@ -1,0 +1,222 @@
+module Value = Storage.Value
+module Relation = Storage.Relation
+module Catalog = Storage.Catalog
+module Buffer = Storage.Buffer
+module Schema = Storage.Schema
+module Physical = Relalg.Physical
+module Expr = Relalg.Expr
+module Aggregate = Relalg.Aggregate
+
+let vector_size = 1024
+
+type ctx = {
+  cat : Catalog.t;
+  params : Value.t array;
+  hier : Memsim.Hierarchy.t option;
+  arena : Storage.Arena.t;
+}
+
+let charge ctx n = Runtime.charge ctx.hier n
+
+(* The single-table pipeline shape this engine runs natively. *)
+type pipeline = {
+  table : string;
+  access : Physical.access;
+  conjuncts : Expr.t list;
+  group : ((Expr.t * string) list * Aggregate.t list) option;
+  (* projection over the scan output (or over the group output) *)
+  projection : (Expr.t * string) list option;
+  sort : (int * Relalg.Plan.dir) list option;
+  limit : int option;
+}
+
+(* Decompose a plan into the pipeline shape; None = unsupported, fall back. *)
+let extract (plan : Physical.t) : pipeline option =
+  let limit, plan =
+    match plan with
+    | Physical.Limit { child; n } -> (Some n, child)
+    | p -> (None, p)
+  in
+  let sort, plan =
+    match plan with
+    | Physical.Sort { child; keys } -> (Some keys, child)
+    | p -> (None, p)
+  in
+  let projection, plan =
+    match plan with
+    | Physical.Project { child; exprs } -> (Some exprs, child)
+    | p -> (None, p)
+  in
+  let group, plan =
+    match plan with
+    | Physical.Group_by { child; keys; aggs; _ } -> (Some (keys, aggs), child)
+    | p -> (None, p)
+  in
+  let rec selects acc = function
+    | Physical.Select { child; pred; _ } ->
+        selects (acc @ Expr.conjuncts pred) child
+    | p -> (acc, p)
+  in
+  let above, plan = selects [] plan in
+  match plan with
+  | Physical.Insert _ | Physical.Update _ -> None
+  | Physical.Scan { table; access; post; _ } ->
+      let conjuncts =
+        (match post with Some p -> Expr.conjuncts p | None -> []) @ above
+      in
+      Some { table; access; conjuncts; group; projection; sort; limit }
+  | _ -> None
+
+let index_tids ctx table access =
+  let rel = Catalog.find ctx.cat table in
+  match (access : Physical.access) with
+  | Physical.Full_scan -> assert false
+  | Physical.Index_eq { attrs; keys } -> (
+      let key_values =
+        List.map (fun e -> Expr.eval e ~params:ctx.params (fun _ -> assert false)) keys
+      in
+      match Catalog.find_index ctx.cat table ~attrs with
+      | Some idx -> Storage.Index.lookup_eq idx rel key_values
+      | None -> assert false)
+  | Physical.Index_range { attr; lo; hi } -> (
+      let ev e = Expr.eval e ~params:ctx.params (fun _ -> assert false) in
+      match Catalog.find_index ctx.cat table ~attrs:[ attr ] with
+      | Some idx -> Storage.Index.lookup_range idx ~lo:(ev lo) ~hi:(ev hi)
+      | None -> assert false)
+
+let run_pipeline ctx (p : pipeline) : Value.t array list =
+  let rel = Catalog.find ctx.cat p.table in
+  let n = Relation.nrows rel in
+  (* cache-resident working state, reused across vectors: a selection vector
+     and one value slot per touched column of the current vector *)
+  let selvec = Buffer.create ctx.arena ?hier:ctx.hier (vector_size * 8) in
+  let scratch = Buffer.create ctx.arena ?hier:ctx.hier (vector_size * 8) in
+  let group_state =
+    Option.map
+      (fun (keys, aggs) ->
+        let table =
+          Runtime.Agg_table.create ?hier:ctx.hier ctx.arena ~aggs
+            ~global:(keys = []) ~key_width:16 ()
+        in
+        (keys, aggs, table))
+      p.group
+  in
+  let rows = ref [] in
+  let emit row = rows := row :: !rows in
+  (* evaluate an expression for the tuple at [tid] *)
+  let eval_at tid e =
+    charge ctx Cpu_model.bulk_per_value;
+    Expr.eval e ~params:ctx.params (fun col ->
+        charge ctx Cpu_model.bulk_per_value;
+        Relation.get rel tid col)
+  in
+  let tid_source =
+    match p.access with
+    | Physical.Full_scan -> None
+    | access -> Some (Array.of_list (index_tids ctx p.table access))
+  in
+  let total =
+    match tid_source with Some tids -> Array.length tids | None -> n
+  in
+  let chunk_start = ref 0 in
+  while !chunk_start < total do
+    let m = min vector_size (total - !chunk_start) in
+    (* 1. fill the selection vector with the vector's tids *)
+    for i = 0 to m - 1 do
+      let tid =
+        match tid_source with
+        | Some tids -> tids.(!chunk_start + i)
+        | None -> !chunk_start + i
+      in
+      Buffer.write_int selvec (i * 8) tid
+    done;
+    (* 2. one pass per conjunct, compacting survivors into [scratch] *)
+    let count = ref m in
+    List.iter
+      (fun conj ->
+        let kept = ref 0 in
+        for i = 0 to !count - 1 do
+          let tid = Buffer.read_int selvec (i * 8) in
+          if Expr.truthy (eval_at tid conj) then begin
+            Buffer.write_int scratch (!kept * 8) tid;
+            incr kept
+          end
+        done;
+        (* copy back: the two small buffers stay cache resident *)
+        for i = 0 to !kept - 1 do
+          Buffer.write_int selvec (i * 8) (Buffer.read_int scratch (i * 8))
+        done;
+        count := !kept)
+      p.conjuncts;
+    (* 3. sink: aggregate or project the survivors *)
+    (match group_state with
+    | Some (keys, aggs, table) ->
+        for i = 0 to !count - 1 do
+          let tid = Buffer.read_int selvec (i * 8) in
+          let key = List.map (fun (e, _) -> eval_at tid e) keys in
+          let inputs =
+            Array.of_list
+              (List.map
+                 (fun (a : Aggregate.t) ->
+                   match a.Aggregate.expr with
+                   | Some e -> eval_at tid e
+                   | None -> Value.Null)
+                 aggs)
+          in
+          Runtime.Agg_table.update table ~key ~inputs
+        done
+    | None ->
+        let arity = Schema.arity (Relation.schema rel) in
+        for i = 0 to !count - 1 do
+          let tid = Buffer.read_int selvec (i * 8) in
+          match p.projection with
+          | Some exprs ->
+              emit (Array.of_list (List.map (fun (e, _) -> eval_at tid e) exprs))
+          | None -> emit (Array.init arity (fun c -> eval_at tid (Expr.Col c)))
+        done);
+    chunk_start := !chunk_start + vector_size
+  done;
+  (* group output + projection over it *)
+  (match group_state with
+  | Some (keys, _, table) ->
+      let n_keys = List.length keys in
+      Runtime.Agg_table.emit table (fun key finished ->
+          let base = Array.append (Array.of_list key) finished in
+          match p.projection with
+          | Some exprs ->
+              emit
+                (Array.of_list
+                   (List.map
+                      (fun (e, _) ->
+                        charge ctx Cpu_model.bulk_per_value;
+                        Expr.eval e ~params:ctx.params (fun c ->
+                            if c < n_keys + Array.length finished then base.(c)
+                            else Value.Null))
+                      exprs))
+          | None -> emit base)
+  | None -> ());
+  let out = List.rev !rows in
+  let out =
+    match p.sort with
+    | Some keys ->
+        Runtime.sort_rows ?hier:ctx.hier ctx.arena ~row_width:32 ~keys out
+    | None -> out
+  in
+  match p.limit with
+  | Some k -> List.filteri (fun i _ -> i < k) out
+  | None -> out
+
+let run cat plan ~params =
+  match extract plan with
+  | None -> Bulk.run cat plan ~params
+  | Some pipeline ->
+      let ctx =
+        { cat; params; hier = Catalog.hier cat; arena = Catalog.arena cat }
+      in
+      let schema = Physical.schema cat plan in
+      let columns = Array.map (fun (a : Schema.attr) -> a.Schema.name) schema in
+      (match plan with
+      | Physical.Insert _ -> ()
+      | _ -> ());
+      let rows = run_pipeline ctx pipeline in
+      { Runtime.columns; rows }

@@ -1,0 +1,21 @@
+(** A vectorized (X100-style) processor — the middle ground the paper cites
+    between bulk processing and JiT compilation (Sompolski et al.,
+    "Vectorization vs. Compilation in Query Execution").
+
+    Like the bulk engine it runs tight per-primitive loops, but it processes
+    vectors of {!vector_size} tuples at a time and reuses the same
+    cache-resident intermediate buffers for every vector, so materialization
+    traffic stays in the L1/L2 caches instead of streaming through memory —
+    removing bulk processing's high-selectivity penalty at the price of
+    per-vector bookkeeping.
+
+    Plans containing joins fall back to the bulk engine (vectorized joins
+    add nothing to the experiments this repository reproduces). *)
+
+val vector_size : int
+
+val run :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result

@@ -1,0 +1,14 @@
+(** A Volcano-style iterator engine (Section II-A).
+
+    Operators are objects exposing a virtual [next()] returning one tuple;
+    every call crosses an operator boundary through a function pointer and
+    is charged {!Cpu_model.volcano_next_call}.  Scans materialize the full
+    tuple regardless of which attributes the query needs — the "arbitrarily
+    wide tuples with generic operators" behaviour that makes the model
+    storage-layout agnostic and CPU inefficient. *)
+
+val run :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result

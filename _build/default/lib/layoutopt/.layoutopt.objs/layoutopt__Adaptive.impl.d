@@ -1,0 +1,1 @@
+lib/layoutopt/adaptive.ml: Costmodel Float Format Hashtbl List Memsim Optimizer Relalg Storage

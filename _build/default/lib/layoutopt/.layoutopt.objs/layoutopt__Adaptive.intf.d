@@ -1,0 +1,1 @@
+lib/layoutopt/adaptive.mli: Relalg Storage

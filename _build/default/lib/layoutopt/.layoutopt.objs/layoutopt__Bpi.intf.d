@@ -1,0 +1,1 @@
+lib/layoutopt/bpi.mli: Cut

@@ -1,0 +1,1 @@
+lib/layoutopt/cut.ml: Costmodel Format List Storage String

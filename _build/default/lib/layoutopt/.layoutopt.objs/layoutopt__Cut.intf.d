@@ -1,0 +1,1 @@
+lib/layoutopt/cut.mli: Costmodel Format Storage

@@ -1,0 +1,1 @@
+lib/layoutopt/optimizer.ml: Bpi Costmodel Cut List Storage String

@@ -1,0 +1,1 @@
+lib/layoutopt/optimizer.mli: Bpi Cut Memsim Relalg Storage

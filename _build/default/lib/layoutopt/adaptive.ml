@@ -1,0 +1,130 @@
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Layout = Storage.Layout
+module Model = Costmodel.Model
+module Pattern = Costmodel.Pattern
+
+type event = {
+  table : string;
+  old_layout : Storage.Layout.t;
+  new_layout : Storage.Layout.t;
+  predicted_saving : float;
+}
+
+type t = {
+  cat : Catalog.t;
+  window : int;
+  check_every : int;
+  min_benefit : float;
+  horizon : float;
+  mutable recent : Relalg.Physical.t list; (* newest first, bounded *)
+  mutable count : int;
+  mutable events : event list; (* newest first *)
+}
+
+let create ?(window = 256) ?(check_every = 64) ?(min_benefit = 0.05)
+    ?(horizon = 10.0) cat =
+  {
+    cat;
+    window;
+    check_every;
+    min_benefit;
+    horizon;
+    recent = [];
+    count = 0;
+    events = [];
+  }
+
+let observed t = t.count
+
+let reorganizations t = List.rev t.events
+
+(* sequential read + sequential write of every partition *)
+let copy_cost cat table =
+  let rel = Catalog.find cat table in
+  let n = Relation.nrows rel in
+  let layout = Relation.layout rel in
+  let cost = ref 0.0 in
+  for p = 0 to Layout.n_partitions layout - 1 do
+    let w = max 1 (Relation.part_width rel p) in
+    cost :=
+      !cost
+      +. (2.0
+         *. Costmodel.Cost_function.cost Memsim.Params.nehalem
+              (Pattern.s_trav ~n:(max 1 n) ~w ()))
+  done;
+  !cost
+
+(* collapse the observed window into (plan, frequency) pairs; identical
+   plan structures are merged by their printed form *)
+let workload_of t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun plan ->
+      let key = Format.asprintf "%a" Relalg.Physical.pp plan in
+      match Hashtbl.find_opt tbl key with
+      | Some (p, f) -> Hashtbl.replace tbl key (p, f +. 1.0)
+      | None -> Hashtbl.add tbl key (plan, 1.0))
+    t.recent;
+  Hashtbl.fold (fun _ pf acc -> pf :: acc) tbl []
+
+(* tables touched by a physical plan *)
+let rec plan_tables acc (p : Relalg.Physical.t) =
+  match p with
+  | Relalg.Physical.Scan { table; _ }
+  | Relalg.Physical.Insert { table; _ }
+  | Relalg.Physical.Update { table; _ } ->
+      table :: acc
+  | Relalg.Physical.Select { child; _ }
+  | Relalg.Physical.Project { child; _ }
+  | Relalg.Physical.Group_by { child; _ }
+  | Relalg.Physical.Sort { child; _ }
+  | Relalg.Physical.Limit { child; _ } ->
+      plan_tables acc child
+  | Relalg.Physical.Hash_join { build; probe; _ } ->
+      plan_tables (plan_tables acc build) probe
+
+let check t =
+  let workload = workload_of t in
+  let tables =
+    List.concat_map (fun (p, _) -> plan_tables [] p) workload
+    |> List.sort_uniq compare
+  in
+  List.filter_map
+    (fun table ->
+      let rel = Catalog.find t.cat table in
+      let old_layout = Relation.layout rel in
+      let current_cost =
+        Model.workload_cost ~layouts:[ (table, old_layout) ] t.cat workload
+      in
+      let result = Optimizer.optimize_table t.cat table workload in
+      let new_layout = result.Optimizer.layout in
+      if Layout.equal new_layout old_layout then None
+      else begin
+        let saving_per_window =
+          current_cost -. result.Optimizer.estimated_cost
+        in
+        let net =
+          (saving_per_window *. t.horizon) -. copy_cost t.cat table
+        in
+        if
+          net > 0.0
+          && saving_per_window > t.min_benefit *. Float.max 1.0 current_cost
+        then begin
+          Catalog.set_layout t.cat table new_layout;
+          let ev =
+            { table; old_layout; new_layout; predicted_saving = net }
+          in
+          t.events <- ev :: t.events;
+          Some ev
+        end
+        else None
+      end)
+    tables
+
+let record t plan =
+  t.count <- t.count + 1;
+  t.recent <- plan :: t.recent;
+  if List.length t.recent > t.window then
+    t.recent <- List.filteri (fun i _ -> i < t.window) t.recent;
+  if t.count mod t.check_every = 0 then check t else []

@@ -1,0 +1,46 @@
+(** Online / adaptive reorganization of the decomposition — the paper's
+    Section VII direction ("online/adaptive reorganization of the
+    decomposition strategy").
+
+    The monitor observes executed physical plans, maintains a sliding
+    window of the recent workload, and periodically re-runs the BPi
+    optimizer over it.  A table is repartitioned only when the model
+    predicts that the saving over the amortization horizon exceeds both the
+    relative threshold and the estimated cost of the reorganization itself
+    (reading and rewriting every tuple). *)
+
+type t
+
+type event = {
+  table : string;
+  old_layout : Storage.Layout.t;
+  new_layout : Storage.Layout.t;
+  predicted_saving : float;  (** cycles over the horizon, net of copy cost *)
+}
+
+val create :
+  ?window:int ->
+  ?check_every:int ->
+  ?min_benefit:float ->
+  ?horizon:float ->
+  Storage.Catalog.t ->
+  t
+(** [window] — how many recent queries form the observed workload (default
+    256); [check_every] — evaluate after this many recorded queries (default
+    64); [min_benefit] — required relative improvement (default 0.05);
+    [horizon] — how many times the observed window is assumed to repeat when
+    amortizing the reorganization cost (default 10). *)
+
+val record : t -> Relalg.Physical.t -> event list
+(** Observe one executed query; returns the reorganizations applied (empty
+    most of the time). *)
+
+val observed : t -> int
+(** Queries recorded so far. *)
+
+val reorganizations : t -> event list
+(** All events so far, oldest first. *)
+
+val copy_cost : Storage.Catalog.t -> string -> float
+(** Model estimate of repartitioning the named table (sequential read plus
+    sequential write of all partitions). *)

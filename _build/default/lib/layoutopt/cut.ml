@@ -1,0 +1,50 @@
+module Emit = Costmodel.Emit
+
+type t = int list
+
+let normalize l = List.sort_uniq compare l
+
+let refine partitioning cut =
+  let cut = normalize cut in
+  let split group =
+    let inside, outside = List.partition (fun a -> List.mem a cut) group in
+    List.filter (fun g -> g <> []) [ inside; outside ]
+  in
+  List.concat_map split partitioning
+  |> List.map normalize
+  |> List.sort compare
+
+let union_all sets = normalize (List.concat sets)
+
+let classic_of_descs descs =
+  match descs with
+  | [] -> []
+  | _ -> [ union_all (List.map (fun d -> d.Emit.attrs) descs) ]
+
+let kind_rank = function
+  | Emit.Seq -> 0
+  | Emit.Seq_cond _ -> 1
+  | Emit.Rand -> 2
+
+let extended_of_descs descs =
+  let per_atom = List.map (fun d -> normalize d.Emit.attrs) descs in
+  let by_kind =
+    List.map
+      (fun k ->
+        union_all
+          (List.filter_map
+             (fun d ->
+               if kind_rank d.Emit.kind = k then Some d.Emit.attrs else None)
+             descs))
+      [ 0; 1; 2 ]
+  in
+  let full = union_all (List.map (fun d -> d.Emit.attrs) descs) in
+  List.filter (fun c -> c <> []) (per_atom @ by_kind @ [ full ])
+  |> List.sort_uniq compare
+
+let pp schema ppf cut =
+  Format.fprintf ppf "{%s}"
+    (String.concat ","
+       (List.map
+          (fun a -> (Storage.Schema.attr schema a).Storage.Schema.name)
+          cut))

@@ -1,0 +1,28 @@
+(** Reasonable and extended reasonable cuts (Section V-A).
+
+    A cut is a set of attributes; applying it to a partitioning splits every
+    partition into the attributes inside and outside the cut.  Classic
+    reasonable cuts contain all attributes a query accesses; {e extended}
+    reasonable cuts are derived from the query's access patterns instead, so
+    attributes accessed in different manners (e.g. a scanned predicate
+    column vs. conditionally read payload columns) yield separate cuts. *)
+
+type t = int list
+(** Sorted, duplicate-free attribute indices. *)
+
+val normalize : int list -> t
+
+val refine : int list list -> t -> int list list
+(** [refine partitioning cut] splits each group by cut membership; empty
+    groups are dropped and the result is normalized. *)
+
+val classic_of_descs : Costmodel.Emit.access_desc list -> t list
+(** One cut per query access set: the union of all attributes the
+    descriptors mention (the original OBP/BPi definition). *)
+
+val extended_of_descs : Costmodel.Emit.access_desc list -> t list
+(** Extended reasonable cuts: one cut per descriptor (atomic pattern), plus
+    the unions of same-kind descriptors, plus the full access set.
+    Duplicates removed, deterministic order. *)
+
+val pp : Storage.Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+module Emit = Costmodel.Emit
+module Model = Costmodel.Model
+module Layout = Storage.Layout
+module Schema = Storage.Schema
+
+type algorithm = Bpi of float | Obp
+
+type table_result = {
+  table : string;
+  layout : Storage.Layout.t;
+  cuts : Cut.t list;
+  estimated_cost : float;
+  row_cost : float;
+  column_cost : float;
+  search : Bpi.stats;
+}
+
+let descs_for_table ?estimate cat table workload =
+  List.concat_map
+    (fun (plan, _freq) ->
+      let _, descs = Emit.emit ?estimate cat plan in
+      List.filter (fun d -> String.equal d.Emit.table table) descs)
+    workload
+
+let cuts_for_table ?(extended = true) ?estimate cat table workload =
+  (* cuts are per query: each query's descriptors yield its own cut set *)
+  let per_query =
+    List.concat_map
+      (fun (plan, _freq) ->
+        let _, descs = Emit.emit ?estimate cat plan in
+        let mine = List.filter (fun d -> String.equal d.Emit.table table) descs in
+        if mine = [] then []
+        else if extended then Cut.extended_of_descs mine
+        else Cut.classic_of_descs mine)
+      workload
+  in
+  List.sort_uniq compare per_query
+
+let layout_of_partitioning schema partitioning =
+  Layout.of_indices schema partitioning
+
+let workload_cost_with ?estimate ?params ?additive cat table layout workload =
+  Model.workload_cost ?estimate ?params ?additive
+    ~layouts:[ (table, layout) ]
+    cat workload
+
+let optimize_table ?(algorithm = Bpi 0.005) ?(extended = true) ?estimate
+    ?params ?additive cat table workload =
+  let rel = Storage.Catalog.find cat table in
+  let schema = Storage.Relation.schema rel in
+  let n_attrs = Schema.arity schema in
+  let cuts = cuts_for_table ~extended ?estimate cat table workload in
+  let cost partitioning =
+    workload_cost_with ?estimate ?params ?additive cat table
+      (layout_of_partitioning schema partitioning)
+      workload
+  in
+  let partitioning, estimated_cost, search =
+    match algorithm with
+    | Bpi threshold -> Bpi.optimize ~cost ~n_attrs ~cuts ~threshold
+    | Obp -> Bpi.optimize_exhaustive ~cost ~n_attrs ~cuts
+  in
+  let layout = layout_of_partitioning schema partitioning in
+  let row_cost =
+    workload_cost_with ?estimate ?params ?additive cat table
+      (Layout.row schema) workload
+  in
+  let column_cost =
+    workload_cost_with ?estimate ?params ?additive cat table
+      (Layout.column schema) workload
+  in
+  { table; layout; cuts; estimated_cost; row_cost; column_cost; search }
+
+let optimize ?algorithm ?extended ?estimate ?params cat workload =
+  let tables =
+    List.concat_map
+      (fun (plan, _) -> List.map (fun d -> d.Emit.table) (snd (Emit.emit cat plan)))
+      workload
+    |> List.sort_uniq compare
+  in
+  List.map
+    (fun table ->
+      optimize_table ?algorithm ?extended ?estimate ?params cat table workload)
+    tables
+
+let apply cat results =
+  List.iter
+    (fun r -> Storage.Catalog.set_layout cat r.table r.layout)
+    results
+
+(* silence unused-warning for descs_for_table, which is part of the
+   documented API surface used by tests *)
+let _ = descs_for_table

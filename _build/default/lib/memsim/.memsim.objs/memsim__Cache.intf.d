@@ -1,0 +1,1 @@
+lib/memsim/cache.mli: Params

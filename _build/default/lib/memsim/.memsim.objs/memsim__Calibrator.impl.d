@@ -1,0 +1,1 @@
+lib/memsim/calibrator.ml: Array Float Hierarchy List Mrdb_util Params Stats

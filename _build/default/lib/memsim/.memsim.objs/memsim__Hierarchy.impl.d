@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.ml: Array Cache Fun Hashtbl Params Prefetcher Stats

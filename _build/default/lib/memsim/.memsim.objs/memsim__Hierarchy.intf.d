@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.mli: Params Stats

@@ -1,0 +1,1 @@
+lib/memsim/params.ml: Array Format

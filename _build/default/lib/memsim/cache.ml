@@ -1,0 +1,85 @@
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  block_bits : int;
+  tags : int array; (* sets * assoc; -1 = invalid *)
+  ages : int array; (* LRU timestamps *)
+  mutable clock : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (l : Params.level) =
+  assert (l.block > 0 && l.block land (l.block - 1) = 0);
+  let sets = max 1 (l.capacity / (l.block * l.assoc)) in
+  {
+    name = l.name;
+    sets;
+    assoc = l.assoc;
+    block_bits = log2 l.block;
+    tags = Array.make (sets * l.assoc) (-1);
+    ages = Array.make (sets * l.assoc) 0;
+    clock = 0;
+  }
+
+let block_bits t = t.block_bits
+let name t = t.name
+
+let set_base t line = line mod t.sets * t.assoc
+
+let find t line =
+  let base = set_base t line in
+  let rec go i =
+    if i >= t.assoc then -1
+    else if t.tags.(base + i) = line then base + i
+    else go (i + 1)
+  in
+  go 0
+
+let touch_slot t slot =
+  t.clock <- t.clock + 1;
+  t.ages.(slot) <- t.clock
+
+let victim t line =
+  let base = set_base t line in
+  let rec go i best best_age =
+    if i >= t.assoc then best
+    else
+      let slot = base + i in
+      if t.tags.(slot) = -1 then slot
+      else if t.ages.(slot) < best_age then go (i + 1) slot t.ages.(slot)
+      else go (i + 1) best best_age
+  in
+  go 1 base t.ages.(base)
+
+let access t line =
+  let slot = find t line in
+  if slot >= 0 then begin
+    touch_slot t slot;
+    true
+  end
+  else begin
+    let v = victim t line in
+    t.tags.(v) <- line;
+    touch_slot t v;
+    false
+  end
+
+let insert t line =
+  let slot = find t line in
+  if slot >= 0 then touch_slot t slot
+  else begin
+    let v = victim t line in
+    t.tags.(v) <- line;
+    touch_slot t v
+  end
+
+let mem t line = find t line >= 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.clock <- 0

@@ -1,0 +1,29 @@
+(** A single set-associative LRU cache level operating on line numbers.
+
+    The cache does not store data, only tags: the simulator is a timing and
+    miss-count model, the actual bytes live in {!Storage.Buffer} byte arrays. *)
+
+type t
+
+val create : Params.level -> t
+(** [create level] builds an empty cache with [level]'s geometry.  Capacities
+    that are not an exact multiple of [block * assoc] are rounded down to at
+    least one set. *)
+
+val block_bits : t -> int
+(** log2 of the block size: [line = addr lsr block_bits t]. *)
+
+val access : t -> int -> bool
+(** [access t line] looks up [line]; on a miss the line is inserted, evicting
+    the LRU way of its set.  Returns [true] on a hit. *)
+
+val insert : t -> int -> unit
+(** [insert t line] fills [line] without counting it as a demand access (used
+    by the prefetcher). Inserting an already-present line refreshes its age. *)
+
+val mem : t -> int -> bool
+(** [mem t line] is a lookup without any side effect. *)
+
+val clear : t -> unit
+
+val name : t -> string

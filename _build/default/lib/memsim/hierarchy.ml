@@ -1,0 +1,129 @@
+type t = {
+  params : Params.t;
+  mutable tracing : bool;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  tlb : Cache.t;
+  pf : Prefetcher.t;
+  pending : (int, unit) Hashtbl.t; (* prefetched lines not yet demand-touched *)
+  stats : Stats.t;
+  l1_bits : int;
+  l2_bits : int;
+  l3_bits : int;
+  tlb_bits : int;
+  l1_lat : int;
+  l2_lat : int;
+  l3_lat : int;
+  tlb_lat : int;
+  mem_lat : int;
+}
+
+let create ?(params = Params.nehalem) () =
+  assert (Array.length params.levels = 3);
+  let l1 = Cache.create params.levels.(0) in
+  let l2 = Cache.create params.levels.(1) in
+  let l3 = Cache.create params.levels.(2) in
+  let tlb = Cache.create params.tlb in
+  {
+    params;
+    tracing = true;
+    l1;
+    l2;
+    l3;
+    tlb;
+    pf = Prefetcher.create ~streams:params.prefetch_streams;
+    pending = Hashtbl.create 1024;
+    stats = Stats.create ();
+    l1_bits = Cache.block_bits l1;
+    l2_bits = Cache.block_bits l2;
+    l3_bits = Cache.block_bits l3;
+    tlb_bits = Cache.block_bits tlb;
+    l1_lat = params.levels.(0).latency;
+    l2_lat = params.levels.(1).latency;
+    l3_lat = params.levels.(2).latency;
+    tlb_lat = params.tlb.latency;
+    mem_lat = params.memory_latency;
+  }
+
+let params t = t.params
+
+(* One 8-byte-word probe of the hierarchy.  Returns the cycle cost. *)
+let probe_word t a =
+  let s = t.stats in
+  let cost = ref t.l1_lat in
+  if not (Cache.access t.tlb (a lsr t.tlb_bits)) then begin
+    s.tlb_misses <- s.tlb_misses + 1;
+    cost := !cost + t.tlb_lat
+  end;
+  if not (Cache.access t.l1 (a lsr t.l1_bits)) then begin
+    s.l1_misses <- s.l1_misses + 1;
+    cost := !cost + t.l2_lat;
+    if not (Cache.access t.l2 (a lsr t.l2_bits)) then begin
+      s.l2_misses <- s.l2_misses + 1;
+      cost := !cost + t.l3_lat;
+      let line = a lsr t.l3_bits in
+      s.llc_accesses <- s.llc_accesses + 1;
+      if Cache.access t.l3 line then begin
+        if Hashtbl.mem t.pending line then begin
+          (* first demand touch of a prefetched line: its memory latency was
+             hidden behind processing — the paper's "sequential miss" *)
+          s.llc_seq_misses <- s.llc_seq_misses + 1;
+          Hashtbl.remove t.pending line
+        end
+      end
+      else begin
+        Hashtbl.remove t.pending line;
+        s.llc_rand_misses <- s.llc_rand_misses + 1;
+        cost := !cost + t.mem_lat
+      end;
+      match Prefetcher.observe t.pf line with
+      | Some p ->
+          if not (Cache.mem t.l3 p) then begin
+            Cache.insert t.l3 p;
+            Hashtbl.replace t.pending p ();
+            s.prefetches <- s.prefetches + 1
+          end
+      | None -> ()
+    end
+  end;
+  !cost
+
+let touch t ~addr ~width ~is_write =
+  let s = t.stats in
+  let first = addr lsr 3 and last = (addr + width - 1) lsr 3 in
+  for w = first to last do
+    s.accesses <- s.accesses + 1;
+    if is_write then s.writes <- s.writes + 1 else s.reads <- s.reads + 1;
+    let c = probe_word t (w lsl 3) in
+    s.mem_cycles <- s.mem_cycles + c
+  done
+
+let read t ~addr ~width =
+  if t.tracing then touch t ~addr ~width ~is_write:false
+
+let write t ~addr ~width =
+  if t.tracing then touch t ~addr ~width ~is_write:true
+
+let add_cpu t n = if t.tracing then t.stats.cpu_cycles <- t.stats.cpu_cycles + n
+
+let set_enabled t b = t.tracing <- b
+let enabled t = t.tracing
+
+let without_tracing t f =
+  let prev = t.tracing in
+  t.tracing <- false;
+  Fun.protect ~finally:(fun () -> t.tracing <- prev) f
+
+let stats t = t.stats
+let snapshot t = Stats.copy t.stats
+let reset_stats t = Stats.reset t.stats
+
+let reset t =
+  Stats.reset t.stats;
+  Cache.clear t.l1;
+  Cache.clear t.l2;
+  Cache.clear t.l3;
+  Cache.clear t.tlb;
+  Prefetcher.clear t.pf;
+  Hashtbl.reset t.pending

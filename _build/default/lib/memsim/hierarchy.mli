@@ -1,0 +1,47 @@
+(** The composed memory-hierarchy simulator.
+
+    Every data-plane byte the database engines touch flows through {!read} or
+    {!write}; the simulator walks TLB / L1 / L2 / LLC, consults the
+    prefetcher, and accounts cycles per Table III of the paper.  Execution
+    engines additionally charge instruction costs through {!add_cpu} — the
+    paper's two performance dimensions (cache efficiency and CPU efficiency)
+    are thus two separate counters of one {!Stats.t}. *)
+
+type t
+
+val create : ?params:Params.t -> unit -> t
+(** [create ()] uses {!Params.nehalem}. *)
+
+val params : t -> Params.t
+
+val read : t -> addr:int -> width:int -> unit
+(** Simulate a load of [width] bytes at virtual address [addr].  The access is
+    decomposed into 8-byte words, each probing the hierarchy. *)
+
+val write : t -> addr:int -> width:int -> unit
+(** Simulate a store.  Timing model is identical to {!read} (write-allocate). *)
+
+val add_cpu : t -> int -> unit
+(** Charge [n] CPU cycles of instruction work (predicate evaluation, hashing,
+    virtual-call overhead, ...). *)
+
+val stats : t -> Stats.t
+(** Live counters (mutable; use {!Stats.copy} for snapshots). *)
+
+val snapshot : t -> Stats.t
+
+val reset_stats : t -> unit
+(** Zero the counters, keeping cache contents (to measure warm behaviour). *)
+
+val reset : t -> unit
+(** Zero counters and flush all caches, TLB, prefetcher state. *)
+
+val set_enabled : t -> bool -> unit
+(** When disabled, {!read}, {!write} and {!add_cpu} are no-ops.  Used to
+    exclude setup work (loading, repartitioning, index builds) from
+    measurements, and for fast untraced wall-clock benchmarking. *)
+
+val enabled : t -> bool
+
+val without_tracing : t -> (unit -> 'a) -> 'a
+(** Run a thunk with tracing disabled, restoring the previous state. *)

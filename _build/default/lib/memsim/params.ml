@@ -1,0 +1,46 @@
+type level = {
+  name : string;
+  capacity : int;
+  block : int;
+  latency : int;
+  assoc : int;
+}
+
+type t = {
+  levels : level array;
+  tlb : level;
+  memory_latency : int;
+  prefetch_streams : int;
+}
+
+let nehalem =
+  {
+    levels =
+      [|
+        { name = "L1"; capacity = 32 * 1024; block = 8; latency = 1; assoc = 8 };
+        { name = "L2"; capacity = 256 * 1024; block = 64; latency = 3; assoc = 8 };
+        { name = "L3"; capacity = 8 * 1024 * 1024; block = 64; latency = 8; assoc = 16 };
+      |];
+    tlb = { name = "TLB"; capacity = 32 * 1024; block = 4096; latency = 1; assoc = 4 };
+    memory_latency = 12;
+    prefetch_streams = 16;
+  }
+
+let scaled ?l1 ?l2 ?l3 p =
+  let override i cap =
+    match cap with
+    | None -> p.levels.(i)
+    | Some capacity -> { (p.levels.(i)) with capacity }
+  in
+  { p with levels = [| override 0 l1; override 1 l2; override 2 l3 |] }
+
+let line_size p = p.levels.(Array.length p.levels - 1).block
+
+let pp_level ppf l =
+  Format.fprintf ppf "%-4s %8d B  block %4d B  %2d cyc  %d-way" l.name
+    l.capacity l.block l.latency l.assoc
+
+let pp ppf p =
+  Array.iter (fun l -> Format.fprintf ppf "%a@." pp_level l) p.levels;
+  Format.fprintf ppf "%a@." pp_level p.tlb;
+  Format.fprintf ppf "Mem  %d cyc" p.memory_latency

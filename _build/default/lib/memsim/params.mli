@@ -1,0 +1,32 @@
+(** Parameters of a simulated memory hierarchy.
+
+    The defaults mirror Table III of the paper (Intel Nehalem X5650):
+    capacities, block sizes and per-level access latencies in CPU cycles. *)
+
+type level = {
+  name : string;  (** human-readable level name, e.g. ["L1"] *)
+  capacity : int;  (** total capacity in bytes *)
+  block : int;  (** block (cache line) size in bytes; must be a power of two *)
+  latency : int;  (** incremental access latency in cycles when this level is reached *)
+  assoc : int;  (** set associativity *)
+}
+
+type t = {
+  levels : level array;  (** cache levels ordered from fastest (L1) to the LLC *)
+  tlb : level;  (** TLB modeled as a cache of pages *)
+  memory_latency : int;  (** additional cycles for an LLC miss served by RAM *)
+  prefetch_streams : int;  (** number of concurrently tracked prefetch streams *)
+}
+
+val nehalem : t
+(** The configuration of Table III: L1 32kB/8B/1cyc, L2 256kB/64B/3cyc,
+    TLB 32kB(coverage)/4kB/1cyc, L3 8MB/64B/8cyc, memory 12cyc. *)
+
+val scaled : ?l1:int -> ?l2:int -> ?l3:int -> t -> t
+(** [scaled ?l1 ?l2 ?l3 p] overrides cache capacities (bytes), keeping block
+    sizes and latencies.  Useful for tests that need tiny caches. *)
+
+val line_size : t -> int
+(** Block size of the LLC (the granularity at which prefetching operates). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type stream = {
+  mutable last : int; (* last accessed LLC line *)
+  mutable stride : int; (* detected stride; 0 = none *)
+  mutable age : int;
+  mutable valid : bool;
+}
+
+type t = { streams : stream array; mutable clock : int }
+
+(* A delta larger than this cannot belong to an existing stream; the access
+   opens a new one.  64 lines = 4kB with 64B lines, roughly a page. *)
+let max_stream_delta = 64
+
+let create ~streams =
+  {
+    streams =
+      Array.init streams (fun _ ->
+          { last = 0; stride = 0; age = 0; valid = false });
+    clock = 0;
+  }
+
+let clear t =
+  Array.iter (fun s -> s.valid <- false) t.streams;
+  t.clock <- 0
+
+let find_stream t line =
+  let best = ref (-1) in
+  let best_delta = ref max_int in
+  Array.iteri
+    (fun i s ->
+      if s.valid then begin
+        let d = abs (line - s.last) in
+        if d <= max_stream_delta && d < !best_delta then begin
+          best := i;
+          best_delta := d
+        end
+      end)
+    t.streams;
+  !best
+
+let lru_slot t =
+  let best = ref 0 in
+  let best_age = ref max_int in
+  Array.iteri
+    (fun i s ->
+      if not s.valid then begin
+        best := i;
+        best_age := -1
+      end
+      else if s.age < !best_age then begin
+        best := i;
+        best_age := s.age
+      end)
+    t.streams;
+  !best
+
+let observe t line =
+  t.clock <- t.clock + 1;
+  let i = find_stream t line in
+  if i < 0 then begin
+    let s = t.streams.(lru_slot t) in
+    s.last <- line;
+    s.stride <- 0;
+    s.age <- t.clock;
+    s.valid <- true;
+    None
+  end
+  else begin
+    let s = t.streams.(i) in
+    s.age <- t.clock;
+    let delta = line - s.last in
+    if delta = 0 then None
+    else begin
+      s.last <- line;
+      if delta = 1 then begin
+        (* adjacent cache line: always prefetch the next one *)
+        s.stride <- 1;
+        Some (line + 1)
+      end
+      else if delta = s.stride then Some (line + s.stride)
+      else begin
+        s.stride <- delta;
+        None
+      end
+    end
+  end

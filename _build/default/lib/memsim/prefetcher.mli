@@ -1,0 +1,24 @@
+(** Adjacent-cache-line prefetcher with stride detection.
+
+    Models the strategy the paper assumes (Section IV-A1, Intel Core
+    microarchitecture): a line is prefetched whenever the unit observes an
+    access adjacent to the previous one, or a repeated constant stride.  The
+    unit is deliberately cautious — a stride must be confirmed before any
+    prefetch is issued, matching the paper's remark that real prefetchers
+    follow defensive strategies. *)
+
+type t
+
+val create : streams:int -> t
+(** [create ~streams] tracks up to [streams] concurrent access streams
+    (LRU-replaced). *)
+
+val observe : t -> int -> int option
+(** [observe t line] records a demand access to LLC [line] and returns
+    [Some l'] if line [l'] should be prefetched now:
+    - the access is adjacent to the stream's previous line (delta = 1):
+      prefetch [line + 1];
+    - the delta repeats the stream's detected stride: prefetch [line + stride].
+    Repeated accesses to the stream's current line return [None]. *)
+
+val clear : t -> unit

@@ -1,0 +1,87 @@
+type t = {
+  mutable accesses : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable llc_accesses : int;
+  mutable llc_seq_misses : int;
+  mutable llc_rand_misses : int;
+  mutable tlb_misses : int;
+  mutable prefetches : int;
+  mutable mem_cycles : int;
+  mutable cpu_cycles : int;
+}
+
+let create () =
+  {
+    accesses = 0;
+    reads = 0;
+    writes = 0;
+    l1_misses = 0;
+    l2_misses = 0;
+    llc_accesses = 0;
+    llc_seq_misses = 0;
+    llc_rand_misses = 0;
+    tlb_misses = 0;
+    prefetches = 0;
+    mem_cycles = 0;
+    cpu_cycles = 0;
+  }
+
+let reset t =
+  t.accesses <- 0;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.l1_misses <- 0;
+  t.l2_misses <- 0;
+  t.llc_accesses <- 0;
+  t.llc_seq_misses <- 0;
+  t.llc_rand_misses <- 0;
+  t.tlb_misses <- 0;
+  t.prefetches <- 0;
+  t.mem_cycles <- 0;
+  t.cpu_cycles <- 0
+
+let copy t = { t with accesses = t.accesses }
+
+let diff a b =
+  {
+    accesses = a.accesses - b.accesses;
+    reads = a.reads - b.reads;
+    writes = a.writes - b.writes;
+    l1_misses = a.l1_misses - b.l1_misses;
+    l2_misses = a.l2_misses - b.l2_misses;
+    llc_accesses = a.llc_accesses - b.llc_accesses;
+    llc_seq_misses = a.llc_seq_misses - b.llc_seq_misses;
+    llc_rand_misses = a.llc_rand_misses - b.llc_rand_misses;
+    tlb_misses = a.tlb_misses - b.tlb_misses;
+    prefetches = a.prefetches - b.prefetches;
+    mem_cycles = a.mem_cycles - b.mem_cycles;
+    cpu_cycles = a.cpu_cycles - b.cpu_cycles;
+  }
+
+let total_cycles t = t.mem_cycles + t.cpu_cycles
+
+let add acc x =
+  acc.accesses <- acc.accesses + x.accesses;
+  acc.reads <- acc.reads + x.reads;
+  acc.writes <- acc.writes + x.writes;
+  acc.l1_misses <- acc.l1_misses + x.l1_misses;
+  acc.l2_misses <- acc.l2_misses + x.l2_misses;
+  acc.llc_accesses <- acc.llc_accesses + x.llc_accesses;
+  acc.llc_seq_misses <- acc.llc_seq_misses + x.llc_seq_misses;
+  acc.llc_rand_misses <- acc.llc_rand_misses + x.llc_rand_misses;
+  acc.tlb_misses <- acc.tlb_misses + x.tlb_misses;
+  acc.prefetches <- acc.prefetches + x.prefetches;
+  acc.mem_cycles <- acc.mem_cycles + x.mem_cycles;
+  acc.cpu_cycles <- acc.cpu_cycles + x.cpu_cycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>accesses %d (r %d / w %d)@,l1 misses %d@,l2 misses %d@,\
+     llc accesses %d seq-misses %d rand-misses %d@,tlb misses %d@,\
+     prefetches %d@,mem cycles %d@,cpu cycles %d@,total cycles %d@]"
+    t.accesses t.reads t.writes t.l1_misses t.l2_misses t.llc_accesses
+    t.llc_seq_misses t.llc_rand_misses t.tlb_misses t.prefetches t.mem_cycles
+    t.cpu_cycles (total_cycles t)

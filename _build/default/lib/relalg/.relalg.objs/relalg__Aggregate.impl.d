@@ -1,0 +1,1 @@
+lib/relalg/aggregate.ml: Expr Format Storage

@@ -1,0 +1,1 @@
+lib/relalg/aggregate.mli: Expr Format Storage

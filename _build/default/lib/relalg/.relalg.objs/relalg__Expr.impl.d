@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Array Float Format List Printf Storage

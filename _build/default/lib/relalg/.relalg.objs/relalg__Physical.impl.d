@@ -1,0 +1,1 @@
+lib/relalg/physical.ml: Aggregate Expr Float Format List Plan Storage String

@@ -1,0 +1,1 @@
+lib/relalg/physical.mli: Aggregate Expr Format Plan Storage

@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Aggregate Array Expr Format List Printf Storage String

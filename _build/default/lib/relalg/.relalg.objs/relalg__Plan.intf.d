@@ -1,0 +1,1 @@
+lib/relalg/plan.mli: Aggregate Expr Format Storage

@@ -1,0 +1,1 @@
+lib/relalg/planner.ml: Expr Float List Option Physical Plan Sampling Storage

@@ -1,0 +1,1 @@
+lib/relalg/planner.mli: Expr Physical Plan Storage

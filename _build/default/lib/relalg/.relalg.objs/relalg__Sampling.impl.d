@@ -1,0 +1,1 @@
+lib/relalg/sampling.ml: Expr Float Fun Hashtbl List Memsim Mrdb_util Storage

@@ -1,0 +1,1 @@
+lib/relalg/sampling.mli: Expr Storage

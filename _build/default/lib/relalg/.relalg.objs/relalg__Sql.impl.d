@@ -1,0 +1,1 @@
+lib/relalg/sql.ml: Aggregate Buffer Expr Hashtbl List Option Plan Printf Storage String

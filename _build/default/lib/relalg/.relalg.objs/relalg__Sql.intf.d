@@ -1,0 +1,1 @@
+lib/relalg/sql.mli: Plan Storage

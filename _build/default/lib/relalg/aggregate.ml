@@ -1,0 +1,80 @@
+module Value = Storage.Value
+
+type func = Count_star | Count | Sum | Min | Max | Avg
+
+type t = { func : func; expr : Expr.t option; name : string }
+
+let make func ?expr name =
+  (match (func, expr) with
+  | Count_star, Some _ -> invalid_arg "Aggregate.make: count(*) takes no expr"
+  | (Count | Sum | Min | Max | Avg), None ->
+      invalid_arg "Aggregate.make: aggregate needs an expression"
+  | _ -> ());
+  { func; expr; name }
+
+type state = {
+  func : func;
+  mutable count : int;
+  mutable sum_i : int;
+  mutable sum_f : float;
+  mutable is_float : bool;
+  mutable best : Value.t; (* current min/max *)
+}
+
+let init func =
+  { func; count = 0; sum_i = 0; sum_f = 0.0; is_float = false; best = Value.Null }
+
+let step st v =
+  match st.func with
+  | Count_star -> st.count <- st.count + 1
+  | Count -> if not (Value.is_null v) then st.count <- st.count + 1
+  | Sum | Avg ->
+      if not (Value.is_null v) then begin
+        st.count <- st.count + 1;
+        (match v with
+        | Value.VFloat f ->
+            st.is_float <- true;
+            st.sum_f <- st.sum_f +. f
+        | _ -> st.sum_i <- st.sum_i + Value.to_int v)
+      end
+  | Min ->
+      if not (Value.is_null v) then
+        if Value.is_null st.best || Value.compare v st.best < 0 then st.best <- v
+  | Max ->
+      if not (Value.is_null v) then
+        if Value.is_null st.best || Value.compare v st.best > 0 then st.best <- v
+
+let total st = st.sum_f +. float_of_int st.sum_i
+
+let finish st =
+  match st.func with
+  | Count_star | Count -> Value.VInt st.count
+  | Sum ->
+      if st.count = 0 then Value.Null
+      else if st.is_float then Value.VFloat (total st)
+      else Value.VInt st.sum_i
+  | Avg -> if st.count = 0 then Value.Null else Value.VFloat (total st /. float_of_int st.count)
+  | Min | Max -> st.best
+
+let output_type (t : t) col_ty =
+  match t.func with
+  | Count_star | Count -> Value.Int
+  | Avg -> Value.Float
+  | Sum | Min | Max -> (
+      match t.expr with
+      | Some (Expr.Col i) -> col_ty i
+      | Some _ -> Value.Int
+      | None -> Value.Int)
+
+let func_name = function
+  | Count_star -> "count(*)"
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let pp ppf t =
+  match t.expr with
+  | None -> Format.fprintf ppf "%s" (func_name t.func)
+  | Some e -> Format.fprintf ppf "%s(%a)" (func_name t.func) Expr.pp e

@@ -1,0 +1,23 @@
+(** Aggregate functions for group-by operators. *)
+
+type func = Count_star | Count | Sum | Min | Max | Avg
+
+type t = {
+  func : func;
+  expr : Expr.t option;  (** [None] only for [Count_star] *)
+  name : string;  (** output column name *)
+}
+
+val make : func -> ?expr:Expr.t -> string -> t
+
+(** Mutable accumulation state, one per (group, aggregate). *)
+type state
+
+val init : func -> state
+val step : state -> Storage.Value.t -> unit
+val finish : state -> Storage.Value.t
+
+val output_type : t -> (int -> Storage.Value.ty) -> Storage.Value.ty
+(** Result type given the input column types. *)
+
+val pp : Format.formatter -> t -> unit

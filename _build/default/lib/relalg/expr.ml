@@ -1,0 +1,202 @@
+module Value = Storage.Value
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Col of int
+  | Param of int
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | Like of t * t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | IsNull of t
+  | Arith of arith * t * t
+
+let truthy = function Value.VBool b -> b | _ -> false
+
+let apply_cmp op a b =
+  if Value.is_null a || Value.is_null b then Value.VBool false
+  else
+    let c = Value.compare a b in
+    Value.VBool
+      (match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+
+let apply_arith op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else
+    match (a, b) with
+    | Value.VFloat _, _ | _, Value.VFloat _ ->
+        let x = Value.to_float a and y = Value.to_float b in
+        Value.VFloat
+          (match op with
+          | Add -> x +. y
+          | Sub -> x -. y
+          | Mul -> x *. y
+          | Div -> x /. y
+          | Mod -> Float.rem x y)
+    | _ ->
+        let x = Value.to_int a and y = Value.to_int b in
+        Value.VInt
+          (match op with
+          | Add -> x + y
+          | Sub -> x - y
+          | Mul -> x * y
+          | Div -> if y = 0 then 0 else x / y
+          | Mod -> if y = 0 then 0 else x mod y)
+
+let rec eval t ~params col =
+  match t with
+  | Col i -> col i
+  | Param n ->
+      if n < 1 || n > Array.length params then
+        invalid_arg (Printf.sprintf "Expr.eval: parameter $%d not bound" n)
+      else params.(n - 1)
+  | Const v -> v
+  | Cmp (op, a, b) -> apply_cmp op (eval a ~params col) (eval b ~params col)
+  | Like (e, p) ->
+      let pat = eval p ~params col in
+      if Value.is_null pat then Value.VBool false
+      else Value.VBool (Value.like (eval e ~params col) ~pattern:(Value.to_string_exn pat))
+  | And es ->
+      Value.VBool (List.for_all (fun e -> truthy (eval e ~params col)) es)
+  | Or es -> Value.VBool (List.exists (fun e -> truthy (eval e ~params col)) es)
+  | Not e -> Value.VBool (not (truthy (eval e ~params col)))
+  | IsNull e -> Value.VBool (Value.is_null (eval e ~params col))
+  | Arith (op, a, b) -> apply_arith op (eval a ~params col) (eval b ~params col)
+
+(* Closure compilation: resolve parameters/constants once, return a thunk
+   free of dispatch on the expression tree. *)
+let specialize t ~params col =
+  let rec comp t : unit -> Value.t =
+    match t with
+    | Col i -> fun () -> col i
+    | Param n ->
+        if n < 1 || n > Array.length params then
+          invalid_arg (Printf.sprintf "Expr.specialize: parameter $%d not bound" n)
+        else
+          let v = params.(n - 1) in
+          fun () -> v
+    | Const v -> fun () -> v
+    | Cmp (op, a, b) ->
+        let fa = comp a and fb = comp b in
+        fun () -> apply_cmp op (fa ()) (fb ())
+    | Like (e, p) ->
+        let fe = comp e and fp = comp p in
+        fun () ->
+          let pat = fp () in
+          if Value.is_null pat then Value.VBool false
+          else Value.VBool (Value.like (fe ()) ~pattern:(Value.to_string_exn pat))
+    | And es ->
+        let fs = List.map comp es in
+        fun () -> Value.VBool (List.for_all (fun f -> truthy (f ())) fs)
+    | Or es ->
+        let fs = List.map comp es in
+        fun () -> Value.VBool (List.exists (fun f -> truthy (f ())) fs)
+    | Not e ->
+        let fe = comp e in
+        fun () -> Value.VBool (not (truthy (fe ())))
+    | IsNull e ->
+        let fe = comp e in
+        fun () -> Value.VBool (Value.is_null (fe ()))
+    | Arith (op, a, b) ->
+        let fa = comp a and fb = comp b in
+        fun () -> apply_arith op (fa ()) (fb ())
+  in
+  comp t
+
+let cols t =
+  let acc = ref [] in
+  let rec go = function
+    | Col i -> acc := i :: !acc
+    | Param _ | Const _ -> ()
+    | Cmp (_, a, b) | Arith (_, a, b) ->
+        go a;
+        go b
+    | Not e | IsNull e -> go e
+    | Like (a, b) ->
+        go a;
+        go b
+    | And es | Or es -> List.iter go es
+  in
+  go t;
+  List.sort_uniq compare !acc
+
+let conjuncts = function And es -> es | e -> [ e ]
+
+let rec remap t f =
+  match t with
+  | Col i -> Col (f i)
+  | Param _ | Const _ -> t
+  | Cmp (op, a, b) -> Cmp (op, remap a f, remap b f)
+  | Like (a, b) -> Like (remap a f, remap b f)
+  | And es -> And (List.map (fun e -> remap e f) es)
+  | Or es -> Or (List.map (fun e -> remap e f) es)
+  | Not e -> Not (remap e f)
+  | IsNull e -> IsNull (remap e f)
+  | Arith (op, a, b) -> Arith (op, remap a f, remap b f)
+
+let rec default_selectivity = function
+  | Cmp (Eq, _, _) -> 0.01
+  | Cmp (Ne, _, _) -> 0.99
+  | Cmp ((Lt | Le | Gt | Ge), _, _) -> 0.33
+  | Like _ -> 0.05
+  | IsNull _ -> 0.05
+  | And es -> List.fold_left (fun acc e -> acc *. default_selectivity e) 1.0 es
+  | Or es ->
+      let p =
+        List.fold_left
+          (fun acc e -> acc *. (1.0 -. default_selectivity e))
+          1.0 es
+      in
+      1.0 -. p
+  | Not e -> 1.0 -. default_selectivity e
+  | Col _ | Param _ | Const _ | Arith _ -> 1.0
+
+let cmp_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let rec pp ppf = function
+  | Col i -> Format.fprintf ppf "#%d" i
+  | Param n -> Format.fprintf ppf "$%d" n
+  | Const v -> Value.pp ppf v
+  | Cmp (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (cmp_symbol op) pp b
+  | Like (a, b) -> Format.fprintf ppf "(%a LIKE %a)" pp a pp b
+  | And es ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " AND ")
+           pp)
+        es
+  | Or es ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " OR ")
+           pp)
+        es
+  | Not e -> Format.fprintf ppf "(NOT %a)" pp e
+  | IsNull e -> Format.fprintf ppf "(%a IS NULL)" pp e
+  | Arith (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp a (arith_symbol op) pp b
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,49 @@
+(** Scalar expressions over the columns of an operator's input.
+
+    Column references are positional ([Col i] is the i-th column of the
+    input row); the SQL front end resolves names to positions. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Col of int
+  | Param of int  (** [$n], 1-based *)
+  | Const of Storage.Value.t
+  | Cmp of cmp * t * t
+  | Like of t * t  (** pattern is an expression evaluating to a string *)
+  | And of t list
+  | Or of t list
+  | Not of t
+  | IsNull of t
+  | Arith of arith * t * t
+
+val eval : t -> params:Storage.Value.t array -> (int -> Storage.Value.t) -> Storage.Value.t
+(** Interpret the expression; comparisons yield [VBool], [Null] propagates
+    through arithmetic and comparisons (three-valued logic collapsed to
+    [false] at the boolean level, as in SQL [WHERE]). *)
+
+val truthy : Storage.Value.t -> bool
+(** SQL boolean coercion: [VBool true] is true, everything else false. *)
+
+val specialize :
+  t -> params:Storage.Value.t array -> (int -> Storage.Value.t) -> unit -> Storage.Value.t
+(** Closure compilation — our stand-in for JiT code generation: parameters
+    and constants are resolved once, and the returned thunk evaluates the
+    expression with no dispatch on expression structure. *)
+
+val cols : t -> int list
+(** Referenced column positions, sorted, without duplicates. *)
+
+val conjuncts : t -> t list
+(** Flatten top-level [And]s. *)
+
+val remap : t -> (int -> int) -> t
+(** Rewrite column references. *)
+
+val default_selectivity : t -> float
+(** Textbook heuristic selectivity for a predicate (equality 0.01,
+    range 0.33, LIKE 0.05, conjunction multiplies, ...). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

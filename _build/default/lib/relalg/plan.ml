@@ -1,0 +1,124 @@
+module Schema = Storage.Schema
+module Value = Storage.Value
+
+type dir = Asc | Desc
+
+type t =
+  | Scan of string
+  | Select of t * Expr.t
+  | Project of t * (Expr.t * string) list
+  | Join of { left : t; right : t; left_keys : int list; right_keys : int list }
+  | Group_by of { child : t; keys : (Expr.t * string) list; aggs : Aggregate.t list }
+  | Sort of { child : t; keys : (int * dir) list }
+  | Limit of t * int
+  | Insert of { table : string; values : Expr.t list }
+  | Update of {
+      table : string;
+      assignments : (int * Expr.t) list;
+      pred : Expr.t option;
+    }
+
+let rec type_of_expr (attrs : Schema.attr array) (e : Expr.t) :
+    Value.ty * bool =
+  match e with
+  | Expr.Col i ->
+      let a = attrs.(i) in
+      (a.Schema.ty, a.Schema.nullable)
+  | Expr.Param _ -> (Value.Int, false)
+  | Expr.Const v -> (
+      match Value.type_of v with
+      | Some ty -> (ty, false)
+      | None -> (Value.Int, true))
+  | Expr.Cmp _ | Expr.Like _ | Expr.And _ | Expr.Or _ | Expr.Not _
+  | Expr.IsNull _ ->
+      (Value.Bool, false)
+  | Expr.Arith (_, a, b) ->
+      let ta, na = type_of_expr attrs a and tb, nb = type_of_expr attrs b in
+      let ty =
+        match (ta, tb) with
+        | Value.Float, _ | _, Value.Float -> Value.Float
+        | _ -> Value.Int
+      in
+      (ty, na || nb)
+
+let rec schema cat t : Schema.attr array =
+  match t with
+  | Scan name -> (Storage.Relation.schema (Storage.Catalog.find cat name)).Schema.attrs
+  | Select (child, _) | Limit (child, _) -> schema cat child
+  | Sort { child; _ } -> schema cat child
+  | Project (child, exprs) ->
+      let attrs = schema cat child in
+      Array.of_list
+        (List.map
+           (fun (e, name) ->
+             let ty, nullable = type_of_expr attrs e in
+             { Schema.name; ty; nullable })
+           exprs)
+  | Join { left; right; _ } -> Array.append (schema cat left) (schema cat right)
+  | Group_by { child; keys; aggs } ->
+      let attrs = schema cat child in
+      let key_attrs =
+        List.map
+          (fun (e, name) ->
+            let ty, nullable = type_of_expr attrs e in
+            { Schema.name; ty; nullable })
+          keys
+      in
+      let agg_attrs =
+        List.map
+          (fun (a : Aggregate.t) ->
+            let ty =
+              Aggregate.output_type a (fun i -> attrs.(i).Schema.ty)
+            in
+            { Schema.name = a.Aggregate.name; ty; nullable = true })
+          aggs
+      in
+      Array.of_list (key_attrs @ agg_attrs)
+  | Insert _ | Update _ -> [||]
+
+let rec tables = function
+  | Scan name -> [ name ]
+  | Select (c, _) | Project (c, _) | Limit (c, _) -> tables c
+  | Sort { child; _ } -> tables child
+  | Join { left; right; _ } -> tables left @ tables right
+  | Group_by { child; _ } -> tables child
+  | Insert { table; _ } | Update { table; _ } -> [ table ]
+
+let rec pp ppf = function
+  | Scan name -> Format.fprintf ppf "Scan(%s)" name
+  | Select (c, pred) ->
+      Format.fprintf ppf "@[<v2>Select %a@,%a@]" Expr.pp pred pp c
+  | Project (c, exprs) ->
+      Format.fprintf ppf "@[<v2>Project [%s]@,%a@]"
+        (String.concat "; "
+           (List.map (fun (e, n) -> n ^ "=" ^ Expr.to_string e) exprs))
+        pp c
+  | Join { left; right; left_keys; right_keys } ->
+      Format.fprintf ppf "@[<v2>Join l%s=r%s@,%a@,%a@]"
+        (String.concat "," (List.map string_of_int left_keys))
+        (String.concat "," (List.map string_of_int right_keys))
+        pp left pp right
+  | Group_by { child; keys; aggs } ->
+      Format.fprintf ppf "@[<v2>GroupBy keys=[%s] aggs=[%s]@,%a@]"
+        (String.concat "; " (List.map snd keys))
+        (String.concat "; "
+           (List.map (fun a -> Format.asprintf "%a" Aggregate.pp a) aggs))
+        pp child
+  | Sort { child; keys } ->
+      Format.fprintf ppf "@[<v2>Sort [%s]@,%a@]"
+        (String.concat "; "
+           (List.map
+              (fun (i, d) ->
+                Printf.sprintf "#%d %s" i
+                  (match d with Asc -> "asc" | Desc -> "desc"))
+              keys))
+        pp child
+  | Limit (c, n) -> Format.fprintf ppf "@[<v2>Limit %d@,%a@]" n pp c
+  | Insert { table; values } ->
+      Format.fprintf ppf "Insert(%s, %d values)" table (List.length values)
+  | Update { table; assignments; pred } ->
+      Format.fprintf ppf "Update(%s, %d assignments%s)" table
+        (List.length assignments)
+        (match pred with
+        | Some p -> ", where " ^ Expr.to_string p
+        | None -> "")

@@ -1,0 +1,32 @@
+(** Logical query plans. *)
+
+type dir = Asc | Desc
+
+type t =
+  | Scan of string
+  | Select of t * Expr.t
+  | Project of t * (Expr.t * string) list
+  | Join of { left : t; right : t; left_keys : int list; right_keys : int list }
+      (** Equi-join; output columns are left's followed by right's.  The left
+          child feeds the hash build, the right child the probe. *)
+  | Group_by of { child : t; keys : (Expr.t * string) list; aggs : Aggregate.t list }
+  | Sort of { child : t; keys : (int * dir) list }
+  | Limit of t * int
+  | Insert of { table : string; values : Expr.t list }
+  | Update of {
+      table : string;
+      assignments : (int * Expr.t) list;
+          (** attribute position, new-value expression over the old tuple *)
+      pred : Expr.t option;
+    }
+
+val schema : Storage.Catalog.t -> t -> Storage.Schema.attr array
+(** Output columns.  [Insert] and [Update] have an empty schema. *)
+
+val type_of_expr : Storage.Schema.attr array -> Expr.t -> Storage.Value.ty * bool
+(** Inferred type and nullability of an expression over the given input. *)
+
+val tables : t -> string list
+(** Tables referenced anywhere in the plan. *)
+
+val pp : Format.formatter -> t -> unit

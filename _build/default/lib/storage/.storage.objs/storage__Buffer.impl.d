@@ -1,0 +1,1 @@
+lib/storage/buffer.ml: Arena Bytes Char Int32 Int64 Memsim String Value

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Arena Hashtbl Index List Memsim Relation Schema

@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Arena Encoding Index Layout Memsim Relation Schema

@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Catalog Fun Layout List Memsim Printf Relation Schema Stdlib String Value

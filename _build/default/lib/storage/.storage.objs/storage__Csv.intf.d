@@ -1,0 +1,1 @@
+lib/storage/csv.mli: Catalog Relation

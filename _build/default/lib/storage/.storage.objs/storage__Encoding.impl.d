@@ -1,0 +1,1 @@
+lib/storage/encoding.ml: Format Schema

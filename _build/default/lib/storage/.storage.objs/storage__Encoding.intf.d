@@ -1,0 +1,1 @@
+lib/storage/encoding.mli: Format Schema

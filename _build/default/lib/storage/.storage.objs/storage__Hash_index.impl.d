@@ -1,0 +1,1 @@
+lib/storage/hash_index.ml: Arena Buffer Char Int64 List Memsim String Value

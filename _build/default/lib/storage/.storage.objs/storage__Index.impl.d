@@ -1,0 +1,1 @@
+lib/storage/index.ml: Hash_index List Memsim Rb_index Relation Value

@@ -1,0 +1,1 @@
+lib/storage/index.mli: Relation Value

@@ -1,0 +1,1 @@
+lib/storage/layout.ml: Array Format List Printf Schema Stdlib String

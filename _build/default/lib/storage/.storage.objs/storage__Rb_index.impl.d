@@ -1,0 +1,1 @@
+lib/storage/rb_index.ml: Arena List Memsim

@@ -1,0 +1,1 @@
+lib/storage/rb_index.mli: Arena Memsim

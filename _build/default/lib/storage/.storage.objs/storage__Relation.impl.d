@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Arena Array Buffer Encoding Hashtbl Layout List Memsim Schema Value

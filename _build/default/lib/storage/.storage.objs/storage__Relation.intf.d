@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Arena Buffer Encoding Layout Memsim Schema Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Format Hashtbl Stdlib String

@@ -1,0 +1,11 @@
+type t = { mutable next : int }
+
+let page = 4096
+
+let create () = { next = page }
+
+let alloc t size =
+  let base = t.next in
+  let size = (size + page - 1) / page * page in
+  t.next <- t.next + size + page (* one guard page between regions *);
+  base

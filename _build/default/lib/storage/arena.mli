@@ -1,0 +1,12 @@
+(** Virtual address space shared by all buffers of one database instance.
+
+    The simulator only needs distinct, stable addresses; no real memory is
+    reserved.  Allocations are page-aligned so distinct regions never share a
+    cache line or TLB page. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int -> int
+(** [alloc t size] reserves [size] bytes and returns the base address. *)

@@ -1,0 +1,112 @@
+type t = {
+  arena : Arena.t;
+  hier : Memsim.Hierarchy.t option;
+  mutable base : int;
+  mutable bytes : Bytes.t;
+}
+
+let create arena ?hier size =
+  { arena; hier; base = Arena.alloc arena size; bytes = Bytes.make size '\000' }
+
+let base t = t.base
+let size t = Bytes.length t.bytes
+let hier t = t.hier
+
+let grow t want =
+  if want > Bytes.length t.bytes then begin
+    let nsize = max want (2 * Bytes.length t.bytes) in
+    let nbytes = Bytes.make nsize '\000' in
+    Bytes.blit t.bytes 0 nbytes 0 (Bytes.length t.bytes);
+    t.bytes <- nbytes;
+    t.base <- Arena.alloc t.arena nsize
+  end
+
+let trace_read t off width =
+  match t.hier with
+  | Some h -> Memsim.Hierarchy.read h ~addr:(t.base + off) ~width
+  | None -> ()
+
+let trace_write t off width =
+  match t.hier with
+  | Some h -> Memsim.Hierarchy.write h ~addr:(t.base + off) ~width
+  | None -> ()
+
+let read_int t off =
+  trace_read t off 8;
+  Int64.to_int (Bytes.get_int64_le t.bytes off)
+
+let write_int t off v =
+  trace_write t off 8;
+  Bytes.set_int64_le t.bytes off (Int64.of_int v)
+
+let read_float t off =
+  trace_read t off 8;
+  Int64.float_of_bits (Bytes.get_int64_le t.bytes off)
+
+let write_float t off v =
+  trace_write t off 8;
+  Bytes.set_int64_le t.bytes off (Int64.bits_of_float v)
+
+let read_int32 t off =
+  trace_read t off 4;
+  Int32.to_int (Bytes.get_int32_le t.bytes off)
+
+let write_int32 t off v =
+  trace_write t off 4;
+  Bytes.set_int32_le t.bytes off (Int32.of_int v)
+
+let read_byte t off =
+  trace_read t off 1;
+  Char.code (Bytes.get t.bytes off)
+
+let write_byte t off v =
+  trace_write t off 1;
+  Bytes.set t.bytes off (Char.chr (v land 0xff))
+
+let read_string t off ~len =
+  trace_read t off len;
+  let s = Bytes.sub_string t.bytes off len in
+  match String.index_opt s '\000' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let write_string t off ~len s =
+  trace_write t off len;
+  let slen = min len (String.length s) in
+  Bytes.blit_string s 0 t.bytes off slen;
+  if slen < len then Bytes.fill t.bytes (off + slen) (len - slen) '\000'
+
+let read_value t off ~ty ~nullable =
+  let data_off = if nullable then off + 1 else off in
+  if nullable && read_byte t off = 0 then begin
+    (* a null still occupies (and touches) the field *)
+    Value.Null
+  end
+  else
+    match (ty : Value.ty) with
+    | Int -> Value.VInt (read_int t data_off)
+    | Float -> Value.VFloat (read_float t data_off)
+    | Bool -> Value.VBool (read_byte t data_off <> 0)
+    | Date -> Value.VDate (read_int t data_off)
+    | Varchar n -> Value.VStr (read_string t data_off ~len:n)
+
+let write_value t off ~ty ~nullable v =
+  let data_off = if nullable then off + 1 else off in
+  (match (v, nullable) with
+  | Value.Null, false ->
+      invalid_arg "Buffer.write_value: NULL into non-nullable attribute"
+  | Value.Null, true ->
+      write_byte t off 0
+  | _, true -> write_byte t off 1
+  | _, false -> ());
+  if not (Value.is_null v) then
+    match (ty : Value.ty) with
+    | Int | Date -> write_int t data_off (Value.to_int v)
+    | Float -> write_float t data_off (Value.to_float v)
+    | Bool -> write_byte t data_off (if Value.to_int v <> 0 then 1 else 0)
+    | Varchar n -> write_string t data_off ~len:n (Value.to_string_exn v)
+
+let untraced_read_int t off = Int64.to_int (Bytes.get_int64_le t.bytes off)
+
+let touch t off ~width = trace_read t off width
+let touch_write t off ~width = trace_write t off width

@@ -1,0 +1,57 @@
+(** A byte buffer living at a virtual address, with optional access tracing.
+
+    Engines read and write relation partitions, hash tables and
+    materialization buffers through this module; every typed accessor both
+    moves real bytes (so queries compute real results) and, when a hierarchy
+    is attached, reports the access to the simulator (so the experiment
+    counters match the paper's performance-counter methodology). *)
+
+type t
+
+val create : Arena.t -> ?hier:Memsim.Hierarchy.t -> int -> t
+(** [create arena ?hier size] allocates a zeroed buffer of [size] bytes. *)
+
+val base : t -> int
+(** Virtual base address. *)
+
+val size : t -> int
+
+val hier : t -> Memsim.Hierarchy.t option
+
+val grow : t -> int -> unit
+(** [grow t size] enlarges the buffer to at least [size] bytes, moving it to
+    a fresh virtual region (old contents are copied). *)
+
+(** {1 Typed accessors}
+
+    All offsets are in bytes relative to the buffer base.  Reads/writes are
+    traced at their byte width. *)
+
+val read_int : t -> int -> int
+val write_int : t -> int -> int -> unit
+val read_float : t -> int -> float
+val write_float : t -> int -> float -> unit
+val read_int32 : t -> int -> int
+(** 4-byte unsigned-ish accessor (used for dictionary codes). *)
+
+val write_int32 : t -> int -> int -> unit
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+
+val read_string : t -> int -> len:int -> string
+(** Reads [len] bytes and strips trailing zero padding. *)
+
+val write_string : t -> int -> len:int -> string -> unit
+(** Zero-pads (or truncates) the string to [len] bytes. *)
+
+val read_value : t -> int -> ty:Value.ty -> nullable:bool -> Value.t
+val write_value : t -> int -> ty:Value.ty -> nullable:bool -> Value.t -> unit
+
+val untraced_read_int : t -> int -> int
+(** Read without touching the simulator (used by assertions and tests). *)
+
+val touch : t -> int -> width:int -> unit
+(** Report a read of [width] bytes at the given offset without moving data
+    (used to model accesses whose payload is handled elsewhere). *)
+
+val touch_write : t -> int -> width:int -> unit

@@ -1,0 +1,88 @@
+type entry = {
+  mutable rel : Relation.t;
+  mutable indexes : (string * Index.kind * string list * Index.t) list;
+}
+
+type t = {
+  arena : Arena.t;
+  hier : Memsim.Hierarchy.t option;
+  tbl : (string, entry) Hashtbl.t;
+}
+
+let create ?hier () = { arena = Arena.create (); hier; tbl = Hashtbl.create 16 }
+
+let arena t = t.arena
+let hier t = t.hier
+
+let add_relation t rel =
+  let name = (Relation.schema rel).Schema.name in
+  Hashtbl.replace t.tbl name { rel; indexes = [] }
+
+let add ?encodings t schema layout =
+  let rel = Relation.create ?hier:t.hier ?encodings t.arena schema layout in
+  add_relation t rel;
+  rel
+
+let entry t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let find t name = (entry t name).rel
+
+let mem t name = Hashtbl.mem t.tbl name
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+let build_index rel kind attr_names =
+  let schema = Relation.schema rel in
+  let attrs = Schema.attr_indices schema attr_names in
+  match (kind : Index.kind) with
+  | Index.Hash -> Index.build_hash rel ~attrs
+  | Index.Rbtree -> (
+      match attrs with
+      | [ a ] -> Index.build_rb rel ~attr:a
+      | _ -> invalid_arg "Catalog: rbtree index takes exactly one attribute")
+
+let set_layout t name layout =
+  let e = entry t name in
+  e.rel <- Relation.repartition e.rel layout;
+  e.indexes <-
+    List.map
+      (fun (iname, kind, attr_names, _) ->
+        (iname, kind, attr_names, build_index e.rel kind attr_names))
+      e.indexes
+
+let create_index t name ~name:iname ~kind ~attrs =
+  let e = entry t name in
+  let idx = build_index e.rel kind attrs in
+  e.indexes <- (iname, kind, attrs, idx) :: e.indexes
+
+let indexes t name =
+  List.map (fun (iname, _, _, idx) -> (iname, idx)) (entry t name).indexes
+
+let find_index t name ~attrs =
+  let e = entry t name in
+  let sorted = List.sort compare attrs in
+  let rec go = function
+    | [] -> None
+    | (_, _, _, idx) :: rest ->
+        if List.sort compare (Index.attrs idx) = sorted then Some idx
+        else go rest
+  in
+  go e.indexes
+
+let rebuild_indexes_for t name ~attrs =
+  let e = entry t name in
+  e.indexes <-
+    List.map
+      (fun ((iname, kind, attr_names, idx) as entry) ->
+        let key = Index.attrs idx in
+        if List.exists (fun a -> List.mem a key) attrs then
+          (iname, kind, attr_names, build_index e.rel kind attr_names)
+        else entry)
+      e.indexes
+
+let notify_insert t name ~tid =
+  let e = entry t name in
+  List.iter (fun (_, _, _, idx) -> Index.insert idx e.rel ~tid) e.indexes

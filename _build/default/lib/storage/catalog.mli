@@ -1,0 +1,43 @@
+(** The database catalog: named relations, their layouts and indexes.
+
+    The paper's PDSM backend "extended the catalog to support multiple
+    vertical partitions within a single relation" — here the layout is a
+    property of each stored relation, changeable via {!set_layout}. *)
+
+type t
+
+val create : ?hier:Memsim.Hierarchy.t -> unit -> t
+
+val arena : t -> Arena.t
+val hier : t -> Memsim.Hierarchy.t option
+
+val add :
+  ?encodings:(int * Encoding.t) list -> t -> Schema.t -> Layout.t -> Relation.t
+(** Create and register an empty relation (optionally with per-attribute
+    storage encodings). *)
+
+val add_relation : t -> Relation.t -> unit
+
+val find : t -> string -> Relation.t
+(** @raise Not_found for unknown names. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+
+val set_layout : t -> string -> Layout.t -> unit
+(** Repartition the stored relation (rebuilds indexes). *)
+
+val create_index : t -> string -> name:string -> kind:Index.kind -> attrs:string list -> unit
+
+val indexes : t -> string -> (string * Index.t) list
+
+val find_index : t -> string -> attrs:int list -> Index.t option
+(** An index whose key is exactly [attrs] (used by the planner). *)
+
+val rebuild_indexes_for : t -> string -> attrs:int list -> unit
+(** Rebuild every index whose key intersects [attrs] (after in-place
+    updates).  Index builds run untraced, like all setup work. *)
+
+val notify_insert : t -> string -> tid:int -> unit
+(** Maintain all indexes of the relation after an append. *)

@@ -1,0 +1,13 @@
+type t = Plain | Dict | Sparse
+
+let code_width = 4
+
+let stored_width (a : Schema.attr) = function
+  | Plain -> Schema.stored_width a
+  | Dict -> code_width + if a.Schema.nullable then 1 else 0
+  | Sparse -> 0 (* the attribute lives outside its partition's tuples *)
+
+let pp ppf = function
+  | Plain -> Format.pp_print_string ppf "plain"
+  | Dict -> Format.pp_print_string ppf "dict"
+  | Sparse -> Format.pp_print_string ppf "sparse"

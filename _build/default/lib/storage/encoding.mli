@@ -1,0 +1,23 @@
+(** Per-attribute storage encodings — the paper's "partial compression"
+    direction (Section VII): dictionary compression suits columns with
+    small domains, shrinking the stored width (more tuples per cache line)
+    at the price of a dictionary lookup per decoded value. *)
+
+type t =
+  | Plain
+  | Dict  (** 4-byte codes into a per-attribute dictionary *)
+  | Sparse
+      (** dense (tid, value) pairs holding only non-null entries — the
+          paper's "storage as dense key-value lists" suggestion for sparse
+          data.  A sparse attribute must be the only attribute of its
+          partition; reads are modeled as binary searches over the pair
+          list. *)
+
+val code_width : int
+(** Stored width of a dictionary code (4 bytes). *)
+
+val stored_width : Schema.attr -> t -> int
+(** Width of the attribute's field under the encoding (including the null
+    byte for nullable attributes). *)
+
+val pp : Format.formatter -> t -> unit

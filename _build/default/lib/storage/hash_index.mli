@@ -1,0 +1,21 @@
+(** An open-addressing hash index stored in simulator-visible memory.
+
+    Entries are (64-bit key, tid) pairs with linear probing; lookups generate
+    the random-access traffic the paper attributes to index probes (Fig. 10).
+    Keys are derived from values with {!key_of_value}; string keys may
+    collide, so callers verify candidates against the relation. *)
+
+type t
+
+val create : Arena.t -> ?hier:Memsim.Hierarchy.t -> ?capacity:int -> unit -> t
+
+val insert : t -> key:int -> tid:int -> unit
+
+val lookup : t -> key:int -> int list
+(** All tids whose entry key equals [key] (candidates; may contain hash
+    collisions for non-integer keys). *)
+
+val length : t -> int
+
+val key_of_value : Value.t -> int
+val key_of_values : Value.t list -> int

@@ -1,0 +1,30 @@
+(** Secondary index wrappers binding indexes to relation attributes. *)
+
+type kind = Hash | Rbtree
+
+type t
+
+val kind : t -> kind
+
+val attrs : t -> int list
+(** The indexed attribute indices (in key order). *)
+
+val build_hash : Relation.t -> attrs:int list -> t
+(** Build a hash index on the given attributes.  The build itself runs
+    untraced (index creation is setup work); maintenance via {!insert} is
+    traced. *)
+
+val build_rb : Relation.t -> attr:int -> t
+(** Ordered index on a single integer-valued attribute. *)
+
+val insert : t -> Relation.t -> tid:int -> unit
+(** Index maintenance for a freshly appended tuple (traced — the paper
+    measures maintenance cost on the modifying Query 6). *)
+
+val lookup_eq : t -> Relation.t -> Value.t list -> int list
+(** Verified equality lookup: candidates from the index are checked against
+    the stored attribute values (generating the tuple-reconstruction traffic
+    the paper describes), and only true matches returned. *)
+
+val lookup_range : t -> lo:Value.t -> hi:Value.t -> int list
+(** Range lookup (Rbtree only). @raise Invalid_argument on hash indexes. *)

@@ -1,0 +1,99 @@
+type color = Red | Black
+
+type tree =
+  | Leaf
+  | Node of { color : color; left : tree; key : int; tid : int; addr : int; right : tree }
+
+type t = {
+  arena : Arena.t;
+  hier : Memsim.Hierarchy.t option;
+  mutable root : tree;
+  mutable count : int;
+}
+
+(* key + tid + two child pointers + color, rounded up *)
+let node_width = 40
+
+let create arena ?hier () = { arena; hier; root = Leaf; count = 0 }
+
+let touch t addr =
+  match t.hier with
+  | Some h -> Memsim.Hierarchy.read h ~addr ~width:node_width
+  | None -> ()
+
+(* Okasaki-style balancing.  Nodes keep their virtual address across path
+   copying, so the traffic model sees a stable tree. *)
+let balance = function
+  | Black, Node { color = Red; left = Node { color = Red; left = a; key = xk; tid = xt; addr = xa; right = b }; key = yk; tid = yt; addr = ya; right = c }, zk, zt, za, d
+  | Black, Node { color = Red; left = a; key = xk; tid = xt; addr = xa; right = Node { color = Red; left = b; key = yk; tid = yt; addr = ya; right = c } }, zk, zt, za, d ->
+      Node
+        {
+          color = Red;
+          left = Node { color = Black; left = a; key = xk; tid = xt; addr = xa; right = b };
+          key = yk;
+          tid = yt;
+          addr = ya;
+          right = Node { color = Black; left = c; key = zk; tid = zt; addr = za; right = d };
+        }
+  | Black, a, xk, xt, xa, Node { color = Red; left = Node { color = Red; left = b; key = yk; tid = yt; addr = ya; right = c }; key = zk; tid = zt; addr = za; right = d }
+  | Black, a, xk, xt, xa, Node { color = Red; left = b; key = yk; tid = yt; addr = ya; right = Node { color = Red; left = c; key = zk; tid = zt; addr = za; right = d } } ->
+      Node
+        {
+          color = Red;
+          left = Node { color = Black; left = a; key = xk; tid = xt; addr = xa; right = b };
+          key = yk;
+          tid = yt;
+          addr = ya;
+          right = Node { color = Black; left = c; key = zk; tid = zt; addr = za; right = d };
+        }
+  | color, left, key, tid, addr, right -> Node { color; left; key; tid; addr; right }
+
+let insert t ~key ~tid =
+  let addr = Arena.alloc t.arena node_width in
+  let rec ins = function
+    | Leaf -> Node { color = Red; left = Leaf; key; tid; addr; right = Leaf }
+    | Node n ->
+        touch t n.addr;
+        if key < n.key || (key = n.key && tid < n.tid) then
+          balance (n.color, ins n.left, n.key, n.tid, n.addr, n.right)
+        else balance (n.color, n.left, n.key, n.tid, n.addr, ins n.right)
+  in
+  (match ins t.root with
+  | Node n -> t.root <- Node { n with color = Black }
+  | Leaf -> assert false);
+  t.count <- t.count + 1
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  let rec go = function
+    | Leaf -> ()
+    | Node n ->
+        touch t n.addr;
+        if lo <= n.key then go n.left;
+        if lo <= n.key && n.key <= hi then acc := n.tid :: !acc;
+        if hi >= n.key then go n.right
+  in
+  go t.root;
+  List.rev !acc
+
+let lookup t ~key = range t ~lo:key ~hi:key
+
+let size t = t.count
+
+let check_invariants t =
+  let rec black_height = function
+    | Leaf -> Some 1
+    | Node n -> (
+        let red_red =
+          n.color = Red
+          && (match n.left with Node l when l.color = Red -> true | _ -> false
+             || match n.right with Node r when r.color = Red -> true | _ -> false)
+        in
+        if red_red then None
+        else
+          match (black_height n.left, black_height n.right) with
+          | Some a, Some b when a = b ->
+              Some (a + if n.color = Black then 1 else 0)
+          | _ -> None)
+  in
+  black_height t.root <> None

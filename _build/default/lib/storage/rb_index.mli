@@ -1,0 +1,24 @@
+(** A red-black tree index over integer keys, with duplicates.
+
+    The tree structure lives in OCaml records, but every node carries a
+    virtual address, and traversals report one random access per visited
+    node to the simulator — modeling the pointer-chasing cost of tree
+    indexes without hand-writing a node heap. *)
+
+type t
+
+val create : Arena.t -> ?hier:Memsim.Hierarchy.t -> unit -> t
+
+val insert : t -> key:int -> tid:int -> unit
+
+val lookup : t -> key:int -> int list
+(** All tids with exactly this key, in insertion-independent (sorted) order. *)
+
+val range : t -> lo:int -> hi:int -> int list
+(** Tids with [lo <= key <= hi]. *)
+
+val size : t -> int
+
+val check_invariants : t -> bool
+(** Red-black invariants: no red node has a red child, and every root-leaf
+    path has the same black height.  For tests. *)

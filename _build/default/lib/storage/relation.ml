@@ -1,0 +1,317 @@
+type part = {
+  attrs : int array;
+  offsets : int array; (* per slot in [attrs] *)
+  width : int;
+  buf : Buffer.t;
+}
+
+(* Per-attribute dictionary for [Encoding.Dict] columns.  The code→value
+   direction lives in a simulator-visible region (decodes generate traffic);
+   the value→code direction is an OCaml hashtable (encoding happens on the
+   untraced load path or on single inserts). *)
+type dict = {
+  mutable values : Value.t array;
+  mutable count : int;
+  codes : (Value.t, int) Hashtbl.t;
+  dbuf : Buffer.t;
+  value_width : int;
+}
+
+(* Sparse (key-value) storage for [Encoding.Sparse] columns: only non-null
+   entries exist, as (tid, value) pairs in a simulator-visible region.  The
+   OCaml-side hashtable provides the actual values; the traced region models
+   the binary-search access cost of a sorted pair list. *)
+type sparse = {
+  pairs : (int, Value.t) Hashtbl.t;
+  sbuf : Buffer.t;
+  entry_width : int;
+  mutable filled : int;
+}
+
+type t = {
+  schema : Schema.t;
+  layout : Layout.t;
+  encodings : Encoding.t array;
+  dicts : dict option array;
+  sparses : sparse option array;
+  parts : part array;
+  loc : (int * int) array; (* attr -> partition index, offset inside tuple *)
+  mutable nrows : int;
+  mutable capacity : int;
+  arena : Arena.t;
+  hier : Memsim.Hierarchy.t option;
+}
+
+let create ?hier ?(capacity = 1024) ?(encodings = []) arena schema layout =
+  let n = Schema.arity schema in
+  let enc = Array.make n Encoding.Plain in
+  List.iter (fun (a, e) -> enc.(a) <- e) encodings;
+  let dicts =
+    Array.init n (fun a ->
+        match enc.(a) with
+        | Encoding.Plain | Encoding.Sparse -> None
+        | Encoding.Dict ->
+            let value_width = Value.data_width (Schema.attr schema a).Schema.ty in
+            Some
+              {
+                values = Array.make 16 Value.Null;
+                count = 0;
+                codes = Hashtbl.create 16;
+                dbuf = Buffer.create arena ?hier (16 * value_width);
+                value_width;
+              })
+  in
+  let sparses =
+    Array.init n (fun a ->
+        match enc.(a) with
+        | Encoding.Plain | Encoding.Dict -> None
+        | Encoding.Sparse ->
+            let attr = Schema.attr schema a in
+            if not attr.Schema.nullable then
+              invalid_arg "Relation: sparse encoding requires a nullable attribute";
+            if
+              Array.length
+                (Layout.partition_attrs layout (Layout.partition_of_attr layout a))
+              <> 1
+            then
+              invalid_arg
+                "Relation: a sparse attribute must be alone in its partition";
+            let entry_width = 8 + Value.data_width attr.Schema.ty in
+            Some
+              {
+                pairs = Hashtbl.create 64;
+                sbuf = Buffer.create arena ?hier (64 * entry_width);
+                entry_width;
+                filled = 0;
+              })
+  in
+  let loc = Array.make n (-1, -1) in
+  let parts =
+    Array.mapi
+      (fun pi attrs ->
+        let offsets = Array.make (Array.length attrs) 0 in
+        let width = ref 0 in
+        Array.iteri
+          (fun slot a ->
+            offsets.(slot) <- !width;
+            loc.(a) <- (pi, !width);
+            width := !width + Encoding.stored_width (Schema.attr schema a) enc.(a))
+          attrs;
+        let buf = Buffer.create arena ?hier (max 1 (!width * capacity)) in
+        { attrs; offsets; width = !width; buf })
+      (Layout.partitions layout)
+  in
+  {
+    schema;
+    layout;
+    encodings = enc;
+    dicts;
+    sparses;
+    parts;
+    loc;
+    nrows = 0;
+    capacity;
+    arena;
+    hier;
+  }
+
+let schema t = t.schema
+let layout t = t.layout
+let nrows t = t.nrows
+let hier t = t.hier
+let arena t = t.arena
+
+let encoding t a = t.encodings.(a)
+
+let encodings t =
+  Array.to_list t.encodings
+  |> List.mapi (fun a e -> (a, e))
+  |> List.filter (fun (_, e) -> e <> Encoding.Plain)
+
+let dict_info t a =
+  match t.dicts.(a) with
+  | Some d -> Some (max 1 d.count, d.value_width)
+  | None -> None
+
+let sparse_info t a =
+  match t.sparses.(a) with
+  | Some s -> Some (max 1 s.filled, s.entry_width)
+  | None -> None
+
+let storage_bytes t =
+  let parts =
+    Array.fold_left (fun acc p -> acc + (t.nrows * p.width)) 0 t.parts
+  in
+  let dicts =
+    Array.fold_left
+      (fun acc d ->
+        match d with Some d -> acc + (d.count * d.value_width) | None -> acc)
+      0 t.dicts
+  in
+  let sparses =
+    Array.fold_left
+      (fun acc s ->
+        match s with Some s -> acc + (s.filled * s.entry_width) | None -> acc)
+      0 t.sparses
+  in
+  parts + dicts + sparses
+
+let ensure_capacity t rows =
+  if rows > t.capacity then begin
+    let ncap = max rows (2 * t.capacity) in
+    Array.iter (fun p -> Buffer.grow p.buf (max 1 (p.width * ncap))) t.parts;
+    t.capacity <- ncap
+  end
+
+let field t a =
+  let attr = Schema.attr t.schema a in
+  (attr.Schema.ty, attr.Schema.nullable)
+
+(* dictionary encode: returns the code for [v], registering it if new *)
+let encode t d v =
+  match Hashtbl.find_opt d.codes v with
+  | Some code -> code
+  | None ->
+      let code = d.count in
+      if code >= Array.length d.values then begin
+        let bigger = Array.make (2 * Array.length d.values) Value.Null in
+        Array.blit d.values 0 bigger 0 code;
+        d.values <- bigger
+      end;
+      Buffer.grow d.dbuf ((code + 1) * d.value_width);
+      (* write the new dictionary entry (traced) *)
+      Buffer.touch_write d.dbuf (code * d.value_width) ~width:d.value_width;
+      d.values.(code) <- v;
+      Hashtbl.add d.codes v code;
+      d.count <- code + 1;
+      ignore t;
+      code
+
+(* decode: one random access into the dictionary region *)
+let decode t d code =
+  Buffer.touch d.dbuf (code * d.value_width) ~width:d.value_width;
+  (match t.hier with Some h -> Memsim.Hierarchy.add_cpu h 1 | None -> ());
+  d.values.(code)
+
+(* model the binary search over the sorted pair list: log2(filled) probes *)
+let sparse_search_touch t s =
+  let steps =
+    let rec log2 acc k = if k <= 1 then acc else log2 (acc + 1) (k / 2) in
+    max 1 (log2 0 (max 2 s.filled))
+  in
+  let stride = max 1 (s.filled / (steps + 1)) in
+  for i = 1 to steps do
+    Buffer.touch s.sbuf
+      (min (max 0 (s.filled - 1)) (i * stride) * s.entry_width)
+      ~width:s.entry_width
+  done;
+  match t.hier with
+  | Some h -> Memsim.Hierarchy.add_cpu h steps
+  | None -> ()
+
+let sparse_write s tid v =
+  if Value.is_null v then Hashtbl.remove s.pairs tid
+  else begin
+    if not (Hashtbl.mem s.pairs tid) then begin
+      Buffer.grow s.sbuf ((s.filled + 1) * s.entry_width);
+      s.filled <- s.filled + 1
+    end;
+    Buffer.touch_write s.sbuf
+      ((s.filled - 1) * s.entry_width)
+      ~width:s.entry_width;
+    Hashtbl.replace s.pairs tid v
+  end
+
+let sparse_read t s tid =
+  sparse_search_touch t s;
+  match Hashtbl.find_opt s.pairs tid with Some v -> v | None -> Value.Null
+
+let write_field t p ~tid ~off a v =
+  let ty, nullable = field t a in
+  match (t.sparses.(a), t.dicts.(a)) with
+  | Some s, _ -> sparse_write s tid v
+  | None, None -> Buffer.write_value p.buf off ~ty ~nullable v
+  | None, Some d ->
+      let data_off = if nullable then off + 1 else off in
+      if Value.is_null v then
+        if nullable then Buffer.write_byte p.buf off 0
+        else invalid_arg "Relation: NULL into non-nullable attribute"
+      else begin
+        if nullable then Buffer.write_byte p.buf off 1;
+        Buffer.write_int32 p.buf data_off (encode t d v)
+      end
+
+let read_field t p ~tid ~off a =
+  let ty, nullable = field t a in
+  match (t.sparses.(a), t.dicts.(a)) with
+  | Some s, _ -> sparse_read t s tid
+  | None, None -> Buffer.read_value p.buf off ~ty ~nullable
+  | None, Some d ->
+      let data_off = if nullable then off + 1 else off in
+      if nullable && Buffer.read_byte p.buf off = 0 then Value.Null
+      else decode t d (Buffer.read_int32 p.buf data_off)
+
+let append t values =
+  if Array.length values <> Schema.arity t.schema then
+    invalid_arg "Relation.append: arity mismatch";
+  ensure_capacity t (t.nrows + 1);
+  let tid = t.nrows in
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun slot a ->
+          write_field t p ~tid
+            ~off:((tid * p.width) + p.offsets.(slot))
+            a values.(a))
+        p.attrs)
+    t.parts;
+  t.nrows <- tid + 1;
+  tid
+
+let get t tid a =
+  let pi, off = t.loc.(a) in
+  let p = t.parts.(pi) in
+  read_field t p ~tid ~off:((tid * p.width) + off) a
+
+let set t tid a v =
+  let pi, off = t.loc.(a) in
+  let p = t.parts.(pi) in
+  write_field t p ~tid ~off:((tid * p.width) + off) a v
+
+let get_tuple t tid = Array.init (Schema.arity t.schema) (fun a -> get t tid a)
+
+let addr t tid a =
+  let pi, off = t.loc.(a) in
+  let p = t.parts.(pi) in
+  Buffer.base p.buf + (tid * p.width) + off
+
+let field_width t a =
+  Encoding.stored_width (Schema.attr t.schema a) t.encodings.(a)
+
+let part_of_attr t a = fst t.loc.(a)
+let part_width t pi = t.parts.(pi).width
+let part_buffer t pi = t.parts.(pi).buf
+let attr_offset t a = snd t.loc.(a)
+
+let untraced t f =
+  match t.hier with
+  | Some h -> Memsim.Hierarchy.without_tracing h f
+  | None -> f ()
+
+let repartition t layout =
+  let dst =
+    create ?hier:t.hier ~capacity:(max 1 t.nrows) ~encodings:(encodings t)
+      t.arena t.schema layout
+  in
+  untraced t (fun () ->
+      for tid = 0 to t.nrows - 1 do
+        ignore (append dst (get_tuple t tid))
+      done);
+  dst
+
+let load t ~n f =
+  untraced t (fun () ->
+      ensure_capacity t (t.nrows + n);
+      for row = 0 to n - 1 do
+        ignore (append t (f ~row))
+      done)

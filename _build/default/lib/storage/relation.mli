@@ -1,0 +1,74 @@
+(** A memory-resident relation stored under a chosen vertical layout.
+
+    Each partition is one contiguous region of tuples of the partition's
+    width; the address of attribute [a] of tuple [tid] is
+    [part_base + tid * part_width + offset(a)] — the PDSM storage scheme of
+    Section III-B. *)
+
+type t
+
+val create :
+  ?hier:Memsim.Hierarchy.t ->
+  ?capacity:int ->
+  ?encodings:(int * Encoding.t) list ->
+  Arena.t ->
+  Schema.t ->
+  Layout.t ->
+  t
+(** [encodings] selects per-attribute storage encodings (attribute index to
+    encoding); unlisted attributes are stored plain. *)
+
+val schema : t -> Schema.t
+val layout : t -> Layout.t
+val nrows : t -> int
+val hier : t -> Memsim.Hierarchy.t option
+val arena : t -> Arena.t
+
+val append : t -> Value.t array -> int
+(** Append a full tuple (one value per schema attribute, in schema order);
+    returns the new tuple id.  Grows partitions as needed. *)
+
+val get : t -> int -> int -> Value.t
+(** [get t tid attr]. *)
+
+val set : t -> int -> int -> Value.t -> unit
+
+val get_tuple : t -> int -> Value.t array
+
+val addr : t -> int -> int -> int
+(** Virtual address of the stored field (including null byte if present). *)
+
+val field_width : t -> int -> int
+(** Stored width of the attribute's field under its encoding. *)
+
+val encoding : t -> int -> Encoding.t
+
+val encodings : t -> (int * Encoding.t) list
+(** The non-plain encodings, as passable to {!create}. *)
+
+val dict_info : t -> int -> (int * int) option
+(** For a dictionary-encoded attribute: (distinct values so far, value
+    width in bytes) — the parameters of the decode access pattern. *)
+
+val sparse_info : t -> int -> (int * int) option
+(** For a sparse attribute: (non-null entries, pair entry width). *)
+
+val storage_bytes : t -> int
+(** Bytes occupied by the relation's partitions, dictionaries and sparse
+    pair lists — the storage-footprint metric of the compression and
+    sparse-storage experiments. *)
+
+val part_of_attr : t -> int -> int
+val part_width : t -> int -> int
+(** Tuple width of the given partition. *)
+
+val part_buffer : t -> int -> Buffer.t
+val attr_offset : t -> int -> int
+(** Byte offset of the attribute inside its partition's tuple. *)
+
+val repartition : t -> Layout.t -> t
+(** Copy into a new layout (untraced — layout changes are setup work). *)
+
+val load :
+  t -> n:int -> (row:int -> Value.t array) -> unit
+(** Bulk-append [n] generated tuples with tracing disabled. *)

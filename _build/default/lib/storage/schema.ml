@@ -1,0 +1,47 @@
+type attr = { name : string; ty : Value.ty; nullable : bool }
+
+type t = { name : string; attrs : attr array }
+
+let make name attrs =
+  {
+    name;
+    attrs =
+      Array.of_list
+        (List.map (fun (name, ty) -> { name; ty; nullable = false }) attrs);
+  }
+
+let make_nullable name attrs =
+  {
+    name;
+    attrs =
+      Array.of_list
+        (List.map (fun (name, ty, nullable) -> { name; ty; nullable }) attrs);
+  }
+
+let arity t = Array.length t.attrs
+
+let attr t i = t.attrs.(i)
+
+let attr_index t name =
+  let rec go i =
+    if i >= Array.length t.attrs then raise Not_found
+    else if String.equal t.attrs.(i).name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let attr_indices t names = List.map (attr_index t) names
+
+let stored_width a = Value.data_width a.ty + if a.nullable then 1 else 0
+
+let row_width t = Array.fold_left (fun acc a -> acc + stored_width a) 0 t.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>%s(" t.name;
+  Array.iteri
+    (fun i (a : attr) ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%s %a%s" a.name Value.pp_ty a.ty
+        (if a.nullable then " null" else ""))
+    t.attrs;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,27 @@
+(** Relation schemas. *)
+
+type attr = { name : string; ty : Value.ty; nullable : bool }
+
+type t = { name : string; attrs : attr array }
+
+val make : string -> (string * Value.ty) list -> t
+(** Non-nullable attributes in the given order. *)
+
+val make_nullable : string -> (string * Value.ty * bool) list -> t
+
+val arity : t -> int
+
+val attr : t -> int -> attr
+
+val attr_index : t -> string -> int
+(** Index of the named attribute. @raise Not_found otherwise. *)
+
+val attr_indices : t -> string list -> int list
+
+val stored_width : attr -> int
+(** Payload width plus one validity byte for nullable attributes. *)
+
+val row_width : t -> int
+(** Sum of all stored widths: the tuple width under NSM. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/rng.mli:

@@ -1,0 +1,1 @@
+lib/util/texttab.ml: Array Buffer List Printf String

@@ -1,0 +1,82 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.add (Int64.of_int seed) golden }
+
+let next_state t =
+  t.state <- Int64.add t.state golden;
+  t.state
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = mix (next_state t)
+
+let split t = { state = int64 t }
+
+let int t bound =
+  assert (bound > 0);
+  (* keep 62 bits: OCaml's native int is 63-bit, so a 63-bit value would wrap
+     to a negative number *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+(* Zipf sampling by inversion on the harmonic CDF.  We avoid caching the
+   normalization constant across calls to keep the generator stateless with
+   respect to [n]; workload generation is not on the critical path. *)
+let zipf t ~n ~theta =
+  assert (n > 0);
+  if theta <= 0.0 then int t n
+  else begin
+    let h = ref 0.0 in
+    for i = 1 to n do
+      h := !h +. (1.0 /. Float.pow (float_of_int i) theta)
+    done;
+    let target = float t *. !h in
+    let acc = ref 0.0 in
+    let result = ref (n - 1) in
+    (try
+       for i = 1 to n do
+         acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta);
+         if !acc >= target then begin
+           result := i - 1;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let string t ~alphabet ~len =
+  let k = String.length alphabet in
+  String.init len (fun _ -> alphabet.[int t k])

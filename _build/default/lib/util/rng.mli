@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All data generators in this repository draw from this module with fixed
+    seeds so that every experiment is exactly reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds an independent generator. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child generator,
+    advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** [zipf t ~n ~theta] samples from a Zipf distribution over [\[0, n)] with
+    skew [theta] (0 = uniform). Uses the rejection-free CDF-inversion over a
+    precomputed-free approximation; adequate for workload generation. *)
+
+val string : t -> alphabet:string -> len:int -> string
+(** Random fixed-length string over [alphabet]. *)

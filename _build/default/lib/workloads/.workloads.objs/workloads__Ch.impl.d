@@ -1,0 +1,1 @@
+lib/workloads/ch.ml: Array Float List Mrdb_util Printf Relalg Storage String Workload

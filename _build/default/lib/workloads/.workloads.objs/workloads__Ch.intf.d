@@ -1,0 +1,1 @@
+lib/workloads/ch.mli: Memsim Relalg Storage Workload

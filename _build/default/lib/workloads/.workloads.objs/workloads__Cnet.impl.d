@@ -1,0 +1,1 @@
+lib/workloads/cnet.ml: Array List Mrdb_util Printf Relalg Storage String Workload

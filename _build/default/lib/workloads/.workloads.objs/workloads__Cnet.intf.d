@@ -1,0 +1,1 @@
+lib/workloads/cnet.mli: Memsim Storage Workload

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Array List Mrdb_util Printf Relalg Storage

@@ -1,0 +1,1 @@
+lib/workloads/microbench.mli: Memsim Relalg Storage

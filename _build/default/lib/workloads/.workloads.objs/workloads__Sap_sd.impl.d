@@ -1,0 +1,1 @@
+lib/workloads/sap_sd.ml: List Mrdb_util Option Printf Relalg Storage String Workload

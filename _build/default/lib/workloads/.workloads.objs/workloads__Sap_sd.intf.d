@@ -1,0 +1,1 @@
+lib/workloads/sap_sd.mli: Memsim Storage Workload

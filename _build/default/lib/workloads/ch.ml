@@ -1,0 +1,300 @@
+module V = Storage.Value
+module Schema = Storage.Schema
+module Layout = Storage.Layout
+module Expr = Relalg.Expr
+
+type t = {
+  cat : Storage.Catalog.t;
+  queries : Workload.query list;
+  transactions : Workload.query list;
+}
+
+let tables =
+  [ "warehouse"; "district"; "customer"; "orders"; "order_line"; "item"; "stock" ]
+
+let warehouse_schema =
+  Schema.make "warehouse"
+    [
+      ("w_id", V.Int);
+      ("w_name", V.Varchar 10);
+      ("w_state", V.Varchar 2);
+      ("w_zip", V.Varchar 9);
+      ("w_tax", V.Float);
+      ("w_ytd", V.Float);
+    ]
+
+let district_schema =
+  Schema.make "district"
+    [
+      ("d_id", V.Int);
+      ("d_w_id", V.Int);
+      ("d_name", V.Varchar 10);
+      ("d_tax", V.Float);
+      ("d_ytd", V.Float);
+      ("d_next_o_id", V.Int);
+    ]
+
+let customer_schema =
+  Schema.make "customer"
+    [
+      ("c_id", V.Int);
+      ("c_d_id", V.Int);
+      ("c_w_id", V.Int);
+      ("c_last", V.Varchar 16);
+      ("c_first", V.Varchar 16);
+      ("c_credit", V.Varchar 2);
+      ("c_balance", V.Int);
+      ("c_ytd_payment", V.Int);
+      ("c_state", V.Varchar 2);
+      ("c_since", V.Date);
+    ]
+
+let orders_schema =
+  Schema.make "orders"
+    [
+      ("o_id", V.Int);
+      ("o_d_id", V.Int);
+      ("o_w_id", V.Int);
+      ("o_c_id", V.Int);
+      ("o_entry_d", V.Date);
+      ("o_carrier_id", V.Int);
+      ("o_ol_cnt", V.Int);
+    ]
+
+let order_line_schema =
+  Schema.make "order_line"
+    [
+      ("ol_o_id", V.Int);
+      ("ol_d_id", V.Int);
+      ("ol_w_id", V.Int);
+      ("ol_number", V.Int);
+      ("ol_i_id", V.Int);
+      ("ol_supply_w_id", V.Int);
+      ("ol_delivery_d", V.Date);
+      ("ol_quantity", V.Int);
+      ("ol_amount", V.Int);
+      ("ol_dist_info", V.Varchar 24);
+    ]
+
+let item_schema =
+  Schema.make "item"
+    [
+      ("i_id", V.Int);
+      ("i_name", V.Varchar 24);
+      ("i_price", V.Int);
+      ("i_data", V.Varchar 32);
+    ]
+
+let stock_schema =
+  Schema.make "stock"
+    [
+      ("s_i_id", V.Int);
+      ("s_w_id", V.Int);
+      ("s_quantity", V.Int);
+      ("s_ytd", V.Int);
+      ("s_order_cnt", V.Int);
+      ("s_dist_01", V.Varchar 24);
+    ]
+
+let date_span = 3650
+let lines_per_order = 5
+let states = [| "CA"; "NY"; "TX"; "WA"; "IL"; "MA"; "FL"; "OR" |]
+
+let sizes scale =
+  let s n = max 8 (int_of_float (float_of_int n *. scale)) in
+  let warehouses = max 2 (int_of_float (4.0 *. scale)) in
+  ( warehouses,
+    warehouses * 10 (* districts *),
+    s 20_000 (* customers *),
+    s 40_000 (* orders *),
+    s 40_000 * lines_per_order (* order lines *),
+    s 10_000 (* items *) )
+
+let build ?hier ?(scale = 1.0) () =
+  let cat = Storage.Catalog.create ?hier () in
+  let n_w, n_d, n_c, n_o, n_ol, n_i = sizes scale in
+  let add schema = Storage.Catalog.add cat schema (Layout.row schema) in
+  let warehouse = add warehouse_schema in
+  let district = add district_schema in
+  let customer = add customer_schema in
+  let orders = add orders_schema in
+  let order_line = add order_line_schema in
+  let item = add item_schema in
+  let stock = add stock_schema in
+  let rng = Mrdb_util.Rng.create 0xC4_B3 in
+  Storage.Relation.load warehouse ~n:n_w (fun ~row ->
+      [|
+        V.VInt row;
+        V.VStr (Printf.sprintf "wh%02d" row);
+        V.VStr (Mrdb_util.Rng.choose rng states);
+        V.VStr (Printf.sprintf "%09d" (Mrdb_util.Rng.int rng 100000));
+        V.VFloat (Mrdb_util.Rng.float rng *. 0.2);
+        V.VFloat 0.0;
+      |]);
+  Storage.Relation.load district ~n:n_d (fun ~row ->
+      [|
+        V.VInt row;
+        V.VInt (row mod n_w);
+        V.VStr (Printf.sprintf "d%03d" row);
+        V.VFloat (Mrdb_util.Rng.float rng *. 0.2);
+        V.VFloat 0.0;
+        V.VInt 3001;
+      |]);
+  Storage.Relation.load customer ~n:n_c (fun ~row ->
+      [|
+        V.VInt row;
+        V.VInt (Mrdb_util.Rng.int rng n_d);
+        V.VInt (Mrdb_util.Rng.int rng n_w);
+        V.VStr (Printf.sprintf "last%03d" (Mrdb_util.Rng.int rng 1000));
+        V.VStr (Printf.sprintf "first%04d" (Mrdb_util.Rng.int rng 10000));
+        V.VStr (if Mrdb_util.Rng.bool rng 0.9 then "GC" else "BC");
+        V.VInt (Mrdb_util.Rng.int_in rng (-500) 50000);
+        V.VInt (Mrdb_util.Rng.int rng 100000);
+        V.VStr (Mrdb_util.Rng.choose rng states);
+        V.VDate (Mrdb_util.Rng.int rng date_span);
+      |]);
+  Storage.Relation.load orders ~n:n_o (fun ~row ->
+      [|
+        V.VInt row;
+        V.VInt (Mrdb_util.Rng.int rng n_d);
+        V.VInt (Mrdb_util.Rng.int rng n_w);
+        V.VInt (Mrdb_util.Rng.int rng n_c);
+        V.VDate (Mrdb_util.Rng.int rng date_span);
+        V.VInt (Mrdb_util.Rng.int rng 10);
+        V.VInt lines_per_order;
+      |]);
+  Storage.Relation.load order_line ~n:n_ol (fun ~row ->
+      [|
+        V.VInt (row / lines_per_order);
+        V.VInt (Mrdb_util.Rng.int rng n_d);
+        V.VInt (Mrdb_util.Rng.int rng n_w);
+        V.VInt (row mod lines_per_order);
+        V.VInt (Mrdb_util.Rng.int rng n_i);
+        V.VInt (Mrdb_util.Rng.int rng n_w);
+        V.VDate (Mrdb_util.Rng.int rng date_span);
+        V.VInt (Mrdb_util.Rng.int_in rng 1 10);
+        V.VInt (Mrdb_util.Rng.int_in rng 1 10000);
+        V.VStr (Mrdb_util.Rng.string rng ~alphabet:"abcdef0123456789" ~len:24);
+      |]);
+  Storage.Relation.load item ~n:n_i (fun ~row ->
+      [|
+        V.VInt row;
+        V.VStr (Printf.sprintf "item%06d" row);
+        V.VInt (Mrdb_util.Rng.int_in rng 1 10000);
+        V.VStr (Mrdb_util.Rng.string rng ~alphabet:"abcdefgh " ~len:24);
+      |]);
+  Storage.Relation.load stock ~n:(n_i * min 4 n_w) (fun ~row ->
+      [|
+        V.VInt (row mod n_i);
+        V.VInt (row / n_i);
+        V.VInt (Mrdb_util.Rng.int_in rng 0 100);
+        V.VInt (Mrdb_util.Rng.int rng 10000);
+        V.VInt (Mrdb_util.Rng.int rng 100);
+        V.VStr (Mrdb_util.Rng.string rng ~alphabet:"abcdef0123456789" ~len:24);
+      |]);
+  let mk ?(freq = 1.0) ?(modifies = false) ?estimate ?n_groups name description
+      sql params =
+    let logical = Relalg.Sql.parse cat sql in
+    {
+      Workload.name;
+      description;
+      freq;
+      sql;
+      make_plan =
+        (fun ~use_indexes ->
+          Relalg.Planner.plan ?estimate ?n_groups ~use_indexes cat logical);
+      params;
+      modifies;
+    }
+  in
+  let range_est sel (e : Expr.t) =
+    match e with
+    | Expr.Cmp ((Expr.Ge | Expr.Gt | Expr.Le | Expr.Lt), _, _) ->
+        Some (Float.sqrt sel)
+    | Expr.And _ -> Some sel
+    | _ -> None
+  in
+  let eq_est sel (e : Expr.t) =
+    match e with Expr.Cmp (Expr.Eq, _, _) -> Some sel | _ -> None
+  in
+  let queries =
+    [
+      mk "CH1" "order line quantity/amount summary by line number"
+        ~estimate:(range_est 0.7)
+        ~n_groups:(float_of_int lines_per_order)
+        "select ol_number, sum(ol_quantity) sum_qty, sum(ol_amount) \
+         sum_amount, avg(ol_quantity) avg_qty, avg(ol_amount) avg_amount, \
+         count(*) count_order from order_line where ol_delivery_d > $1 group \
+         by ol_number order by ol_number"
+        [| V.VInt (date_span / 4) |];
+      mk "CH2" "minimum stock per item" ~n_groups:(float_of_int n_i)
+        "select i_id, i_name, min(s_quantity) min_qty from item join stock \
+         on i_id = s_i_id group by i_id, i_name"
+        [||];
+      mk "CH3" "revenue per recent order" ~estimate:(range_est 0.25)
+        ~n_groups:(float_of_int n_o *. 0.25)
+        "select o_id, sum(ol_amount) revenue from orders join order_line on \
+         o_id = ol_o_id where o_entry_d > $1 group by o_id order by revenue \
+         desc limit 10"
+        [| V.VInt (3 * date_span / 4) |];
+      mk "CH4" "order count by line count in a date range"
+        ~estimate:(range_est 0.1) ~n_groups:10.0
+        "select o_ol_cnt, count(*) order_count from orders where o_entry_d \
+         >= $1 and o_entry_d <= $2 group by o_ol_cnt order by o_ol_cnt"
+        [| V.VInt 1000; V.VInt 1365 |];
+      mk "CH5" "revenue by customer state"
+        ~n_groups:(float_of_int (Array.length states))
+        "select c_state, sum(ol_amount) revenue from customer join orders on \
+         c_id = o_c_id join order_line on o_id = ol_o_id group by c_state \
+         order by revenue desc"
+        [||];
+      mk "CH6" "revenue from mid-size recent orders" ~estimate:(range_est 0.05)
+        ~n_groups:1.0
+        "select sum(ol_amount) revenue from order_line where ol_delivery_d \
+         >= $1 and ol_delivery_d <= $2 and ol_quantity >= $3 and ol_quantity \
+         <= $4"
+        [| V.VInt 1000; V.VInt 1365; V.VInt 2; V.VInt 7 |];
+      mk "CH8" "revenue share of cheap items" ~estimate:(eq_est 0.2)
+        ~n_groups:64.0
+        "select i_price, sum(ol_amount) revenue from item join order_line on \
+         i_id = ol_i_id where i_price <= $1 group by i_price"
+        [| V.VInt 2000 |];
+      mk "CH10" "top customers by recent revenue" ~estimate:(range_est 0.25)
+        ~n_groups:(float_of_int n_c)
+        "select o_c_id, sum(ol_amount) revenue from orders join order_line \
+         on o_id = ol_o_id where o_entry_d >= $1 group by o_c_id order by \
+         revenue desc limit 20"
+        [| V.VInt (3 * date_span / 4) |];
+    ]
+  in
+  let transactions =
+    [
+      mk "T1" "new order line" ~modifies:true ~freq:100.0
+        "insert into order_line values ($1,$2,$3,$4,$5,$6,$7,$8,$9,$10)"
+        [|
+          V.VInt (n_o - 1);
+          V.VInt 0;
+          V.VInt 0;
+          V.VInt 99;
+          V.VInt 1;
+          V.VInt 0;
+          V.VDate 1;
+          V.VInt 1;
+          V.VInt 42;
+          V.VStr "new";
+        |];
+      mk "T2" "order status: customer lookup" ~freq:100.0
+        ~estimate:(eq_est (1.0 /. float_of_int n_c))
+        "select * from customer where c_id = $1"
+        [| V.VInt 17 |];
+    ]
+  in
+  { cat; queries; transactions }
+
+let query t name =
+  List.find
+    (fun q -> String.equal q.Workload.name name)
+    (t.queries @ t.transactions)
+
+let mixed_workload t =
+  Workload.plans ~use_indexes:false (t.queries @ t.transactions)

@@ -1,0 +1,26 @@
+(** The CH-benchmark (Section VI-C): TPC-C's transactional schema merged
+    with TPC-H-style analytical queries.
+
+    We build the TPC-C-shaped tables (warehouse, district, customer, orders,
+    order_line, item, stock) at a configurable scale with one simplification
+    documented in DESIGN.md: order ids are globally unique, so the
+    analytical joins use single-attribute keys.  The analytical queries are
+    the eight the paper plots in Fig. 11 (CH queries 1, 2, 3, 4, 5, 6, 8,
+    10); two transactional statements (new order line, customer lookup)
+    complete the mixed workload used for layout optimization. *)
+
+type t = {
+  cat : Storage.Catalog.t;
+  queries : Workload.query list;  (** analytical, named "CH1".."CH10" *)
+  transactions : Workload.query list;  (** "T1" (insert), "T2" (lookup) *)
+}
+
+val build : ?hier:Memsim.Hierarchy.t -> ?scale:float -> unit -> t
+
+val tables : string list
+
+val query : t -> string -> Workload.query
+
+val mixed_workload : t -> (Relalg.Physical.t * float) list
+(** Analytical queries at frequency 1 plus transactions at frequency 100 —
+    the conflicting mix the benchmark is about. *)

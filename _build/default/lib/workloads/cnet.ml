@@ -1,0 +1,114 @@
+module V = Storage.Value
+module Schema = Storage.Schema
+module Layout = Storage.Layout
+module Expr = Relalg.Expr
+
+type t = { cat : Storage.Catalog.t; queries : Workload.query list }
+
+let n_categories = 30
+let n_manufacturers = 100
+let price_buckets = 100
+
+let schema_of ~n_extra =
+  let fixed =
+    [
+      ("id", V.Int, false);
+      ("name", V.Varchar 24, false);
+      ("category", V.Varchar 16, false);
+      ("manufacturer", V.Varchar 16, false);
+      ("price_from", V.Int, false);
+      ("price_to", V.Int, false);
+    ]
+  in
+  let extra =
+    List.init n_extra (fun i ->
+        if i mod 2 = 0 then (Printf.sprintf "ext_%03d" i, V.Int, true)
+        else (Printf.sprintf "ext_%03d" i, V.Varchar 12, true))
+  in
+  Schema.make_nullable "products" (fixed @ extra)
+
+let build ?hier ?(n_products = 20_000) ?(n_extra = 114) ?(avg_filled = 11) ()
+    =
+  let schema = schema_of ~n_extra in
+  let cat = Storage.Catalog.create ?hier () in
+  let rel = Storage.Catalog.add cat schema (Layout.row schema) in
+  let rng = Mrdb_util.Rng.create 0xC9E7 in
+  let fill_prob = float_of_int avg_filled /. float_of_int (max 1 n_extra) in
+  Storage.Relation.load rel ~n:n_products (fun ~row ->
+      let price = 10 * Mrdb_util.Rng.int_in rng 1 price_buckets in
+      Array.init (6 + n_extra) (fun i ->
+          match i with
+          | 0 -> V.VInt row
+          | 1 -> V.VStr (Printf.sprintf "product%06d" row)
+          | 2 -> V.VStr (Printf.sprintf "cat%02d" (Mrdb_util.Rng.int rng n_categories))
+          | 3 ->
+              V.VStr
+                (Printf.sprintf "mfg%03d" (Mrdb_util.Rng.int rng n_manufacturers))
+          | 4 -> V.VInt price
+          | 5 -> V.VInt (price + Mrdb_util.Rng.int_in rng 0 50)
+          | i ->
+              if Mrdb_util.Rng.bool rng fill_prob then
+                if (i - 6) mod 2 = 0 then
+                  V.VInt (Mrdb_util.Rng.int rng 100000)
+                else
+                  V.VStr (Mrdb_util.Rng.string rng ~alphabet:"abcdefgh" ~len:8)
+              else V.Null));
+  let eq_est sel (e : Expr.t) =
+    match e with
+    | Expr.Cmp (Expr.Eq, Expr.Col _, _) -> Some sel
+    | Expr.Cmp (Expr.Eq, _, _) -> Some sel
+    | Expr.And _ -> None
+    | _ -> None
+  in
+  let mk ?(modifies = false) ~freq ?estimate ?n_groups name description sql
+      params =
+    let logical = Relalg.Sql.parse cat sql in
+    {
+      Workload.name;
+      description;
+      freq;
+      sql;
+      make_plan =
+        (fun ~use_indexes ->
+          Relalg.Planner.plan ?estimate ?n_groups ~use_indexes cat logical);
+      params;
+      modifies;
+    }
+  in
+  (* the product-detail page is a primary-key lookup *)
+  Storage.Catalog.create_index cat "products" ~name:"products_pk"
+    ~kind:Storage.Index.Hash ~attrs:[ "id" ];
+  let queries =
+    [
+      mk "C1" "category overview with product counts" ~freq:1.0
+        ~n_groups:(float_of_int n_categories)
+        "select category, count(*) cnt from products group by category"
+        [||];
+      mk "C2" "price ranges within a category" ~freq:1.0
+        ~estimate:(eq_est (1.0 /. float_of_int n_categories))
+        ~n_groups:(float_of_int price_buckets)
+        "select (price_from/10)*10 price, count(*) cnt from products where \
+         category = $1 group by price order by price"
+        [| V.VStr "cat07" |];
+      mk "C3" "product listing for a category and price range" ~freq:100.0
+        ~estimate:(fun (e : Expr.t) ->
+          match e with
+          | Expr.Cmp (Expr.Eq, Expr.Col 2, _) ->
+              Some (1.0 /. float_of_int n_categories)
+          | Expr.Cmp (Expr.Eq, _, _) -> Some (1.0 /. float_of_int price_buckets)
+          | Expr.And _ ->
+              Some (1.0 /. float_of_int (n_categories * price_buckets))
+          | _ -> None)
+        "select id, name from products where category = $1 and \
+         (price_from/10)*10 = $2"
+        [| V.VStr "cat07"; V.VInt 500 |];
+      mk "C4" "product detail page by id" ~freq:10_000.0
+        ~estimate:(eq_est (1.0 /. float_of_int n_products))
+        "select * from products where id = $1"
+        [| V.VInt 4217 |];
+    ]
+  in
+  { cat; queries }
+
+let query t name =
+  List.find (fun q -> String.equal q.Workload.name name) t.queries

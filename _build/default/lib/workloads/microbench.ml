@@ -1,0 +1,55 @@
+module V = Storage.Value
+module Schema = Storage.Schema
+module Layout = Storage.Layout
+
+let domain = 1_000_000
+
+let attr_names =
+  [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "I"; "J"; "K"; "L"; "M"; "N"; "O"; "P" ]
+
+let schema = Schema.make "R" (List.map (fun n -> (n, V.Int)) attr_names)
+
+let pdsm_layout =
+  Layout.of_names schema
+    [
+      [ "A" ];
+      [ "B"; "C"; "D"; "E" ];
+      [ "F"; "G"; "H"; "I"; "J"; "K"; "L"; "M"; "N"; "O"; "P" ];
+    ]
+
+let build ?hier ~n () =
+  let cat = Storage.Catalog.create ?hier () in
+  let rel = Storage.Catalog.add cat schema (Layout.row schema) in
+  let rng = Mrdb_util.Rng.create 0xF16_3 in
+  Storage.Relation.load rel ~n (fun ~row ->
+      ignore row;
+      Array.init 16 (fun i ->
+          if i = 0 then V.VInt (Mrdb_util.Rng.int rng domain)
+          else V.VInt (Mrdb_util.Rng.int rng 1000)));
+  cat
+
+let predicate =
+  Relalg.Expr.Cmp (Relalg.Expr.Lt, Relalg.Expr.Col 0, Relalg.Expr.Param 1)
+
+let plan cat ~sel =
+  let logical =
+    Relalg.Plan.Group_by
+      {
+        child = Relalg.Plan.Select (Relalg.Plan.Scan "R", predicate);
+        keys = [];
+        aggs =
+          List.map
+            (fun i ->
+              Relalg.Aggregate.make Relalg.Aggregate.Sum
+                ~expr:(Relalg.Expr.Col i)
+                (Printf.sprintf "sum_%s" (List.nth attr_names i)))
+            [ 1; 2; 3; 4 ];
+      }
+  in
+  Relalg.Planner.plan
+    ~estimate:(fun e -> if e = predicate then Some sel else None)
+    ~n_groups:1.0 cat logical
+
+let params ~sel = [| V.VInt (int_of_float (sel *. float_of_int domain)) |]
+
+let selective_projection_plan cat ~sel = plan cat ~sel

@@ -1,0 +1,306 @@
+module V = Storage.Value
+module Schema = Storage.Schema
+module Layout = Storage.Layout
+module Expr = Relalg.Expr
+
+type t = { cat : Storage.Catalog.t; queries : Workload.query list }
+
+let tables = [ "ADRC"; "KNA1"; "VBAK"; "VBAP"; "VBEP"; "MARA" ]
+
+(* ------------------------------------------------------------------ *)
+(* Schemas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let adrc_schema =
+  Schema.make "ADRC"
+    [
+      ("ADDRNUMBER", V.Int);
+      ("NAME_CO", V.Varchar 16);
+      ("NAME1", V.Varchar 16);
+      ("NAME2", V.Varchar 16);
+      ("KUNNR", V.Int);
+      ("CITY1", V.Varchar 16);
+      ("STREET", V.Varchar 16);
+      ("POST_CODE1", V.Int);
+      ("COUNTRY", V.Varchar 8);
+      ("REGION", V.Varchar 8);
+    ]
+
+let kna1_schema =
+  Schema.make "KNA1"
+    [
+      ("KUNNR", V.Int);
+      ("LAND1", V.Varchar 8);
+      ("NAME1", V.Varchar 16);
+      ("ORT01", V.Varchar 16);
+      ("PSTLZ", V.Int);
+      ("STRAS", V.Varchar 16);
+      ("TELF1", V.Varchar 16);
+      ("ADRNR", V.Int);
+    ]
+
+let vbak_schema =
+  Schema.make "VBAK"
+    [
+      ("VBELN", V.Int);
+      ("ERDAT", V.Date);
+      ("AUART", V.Varchar 8);
+      ("NETWR", V.Int);
+      ("VKORG", V.Int);
+      ("VTWEG", V.Int);
+      ("KUNNR", V.Int);
+      ("WAERK", V.Varchar 8);
+    ]
+
+let vbap_schema =
+  Schema.make "VBAP"
+    [
+      ("VBELN", V.Int);
+      ("POSNR", V.Int);
+      ("MATNR", V.Int);
+      ("ARKTX", V.Varchar 24);
+      ("NETWR", V.Int);
+      ("ZMENG", V.Int);
+      ("WERKS", V.Int);
+    ]
+
+let vbep_schema =
+  Schema.make "VBEP"
+    [
+      ("VBELN", V.Int);
+      ("POSNR", V.Int);
+      ("ETENR", V.Int);
+      ("EDATU", V.Date);
+      ("WMENG", V.Int);
+      ("BMENG", V.Int);
+    ]
+
+let mara_schema =
+  Schema.make "MARA"
+    [
+      ("MATNR", V.Int);
+      ("MTART", V.Varchar 8);
+      ("MATKL", V.Varchar 8);
+      ("MEINS", V.Varchar 8);
+      ("BRGEW", V.Int);
+      ("NTGEW", V.Int);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Data generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let n_name_pool = 100
+let n_countries = 20
+let n_order_types = 10
+let n_material_types = 8
+let date_span = 3650
+
+let name_of rng prefix =
+  Printf.sprintf "%s%02d_%04d" prefix
+    (Mrdb_util.Rng.int rng n_name_pool)
+    (Mrdb_util.Rng.int rng 10000)
+
+let country rng = Printf.sprintf "C%02d" (Mrdb_util.Rng.int rng n_countries)
+
+let sizes scale =
+  let s n = max 16 (int_of_float (float_of_int n *. scale)) in
+  ( s 40_000 (* ADRC *),
+    s 10_000 (* KNA1 *),
+    s 40_000 (* VBAK *),
+    s 120_000 (* VBAP *),
+    s 120_000 (* VBEP *),
+    s 10_000 (* MARA *) )
+
+let build ?hier ?(scale = 1.0) () =
+  let cat = Storage.Catalog.create ?hier () in
+  let n_adrc, n_kna1, n_vbak, n_vbap, n_vbep, n_mara = sizes scale in
+  let add schema = Storage.Catalog.add cat schema (Layout.row schema) in
+  let adrc = add adrc_schema in
+  let kna1 = add kna1_schema in
+  let vbak = add vbak_schema in
+  let vbap = add vbap_schema in
+  let vbep = add vbep_schema in
+  let mara = add mara_schema in
+  let rng = Mrdb_util.Rng.create 0x5A9_5D in
+  Storage.Relation.load adrc ~n:n_adrc (fun ~row ->
+      [|
+        V.VInt row;
+        V.VStr (name_of rng "co");
+        V.VStr (name_of rng "name");
+        V.VStr (name_of rng "name");
+        V.VInt (Mrdb_util.Rng.int rng n_kna1);
+        V.VStr (name_of rng "city");
+        V.VStr (name_of rng "st");
+        V.VInt (Mrdb_util.Rng.int rng 100000);
+        V.VStr (country rng);
+        V.VStr (Printf.sprintf "R%02d" (Mrdb_util.Rng.int rng 50));
+      |]);
+  Storage.Relation.load kna1 ~n:n_kna1 (fun ~row ->
+      [|
+        V.VInt row;
+        V.VStr (country rng);
+        V.VStr (name_of rng "cust");
+        V.VStr (name_of rng "city");
+        V.VInt (Mrdb_util.Rng.int rng 100000);
+        V.VStr (name_of rng "st");
+        V.VStr (Printf.sprintf "+%09d" (Mrdb_util.Rng.int rng 1000000000));
+        V.VInt (Mrdb_util.Rng.int rng n_adrc);
+      |]);
+  Storage.Relation.load vbak ~n:n_vbak (fun ~row ->
+      [|
+        V.VInt row;
+        V.VDate (Mrdb_util.Rng.int rng date_span);
+        V.VStr (Printf.sprintf "TA%02d" (Mrdb_util.Rng.int rng n_order_types));
+        V.VInt (Mrdb_util.Rng.int_in rng 10 100000);
+        V.VInt (Mrdb_util.Rng.int rng 10);
+        V.VInt (Mrdb_util.Rng.int rng 4);
+        V.VInt (Mrdb_util.Rng.int rng n_kna1);
+        V.VStr "EUR";
+      |]);
+  Storage.Relation.load vbap ~n:n_vbap (fun ~row ->
+      [|
+        V.VInt (row / 3) (* ~3 items per document *);
+        V.VInt (row mod 3 * 10);
+        V.VInt (Mrdb_util.Rng.int rng n_mara);
+        V.VStr (name_of rng "item");
+        V.VInt (Mrdb_util.Rng.int_in rng 1 50000);
+        V.VInt (Mrdb_util.Rng.int_in rng 1 100);
+        V.VInt (Mrdb_util.Rng.int rng 20);
+      |]);
+  Storage.Relation.load vbep ~n:n_vbep (fun ~row ->
+      [|
+        V.VInt (row / 3);
+        V.VInt (row mod 3 * 10);
+        V.VInt 1;
+        V.VDate (Mrdb_util.Rng.int rng date_span);
+        V.VInt (Mrdb_util.Rng.int_in rng 1 100);
+        V.VInt (Mrdb_util.Rng.int_in rng 1 100);
+      |]);
+  Storage.Relation.load mara ~n:n_mara (fun ~row ->
+      [|
+        V.VInt row;
+        V.VStr (Printf.sprintf "MT%02d" (Mrdb_util.Rng.int rng n_material_types));
+        V.VStr (Printf.sprintf "MK%02d" (Mrdb_util.Rng.int rng 50));
+        V.VStr "ST";
+        V.VInt (Mrdb_util.Rng.int_in rng 1 1000);
+        V.VInt (Mrdb_util.Rng.int_in rng 1 1000);
+      |]);
+  (* ---------------------------------------------------------------- *)
+  (* Queries                                                           *)
+  (* ---------------------------------------------------------------- *)
+  let fn_kna1 = float_of_int n_kna1 in
+  let fn_vbak = float_of_int n_vbak in
+  let fn_mara = float_of_int n_mara in
+  (* per-predicate selectivity knowledge for the planner and cost model *)
+  let estimate (e : Expr.t) =
+    match e with
+    | Expr.Like _ -> Some (1.0 /. float_of_int n_name_pool)
+    | Expr.Cmp (Expr.Eq, Expr.Col _, _) | Expr.Cmp (Expr.Eq, _, Expr.Col _) ->
+        None (* resolved per query below *)
+    | _ -> None
+  in
+  let mk ?(freq = 1.0) ?(modifies = false) ?eq_sel ?n_groups name description
+      sql params =
+    let logical = Relalg.Sql.parse cat sql in
+    let estimate e =
+      match estimate e with
+      | Some s -> Some s
+      | None -> (
+          match e with
+          | Expr.Cmp (Expr.Eq, _, _) -> eq_sel
+          | Expr.And es ->
+              (* product of conjunct estimates where known *)
+              let sels =
+                List.map
+                  (fun c ->
+                    match estimate c with
+                    | Some s -> s
+                    | None -> (
+                        match c with
+                        | Expr.Cmp (Expr.Eq, _, _) ->
+                            Option.value eq_sel ~default:0.01
+                        | _ -> Expr.default_selectivity c))
+                  es
+              in
+              Some (List.fold_left ( *. ) 1.0 sels)
+          | _ -> None)
+    in
+    {
+      Workload.name;
+      description;
+      freq;
+      sql;
+      make_plan =
+        (fun ~use_indexes ->
+          Relalg.Planner.plan ~estimate ?n_groups ~use_indexes cat logical);
+      params;
+      modifies;
+    }
+  in
+  let queries =
+    [
+      mk "Q1" "address search by name patterns"
+        (* the paper describes NAME2 as "only accessed if NAME1 does not
+           match": a short-circuited disjunction *)
+        "select ADDRNUMBER, NAME_CO, NAME1, NAME2, KUNNR from ADRC where \
+         NAME1 like $1 or NAME2 like $2"
+        [| V.VStr "name12%"; V.VStr "name34%" |];
+      mk "Q2" "customers of a country" ~eq_sel:(1.0 /. float_of_int n_countries)
+        "select KUNNR, NAME1, ORT01 from KNA1 where LAND1 = $1"
+        [| V.VStr "C07" |];
+      mk "Q3" "address of a customer" ~eq_sel:(1.0 /. fn_kna1)
+        "select * from ADRC where KUNNR = $1"
+        [| V.VInt 4211 |];
+      mk "Q4" "orders of a customer" ~eq_sel:(1.0 /. fn_kna1)
+        "select VBELN, ERDAT, NETWR from VBAK where KUNNR = $1"
+        [| V.VInt 4211 |];
+      mk "Q5" "sales of a material" ~eq_sel:(1.0 /. fn_mara)
+        "select sum(NETWR) total, count(*) cnt from VBAP where MATNR = $1"
+        [| V.VInt 77 |];
+      mk "Q6" "order item entry" ~modifies:true
+        "insert into VBAP values ($1, $2, $3, $4, $5, $6, $7)"
+        [|
+          V.VInt (n_vbap / 3);
+          V.VInt 10;
+          V.VInt 77;
+          V.VStr "item_new";
+          V.VInt 999;
+          V.VInt 5;
+          V.VInt 3;
+        |];
+      mk "Q7" "order header by key" ~eq_sel:(1.0 /. fn_vbak)
+        "select * from VBAK where VBELN = $1"
+        [| V.VInt 1234 |];
+      mk "Q8" "order items by document" ~eq_sel:(3.0 /. float_of_int n_vbap)
+        "select * from VBAP where VBELN = $1"
+        [| V.VInt 1234 |];
+      mk "Q9" "deliveries due in a date range"
+        "select VBELN, POSNR, EDATU from VBEP where EDATU >= $1 and EDATU <= \
+         $2 order by EDATU"
+        [| V.VInt 100; V.VInt 130 |];
+      mk "Q10" "top customers by order count" ~n_groups:fn_kna1
+        "select KUNNR, count(*) cnt from VBAK group by KUNNR order by cnt \
+         desc limit 100"
+        [||];
+      mk "Q11" "revenue by order type"
+        ~n_groups:(float_of_int n_order_types)
+        "select AUART, sum(NETWR) total from VBAK group by AUART"
+        [||];
+      mk "Q12" "materials by type" ~n_groups:(float_of_int n_material_types)
+        "select MTART, count(*) cnt from MARA group by MTART"
+        [||];
+    ]
+  in
+  { cat; queries }
+
+let create_indexes t =
+  Storage.Catalog.create_index t.cat "VBAK" ~name:"vbak_pk" ~kind:Storage.Index.Hash
+    ~attrs:[ "VBELN" ];
+  Storage.Catalog.create_index t.cat "VBAP" ~name:"vbap_vbeln"
+    ~kind:Storage.Index.Rbtree ~attrs:[ "VBELN" ]
+
+let query t name =
+  List.find (fun q -> String.equal q.Workload.name name) t.queries
+
+let adrc_queries t = [ query t "Q1"; query t "Q3" ]

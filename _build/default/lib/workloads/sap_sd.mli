@@ -1,0 +1,28 @@
+(** The SAP Sales & Distribution benchmark (Section VI-B).
+
+    The paper implemented the benchmark "using the reported queries on
+    publicly available schema information", filled with random data
+    observing uniqueness constraints.  We do the same: six SD tables (ADRC,
+    KNA1, VBAK, VBAP, VBEP, MARA) with their characteristic attributes, a
+    seeded generator, and the twelve query shapes the evaluation reports —
+    including the documented Q1/Q3 (ADRC scans, Table IV), the modifying Q6
+    (insert into VBAP), and the identity-selects Q7/Q8 used in the index
+    experiment (Fig. 10). *)
+
+type t = { cat : Storage.Catalog.t; queries : Workload.query list }
+
+val build : ?hier:Memsim.Hierarchy.t -> ?scale:float -> unit -> t
+(** [scale] multiplies all table cardinalities (default 1.0 ≈ 240k tuples
+    total). *)
+
+val tables : string list
+
+val create_indexes : t -> unit
+(** Hash indexes on the primary keys of VBAK and VBAP plus the RB-tree on
+    VBAP(VBELN) — the configuration of Fig. 10. *)
+
+val query : t -> string -> Workload.query
+(** Look up a query by name ("Q1" .. "Q12"). @raise Not_found otherwise. *)
+
+val adrc_queries : t -> Workload.query list
+(** Q1 and Q3 — the queries driving the ADRC decomposition of Table IV. *)

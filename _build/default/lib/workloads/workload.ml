@@ -1,0 +1,14 @@
+type query = {
+  name : string;
+  description : string;
+  freq : float;
+  sql : string;
+  make_plan : use_indexes:bool -> Relalg.Physical.t;
+  params : Storage.Value.t array;
+  modifies : bool;
+}
+
+let plans ?(use_indexes = false) queries =
+  List.map (fun q -> (q.make_plan ~use_indexes, q.freq)) queries
+
+let read_only queries = List.filter (fun q -> not q.modifies) queries

@@ -1,0 +1,18 @@
+(** Common shape of a benchmark workload. *)
+
+type query = {
+  name : string;
+  description : string;
+  freq : float;  (** relative execution frequency in the mix *)
+  sql : string;  (** the query text (documentation; plans are prebuilt) *)
+  make_plan : use_indexes:bool -> Relalg.Physical.t;
+      (** planned against the workload's catalog *)
+  params : Storage.Value.t array;
+  modifies : bool;
+}
+
+val plans :
+  ?use_indexes:bool -> query list -> (Relalg.Physical.t * float) list
+(** (plan, frequency) pairs for the optimizer / cost model. *)
+
+val read_only : query list -> query list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Engines List Memsim Printf Relalg Storage

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Engines Layoutopt List Memsim Relalg Storage Workloads

@@ -1,0 +1,1 @@
+test/test_c_emitter.ml: Alcotest Engines Helpers Memsim Relalg Storage String Workloads

@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Array Costmodel Engines Float Helpers List Memsim Printf QCheck QCheck_alcotest Relalg Storage String Workloads

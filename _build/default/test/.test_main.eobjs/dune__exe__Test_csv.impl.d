@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Engines Filename Helpers List Memsim Storage Sys

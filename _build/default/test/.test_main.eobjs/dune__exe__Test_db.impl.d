@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Core Engines Helpers List Memsim Printf Storage String

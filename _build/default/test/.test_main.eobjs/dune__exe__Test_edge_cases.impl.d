@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Costmodel Engines Float Fun Helpers List Memsim Printf Relalg Storage

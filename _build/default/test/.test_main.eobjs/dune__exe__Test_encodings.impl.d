@@ -1,0 +1,1 @@
+test/test_encodings.ml: Alcotest Array Costmodel Engines Helpers List Memsim Option Printf Relalg Storage

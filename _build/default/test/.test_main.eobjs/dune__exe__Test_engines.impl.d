@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Engines Fun Helpers List Memsim Mrdb_util Option Printf QCheck QCheck_alcotest Relalg Storage

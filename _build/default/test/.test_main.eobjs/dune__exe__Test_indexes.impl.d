@@ -1,0 +1,1 @@
+test/test_indexes.ml: Alcotest Array Fun Helpers List Memsim Mrdb_util Option Printf QCheck QCheck_alcotest Storage

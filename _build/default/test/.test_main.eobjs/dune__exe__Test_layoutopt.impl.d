@@ -1,0 +1,1 @@
+test/test_layoutopt.ml: Alcotest Costmodel Engines Fun Hashtbl Layoutopt List Memsim Mrdb_util QCheck QCheck_alcotest Storage Workloads

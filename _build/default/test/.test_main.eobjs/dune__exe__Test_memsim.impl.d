@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest List Memsim Mrdb_util

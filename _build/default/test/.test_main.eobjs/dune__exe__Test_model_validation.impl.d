@@ -1,0 +1,1 @@
+test/test_model_validation.ml: Alcotest Array Costmodel Float Hashtbl Memsim Mrdb_util Printf QCheck QCheck_alcotest

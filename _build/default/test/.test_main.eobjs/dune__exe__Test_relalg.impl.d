@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Format Helpers List Printf Relalg Storage

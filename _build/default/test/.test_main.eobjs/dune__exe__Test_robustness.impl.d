@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Costmodel Engines Fun Helpers Layoutopt List Memsim Mrdb_util Printf QCheck QCheck_alcotest Relalg Storage String

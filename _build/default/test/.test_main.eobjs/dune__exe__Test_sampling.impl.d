@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Float Format Helpers Memsim Option Printf Relalg Storage

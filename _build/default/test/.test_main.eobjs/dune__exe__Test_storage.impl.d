@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Fun Helpers List Memsim Mrdb_util Printf QCheck QCheck_alcotest Storage String

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Costmodel Engines Format Helpers List Memsim Printf Relalg Storage

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int64 Mrdb_util Printf QCheck QCheck_alcotest String

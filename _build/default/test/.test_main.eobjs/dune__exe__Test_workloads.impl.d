@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Engines Helpers List Memsim Printf Storage Workloads

@@ -1,0 +1,132 @@
+(* Tests for the adaptive (online) layout reorganizer. *)
+
+module V = Storage.Value
+module Adaptive = Layoutopt.Adaptive
+
+let point_plan cat n =
+  Relalg.Planner.plan
+    ~estimate:(fun _ -> Some (1.0 /. float_of_int n))
+    cat
+    (Relalg.Sql.parse cat "select * from R where A = $1")
+
+let test_no_reorg_before_check_interval () =
+  let hier = Memsim.Hierarchy.create () in
+  let n = 20_000 in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  let m = Adaptive.create ~check_every:50 cat in
+  let scan = Workloads.Microbench.plan cat ~sel:0.01 in
+  for _ = 1 to 49 do
+    Alcotest.(check int) "silent before interval" 0
+      (List.length (Adaptive.record m scan))
+  done;
+  Alcotest.(check int) "observed counter" 49 (Adaptive.observed m)
+
+let test_reorganizes_scan_workload () =
+  let hier = Memsim.Hierarchy.create () in
+  let n = 50_000 in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  let m =
+    Adaptive.create ~window:64 ~check_every:16 ~min_benefit:0.01 ~horizon:50.0
+      cat
+  in
+  let scan = Workloads.Microbench.plan cat ~sel:0.01 in
+  let events = ref [] in
+  for _ = 1 to 64 do
+    events := !events @ Adaptive.record m scan
+  done;
+  Alcotest.(check bool) "reorganized at least once" true (!events <> []);
+  let rel = Storage.Catalog.find cat "R" in
+  Alcotest.(check bool) "no longer a pure row store" false
+    (Storage.Layout.is_row (Storage.Relation.layout rel));
+  (* data survives and queries still answer *)
+  let r =
+    Engines.Engine.run Engines.Engine.Jit cat
+      (Workloads.Microbench.plan cat ~sel:0.01)
+      ~params:(Workloads.Microbench.params ~sel:0.01)
+  in
+  Alcotest.(check int) "aggregate row present" 1
+    (List.length r.Engines.Runtime.rows)
+
+let test_stable_when_layout_already_good () =
+  let hier = Memsim.Hierarchy.create () in
+  let n = 50_000 in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  (* start from the layout the optimizer would pick *)
+  Storage.Catalog.set_layout cat "R" Workloads.Microbench.pdsm_layout;
+  let m =
+    Adaptive.create ~window:64 ~check_every:16 ~min_benefit:0.01 cat
+  in
+  let scan = Workloads.Microbench.plan cat ~sel:0.01 in
+  let events = ref [] in
+  for _ = 1 to 64 do
+    events := !events @ Adaptive.record m scan
+  done;
+  (* it may refine once, but must not thrash *)
+  Alcotest.(check bool) "at most one adjustment" true (List.length !events <= 1);
+  let after = List.length (Adaptive.reorganizations m) in
+  for _ = 1 to 64 do
+    events := !events @ Adaptive.record m scan
+  done;
+  Alcotest.(check int) "no further churn" after
+    (List.length (Adaptive.reorganizations m))
+
+let test_copy_cost_blocks_tiny_benefit () =
+  let hier = Memsim.Hierarchy.create () in
+  let n = 50_000 in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  (* horizon so short that a reorganization can never pay off *)
+  let m =
+    Adaptive.create ~window:64 ~check_every:16 ~min_benefit:0.01 ~horizon:0.001
+      cat
+  in
+  let scan = Workloads.Microbench.plan cat ~sel:0.01 in
+  for _ = 1 to 64 do
+    ignore (Adaptive.record m scan)
+  done;
+  Alcotest.(check int) "copy cost dominates: no reorganization" 0
+    (List.length (Adaptive.reorganizations m));
+  let rel = Storage.Catalog.find cat "R" in
+  Alcotest.(check bool) "layout untouched" true
+    (Storage.Layout.is_row (Storage.Relation.layout rel))
+
+let test_copy_cost_positive_and_scales () =
+  let hier = Memsim.Hierarchy.create () in
+  let small = Workloads.Microbench.build ~hier ~n:1_000 () in
+  let big = Workloads.Microbench.build ~hier:(Memsim.Hierarchy.create ()) ~n:10_000 () in
+  let c_small = Adaptive.copy_cost small "R" in
+  let c_big = Adaptive.copy_cost big "R" in
+  Alcotest.(check bool) "positive" true (c_small > 0.0);
+  Alcotest.(check bool) "scales with rows" true (c_big > 5.0 *. c_small)
+
+let test_mixed_workload_keeps_useful_row_store () =
+  let hier = Memsim.Hierarchy.create () in
+  let n = 50_000 in
+  let cat = Workloads.Microbench.build ~hier ~n () in
+  let m =
+    Adaptive.create ~window:64 ~check_every:64 ~min_benefit:0.01 ~horizon:20.0
+      cat
+  in
+  let point = point_plan cat n in
+  (* a purely point-lookup workload on an already point-friendly layout *)
+  for _ = 1 to 64 do
+    ignore (Adaptive.record m point)
+  done;
+  let rel = Storage.Catalog.find cat "R" in
+  (* point lookups read the whole tuple: decomposition cannot pay off *)
+  Alcotest.(check bool) "row store kept for point lookups" true
+    (Storage.Layout.n_partitions (Storage.Relation.layout rel) <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "silent before interval" `Quick
+      test_no_reorg_before_check_interval;
+    Alcotest.test_case "reorganizes scan workload" `Quick
+      test_reorganizes_scan_workload;
+    Alcotest.test_case "stable when already good" `Quick
+      test_stable_when_layout_already_good;
+    Alcotest.test_case "copy cost blocks tiny benefit" `Quick
+      test_copy_cost_blocks_tiny_benefit;
+    Alcotest.test_case "copy cost scaling" `Quick test_copy_cost_positive_and_scales;
+    Alcotest.test_case "row store kept for point lookups" `Quick
+      test_mixed_workload_keeps_useful_row_store;
+  ]

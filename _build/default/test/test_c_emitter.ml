@@ -1,0 +1,66 @@
+(* Tests for the Fig. 2c C-code renderer. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_example_query_code () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n:100 () in
+  Storage.Catalog.set_layout cat "R" Workloads.Microbench.pdsm_layout;
+  let code = Engines.C_emitter.emit cat (Workloads.Microbench.plan cat ~sel:0.01) in
+  (* the structure of the paper's Fig. 2c *)
+  Alcotest.(check bool) "struct per relation" true (contains code "struct R_t");
+  Alcotest.(check bool) "A is its own array" true (contains code "int64_t A[N_R]");
+  Alcotest.(check bool) "B..E share a partition struct" true
+    (contains code "} p1[N_R]");
+  Alcotest.(check bool) "single fused loop" true
+    (contains code "for (int64_t tid");
+  Alcotest.(check bool) "predicate inlined" true (contains code "R->A[");
+  Alcotest.(check bool) "register accumulators" true (contains code "sum_B +=");
+  Alcotest.(check bool) "no accumulator in a hash table" false
+    (contains code "aggtable")
+
+let test_group_by_code () =
+  let cat = Helpers.small_catalog ~n:10 () in
+  let plan =
+    Relalg.Planner.plan cat
+      (Relalg.Sql.parse cat "select grp, count(*) c from t group by grp")
+  in
+  let code = Engines.C_emitter.emit cat plan in
+  Alcotest.(check bool) "hash aggregation" true (contains code "aggtable");
+  Alcotest.(check bool) "update call" true (contains code ".update(")
+
+let test_join_code () =
+  let cat = Helpers.join_catalog ~n_orders:10 ~n_customers:5 () in
+  let plan =
+    Relalg.Planner.plan cat
+      (Relalg.Sql.parse cat
+         "select region, total from cust join ord on cid = ocid")
+  in
+  let code = Engines.C_emitter.emit cat plan in
+  Alcotest.(check bool) "hash table declared" true (contains code "hashtable");
+  Alcotest.(check bool) "build inserts" true (contains code ".insert(");
+  Alcotest.(check bool) "probe loops" true (contains code ".lookup(");
+  Alcotest.(check bool) "both structs emitted" true
+    (contains code "struct cust_t" && contains code "struct ord_t")
+
+let test_index_scan_code () =
+  let cat = Helpers.small_catalog ~n:10 () in
+  Storage.Catalog.create_index cat "t" ~name:"pk" ~kind:Storage.Index.Hash
+    ~attrs:[ "id" ];
+  let plan =
+    Relalg.Planner.plan cat (Relalg.Sql.parse cat "select * from t where id = $1")
+  in
+  let code = Engines.C_emitter.emit cat plan in
+  Alcotest.(check bool) "index lookup loop" true
+    (contains code "t_index_lookup")
+
+let suite =
+  [
+    Alcotest.test_case "example query (Fig 2c)" `Quick test_example_query_code;
+    Alcotest.test_case "group by" `Quick test_group_by_code;
+    Alcotest.test_case "hash join" `Quick test_join_code;
+    Alcotest.test_case "index scan" `Quick test_index_scan_code;
+  ]

@@ -1,0 +1,124 @@
+(* Tests for the high-level Core.Db API. *)
+
+module V = Storage.Value
+module Db = Core.Db
+
+let make_db () =
+  let db = Db.create () in
+  Db.create_table db "emp"
+    [ ("eid", V.Int); ("dept", V.Varchar 8); ("salary", V.Int) ]
+    ();
+  List.iteri
+    (fun i dept ->
+      Db.insert db "emp" [| V.VInt i; V.VStr dept; V.VInt ((i * 7 mod 5) * 1000) |])
+    [ "eng"; "eng"; "sales"; "eng"; "hr"; "sales"; "hr"; "eng" ];
+  db
+
+let test_exec_select () =
+  let db = make_db () in
+  let r = Db.exec db "select eid from emp where dept = 'hr' order by eid" in
+  Helpers.check_rows "hr employees"
+    [ [| V.VInt 4 |]; [| V.VInt 6 |] ]
+    r.Engines.Runtime.rows
+
+let test_exec_group () =
+  let db = make_db () in
+  let r =
+    Db.exec db "select dept, count(*) c from emp group by dept order by dept"
+  in
+  Helpers.check_rows "dept counts"
+    [
+      [| V.VStr "eng"; V.VInt 4 |];
+      [| V.VStr "hr"; V.VInt 2 |];
+      [| V.VStr "sales"; V.VInt 2 |];
+    ]
+    r.Engines.Runtime.rows
+
+let test_exec_params_and_engines () =
+  let db = make_db () in
+  List.iter
+    (fun engine ->
+      let r =
+        Db.exec ~engine ~params:[| V.VInt 2000 |] db
+          "select count(*) c from emp where salary >= $1"
+      in
+      Helpers.check_rows
+        (Printf.sprintf "count on %s" (Engines.Engine.name engine))
+        [ [| V.VInt 5 |] ]
+        r.Engines.Runtime.rows)
+    Engines.Engine.all
+
+let test_exec_measured () =
+  let db = make_db () in
+  let _, st = Db.exec_measured db "select sum(salary) s from emp" in
+  Alcotest.(check bool) "cycles accounted" true (Memsim.Stats.total_cycles st > 0)
+
+let test_unsimulated_db () =
+  let db = Db.create ~simulate:false () in
+  Db.create_table db "x" [ ("a", V.Int) ] ();
+  Db.insert db "x" [| V.VInt 1 |];
+  let r, st = Db.exec_measured db "select a from x" in
+  Alcotest.(check int) "row returned" 1 (List.length r.Engines.Runtime.rows);
+  Alcotest.(check int) "no cycles without simulator" 0
+    (Memsim.Stats.total_cycles st)
+
+let test_set_layout_roundtrip () =
+  let db = make_db () in
+  Db.set_layout db "emp" [ [ "dept" ]; [ "eid"; "salary" ] ];
+  Alcotest.(check (list (list string))) "layout applied"
+    [ [ "dept" ]; [ "eid"; "salary" ] ]
+    (Db.layout_of db "emp");
+  let r = Db.exec db "select eid from emp where dept = 'hr' order by eid" in
+  Helpers.check_rows "data survives relayout"
+    [ [| V.VInt 4 |]; [| V.VInt 6 |] ]
+    r.Engines.Runtime.rows
+
+let test_optimize_layout () =
+  let db = Db.create () in
+  Db.create_table db "wide"
+    (List.init 12 (fun i -> (Printf.sprintf "c%02d" i, V.Int)))
+    ();
+  for row = 0 to 999 do
+    Db.insert db "wide" (Array.init 12 (fun i -> V.VInt (row * i)))
+  done;
+  let layouts =
+    Db.optimize_layout db
+      [
+        ("select c00 from wide where c01 < $1", 10.0);
+        ("select sum(c02) s from wide", 1.0);
+      ]
+  in
+  match List.assoc_opt "wide" layouts with
+  | Some groups ->
+      Alcotest.(check bool) "decomposed into >1 partition" true
+        (List.length groups > 1)
+  | None -> Alcotest.fail "no layout for wide"
+
+let test_explain () =
+  let db = make_db () in
+  let s = Db.explain db "select eid from emp where dept = $1" in
+  Alcotest.(check bool) "explain non-empty" true (String.length s > 50)
+
+let test_create_table_with_layout () =
+  let db = Db.create () in
+  Db.create_table db "p"
+    [ ("a", V.Int); ("b", V.Int); ("c", V.Int) ]
+    ~layout:[ [ "a"; "c" ]; [ "b" ] ]
+    ();
+  let rel = Storage.Catalog.find (Db.catalog db) "p" in
+  Alcotest.(check int) "two partitions" 2
+    (Storage.Layout.n_partitions (Storage.Relation.layout rel))
+
+let suite =
+  [
+    Alcotest.test_case "exec select" `Quick test_exec_select;
+    Alcotest.test_case "exec group by" `Quick test_exec_group;
+    Alcotest.test_case "exec params x engines" `Quick test_exec_params_and_engines;
+    Alcotest.test_case "exec measured" `Quick test_exec_measured;
+    Alcotest.test_case "unsimulated db" `Quick test_unsimulated_db;
+    Alcotest.test_case "set layout" `Quick test_set_layout_roundtrip;
+    Alcotest.test_case "optimize layout" `Quick test_optimize_layout;
+    Alcotest.test_case "explain" `Quick test_explain;
+    Alcotest.test_case "create table with layout" `Quick
+      test_create_table_with_layout;
+  ]

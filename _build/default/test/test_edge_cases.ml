@@ -1,0 +1,351 @@
+(* Edge-case battery across the stack: empty inputs, NULL semantics in
+   joins/groups, degenerate LIMIT/ORDER BY, Table II emission for joins and
+   sorts, vectorized fallbacks, and simulator corner cases. *)
+
+module V = Storage.Value
+module Engine = Engines.Engine
+
+let engines = Engine.all
+
+let per_engine name f =
+  List.map
+    (fun e ->
+      Alcotest.test_case
+        (Printf.sprintf "%s [%s]" name (Engine.name e))
+        `Quick (f e))
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Empty inputs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_table engine () =
+  let cat = Helpers.small_catalog ~n:0 () in
+  let r = Helpers.run_sql ~engine cat "select * from t" in
+  Alcotest.(check int) "no rows" 0 (List.length r.Engines.Runtime.rows);
+  let r = Helpers.run_sql ~engine cat "select count(*) c from t" in
+  Helpers.check_rows "count of empty" [ [| V.VInt 0 |] ] r.Engines.Runtime.rows;
+  let r =
+    Helpers.run_sql ~engine cat "select grp, count(*) c from t group by grp"
+  in
+  Alcotest.(check int) "no groups" 0 (List.length r.Engines.Runtime.rows)
+
+let test_join_empty_build engine () =
+  let cat = Helpers.join_catalog ~n_orders:20 ~n_customers:5 () in
+  (* a predicate matching no customers empties the build side *)
+  let r =
+    Helpers.run_sql ~engine cat
+      "select oid from cust join ord on cid = ocid where region = 'nope'"
+  in
+  Alcotest.(check int) "empty join" 0 (List.length r.Engines.Runtime.rows)
+
+let test_join_empty_probe engine () =
+  let cat = Helpers.join_catalog ~n_orders:20 ~n_customers:5 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select region from cust join ord on cid = ocid where total = -1"
+  in
+  Alcotest.(check int) "empty probe side" 0 (List.length r.Engines.Runtime.rows)
+
+let test_limit_zero engine () =
+  let cat = Helpers.small_catalog ~n:10 () in
+  let r = Helpers.run_sql ~engine cat "select id from t limit 0" in
+  Alcotest.(check int) "limit 0" 0 (List.length r.Engines.Runtime.rows)
+
+let test_limit_beyond_rows engine () =
+  let cat = Helpers.small_catalog ~n:3 () in
+  let r = Helpers.run_sql ~engine cat "select id from t order by id limit 100" in
+  Alcotest.(check int) "limit larger than table" 3
+    (List.length r.Engines.Runtime.rows)
+
+(* ------------------------------------------------------------------ *)
+(* NULL semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let nullable_catalog () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Storage.Catalog.create ~hier () in
+  let schema =
+    Storage.Schema.make_nullable "nt"
+      [ ("k", V.Int, false); ("v", V.Int, true); ("g", V.Varchar 4, true) ]
+  in
+  let rel = Storage.Catalog.add cat schema (Storage.Layout.row schema) in
+  List.iteri
+    (fun i (v, g) ->
+      ignore (Storage.Relation.append rel [| V.VInt i; v; g |]))
+    [
+      (V.VInt 10, V.VStr "a");
+      (V.Null, V.VStr "a");
+      (V.VInt 30, V.Null);
+      (V.Null, V.Null);
+      (V.VInt 50, V.VStr "b");
+    ];
+  cat
+
+let test_null_aggregates engine () =
+  let cat = nullable_catalog () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select count(*) cs, count(v) cv, sum(v) s, avg(v) a from nt"
+  in
+  Helpers.check_rows "null-aware aggregates"
+    [ [| V.VInt 5; V.VInt 3; V.VInt 90; V.VFloat 30.0 |] ]
+    r.Engines.Runtime.rows
+
+let test_null_group_key engine () =
+  let cat = nullable_catalog () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select g, count(*) c from nt group by g order by c desc, g"
+  in
+  (* NULL forms its own group, like SQL GROUP BY *)
+  Alcotest.(check int) "three groups" 3 (List.length r.Engines.Runtime.rows);
+  let counts =
+    List.map (fun row -> V.to_int row.(1)) r.Engines.Runtime.rows
+  in
+  Alcotest.(check (list int)) "group sizes" [ 2; 2; 1 ] counts
+
+let test_null_comparison_filters engine () =
+  let cat = nullable_catalog () in
+  let r = Helpers.run_sql ~engine cat "select k from nt where v > 0" in
+  (* NULL > 0 is not true *)
+  Alcotest.(check int) "nulls filtered" 3 (List.length r.Engines.Runtime.rows);
+  let r = Helpers.run_sql ~engine cat "select k from nt where v is null" in
+  Alcotest.(check int) "is null" 2 (List.length r.Engines.Runtime.rows);
+  let r = Helpers.run_sql ~engine cat "select k from nt where v is not null" in
+  Alcotest.(check int) "is not null" 3 (List.length r.Engines.Runtime.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Sorting and expressions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_multi_key_sort engine () =
+  let cat = Helpers.small_catalog ~n:21 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select grp, id from t order by grp asc, id desc limit 5"
+  in
+  Helpers.check_rows "grp asc, id desc"
+    [
+      [| V.VInt 0; V.VInt 14 |];
+      [| V.VInt 0; V.VInt 7 |];
+      [| V.VInt 0; V.VInt 0 |];
+      [| V.VInt 1; V.VInt 15 |];
+      [| V.VInt 1; V.VInt 8 |];
+    ]
+    r.Engines.Runtime.rows
+
+let test_sort_stability_ties engine () =
+  let cat = Helpers.small_catalog ~n:14 () in
+  (* all rows in grp order; ties on grp keep a deterministic order because
+     every engine sorts the same materialized rows stably *)
+  let r = Helpers.run_sql ~engine cat "select grp, id from t order by grp" in
+  Alcotest.(check int) "all rows" 14 (List.length r.Engines.Runtime.rows);
+  let grps = List.map (fun row -> V.to_int row.(0)) r.Engines.Runtime.rows in
+  Alcotest.(check (list int)) "sorted keys" (List.sort compare grps) grps
+
+let test_arithmetic_tower engine () =
+  let cat = Helpers.small_catalog ~n:5 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select ((id + 1) * 3 - 2) % 7 x, id / 2 h from t order by id"
+  in
+  let expected =
+    List.init 5 (fun id ->
+        [| V.VInt ((((id + 1) * 3) - 2) mod 7); V.VInt (id / 2) |])
+  in
+  Helpers.check_rows "nested arithmetic" expected r.Engines.Runtime.rows
+
+let test_or_predicate engine () =
+  let cat = Helpers.small_catalog ~n:50 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select count(*) c from t where grp = 0 or grp = 6"
+  in
+  let expected =
+    List.length
+      (List.filter (fun i -> i mod 7 = 0 || i mod 7 = 6) (List.init 50 Fun.id))
+  in
+  Helpers.check_rows "disjunction" [ [| V.VInt expected |] ] r.Engines.Runtime.rows
+
+let test_not_predicate engine () =
+  let cat = Helpers.small_catalog ~n:50 () in
+  let r =
+    Helpers.run_sql ~engine cat "select count(*) c from t where not grp = 0"
+  in
+  let expected =
+    List.length (List.filter (fun i -> i mod 7 <> 0) (List.init 50 Fun.id))
+  in
+  Helpers.check_rows "negation" [ [| V.VInt expected |] ] r.Engines.Runtime.rows
+
+let test_group_by_string_key engine () =
+  let cat = Helpers.small_catalog ~n:100 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select name, count(*) c from t where id < 50 group by name order by \
+       name limit 3"
+  in
+  Helpers.check_rows "string group keys"
+    [
+      [| V.VStr "name000"; V.VInt 1 |];
+      [| V.VStr "name001"; V.VInt 1 |];
+      [| V.VStr "name002"; V.VInt 1 |];
+    ]
+    r.Engines.Runtime.rows
+
+(* ------------------------------------------------------------------ *)
+(* Table II emission coverage                                          *)
+(* ------------------------------------------------------------------ *)
+
+let atoms_of cat sql =
+  let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+  let pattern, _ = Costmodel.Emit.emit cat plan in
+  Costmodel.Pattern.atoms pattern
+
+let test_emit_join_pattern () =
+  let cat = Helpers.join_catalog ~n_orders:300 ~n_customers:40 () in
+  let atoms =
+    atoms_of cat "select region, total from cust join ord on cid = ocid"
+  in
+  (* hash build: r_trav of the hashtable; probe: rr_acc with r = probe card *)
+  Alcotest.(check bool) "build r_trav present" true
+    (List.exists
+       (function Costmodel.Pattern.R_trav _ -> true | _ -> false)
+       atoms);
+  Alcotest.(check bool) "probe rr_acc with probe cardinality" true
+    (List.exists
+       (function
+         | Costmodel.Pattern.Rr_acc { r = 300; _ } -> true
+         | _ -> false)
+       atoms)
+
+let test_emit_sort_pattern () =
+  let cat = Helpers.small_catalog ~n:1000 () in
+  let atoms = atoms_of cat "select id from t order by id" in
+  (* sort: sequential write of the run plus n log n repetitive accesses *)
+  Alcotest.(check bool) "run materialization" true
+    (List.exists
+       (function Costmodel.Pattern.S_trav { n = 1000; _ } -> true | _ -> false)
+       atoms);
+  Alcotest.(check bool) "n log n accesses" true
+    (List.exists
+       (function
+         | Costmodel.Pattern.Rr_acc { n = 1000; r; _ } -> r >= 1000 * 9
+         | _ -> false)
+       atoms)
+
+let test_emit_groupby_pattern () =
+  let cat = Helpers.small_catalog ~n:1000 () in
+  let plan =
+    Relalg.Planner.plan ~n_groups:7.0 cat
+      (Relalg.Sql.parse cat "select grp, count(*) c from t group by grp")
+  in
+  let pattern, _ = Costmodel.Emit.emit cat plan in
+  Alcotest.(check bool) "aggregation table rr_acc over groups" true
+    (List.exists
+       (function
+         | Costmodel.Pattern.Rr_acc { n = 7; r = 1000; _ } -> true
+         | _ -> false)
+       (Costmodel.Pattern.atoms pattern))
+
+let test_emit_cost_monotone_in_rows () =
+  let cost n =
+    let hier = Memsim.Hierarchy.create () in
+    let cat = Storage.Catalog.create ~hier () in
+    let rel =
+      Storage.Catalog.add cat Helpers.small_schema
+        (Storage.Layout.row Helpers.small_schema)
+    in
+    Helpers.fill_small rel n;
+    let plan =
+      Relalg.Planner.plan cat (Relalg.Sql.parse cat "select sum(amount) s from t")
+    in
+    Costmodel.Model.query_cost cat plan
+  in
+  Alcotest.(check bool) "cost grows with table size" true
+    (cost 100 < cost 1000 && cost 1000 < cost 10000)
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized engine specifics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_vectorized_crosses_vector_boundary () =
+  (* n not a multiple of the vector size, predicate straddling chunks *)
+  let n = (2 * Engines.Vectorized.vector_size) + 37 in
+  let cat = Helpers.small_catalog ~n () in
+  let r =
+    Helpers.run_sql ~engine:Engine.Vectorized cat
+      "select count(*) c from t where grp = 3"
+  in
+  let expected =
+    List.length (List.filter (fun i -> i mod 7 = 3) (List.init n Fun.id))
+  in
+  Helpers.check_rows "partial last vector" [ [| V.VInt expected |] ]
+    r.Engines.Runtime.rows
+
+let test_vectorized_join_fallback () =
+  (* joins fall back to the bulk engine but must still be correct *)
+  let cat = Helpers.join_catalog ~n_orders:60 ~n_customers:10 () in
+  let sql =
+    "select region, count(*) c from cust join ord on cid = ocid group by \
+     region order by region"
+  in
+  Helpers.check_rows "fallback agrees with jit"
+    (Helpers.sorted_rows (Helpers.run_sql ~engine:Engine.Jit cat sql))
+    (Helpers.sorted_rows (Helpers.run_sql ~engine:Engine.Vectorized cat sql))
+
+(* ------------------------------------------------------------------ *)
+(* Simulator corner cases                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_access_spanning_lines () =
+  let h = Memsim.Hierarchy.create () in
+  (* a 16-byte access at offset 60 crosses a 64-byte line boundary *)
+  Memsim.Hierarchy.read h ~addr:60 ~width:16;
+  let s = Memsim.Hierarchy.stats h in
+  Alcotest.(check bool) "multiple words touched" true (s.Memsim.Stats.accesses >= 2)
+
+let test_zero_width_region_patterns () =
+  (* the miss model must not blow up on degenerate atoms *)
+  let params = Memsim.Params.nehalem in
+  let m =
+    Costmodel.Miss_model.atom_misses params
+      (Costmodel.Pattern.S_trav { n = 1; w = 1; u = 1 })
+  in
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite m.Costmodel.Miss_model.m0);
+  let c =
+    Costmodel.Cost_function.cost params
+      (Costmodel.Pattern.rr_acc ~n:1 ~w:1 ~r:1 ())
+  in
+  Alcotest.(check bool) "positive finite cost" true (c > 0.0 && Float.is_finite c)
+
+let suite =
+  per_engine "empty table" test_empty_table
+  @ per_engine "join empty build" test_join_empty_build
+  @ per_engine "join empty probe" test_join_empty_probe
+  @ per_engine "limit 0" test_limit_zero
+  @ per_engine "limit beyond rows" test_limit_beyond_rows
+  @ per_engine "null aggregates" test_null_aggregates
+  @ per_engine "null group key" test_null_group_key
+  @ per_engine "null comparisons" test_null_comparison_filters
+  @ per_engine "multi-key sort" test_multi_key_sort
+  @ per_engine "sort determinism" test_sort_stability_ties
+  @ per_engine "arithmetic tower" test_arithmetic_tower
+  @ per_engine "or predicate" test_or_predicate
+  @ per_engine "not predicate" test_not_predicate
+  @ per_engine "string group keys" test_group_by_string_key
+  @ [
+      Alcotest.test_case "emit join (Table II)" `Quick test_emit_join_pattern;
+      Alcotest.test_case "emit sort (Table II)" `Quick test_emit_sort_pattern;
+      Alcotest.test_case "emit group-by (Table II)" `Quick
+        test_emit_groupby_pattern;
+      Alcotest.test_case "emit cost monotone" `Quick test_emit_cost_monotone_in_rows;
+      Alcotest.test_case "vectorized chunk boundary" `Quick
+        test_vectorized_crosses_vector_boundary;
+      Alcotest.test_case "vectorized join fallback" `Quick
+        test_vectorized_join_fallback;
+      Alcotest.test_case "line-spanning access" `Quick test_access_spanning_lines;
+      Alcotest.test_case "degenerate patterns" `Quick
+        test_zero_width_region_patterns;
+    ]

@@ -1,0 +1,364 @@
+(* Engine tests: each engine individually against golden results, all four
+   engines against each other (including property-based random queries), and
+   the cost-accounting invariants the paper's comparison rests on. *)
+
+module V = Storage.Value
+module Engine = Engines.Engine
+module Runtime = Engines.Runtime
+
+let engines = Engine.all
+
+let golden_filter_expected =
+  (* grp = 3 -> rows 3, 10, 17, ... *)
+  let rec go tid acc =
+    if tid >= 100 then List.rev acc
+    else if tid mod 7 = 3 then go (tid + 1) (V.VInt tid :: acc)
+    else go (tid + 1) acc
+  in
+  List.map (fun v -> [| v |]) (go 0 [])
+
+let test_filter_golden engine () =
+  let cat = Helpers.small_catalog ~n:100 () in
+  let r =
+    Helpers.run_sql ~engine ~params:[| V.VInt 3 |] cat
+      "select id from t where grp = $1"
+  in
+  Helpers.check_rows "filtered ids" golden_filter_expected
+    r.Runtime.rows
+
+let test_aggregate_golden engine () =
+  let cat = Helpers.small_catalog ~n:100 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select count(*) c, sum(amount) s, min(id) mn, max(id) mx from t"
+  in
+  let amount_sum =
+    List.fold_left (fun acc i -> acc + (i * 3 mod 101)) 0 (List.init 100 Fun.id)
+  in
+  Helpers.check_rows "global aggregate"
+    [ [| V.VInt 100; V.VInt amount_sum; V.VInt 0; V.VInt 99 |] ]
+    r.Runtime.rows
+
+let test_group_by_golden engine () =
+  let cat = Helpers.small_catalog ~n:70 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select grp, count(*) c from t group by grp order by grp"
+  in
+  Helpers.check_rows "balanced groups"
+    (List.init 7 (fun g -> [| V.VInt g; V.VInt 10 |]))
+    r.Runtime.rows
+
+let test_empty_aggregate engine () =
+  let cat = Helpers.small_catalog ~n:50 () in
+  let r =
+    Helpers.run_sql ~engine ~params:[| V.VInt (-1) |] cat
+      "select count(*) c, sum(amount) s from t where grp = $1"
+  in
+  Helpers.check_rows "count 0, sum null"
+    [ [| V.VInt 0; V.Null |] ]
+    r.Runtime.rows
+
+let test_join_golden engine () =
+  let cat = Helpers.join_catalog ~n_orders:60 ~n_customers:10 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select region, count(*) c from cust join ord on cid = ocid group by \
+       region order by region"
+  in
+  (* 10 customers in 4 regions: r0 x {0,4,8}, r1 x {1,5,9}, r2 x {2,6},
+     r3 x {3,7}; 60 orders round-robin over customers = 6 per customer *)
+  Helpers.check_rows "join group counts"
+    [
+      [| V.VStr "r0"; V.VInt 18 |];
+      [| V.VStr "r1"; V.VInt 18 |];
+      [| V.VStr "r2"; V.VInt 12 |];
+      [| V.VStr "r3"; V.VInt 12 |];
+    ]
+    r.Runtime.rows
+
+let test_sort_limit engine () =
+  let cat = Helpers.small_catalog ~n:30 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select id from t order by id desc limit 4"
+  in
+  Helpers.check_rows "top 4 desc"
+    [ [| V.VInt 29 |]; [| V.VInt 28 |]; [| V.VInt 27 |]; [| V.VInt 26 |] ]
+    r.Runtime.rows
+
+let test_insert engine () =
+  let cat = Helpers.small_catalog ~n:5 () in
+  ignore
+    (Helpers.run_sql ~engine cat
+       "insert into t values (100, 1, 2, 'inserted', 0.5)");
+  let rel = Storage.Catalog.find cat "t" in
+  Alcotest.(check int) "row appended" 6 (Storage.Relation.nrows rel);
+  Alcotest.(check Helpers.value_testable) "value stored" (V.VStr "inserted")
+    (Storage.Relation.get rel 5 3)
+
+let test_projection_expressions engine () =
+  let cat = Helpers.small_catalog ~n:10 () in
+  let r =
+    Helpers.run_sql ~engine cat "select id + 1 inc, id * 2 dbl from t where id < 3"
+  in
+  Helpers.check_rows "computed columns"
+    [
+      [| V.VInt 1; V.VInt 0 |];
+      [| V.VInt 2; V.VInt 2 |];
+      [| V.VInt 3; V.VInt 4 |];
+    ]
+    r.Runtime.rows
+
+let test_like_predicate engine () =
+  let cat = Helpers.small_catalog ~n:60 () in
+  let r =
+    Helpers.run_sql ~engine ~params:[| V.VStr "name00_" |] cat
+      "select count(*) c from t where name like $1"
+  in
+  (* names cycle over name000..name049; name00_ matches name000..name009,
+     60 rows cover name000..name049 once and name000..name009 again *)
+  Helpers.check_rows "like matches" [ [| V.VInt 20 |] ] r.Runtime.rows
+
+let per_engine name f =
+  List.map
+    (fun e ->
+      Alcotest.test_case
+        (Printf.sprintf "%s [%s]" name (Engine.name e))
+        `Quick (f e))
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Cross-engine equivalence                                            *)
+(* ------------------------------------------------------------------ *)
+
+let queries_for_equivalence =
+  [
+    ("select * from t", [||]);
+    ("select id, score from t where amount >= $1", [| V.VInt 50 |]);
+    ("select grp, sum(amount) s, avg(score) a from t group by grp", [||]);
+    ("select count(*) c from t where name like 'name01%'", [||]);
+    ( "select grp, count(*) c from t where id < $1 group by grp order by c \
+       desc, grp",
+      [| V.VInt 77 |] );
+    ("select id from t where grp = 2 and amount < 40 order by id", [||]);
+    ("select id % 5 bucket, count(*) c from t group by bucket order by bucket", [||]);
+  ]
+
+let test_engines_agree () =
+  List.iter
+    (fun layout ->
+      let cat = Helpers.small_catalog ~n:200 ?layout () in
+      List.iter
+        (fun (sql, params) ->
+          let reference =
+            Helpers.sorted_rows
+              (Helpers.run_sql ~engine:Engine.Jit ~params cat sql)
+          in
+          List.iter
+            (fun engine ->
+              let got =
+                Helpers.sorted_rows (Helpers.run_sql ~engine ~params cat sql)
+              in
+              Helpers.check_rows
+                (Printf.sprintf "%s on %s" (Engine.name engine) sql)
+                reference got)
+            engines)
+        queries_for_equivalence)
+    [
+      None;
+      Some [ [ "id" ]; [ "grp" ]; [ "amount" ]; [ "name" ]; [ "score" ] ];
+      Some [ [ "id"; "amount" ]; [ "grp"; "name"; "score" ] ];
+    ]
+
+(* random single-table select/aggregate queries over random data *)
+let qcheck_engines_agree =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* n = int_range 1 150 in
+      let* threshold = int_bound 120 in
+      let* use_group = bool in
+      let* op = oneofl [ "<"; "<="; ">"; ">="; "="; "<>" ] in
+      return (seed, n, threshold, use_group, op))
+  in
+  QCheck.Test.make ~count:60 ~name:"all engines agree on random queries"
+    (QCheck.make gen)
+    (fun (seed, n, threshold, use_group, op) ->
+      let hier = Memsim.Hierarchy.create () in
+      let cat = Storage.Catalog.create ~hier () in
+      let schema =
+        Storage.Schema.make "r" [ ("a", V.Int); ("b", V.Int); ("c", V.Int) ]
+      in
+      let rng = Mrdb_util.Rng.create seed in
+      let layout =
+        match Mrdb_util.Rng.int rng 3 with
+        | 0 -> Storage.Layout.row schema
+        | 1 -> Storage.Layout.column schema
+        | _ -> Storage.Layout.of_names schema [ [ "a"; "c" ]; [ "b" ] ]
+      in
+      let rel = Storage.Catalog.add cat schema layout in
+      Storage.Relation.load rel ~n (fun ~row ->
+          ignore row;
+          Array.init 3 (fun _ -> V.VInt (Mrdb_util.Rng.int rng 100)));
+      let sql =
+        if use_group then
+          Printf.sprintf
+            "select b %% 7 k, count(*) c, sum(c) s from r where a %s %d \
+             group by k order by k"
+            op threshold
+        else
+          Printf.sprintf "select a, b from r where a %s %d order by a, b" op
+            threshold
+      in
+      let results =
+        List.map
+          (fun e -> Helpers.sorted_rows (Helpers.run_sql ~engine:e cat sql))
+          engines
+      in
+      match results with
+      | ref :: rest -> List.for_all (fun r -> r = ref) rest
+      | [] -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting invariants                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_efficiency_ordering () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  let sql = "select sum(amount) s from t where grp = $1" in
+  let cost engine =
+    let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+    let _, st = Engine.run_measured engine cat plan ~params:[| V.VInt 1 |] in
+    Memsim.Stats.total_cycles st
+  in
+  let jit = cost Engine.Jit
+  and bulk = cost Engine.Bulk
+  and volcano = cost Engine.Volcano
+  and hyrise = cost Engine.Hyrise in
+  Alcotest.(check bool) "jit <= bulk" true (jit <= bulk);
+  Alcotest.(check bool) "bulk << volcano" true (3 * bulk < volcano);
+  Alcotest.(check bool) "jit << hyrise" true (3 * jit < hyrise)
+
+let test_jit_reads_only_needed_columns () =
+  (* with a pure column layout, an aggregate touching 1 of 5 columns must
+     read less relation data than one touching all of them; the aggregation
+     machinery is identical in both queries *)
+  let cat =
+    Helpers.small_catalog ~n:2000
+      ~layout:[ [ "id" ]; [ "grp" ]; [ "amount" ]; [ "name" ]; [ "score" ] ]
+      ()
+  in
+  let hier = Option.get (Storage.Catalog.hier cat) in
+  let reads sql =
+    Memsim.Hierarchy.reset hier;
+    ignore (Helpers.run_sql ~engine:Engine.Jit cat sql);
+    (Memsim.Hierarchy.stats hier).Memsim.Stats.reads
+  in
+  let narrow = reads "select sum(amount) s from t" in
+  let wide =
+    reads
+      "select sum(amount) s, sum(id) a, sum(grp) b, sum(score) c, count(name)        d from t"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "narrow reads less (%d vs %d)" narrow wide)
+    true
+    (narrow * 3 < wide * 2)
+
+let test_selectivity_affects_conditional_reads () =
+  let cat =
+    Helpers.small_catalog ~n:5000 ~layout:[ [ "id" ]; [ "grp" ]; [ "amount" ]; [ "name" ]; [ "score" ] ] ()
+  in
+  let hier = Option.get (Storage.Catalog.hier cat) in
+  let accesses sel_param =
+    Memsim.Hierarchy.reset hier;
+    ignore
+      (Helpers.run_sql ~engine:Engine.Jit ~params:[| V.VInt sel_param |] cat
+         "select sum(amount) s from t where id < $1");
+    (Memsim.Hierarchy.stats hier).Memsim.Stats.accesses
+  in
+  let low = accesses 50 in
+  let high = accesses 5000 in
+  Alcotest.(check bool) "higher selectivity reads more" true
+    (low + 1000 < high)
+
+let test_volcano_reads_full_tuples () =
+  (* Volcano's generic scan must touch every attribute even when the query
+     needs one column *)
+  let cat = Helpers.small_catalog ~n:1000 () in
+  let hier = Option.get (Storage.Catalog.hier cat) in
+  let accesses engine =
+    Memsim.Hierarchy.reset hier;
+    ignore (Helpers.run_sql ~engine cat "select count(*) c from t where grp = 1");
+    (Memsim.Hierarchy.stats hier).Memsim.Stats.accesses
+  in
+  Alcotest.(check bool) "volcano touches far more memory" true
+    (accesses Engine.Volcano > 3 * accesses Engine.Jit)
+
+let test_bulk_materialization_traffic () =
+  (* bulk writes candidate vectors; its write count must exceed jit's *)
+  let cat = Helpers.small_catalog ~n:2000 () in
+  let hier = Option.get (Storage.Catalog.hier cat) in
+  let writes engine =
+    Memsim.Hierarchy.reset hier;
+    ignore
+      (Helpers.run_sql ~engine ~params:[| V.VInt 1000 |] cat
+         "select sum(amount) s from t where id < $1");
+    (Memsim.Hierarchy.stats hier).Memsim.Stats.writes
+  in
+  Alcotest.(check bool) "bulk writes intermediates" true
+    (writes Engine.Bulk > writes Engine.Jit + 500)
+
+let test_run_measured_cold_vs_warm () =
+  let cat = Helpers.small_catalog ~n:3000 () in
+  let plan =
+    Relalg.Planner.plan cat (Relalg.Sql.parse cat "select sum(amount) s from t")
+  in
+  let _, cold = Engine.run_measured ~cold:true Engine.Jit cat plan ~params:[||] in
+  let _, warm = Engine.run_measured ~cold:false Engine.Jit cat plan ~params:[||] in
+  Alcotest.(check bool) "warm run at most cold cost" true
+    (Memsim.Stats.total_cycles warm <= Memsim.Stats.total_cycles cold)
+
+let test_index_scan_vs_full_scan_cycles () =
+  let cat = Helpers.small_catalog ~n:5000 () in
+  Storage.Catalog.create_index cat "t" ~name:"pk" ~kind:Storage.Index.Hash
+    ~attrs:[ "id" ];
+  let logical = Relalg.Sql.parse cat "select * from t where id = $1" in
+  let cost ~use_indexes =
+    let plan = Relalg.Planner.plan ~use_indexes cat logical in
+    let _, st = Engine.run_measured Engine.Jit cat plan ~params:[| V.VInt 2500 |] in
+    Memsim.Stats.total_cycles st
+  in
+  let full = cost ~use_indexes:false and indexed = cost ~use_indexes:true in
+  Alcotest.(check bool) "index lookup orders faster" true
+    (100 * indexed < full)
+
+let suite =
+  per_engine "filter golden" test_filter_golden
+  @ per_engine "aggregate golden" test_aggregate_golden
+  @ per_engine "group by golden" test_group_by_golden
+  @ per_engine "empty aggregate" test_empty_aggregate
+  @ per_engine "join golden" test_join_golden
+  @ per_engine "sort+limit" test_sort_limit
+  @ per_engine "insert" test_insert
+  @ per_engine "projection exprs" test_projection_expressions
+  @ per_engine "like predicate" test_like_predicate
+  @ [
+      Alcotest.test_case "engines agree (fixed queries x layouts)" `Quick
+        test_engines_agree;
+      QCheck_alcotest.to_alcotest qcheck_engines_agree;
+      Alcotest.test_case "cpu efficiency ordering" `Quick
+        test_cpu_efficiency_ordering;
+      Alcotest.test_case "jit conditional column reads" `Quick
+        test_jit_reads_only_needed_columns;
+      Alcotest.test_case "selectivity drives traffic" `Quick
+        test_selectivity_affects_conditional_reads;
+      Alcotest.test_case "volcano full-tuple scans" `Quick
+        test_volcano_reads_full_tuples;
+      Alcotest.test_case "bulk materialization traffic" `Quick
+        test_bulk_materialization_traffic;
+      Alcotest.test_case "cold vs warm measurement" `Quick
+        test_run_measured_cold_vs_warm;
+      Alcotest.test_case "index vs scan cycles" `Quick
+        test_index_scan_vs_full_scan_cycles;
+    ]

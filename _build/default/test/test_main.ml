@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "mrdb"
+    [
+      ("util", Test_util.suite);
+      ("memsim", Test_memsim.suite);
+      ("storage", Test_storage.suite);
+      ("indexes", Test_indexes.suite);
+      ("encodings", Test_encodings.suite);
+      ("csv", Test_csv.suite);
+      ("relalg", Test_relalg.suite);
+      ("sampling", Test_sampling.suite);
+      ("engines", Test_engines.suite);
+      ("c_emitter", Test_c_emitter.suite);
+      ("update", Test_update.suite);
+      ("costmodel", Test_costmodel.suite);
+      ("model_validation", Test_model_validation.suite);
+      ("layoutopt", Test_layoutopt.suite);
+      ("adaptive", Test_adaptive.suite);
+      ("workloads", Test_workloads.suite);
+      ("edge_cases", Test_edge_cases.suite);
+      ("robustness", Test_robustness.suite);
+      ("db", Test_db.suite);
+    ]

@@ -1,0 +1,212 @@
+(* Tests for the memory-hierarchy simulator: cache behaviour, prefetcher,
+   cycle accounting, calibration staircase. *)
+
+module Cache = Memsim.Cache
+module Params = Memsim.Params
+module Hierarchy = Memsim.Hierarchy
+module Prefetcher = Memsim.Prefetcher
+module Stats = Memsim.Stats
+
+let tiny_level : Params.level =
+  { name = "T"; capacity = 1024; block = 64; latency = 1; assoc = 2 }
+
+let test_cache_hit_after_insert () =
+  let c = Cache.create tiny_level in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 5);
+  Alcotest.(check bool) "warm hit" true (Cache.access c 5)
+
+let test_cache_lru_eviction () =
+  (* 1024/64/2 = 8 sets, 2-way; lines 0, 8, 16 map to set 0 *)
+  let c = Cache.create tiny_level in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 8);
+  ignore (Cache.access c 16);
+  (* line 0 is LRU and must have been evicted *)
+  Alcotest.(check bool) "lru gone" false (Cache.mem c 0);
+  Alcotest.(check bool) "recent kept" true (Cache.mem c 16)
+
+let test_cache_lru_refresh () =
+  let c = Cache.create tiny_level in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 8);
+  ignore (Cache.access c 0);
+  (* refresh 0 *)
+  ignore (Cache.access c 16);
+  (* now 8 is LRU *)
+  Alcotest.(check bool) "refreshed survives" true (Cache.mem c 0);
+  Alcotest.(check bool) "stale evicted" false (Cache.mem c 8)
+
+let test_cache_insert_no_demand () =
+  let c = Cache.create tiny_level in
+  Cache.insert c 3;
+  Alcotest.(check bool) "prefetch-inserted line hits" true (Cache.access c 3)
+
+let test_cache_clear () =
+  let c = Cache.create tiny_level in
+  ignore (Cache.access c 1);
+  Cache.clear c;
+  Alcotest.(check bool) "cleared" false (Cache.mem c 1)
+
+let test_prefetcher_adjacent () =
+  let p = Prefetcher.create ~streams:4 in
+  Alcotest.(check (option int)) "first access: nothing" None (Prefetcher.observe p 10);
+  Alcotest.(check (option int)) "adjacent: prefetch next" (Some 12)
+    (Prefetcher.observe p 11)
+
+let test_prefetcher_stride () =
+  let p = Prefetcher.create ~streams:4 in
+  ignore (Prefetcher.observe p 100);
+  Alcotest.(check (option int)) "stride not yet confirmed" None
+    (Prefetcher.observe p 104);
+  Alcotest.(check (option int)) "confirmed stride 4" (Some 112)
+    (Prefetcher.observe p 108)
+
+let test_prefetcher_same_line_quiet () =
+  let p = Prefetcher.create ~streams:4 in
+  ignore (Prefetcher.observe p 50);
+  Alcotest.(check (option int)) "repeat access silent" None
+    (Prefetcher.observe p 50)
+
+let test_prefetcher_multiple_streams () =
+  let p = Prefetcher.create ~streams:4 in
+  ignore (Prefetcher.observe p 1000);
+  ignore (Prefetcher.observe p 5000);
+  (* both streams stay tracked *)
+  Alcotest.(check (option int)) "stream A advances" (Some 1002)
+    (Prefetcher.observe p 1001);
+  Alcotest.(check (option int)) "stream B advances" (Some 5002)
+    (Prefetcher.observe p 5001)
+
+let test_hierarchy_l1_hit_cost () =
+  let h = Hierarchy.create () in
+  Hierarchy.read h ~addr:64 ~width:8;
+  let cold = (Hierarchy.stats h).Stats.mem_cycles in
+  Hierarchy.reset_stats h;
+  Hierarchy.read h ~addr:64 ~width:8;
+  let warm = (Hierarchy.stats h).Stats.mem_cycles in
+  Alcotest.(check int) "L1 hit costs exactly l1" 1 warm;
+  Alcotest.(check bool) "cold access costs more" true (cold > warm)
+
+let test_hierarchy_word_split () =
+  let h = Hierarchy.create () in
+  Hierarchy.read h ~addr:0 ~width:32;
+  Alcotest.(check int) "32 bytes = 4 word accesses" 4
+    (Hierarchy.stats h).Stats.accesses
+
+let test_hierarchy_write_counted () =
+  let h = Hierarchy.create () in
+  Hierarchy.write h ~addr:0 ~width:8;
+  Hierarchy.read h ~addr:8 ~width:8;
+  let s = Hierarchy.stats h in
+  Alcotest.(check int) "one write" 1 s.Stats.writes;
+  Alcotest.(check int) "one read" 1 s.Stats.reads
+
+let test_hierarchy_tracing_toggle () =
+  let h = Hierarchy.create () in
+  Hierarchy.set_enabled h false;
+  Hierarchy.read h ~addr:0 ~width:8;
+  Hierarchy.add_cpu h 100;
+  Alcotest.(check int) "nothing recorded" 0
+    (Stats.total_cycles (Hierarchy.stats h));
+  Hierarchy.set_enabled h true;
+  Hierarchy.read h ~addr:0 ~width:8;
+  Alcotest.(check bool) "recording resumed" true
+    ((Hierarchy.stats h).Stats.accesses = 1)
+
+let test_hierarchy_without_tracing_restores () =
+  let h = Hierarchy.create () in
+  Memsim.Hierarchy.without_tracing h (fun () ->
+      Hierarchy.read h ~addr:0 ~width:8);
+  Alcotest.(check bool) "re-enabled after thunk" true (Hierarchy.enabled h);
+  Alcotest.(check int) "no accesses recorded" 0 (Hierarchy.stats h).Stats.accesses
+
+let test_sequential_scan_prefetched () =
+  let h = Hierarchy.create () in
+  (* scan 1 MB sequentially: after warm-up, LLC misses should be mostly
+     prefetched (sequential) *)
+  for i = 0 to (1 lsl 20) / 8 do
+    Hierarchy.read h ~addr:(i * 8) ~width:8
+  done;
+  let s = Hierarchy.stats h in
+  Alcotest.(check bool) "mostly sequential misses" true
+    (s.Stats.llc_seq_misses > 10 * max 1 s.Stats.llc_rand_misses)
+
+let test_random_access_not_prefetched () =
+  let h = Hierarchy.create () in
+  let rng = Mrdb_util.Rng.create 99 in
+  let region = 4 * 1024 * 1024 in
+  for _ = 0 to 20_000 do
+    Hierarchy.read h ~addr:(Mrdb_util.Rng.int rng (region / 8) * 8) ~width:8
+  done;
+  let s = Hierarchy.stats h in
+  Alcotest.(check bool) "mostly random misses" true
+    (s.Stats.llc_rand_misses > 5 * max 1 s.Stats.llc_seq_misses)
+
+let test_stats_diff_and_add () =
+  let a = Stats.create () in
+  a.Stats.accesses <- 10;
+  a.Stats.mem_cycles <- 100;
+  let b = Stats.copy a in
+  b.Stats.accesses <- 25;
+  b.Stats.mem_cycles <- 260;
+  let d = Stats.diff b a in
+  Alcotest.(check int) "diff accesses" 15 d.Stats.accesses;
+  Alcotest.(check int) "diff cycles" 160 d.Stats.mem_cycles;
+  Stats.add a d;
+  Alcotest.(check int) "add restores" 25 a.Stats.accesses
+
+let test_calibrator_staircase () =
+  let pts = Memsim.Calibrator.run_random ~accesses:50_000 Params.nehalem in
+  let value bytes =
+    match
+      List.find_opt (fun p -> p.Memsim.Calibrator.region_bytes = bytes) pts
+    with
+    | Some p -> p.Memsim.Calibrator.cycles_per_access
+    | None -> Alcotest.fail "missing calibration point"
+  in
+  let l1 = value 16384 and l2 = value 131072 and l3 = value 4194304 in
+  let mem = value (32 * 1024 * 1024) in
+  Alcotest.(check bool) "L1 plateau ~1" true (l1 < 1.5);
+  Alcotest.(check bool) "L2 plateau above L1" true (l2 > l1 +. 1.0);
+  Alcotest.(check bool) "L3 plateau above L2" true (l3 > l2 +. 2.0);
+  Alcotest.(check bool) "memory above L3" true (mem > l3 +. 2.0)
+
+let test_calibrator_sequential_flat () =
+  let pts = Memsim.Calibrator.run_sequential ~accesses:50_000 Params.nehalem in
+  let last = List.nth pts (List.length pts - 1) in
+  Alcotest.(check bool) "prefetching keeps sequential cheap" true
+    (last.Memsim.Calibrator.cycles_per_access < 8.0)
+
+let test_fit_latencies_recovers () =
+  let pts = Memsim.Calibrator.run_random ~accesses:100_000 Params.nehalem in
+  let fitted = Memsim.Calibrator.fit_latencies Params.nehalem pts in
+  (match List.assoc_opt "L1" fitted with
+  | Some l -> Alcotest.(check int) "L1 latency" 1 l
+  | None -> Alcotest.fail "no L1 fit");
+  match List.assoc_opt "L3" fitted with
+  | Some l -> Alcotest.(check bool) "L3 latency near 8" true (abs (l - 8) <= 2)
+  | None -> Alcotest.fail "no L3 fit"
+
+let suite =
+  [
+    Alcotest.test_case "cache hit after insert" `Quick test_cache_hit_after_insert;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache LRU refresh" `Quick test_cache_lru_refresh;
+    Alcotest.test_case "cache prefetch insert" `Quick test_cache_insert_no_demand;
+    Alcotest.test_case "cache clear" `Quick test_cache_clear;
+    Alcotest.test_case "prefetcher adjacent line" `Quick test_prefetcher_adjacent;
+    Alcotest.test_case "prefetcher stride detection" `Quick test_prefetcher_stride;
+    Alcotest.test_case "prefetcher same line" `Quick test_prefetcher_same_line_quiet;
+    Alcotest.test_case "prefetcher streams" `Quick test_prefetcher_multiple_streams;
+    Alcotest.test_case "hierarchy L1 hit cost" `Quick test_hierarchy_l1_hit_cost;
+    Alcotest.test_case "hierarchy word split" `Quick test_hierarchy_word_split;
+    Alcotest.test_case "hierarchy write counted" `Quick test_hierarchy_write_counted;
+    Alcotest.test_case "hierarchy tracing toggle" `Quick test_hierarchy_tracing_toggle;
+    Alcotest.test_case "hierarchy without_tracing" `Quick test_hierarchy_without_tracing_restores;
+    Alcotest.test_case "sequential scan prefetched" `Quick test_sequential_scan_prefetched;
+    Alcotest.test_case "random access not prefetched" `Quick test_random_access_not_prefetched;
+    Alcotest.test_case "stats diff/add" `Quick test_stats_diff_and_add;
+    Alcotest.test_case "calibrator staircase" `Slow test_calibrator_staircase;
+    Alcotest.test_case "calibrator sequential flat" `Slow test_calibrator_sequential_flat;
+    Alcotest.test_case "calibrator fit" `Slow test_fit_latencies_recovers;
+  ]

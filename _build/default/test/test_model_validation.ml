@@ -1,0 +1,149 @@
+(* Property-based validation of the miss model against the simulator:
+   random atomic access patterns are executed literally on the hierarchy and
+   the measured LLC misses compared to Equations (1)-(4) and Cardenas (7).
+   This is the per-atom analogue of the paper's Fig. 6 validation. *)
+
+module Pattern = Costmodel.Pattern
+module Miss = Costmodel.Miss_model
+
+let params = Memsim.Params.nehalem
+
+let llc m = m.Miss.levels.(2)
+
+(* Execute an s_trav_cr literally: traverse n items of width w, reading the
+   item with probability s (deterministic per-seed). *)
+let drive_s_trav_cr ~n ~w ~s ~seed =
+  let hier = Memsim.Hierarchy.create ~params () in
+  let rng = Mrdb_util.Rng.create seed in
+  for i = 0 to n - 1 do
+    if Mrdb_util.Rng.bool rng s then
+      Memsim.Hierarchy.read hier ~addr:(i * w) ~width:(min w 8)
+  done;
+  Memsim.Hierarchy.stats hier
+
+let drive_rr_acc ~n ~w ~r ~seed =
+  let hier = Memsim.Hierarchy.create ~params () in
+  let rng = Mrdb_util.Rng.create seed in
+  for _ = 1 to r do
+    let i = Mrdb_util.Rng.int rng n in
+    Memsim.Hierarchy.read hier ~addr:(i * w) ~width:(min w 8)
+  done;
+  Memsim.Hierarchy.stats hier
+
+let within ~tol ~slack predicted measured =
+  let p = predicted and m = float_of_int measured in
+  Float.abs (p -. m) <= slack +. (tol *. Float.max p m)
+
+let qcheck_s_trav_cr_total =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2_000 40_000 in
+      let* w = oneofl [ 8; 16; 32; 64 ] in
+      let* s10 = int_range 1 10 in
+      let* seed = int_bound 1_000 in
+      return (n, w, float_of_int s10 /. 10.0, seed))
+  in
+  QCheck.Test.make ~count:30
+    ~name:"s_trav_cr predicted LLC misses within 35% + slack of simulation"
+    (QCheck.make gen)
+    (fun (n, w, s, seed) ->
+      let st = drive_s_trav_cr ~n ~w ~s ~seed in
+      let m =
+        Miss.atom_misses params (Pattern.S_trav_cr { n; w; u = min w 8; s })
+      in
+      let measured =
+        st.Memsim.Stats.llc_seq_misses + st.Memsim.Stats.llc_rand_misses
+      in
+      within ~tol:0.35 ~slack:32.0 (llc m).Miss.total measured)
+
+let qcheck_s_trav_cr_kinds =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 5_000 40_000 in
+      let* s10 = int_range 1 9 in
+      let* seed = int_bound 1_000 in
+      return (n, float_of_int s10 /. 10.0, seed))
+  in
+  QCheck.Test.make ~count:20
+    ~name:"s_trav_cr: simulator's seq/rand split follows Eq. 2/3 direction"
+    (QCheck.make gen)
+    (fun (n, s, seed) ->
+      let w = 16 in
+      let st = drive_s_trav_cr ~n ~w ~s ~seed in
+      let m = Miss.atom_misses params (Pattern.S_trav_cr { n; w; u = 8; s }) in
+      let pred_seq_share =
+        (llc m).Miss.seq /. Float.max 1e-9 (llc m).Miss.total
+      in
+      let meas_total =
+        st.Memsim.Stats.llc_seq_misses + st.Memsim.Stats.llc_rand_misses
+      in
+      let meas_seq_share =
+        float_of_int st.Memsim.Stats.llc_seq_misses
+        /. Float.max 1.0 (float_of_int meas_total)
+      in
+      (* shares must agree within an absolute 0.35 band (the paper's own
+         prediction deviates comparably mid-range) *)
+      Float.abs (pred_seq_share -. meas_seq_share) <= 0.35)
+
+let qcheck_rr_acc_unique_lines =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1_000 50_000 in
+      let* r = int_range 500 20_000 in
+      let* seed = int_bound 1_000 in
+      return (n, r, seed))
+  in
+  QCheck.Test.make ~count:30
+    ~name:"rr_acc predicted misses within 35% of simulation (cold caches)"
+    (QCheck.make gen)
+    (fun (n, r, seed) ->
+      let w = 64 in
+      let st = drive_rr_acc ~n ~w ~r ~seed in
+      let m = Miss.atom_misses params (Pattern.Rr_acc { n; w; u = 8; r }) in
+      let measured =
+        st.Memsim.Stats.llc_seq_misses + st.Memsim.Stats.llc_rand_misses
+      in
+      within ~tol:0.35 ~slack:64.0 (llc m).Miss.total measured)
+
+let test_s_trav_exact () =
+  (* a plain sequential traversal's miss count is deterministic: one miss
+     per 64-byte line *)
+  let n = 10_000 and w = 8 in
+  let hier = Memsim.Hierarchy.create ~params () in
+  for i = 0 to n - 1 do
+    Memsim.Hierarchy.read hier ~addr:(i * w) ~width:w
+  done;
+  let st = Memsim.Hierarchy.stats hier in
+  let measured = st.Memsim.Stats.llc_seq_misses + st.Memsim.Stats.llc_rand_misses in
+  let m = Miss.atom_misses params (Pattern.S_trav { n; w; u = w }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "predicted %.0f vs measured %d" (llc m).Miss.total measured)
+    true
+    (Float.abs ((llc m).Miss.total -. float_of_int measured) <= 3.0)
+
+let test_cardenas_matches_simulation () =
+  (* unique lines touched by r random draws: Cardenas vs actual count *)
+  let lines = 4096 and r = 6000 in
+  let rng = Mrdb_util.Rng.create 7 in
+  let seen = Hashtbl.create 1024 in
+  for _ = 1 to r do
+    Hashtbl.replace seen (Mrdb_util.Rng.int rng lines) ()
+  done;
+  let actual = float_of_int (Hashtbl.length seen) in
+  let predicted =
+    Miss.cardenas ~r:(float_of_int r) ~n:(float_of_int lines)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cardenas %.0f vs actual %.0f" predicted actual)
+    true
+    (Float.abs (predicted -. actual) /. actual < 0.05)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_s_trav_cr_total;
+    QCheck_alcotest.to_alcotest qcheck_s_trav_cr_kinds;
+    QCheck_alcotest.to_alcotest qcheck_rr_acc_unique_lines;
+    Alcotest.test_case "s_trav exact" `Quick test_s_trav_exact;
+    Alcotest.test_case "cardenas vs simulation" `Quick
+      test_cardenas_matches_simulation;
+  ]

@@ -1,0 +1,122 @@
+(* Tests for sampling-based selectivity and distinct-count estimation. *)
+
+module V = Storage.Value
+module Sampling = Relalg.Sampling
+module Expr = Relalg.Expr
+
+let pred_grp_eq = Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Param 1)
+
+let test_selectivity_accurate () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  (* grp = tid mod 7: true selectivity 1/7 *)
+  let est =
+    Sampling.selectivity cat "t" pred_grp_eq ~params:[| V.VInt 3 |]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.3f near 1/7" est)
+    true
+    (Float.abs (est -. (1.0 /. 7.0)) < 0.05)
+
+let test_selectivity_zero_clamped () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  let est =
+    Sampling.selectivity cat "t" pred_grp_eq ~params:[| V.VInt 999 |]
+  in
+  Alcotest.(check bool) "never exactly zero" true (est > 0.0 && est < 0.01)
+
+let test_selectivity_untraced () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  let hier = Option.get (Storage.Catalog.hier cat) in
+  Memsim.Hierarchy.reset hier;
+  ignore (Sampling.selectivity cat "t" pred_grp_eq ~params:[| V.VInt 3 |]);
+  Alcotest.(check int) "sampling leaves no trace" 0
+    (Memsim.Hierarchy.stats hier).Memsim.Stats.accesses
+
+let test_selectivity_empty_table () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Storage.Catalog.create ~hier () in
+  ignore
+    (Storage.Catalog.add cat Helpers.small_schema
+       (Storage.Layout.row Helpers.small_schema));
+  let est = Sampling.selectivity cat "t" pred_grp_eq ~params:[| V.VInt 1 |] in
+  Alcotest.(check bool) "falls back to heuristic" true (est > 0.0 && est <= 1.0)
+
+let test_ndv_low_cardinality () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  (* grp has exactly 7 distinct values *)
+  let ndv = Sampling.n_distinct cat "t" 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ndv %.0f near 7" ndv)
+    true
+    (ndv >= 6.0 && ndv <= 8.0)
+
+let test_ndv_unique_column () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  (* id is unique *)
+  let ndv = Sampling.n_distinct cat "t" 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ndv %.0f scales to ~2000" ndv)
+    true
+    (ndv > 1500.0 && ndv <= 2000.0)
+
+let test_planner_sample_with () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  let logical = Relalg.Sql.parse cat "select id from t where grp = $1" in
+  let plan =
+    Relalg.Planner.plan ~sample_with:[| V.VInt 3 |] cat logical
+  in
+  match plan with
+  | Relalg.Physical.Project
+      { child = Relalg.Physical.Scan { sel; _ }; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "planner uses sampled sel %.3f" sel)
+        true
+        (Float.abs (sel -. (1.0 /. 7.0)) < 0.05)
+  | p -> Alcotest.fail (Format.asprintf "unexpected %a" Relalg.Physical.pp p)
+
+let test_sampled_plan_improves_cost_estimate () =
+  (* with a skewed predicate the heuristic (1%) is far off; sampling fixes
+     the cardinality fed to the cost model *)
+  let cat = Helpers.small_catalog ~n:4000 () in
+  let logical = Relalg.Sql.parse cat "select id from t where grp >= 1" in
+  let heuristic = Relalg.Planner.plan cat logical in
+  let sampled = Relalg.Planner.plan ~sample_with:[||] cat logical in
+  let card p = Relalg.Physical.cardinality cat p in
+  (* true selectivity is 6/7 ≈ 0.857 *)
+  Alcotest.(check bool) "sampled cardinality close to truth" true
+    (Float.abs (card sampled -. (4000.0 *. 6.0 /. 7.0)) < 300.0);
+  Alcotest.(check bool) "heuristic cardinality far off" true
+    (Float.abs (card heuristic -. (4000.0 *. 6.0 /. 7.0)) > 1000.0)
+
+let suite =
+  [
+    Alcotest.test_case "selectivity accuracy" `Quick test_selectivity_accurate;
+    Alcotest.test_case "zero clamped" `Quick test_selectivity_zero_clamped;
+    Alcotest.test_case "sampling untraced" `Quick test_selectivity_untraced;
+    Alcotest.test_case "empty table fallback" `Quick test_selectivity_empty_table;
+    Alcotest.test_case "ndv low cardinality" `Quick test_ndv_low_cardinality;
+    Alcotest.test_case "ndv unique column" `Quick test_ndv_unique_column;
+    Alcotest.test_case "planner sample_with" `Quick test_planner_sample_with;
+    Alcotest.test_case "sampling beats heuristic" `Quick
+      test_sampled_plan_improves_cost_estimate;
+  ]
+
+let test_sampled_group_count () =
+  let cat = Helpers.small_catalog ~n:2000 () in
+  let logical =
+    Relalg.Sql.parse cat "select grp, count(*) c from t group by grp"
+  in
+  match Relalg.Planner.plan ~sample_with:[||] cat logical with
+  | Relalg.Physical.Project
+      { child = Relalg.Physical.Group_by { n_groups; _ }; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n_groups %.1f near 7" n_groups)
+        true
+        (n_groups >= 5.0 && n_groups <= 9.0)
+  | p -> Alcotest.fail (Format.asprintf "unexpected %a" Relalg.Physical.pp p)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "sampled group count" `Quick test_sampled_group_count;
+    ]

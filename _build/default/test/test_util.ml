@@ -1,0 +1,150 @@
+(* Tests for Mrdb_util: Rng determinism/uniformity, Texttab rendering. *)
+
+module Rng = Mrdb_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Rng.int64 a) (Rng.int64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let a = Rng.int64 parent and b = Rng.int64 child in
+  Alcotest.(check bool) "split differs from parent" false (Int64.equal a b)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_float_unit_interval () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_int_roughly_uniform () =
+  let rng = Rng.create 6 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (abs (c - expected) < expected / 5))
+    buckets
+
+let test_permutation_is_permutation () =
+  let rng = Rng.create 8 in
+  let p = Rng.permutation rng 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "contains 0..99" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_preserves_elements () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 (fun i -> i * i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  Array.sort compare b;
+  Alcotest.(check (array int)) "same multiset" a b
+
+let test_string_alphabet () =
+  let rng = Rng.create 10 in
+  let s = Rng.string rng ~alphabet:"xyz" ~len:200 in
+  Alcotest.(check int) "length" 200 (String.length s);
+  String.iter
+    (fun c -> Alcotest.(check bool) "in alphabet" true (String.contains "xyz" c))
+    s
+
+let test_zipf_skew () =
+  let rng = Rng.create 11 in
+  let n = 20 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf rng ~n ~theta:1.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (counts.(0) > counts.(n - 1) * 3)
+
+let test_zipf_theta_zero_uniform () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 100 do
+    let v = Rng.zipf rng ~n:5 ~theta:0.0 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 5)
+  done
+
+let test_texttab_alignment () =
+  let t = Mrdb_util.Texttab.create [ "a"; "bbbb" ] in
+  Mrdb_util.Texttab.row t [ "xxxxx"; "y" ];
+  let rendered = Mrdb_util.Texttab.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: sep :: data :: _ ->
+      Alcotest.(check int) "aligned widths" (String.length header)
+        (String.length sep);
+      Alcotest.(check bool) "data row present" true
+        (String.length data >= String.length "xxxxx  y")
+  | _ -> Alcotest.fail "expected three lines")
+
+let test_texttab_pads_short_rows () =
+  let t = Mrdb_util.Texttab.create [ "a"; "b"; "c" ] in
+  Mrdb_util.Texttab.row t [ "only" ];
+  let rendered = Mrdb_util.Texttab.render t in
+  Alcotest.(check bool) "renders without exception" true
+    (String.length rendered > 0)
+
+let qcheck_int_in =
+  QCheck.Test.make ~count:500 ~name:"rng int_in always within bounds"
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Rng.create seed in
+      let v = Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_determinism;
+    Alcotest.test_case "rng different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "rng split" `Quick test_split_independent;
+    Alcotest.test_case "rng int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "rng int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "rng float range" `Quick test_float_unit_interval;
+    Alcotest.test_case "rng uniformity" `Slow test_int_roughly_uniform;
+    Alcotest.test_case "rng permutation" `Quick test_permutation_is_permutation;
+    Alcotest.test_case "rng shuffle multiset" `Quick test_shuffle_preserves_elements;
+    Alcotest.test_case "rng string alphabet" `Quick test_string_alphabet;
+    Alcotest.test_case "rng zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "rng zipf uniform" `Quick test_zipf_theta_zero_uniform;
+    Alcotest.test_case "texttab alignment" `Quick test_texttab_alignment;
+    Alcotest.test_case "texttab padding" `Quick test_texttab_pads_short_rows;
+    QCheck_alcotest.to_alcotest qcheck_int_in;
+  ]
