@@ -23,6 +23,7 @@ let experiments =
     ("adaptive", Adaptive.run);
     ("ablations", Ablations.run);
     ("wallclock", Wallclock.run);
+    ("parallel", Parallel.run);
   ]
 
 let () =

@@ -1,0 +1,87 @@
+(* Morsel-parallel scaling: the 50k-row microbench scan-aggregate on an
+   untraced catalog (real execution, no simulator), run with 1/2/4/8 worker
+   domains.  Reports a speedup table against the sequential run, checks that
+   every parallel result equals the sequential one, and writes the numbers
+   to BENCH_parallel.json.
+
+   Speedups depend on the machine: with fewer cores than domains the extra
+   domains just time-slice, so the table also prints the host's recommended
+   domain count for context. *)
+
+let n_rows = 50_000
+let sel = 0.1
+let domain_counts = [ 1; 2; 4; 8 ]
+let repeats = 5
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Best of [repeats] timed runs (minimizes scheduler noise). *)
+let best_time f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let _, t = wall f in
+    if t < !best then best := t
+  done;
+  !best
+
+let results_equal (a : Engines.Runtime.result) (b : Engines.Runtime.result) =
+  a.Engines.Runtime.columns = b.Engines.Runtime.columns
+  && List.length a.Engines.Runtime.rows = List.length b.Engines.Runtime.rows
+  && List.for_all2
+       (fun ra rb -> Array.for_all2 (fun x y -> Storage.Value.compare x y = 0) ra rb)
+       a.Engines.Runtime.rows b.Engines.Runtime.rows
+
+let run () =
+  Common.header "Parallel scaling — morsel-driven execution on OCaml 5 domains";
+  let cat = Workloads.Microbench.build ~n:n_rows () in
+  let plan = Workloads.Microbench.plan cat ~sel in
+  let params = Workloads.Microbench.params ~sel in
+  Common.note "query: scan-aggregate over %d rows (sel %.0f%%), untraced"
+    n_rows (100. *. sel);
+  Common.note "host offers %d recommended domains"
+    (Domain.recommended_domain_count ());
+  let engine = Engines.Engine.Jit in
+  let reference = Engines.Engine.run engine cat plan ~params in
+  let rows =
+    List.map
+      (fun domains ->
+        let result =
+          Engines.Engine.run ~domains engine cat plan ~params
+        in
+        if not (results_equal reference result) then
+          failwith
+            (Printf.sprintf "parallel result mismatch at %d domains" domains);
+        let t =
+          best_time (fun () ->
+              ignore (Engines.Engine.run ~domains engine cat plan ~params))
+        in
+        (domains, t))
+      domain_counts
+  in
+  let t1 = List.assoc 1 rows in
+  Printf.printf "  %-8s %12s %9s\n" "domains" "best (ms)" "speedup";
+  List.iter
+    (fun (d, t) ->
+      Printf.printf "  %-8d %12.3f %8.2fx\n" d (1000. *. t) (t1 /. t))
+    rows;
+  Common.note "all parallel results identical to the sequential run";
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"parallel-scaling\",\n  \"rows\": %d,\n  \
+     \"selectivity\": %g,\n  \"engine\": %S,\n  \
+     \"recommended_domains\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
+    n_rows sel
+    (Engines.Engine.name engine)
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n"
+       (List.map
+          (fun (d, t) ->
+            Printf.sprintf
+              "    { \"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f }"
+              d t (t1 /. t))
+          rows));
+  close_out oc;
+  Common.note "wrote BENCH_parallel.json"

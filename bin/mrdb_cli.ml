@@ -71,6 +71,13 @@ let print_stats st =
     st.Memsim.Stats.mem_cycles st.Memsim.Stats.cpu_cycles
     st.Memsim.Stats.llc_seq_misses st.Memsim.Stats.llc_rand_misses
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "domains" ] ~docv:"N"
+           ~doc:"Worker domains for morsel-parallel execution (1 = \
+                 sequential).  Parallelizable plans report merged per-domain \
+                 stats: summed misses, slowest-domain cycles.")
+
 let sample_flag =
   Arg.(value & flag
        & info [ "sample" ]
@@ -82,11 +89,12 @@ let plan_of ~sample cat sql params =
   else Relalg.Planner.plan cat logical
 
 let run_cmd =
-  let run db scale engine sql params sample =
+  let run db scale engine domains sql params sample =
     let cat, _ = load_db db scale in
     let plan = plan_of ~sample cat sql (parse_params params) in
     let result, st =
-      Engines.Engine.run_measured engine cat plan ~params:(parse_params params)
+      Engines.Engine.run_measured ~domains engine cat plan
+        ~params:(parse_params params)
     in
     Format.printf "%a" Engines.Runtime.pp_result result;
     Printf.printf "-- %d rows\n" (List.length result.Engines.Runtime.rows);
@@ -95,8 +103,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a SQL statement and report simulated cycles.")
     Term.(
-      const run $ db_arg $ scale_arg $ engine_arg $ sql_arg $ param_arg
-      $ sample_flag)
+      const run $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
+      $ param_arg $ sample_flag)
 
 let explain_cmd =
   let explain db scale sql params sample =

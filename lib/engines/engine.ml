@@ -18,7 +18,7 @@ let of_name s =
   | "jit" -> Some Jit
   | _ -> None
 
-let run kind cat plan ~params =
+let run_sequential kind cat plan ~params =
   match kind with
   | Volcano -> Volcano.run cat plan ~params
   | Bulk -> Bulk.run cat plan ~params
@@ -26,12 +26,26 @@ let run kind cat plan ~params =
   | Hyrise -> Hyrise.run cat plan ~params
   | Jit -> Jit.run cat plan ~params
 
-let run_measured ?(cold = true) kind cat plan ~params =
-  match Storage.Catalog.hier cat with
-  | None ->
-      let r = run kind cat plan ~params in
-      (r, Memsim.Stats.create ())
-  | Some h ->
-      if cold then Memsim.Hierarchy.reset h else Memsim.Hierarchy.reset_stats h;
-      let r = run kind cat plan ~params in
-      (r, Memsim.Hierarchy.snapshot h)
+let runner kind ~params cat plan = run_sequential kind cat plan ~params
+
+let run ?(domains = 1) ?morsel_size kind cat plan ~params =
+  if domains <= 1 then run_sequential kind cat plan ~params
+  else
+    Parallel.run ~domains ?morsel_size ~runner:(runner kind ~params) ~params
+      cat plan
+
+let run_measured ?(cold = true) ?(domains = 1) ?morsel_size kind cat plan
+    ~params =
+  if domains > 1 then
+    Parallel.run_measured ~cold ~domains ?morsel_size
+      ~runner:(runner kind ~params) ~params cat plan
+  else
+    match Storage.Catalog.hier cat with
+    | None ->
+        let r = run_sequential kind cat plan ~params in
+        (r, Memsim.Stats.create ())
+    | Some h ->
+        if cold then Memsim.Hierarchy.reset h
+        else Memsim.Hierarchy.reset_stats h;
+        let r = run_sequential kind cat plan ~params in
+        (r, Memsim.Hierarchy.snapshot h)

@@ -3,7 +3,8 @@
     Five processing models over the same physical plans: Volcano iterators,
     bulk (column-at-a-time), vectorized (X100-style, cache-resident
     vectors), HYRISE-style (bulk with per-value call costs) and JiT
-    (fused compiled pipelines). *)
+    (fused compiled pipelines).  Each can additionally run morsel-parallel
+    on OCaml 5 domains via [?domains] — see {!Parallel}. *)
 
 type kind = Volcano | Bulk | Vectorized | Hyrise | Jit
 
@@ -12,14 +13,22 @@ val name : kind -> string
 val of_name : string -> kind option
 
 val run :
+  ?domains:int ->
+  ?morsel_size:int ->
   kind ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->
   params:Storage.Value.t array ->
   Runtime.result
+(** Execute the plan.  With [domains > 1] the plan runs morsel-parallel and
+    untraced (results are identical to a sequential run; see {!Parallel.run}
+    for the fallback and determinism rules); the default is one domain, i.e.
+    the plain sequential engine. *)
 
 val run_measured :
   ?cold:bool ->
+  ?domains:int ->
+  ?morsel_size:int ->
   kind ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->
@@ -28,4 +37,9 @@ val run_measured :
 (** Reset the simulator counters (and, when [cold] — the default — the cache
     contents), run the query, and return the result together with the
     counters it produced.  If the catalog has no hierarchy attached the
-    stats are all zero. *)
+    stats are all zero.
+
+    With [domains > 1] each worker domain simulates its own hierarchy
+    (fresh, hence always cold) and the returned stats are their
+    {!Memsim.Stats.merge}: summed traffic and miss counters, max-over-domain
+    cycle cost — the simulated analogue of parallel wall-clock time. *)

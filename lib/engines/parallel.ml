@@ -1,0 +1,283 @@
+module Value = Storage.Value
+module Relation = Storage.Relation
+module Catalog = Storage.Catalog
+module Arena = Storage.Arena
+module Schema = Storage.Schema
+module Physical = Relalg.Physical
+module Aggregate = Relalg.Aggregate
+module Expr = Relalg.Expr
+
+(* Morsel starts must align with both cache lines and TLB pages inside every
+   partition so a parallel measured run touches each line/page from exactly
+   one domain: a row index that is a multiple of 4096 starts at a 4096-byte
+   aligned offset (lo * width mod 4096 = 0) for any tuple width.  Results are
+   correct for any morsel size; only the miss-counter equality with a
+   sequential run relies on the alignment. *)
+let default_morsel_size = 4096
+
+(* Address-space stride carved out per worker domain for intermediates
+   (selection vectors, hash tables, materialization buffers). *)
+let domain_arena_stride = 1 lsl 36
+
+type runner = Storage.Catalog.t -> Relalg.Physical.t -> Runtime.result
+
+(* The shapes the morsel executor accepts.  Everything else falls back to a
+   plain sequential run of the base engine. *)
+type strategy =
+  | Sequential
+  | Concat of { driver : string }
+      (* scan / select / project pipeline: per-morsel results concatenate *)
+  | Group of {
+      driver : string;
+      morsel_plan : Physical.t; (* group-by with decomposed aggregates *)
+      n_keys : int;
+      aggs : Aggregate.t list; (* the original aggregates *)
+      post : (Expr.t * string) list list;
+          (* root projections above the group-by, innermost first; applied
+             to the merged groups (they cannot run per morsel: a projection
+             of an aggregate is not mergeable) *)
+    }
+
+(* The base table a pure scan pipeline drives over, if any. *)
+let rec pipeline_driver = function
+  | Physical.Scan { table; access = Physical.Full_scan; _ } -> Some table
+  | Physical.Select { child; _ } | Physical.Project { child; _ } ->
+      pipeline_driver child
+  | _ -> None
+
+(* Strip the projections the planner leaves above a group-by (output column
+   selection/renaming), innermost first. *)
+let rec peel_projections acc = function
+  | Physical.Project { child; exprs } -> peel_projections (exprs :: acc) child
+  | p -> (acc, p)
+
+let strategy plan =
+  match pipeline_driver plan with
+  | Some driver -> Concat { driver }
+  | None -> (
+      match peel_projections [] plan with
+      | post, Physical.Group_by { child; keys; aggs; n_groups } -> (
+          match pipeline_driver child with
+          | Some driver ->
+              let decomposed = List.concat_map Aggregate.decompose aggs in
+              Group
+                {
+                  driver;
+                  morsel_plan =
+                    Physical.Group_by
+                      { child; keys; aggs = decomposed; n_groups };
+                  n_keys = List.length keys;
+                  aggs;
+                  post;
+                }
+          | None -> Sequential)
+      | _ -> Sequential)
+
+let parallelizable plan =
+  match strategy plan with Sequential -> false | Concat _ | Group _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain execution state                                          *)
+(* ------------------------------------------------------------------ *)
+
+type domain_state = {
+  d_hier : Memsim.Hierarchy.t option;
+  d_arena : Arena.t;
+}
+
+(* A shadow catalog for one morsel: every relation is a read-only view whose
+   traced accesses go to the domain's private hierarchy, the driver table is
+   sliced to the morsel's row range, and intermediates allocate from the
+   domain's private arena. *)
+let morsel_catalog cat st ~driver ~lo ~len =
+  let vcat = Catalog.create ?hier:st.d_hier ~arena:st.d_arena () in
+  List.iter
+    (fun name ->
+      let rel = Relation.with_hier (Catalog.find cat name) st.d_hier in
+      let rel = if String.equal name driver then Relation.slice rel ~lo ~len else rel in
+      Catalog.add_relation vcat rel)
+    (Catalog.names cat);
+  vcat
+
+(* ------------------------------------------------------------------ *)
+(* Merging per-morsel partial results                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge per-morsel group-by outputs in morsel order.  Groups keep global
+   first-occurrence order — the same order a sequential run's insertion-
+   ordered aggregation table emits — and each original aggregate is
+   recombined from its merged decomposed partials. *)
+let merge_group_rows ~n_keys ~aggs (partials : Runtime.result array) =
+  let parts = List.concat_map Aggregate.decompose aggs in
+  let part_funcs =
+    Array.of_list (List.map (fun (p : Aggregate.t) -> p.Aggregate.func) parts)
+  in
+  let n_parts = Array.length part_funcs in
+  let tbl : (Value.t list, Value.t array) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun (r : Runtime.result) ->
+      List.iter
+        (fun row ->
+          let key = Array.to_list (Array.sub row 0 n_keys) in
+          match Hashtbl.find_opt tbl key with
+          | None ->
+              Hashtbl.add tbl key (Array.sub row n_keys n_parts);
+              order := key :: !order
+          | Some acc ->
+              for i = 0 to n_parts - 1 do
+                acc.(i) <- Aggregate.merge_value part_funcs.(i) acc.(i)
+                             row.(n_keys + i)
+              done)
+        r.Runtime.rows)
+    partials;
+  let rows =
+    List.rev_map
+      (fun key ->
+        let acc = Hashtbl.find tbl key in
+        let finished = ref [] in
+        let slot = ref n_parts in
+        List.iter
+          (fun (a : Aggregate.t) ->
+            let width = List.length (Aggregate.decompose a) in
+            slot := !slot - width;
+            finished := Aggregate.recombine a (Array.sub acc !slot width) :: !finished)
+          (List.rev aggs);
+        Array.of_list (key @ !finished))
+      !order
+  in
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* The morsel loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [morsel_plan] over every morsel of [driver], fanned out to [domains]
+   worker domains through an atomic work-stealing counter, and return the
+   per-morsel results in morsel order plus each domain's hierarchy. *)
+let run_morsels ~domains ~morsel_size ~(runner : runner) ~measured cat
+    ~driver morsel_plan =
+  let n = Relation.nrows (Catalog.find cat driver) in
+  let n_morsels = max 1 ((n + morsel_size - 1) / morsel_size) in
+  let domains = max 1 (min domains n_morsels) in
+  let hier_params =
+    match Catalog.hier cat with
+    | Some h -> Memsim.Hierarchy.params h
+    | None -> Memsim.Params.nehalem
+  in
+  let base_mark = Arena.mark (Catalog.arena cat) in
+  let states =
+    Array.init domains (fun d ->
+        {
+          d_hier =
+            (if measured then
+               Some (Memsim.Hierarchy.create ~params:hier_params ())
+             else None);
+          d_arena =
+            Arena.create ~start:(base_mark + ((d + 1) * domain_arena_stride)) ();
+        })
+  in
+  let results : Runtime.result option array = Array.make n_morsels None in
+  let next = Atomic.make 0 in
+  let worker d () =
+    let st = states.(d) in
+    let rec loop () =
+      let m = Atomic.fetch_and_add next 1 in
+      if m < n_morsels then begin
+        let lo = m * morsel_size in
+        let len = min morsel_size (n - lo) in
+        let vcat = morsel_catalog cat st ~driver ~lo ~len in
+        results.(m) <- Some (runner vcat morsel_plan);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+  Fun.protect
+    ~finally:(fun () -> List.iter Domain.join helpers)
+    (worker 0);
+  let partials =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> invalid_arg "Parallel: unexecuted morsel")
+      results
+  in
+  (partials, states)
+
+let merged_stats states =
+  Array.to_list states
+  |> List.filter_map (fun st -> Option.map Memsim.Hierarchy.snapshot st.d_hier)
+  |> function
+  | [] -> Memsim.Stats.create ()
+  | s :: rest -> List.fold_left Memsim.Stats.merge s rest
+
+let result_columns cat plan =
+  Array.map (fun (a : Schema.attr) -> a.Schema.name) (Physical.schema cat plan)
+
+(* Apply the peeled root projections, innermost first, to the merged group
+   rows. *)
+let apply_projections ~params post rows =
+  List.fold_left
+    (fun rows exprs ->
+      List.map
+        (fun row ->
+          Array.of_list
+            (List.map (fun (e, _) -> Expr.eval e ~params (Array.get row)) exprs))
+        rows)
+    rows post
+
+(* Execute [plan] morsel-parallel; [None] if the plan shape is sequential-
+   only and the caller should fall back. *)
+let exec ~domains ~morsel_size ~runner ~params ~measured cat plan =
+  match strategy plan with
+  | Sequential -> None
+  | Concat { driver } ->
+      let partials, states =
+        run_morsels ~domains ~morsel_size ~runner ~measured cat ~driver plan
+      in
+      Some
+        (Runtime.concat_results (Array.to_list partials), merged_stats states)
+  | Group { driver; morsel_plan; n_keys; aggs; post } ->
+      let partials, states =
+        run_morsels ~domains ~morsel_size ~runner ~measured cat ~driver
+          morsel_plan
+      in
+      let merged = merge_group_rows ~n_keys ~aggs partials in
+      let rows = apply_projections ~params post merged in
+      Some
+        ( { Runtime.columns = result_columns cat plan; rows },
+          merged_stats states )
+
+let run ~domains ?(morsel_size = default_morsel_size) ~(runner : runner)
+    ?(params = [||]) cat plan =
+  if morsel_size <= 0 then invalid_arg "Parallel.run: morsel_size must be > 0";
+  if domains <= 1 then runner cat plan
+  else
+    match
+      exec ~domains ~morsel_size ~runner ~params ~measured:false cat plan
+    with
+    | Some (result, _) -> result
+    | None -> runner cat plan
+
+let run_measured ?(cold = true) ~domains ?(morsel_size = default_morsel_size)
+    ~(runner : runner) ?(params = [||]) cat plan =
+  if morsel_size <= 0 then
+    invalid_arg "Parallel.run_measured: morsel_size must be > 0";
+  let sequential () =
+    match Catalog.hier cat with
+    | None -> (runner cat plan, Memsim.Stats.create ())
+    | Some h ->
+        if cold then Memsim.Hierarchy.reset h
+        else Memsim.Hierarchy.reset_stats h;
+        let r = runner cat plan in
+        (r, Memsim.Hierarchy.snapshot h)
+  in
+  if domains <= 1 || Option.is_none (Catalog.hier cat) then sequential ()
+  else
+    match
+      exec ~domains ~morsel_size ~runner ~params ~measured:true cat plan
+    with
+    | Some rs -> rs
+    | None -> sequential ()

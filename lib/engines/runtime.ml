@@ -12,6 +12,19 @@ let pp_result ppf r =
            (Array.to_list (Array.map Value.to_display row))))
     r.rows
 
+let concat_results = function
+  | [] -> invalid_arg "Runtime.concat_results: no results"
+  | first :: _ as results ->
+      List.iter
+        (fun r ->
+          if r.columns <> first.columns then
+            invalid_arg "Runtime.concat_results: column mismatch")
+        results;
+      {
+        columns = first.columns;
+        rows = List.concat_map (fun r -> r.rows) results;
+      }
+
 let charge hier n =
   match hier with Some h -> Memsim.Hierarchy.add_cpu h n | None -> ()
 

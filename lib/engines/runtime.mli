@@ -8,6 +8,12 @@ type result = { columns : string array; rows : Value.t array list }
 
 val pp_result : Format.formatter -> result -> unit
 
+val concat_results : result list -> result
+(** Combine per-morsel partial results of one query: all column headers must
+    agree, and rows are concatenated in list order (morsel order — keeping
+    parallel selection output deterministic and equal to a sequential run).
+    @raise Invalid_argument on an empty list or a column mismatch. *)
+
 val charge : Memsim.Hierarchy.t option -> int -> unit
 (** Charge CPU cycles if a hierarchy is attached. *)
 

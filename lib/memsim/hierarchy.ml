@@ -92,12 +92,32 @@ let probe_word t a =
 let touch t ~addr ~width ~is_write =
   let s = t.stats in
   let first = addr lsr 3 and last = (addr + width - 1) lsr 3 in
-  for w = first to last do
+  (* Fast path: words sharing one L1 line (and hence one TLB page, as lines
+     never span pages) after the first are guaranteed L1+TLB hits — the first
+     probe either hit or just filled line and page.  Probing them would only
+     refresh the recency of entries that are already most-recently-used, so
+     skipping the lookups leaves every cache, the prefetcher and all counters
+     in exactly the state the per-word loop produces; each skipped word still
+     accounts one access at L1 latency. *)
+  if first = last then begin
     s.accesses <- s.accesses + 1;
     if is_write then s.writes <- s.writes + 1 else s.reads <- s.reads + 1;
-    let c = probe_word t (w lsl 3) in
-    s.mem_cycles <- s.mem_cycles + c
-  done
+    s.mem_cycles <- s.mem_cycles + probe_word t (first lsl 3)
+  end
+  else begin
+    let group_bits = min t.l1_bits t.tlb_bits - 3 in
+    let group_mask = (1 lsl max 0 group_bits) - 1 in
+    let w = ref first in
+    while !w <= last do
+      let g_last = min last (!w lor group_mask) in
+      let k = g_last - !w + 1 in
+      s.accesses <- s.accesses + k;
+      if is_write then s.writes <- s.writes + k else s.reads <- s.reads + k;
+      let c = probe_word t (!w lsl 3) in
+      s.mem_cycles <- s.mem_cycles + c + ((k - 1) * t.l1_lat);
+      w := g_last + 1
+    done
+  end
 
 let read t ~addr ~width =
   if t.tracing then touch t ~addr ~width ~is_write:false

@@ -63,6 +63,31 @@ let diff a b =
 
 let total_cycles t = t.mem_cycles + t.cpu_cycles
 
+let merge a b =
+  (* Counters compose additively across concurrent executors; cycle costs
+     compose as the critical path.  The cycle fields are taken together from
+     whichever operand is slower (lexicographically by total, then mem, then
+     cpu cycles, so the choice is a total order and [merge] stays associative
+     and commutative even on ties). *)
+  let slower =
+    let key t = (total_cycles t, t.mem_cycles, t.cpu_cycles) in
+    if compare (key a) (key b) >= 0 then a else b
+  in
+  {
+    accesses = a.accesses + b.accesses;
+    reads = a.reads + b.reads;
+    writes = a.writes + b.writes;
+    l1_misses = a.l1_misses + b.l1_misses;
+    l2_misses = a.l2_misses + b.l2_misses;
+    llc_accesses = a.llc_accesses + b.llc_accesses;
+    llc_seq_misses = a.llc_seq_misses + b.llc_seq_misses;
+    llc_rand_misses = a.llc_rand_misses + b.llc_rand_misses;
+    tlb_misses = a.tlb_misses + b.tlb_misses;
+    prefetches = a.prefetches + b.prefetches;
+    mem_cycles = slower.mem_cycles;
+    cpu_cycles = slower.cpu_cycles;
+  }
+
 let add acc x =
   acc.accesses <- acc.accesses + x.accesses;
   acc.reads <- acc.reads + x.reads;

@@ -33,4 +33,13 @@ val total_cycles : t -> int
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
 
+val merge : t -> t -> t
+(** Compose the counters of two {e concurrent} executions (one per worker
+    domain of a parallel query): traffic and miss counters are summed, while
+    [mem_cycles] and [cpu_cycles] are taken from the slower operand — the
+    critical path, i.e. the simulated analogue of wall-clock time.  The
+    slower operand is chosen by comparing [(total_cycles, mem_cycles,
+    cpu_cycles)] lexicographically, which makes [merge] associative and
+    commutative (ties included). *)
+
 val pp : Format.formatter -> t -> unit

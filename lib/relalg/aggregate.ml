@@ -56,6 +56,55 @@ let finish st =
   | Avg -> if st.count = 0 then Value.Null else Value.VFloat (total st /. float_of_int st.count)
   | Min | Max -> st.best
 
+(* ------------------------------------------------------------------ *)
+(* Parallel decomposition: per-morsel partials and their combination    *)
+(* ------------------------------------------------------------------ *)
+
+let decompose (t : t) =
+  match t.func with
+  | Avg ->
+      (* avg is not mergeable from finished values: compute sum and count
+         per morsel and recombine at the end *)
+      let e =
+        match t.expr with
+        | Some e -> e
+        | None -> invalid_arg "Aggregate.decompose: avg without expression"
+      in
+      [
+        make Sum ~expr:e (t.name ^ "$avg_sum");
+        make Count ~expr:e (t.name ^ "$avg_count");
+      ]
+  | Count_star | Count | Sum | Min | Max -> [ t ]
+
+let merge_value func a b =
+  match func with
+  | Count_star | Count -> Value.VInt (Value.to_int a + Value.to_int b)
+  | Sum -> (
+      match (a, b) with
+      | Value.Null, x | x, Value.Null -> x
+      | Value.VFloat x, y -> Value.VFloat (x +. Value.to_float y)
+      | x, Value.VFloat y -> Value.VFloat (Value.to_float x +. y)
+      | x, y -> Value.VInt (Value.to_int x + Value.to_int y))
+  | Min ->
+      if Value.is_null a then b
+      else if Value.is_null b then a
+      else if Value.compare b a < 0 then b
+      else a
+  | Max ->
+      if Value.is_null a then b
+      else if Value.is_null b then a
+      else if Value.compare b a > 0 then b
+      else a
+  | Avg -> invalid_arg "Aggregate.merge_value: decompose avg before merging"
+
+let recombine (t : t) partials =
+  match t.func with
+  | Avg ->
+      let count = Value.to_int partials.(1) in
+      if count = 0 then Value.Null
+      else Value.VFloat (Value.to_float partials.(0) /. float_of_int count)
+  | Count_star | Count | Sum | Min | Max -> partials.(0)
+
 let output_type (t : t) col_ty =
   match t.func with
   | Count_star | Count -> Value.Int

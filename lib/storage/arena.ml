@@ -2,10 +2,14 @@ type t = { mutable next : int }
 
 let page = 4096
 
-let create () = { next = page }
+let round_up n = (n + page - 1) / page * page
+
+let create ?(start = page) () = { next = max page (round_up start) }
+
+let mark t = t.next
 
 let alloc t size =
   let base = t.next in
-  let size = (size + page - 1) / page * page in
+  let size = round_up size in
   t.next <- t.next + size + page (* one guard page between regions *);
   base

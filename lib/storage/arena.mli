@@ -6,7 +6,16 @@
 
 type t
 
-val create : unit -> t
+val create : ?start:int -> unit -> t
+(** [create ()] starts allocating at the first page.  [~start] (rounded up
+    to a page boundary) opens the arena at a chosen address instead — worker
+    domains of a parallel query use disjoint start addresses so their
+    intermediate allocations never alias each other or the shared base
+    data. *)
+
+val mark : t -> int
+(** The next address this arena would allocate; everything below has been
+    handed out.  Used to carve disjoint per-domain address ranges. *)
 
 val alloc : t -> int -> int
 (** [alloc t size] reserves [size] bytes and returns the base address. *)

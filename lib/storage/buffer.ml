@@ -12,6 +12,8 @@ let base t = t.base
 let size t = Bytes.length t.bytes
 let hier t = t.hier
 
+let with_hier t hier = { t with hier }
+
 let grow t want =
   if want > Bytes.length t.bytes then begin
     let nsize = max want (2 * Bytes.length t.bytes) in

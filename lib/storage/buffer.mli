@@ -18,6 +18,13 @@ val size : t -> int
 
 val hier : t -> Memsim.Hierarchy.t option
 
+val with_hier : t -> Memsim.Hierarchy.t option -> t
+(** A view of the same bytes at the same virtual address whose accesses are
+    reported to a different hierarchy (or, with [None], not at all).  The
+    underlying storage is shared with the original; the view is meant for
+    read-mostly use during one query — do not {!grow} it, and growth of the
+    original is not visible through the view. *)
+
 val grow : t -> int -> unit
 (** [grow t size] enlarges the buffer to at least [size] bytes, moving it to
     a fresh virtual region (old contents are copied). *)

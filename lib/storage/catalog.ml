@@ -9,7 +9,9 @@ type t = {
   tbl : (string, entry) Hashtbl.t;
 }
 
-let create ?hier () = { arena = Arena.create (); hier; tbl = Hashtbl.create 16 }
+let create ?hier ?arena () =
+  let arena = match arena with Some a -> a | None -> Arena.create () in
+  { arena; hier; tbl = Hashtbl.create 16 }
 
 let arena t = t.arena
 let hier t = t.hier

@@ -6,7 +6,10 @@
 
 type t
 
-val create : ?hier:Memsim.Hierarchy.t -> unit -> t
+val create : ?hier:Memsim.Hierarchy.t -> ?arena:Arena.t -> unit -> t
+(** [?arena] supplies the address space to allocate from instead of a fresh
+    one — per-domain shadow catalogs of the parallel executor pass disjoint
+    arenas so concurrent intermediate allocations never race or alias. *)
 
 val arena : t -> Arena.t
 val hier : t -> Memsim.Hierarchy.t option

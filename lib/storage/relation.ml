@@ -40,6 +40,8 @@ type t = {
   mutable capacity : int;
   arena : Arena.t;
   hier : Memsim.Hierarchy.t option;
+  row_base : int; (* first stored row of this (possibly sliced) view *)
+  view : bool; (* read-only view over storage owned by another value *)
 }
 
 let create ?hier ?(capacity = 1024) ?(encodings = []) arena schema layout =
@@ -113,6 +115,26 @@ let create ?hier ?(capacity = 1024) ?(encodings = []) arena schema layout =
     capacity;
     arena;
     hier;
+    row_base = 0;
+    view = false;
+  }
+
+let slice t ~lo ~len =
+  if lo < 0 || len < 0 || lo + len > t.nrows then
+    invalid_arg "Relation.slice: range out of bounds";
+  { t with row_base = t.row_base + lo; nrows = len; view = true }
+
+let with_hier t hier =
+  let part p = { p with buf = Buffer.with_hier p.buf hier } in
+  let dict d = { d with dbuf = Buffer.with_hier d.dbuf hier } in
+  let sparse s = { s with sbuf = Buffer.with_hier s.sbuf hier } in
+  {
+    t with
+    hier;
+    parts = Array.map part t.parts;
+    dicts = Array.map (Option.map dict) t.dicts;
+    sparses = Array.map (Option.map sparse) t.sparses;
+    view = true;
   }
 
 let schema t = t.schema
@@ -252,6 +274,7 @@ let read_field t p ~tid ~off a =
       else decode t d (Buffer.read_int32 p.buf data_off)
 
 let append t values =
+  if t.view then invalid_arg "Relation.append: relation is a read-only view";
   if Array.length values <> Schema.arity t.schema then
     invalid_arg "Relation.append: arity mismatch";
   ensure_capacity t (t.nrows + 1);
@@ -269,11 +292,13 @@ let append t values =
   tid
 
 let get t tid a =
+  let tid = t.row_base + tid in
   let pi, off = t.loc.(a) in
   let p = t.parts.(pi) in
   read_field t p ~tid ~off:((tid * p.width) + off) a
 
 let set t tid a v =
+  let tid = t.row_base + tid in
   let pi, off = t.loc.(a) in
   let p = t.parts.(pi) in
   write_field t p ~tid ~off:((tid * p.width) + off) a v
@@ -281,6 +306,7 @@ let set t tid a v =
 let get_tuple t tid = Array.init (Schema.arity t.schema) (fun a -> get t tid a)
 
 let addr t tid a =
+  let tid = t.row_base + tid in
   let pi, off = t.loc.(a) in
   let p = t.parts.(pi) in
   Buffer.base p.buf + (tid * p.width) + off
@@ -310,6 +336,7 @@ let repartition t layout =
   dst
 
 let load t ~n f =
+  if t.view then invalid_arg "Relation.load: relation is a read-only view";
   untraced t (fun () ->
       ensure_capacity t (t.nrows + n);
       for row = 0 to n - 1 do

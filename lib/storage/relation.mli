@@ -24,6 +24,19 @@ val nrows : t -> int
 val hier : t -> Memsim.Hierarchy.t option
 val arena : t -> Arena.t
 
+val slice : t -> lo:int -> len:int -> t
+(** A read-only view of rows [lo .. lo+len-1]: tuple id [i] of the slice is
+    tuple [lo + i] of this relation, stored at the same addresses.  The view
+    shares all storage with the original; {!append} and {!load} on it are
+    rejected.  This is the morsel primitive of the parallel executor — a
+    morsel is one engine run over a slice. *)
+
+val with_hier : t -> Memsim.Hierarchy.t option -> t
+(** A read-only view of the same stored data whose traced accesses are
+    reported to a different memory hierarchy (or, with [None], untraced).
+    Worker domains of a parallel query each read the shared relation through
+    their own view so simulated cache behaviour composes per-domain. *)
+
 val append : t -> Value.t array -> int
 (** Append a full tuple (one value per schema attribute, in schema order);
     returns the new tuple id.  Grows partitions as needed. *)

@@ -10,6 +10,7 @@ let () =
       ("relalg", Test_relalg.suite);
       ("sampling", Test_sampling.suite);
       ("engines", Test_engines.suite);
+      ("parallel", Test_parallel.suite);
       ("c_emitter", Test_c_emitter.suite);
       ("update", Test_update.suite);
       ("costmodel", Test_costmodel.suite);

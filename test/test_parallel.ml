@@ -1,0 +1,166 @@
+(* Morsel-driven parallel execution: result determinism across engines,
+   Stats.merge algebra, and miss-counter parity of measured parallel runs. *)
+
+open Helpers
+module Engine = Engines.Engine
+module Parallel = Engines.Parallel
+module Stats = Memsim.Stats
+
+(* ------------------------------------------------------------------ *)
+(* (a) parallel == sequential for every engine and morsel boundary     *)
+(* ------------------------------------------------------------------ *)
+
+let queries =
+  [
+    ("project", "select id, name, score from t");
+    ("select", "select id, amount from t where amount < 50");
+    ( "group",
+      "select grp, sum(amount), min(id), max(amount), count(*) from t \
+       group by grp" );
+    ("avg", "select grp, avg(amount) from t group by grp");
+    ("global", "select sum(amount), count(*) from t");
+    ("fallback-sort", "select id from t order by amount, id");
+  ]
+
+let check_result label (expected : Engines.Runtime.result)
+    (got : Engines.Runtime.result) =
+  Alcotest.(check (array string))
+    (label ^ " columns") expected.Engines.Runtime.columns
+    got.Engines.Runtime.columns;
+  check_rows (label ^ " rows") expected.Engines.Runtime.rows
+    got.Engines.Runtime.rows
+
+(* Odd boundaries on purpose: 500 rows over 64-row morsels (last morsel
+   partial), 37 rows (smaller than one morsel) and an empty relation. *)
+let test_engines_agree () =
+  List.iter
+    (fun n ->
+      let cat = small_catalog ~n () in
+      List.iter
+        (fun (qname, sql) ->
+          let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+          List.iter
+            (fun engine ->
+              let expected = Engine.run engine cat plan ~params:[||] in
+              List.iter
+                (fun domains ->
+                  let got =
+                    Engine.run ~domains ~morsel_size:64 engine cat plan
+                      ~params:[||]
+                  in
+                  check_result
+                    (Printf.sprintf "%s/%s n=%d domains=%d" qname
+                       (Engine.name engine) n domains)
+                    expected got)
+                [ 1; 2; 4 ])
+            Engine.all)
+        queries)
+    [ 500; 37; 0 ]
+
+let test_parallelizable () =
+  let cat = small_catalog () in
+  let plan sql = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+  Alcotest.(check bool)
+    "select pipeline" true
+    (Parallel.parallelizable (plan "select id from t where amount < 50"));
+  Alcotest.(check bool)
+    "group-by over pipeline" true
+    (Parallel.parallelizable
+       (plan "select grp, sum(amount) from t group by grp"));
+  Alcotest.(check bool)
+    "sort is sequential" false
+    (Parallel.parallelizable (plan "select id from t order by amount"))
+
+(* ------------------------------------------------------------------ *)
+(* (b) Stats.merge is associative and commutative                      *)
+(* ------------------------------------------------------------------ *)
+
+let stats_gen =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        match l with
+        | [ a; r; w; l1; l2; llc; ls; lr; tlb; pf; mem; cpu ] ->
+            {
+              Stats.accesses = a; reads = r; writes = w; l1_misses = l1;
+              l2_misses = l2; llc_accesses = llc; llc_seq_misses = ls;
+              llc_rand_misses = lr; tlb_misses = tlb; prefetches = pf;
+              mem_cycles = mem; cpu_cycles = cpu;
+            }
+        | _ -> assert false)
+      (list_repeat 12 (int_bound 1000)))
+
+let stats_arb =
+  QCheck.make stats_gen
+    ~print:(fun s ->
+      Printf.sprintf "{acc=%d mem=%d cpu=%d ...}" s.Stats.accesses
+        s.Stats.mem_cycles s.Stats.cpu_cycles)
+
+let qcheck_merge_commutative =
+  QCheck.Test.make ~count:500 ~name:"Stats.merge commutative"
+    (QCheck.pair stats_arb stats_arb)
+    (fun (a, b) -> Stats.merge a b = Stats.merge b a)
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~count:500 ~name:"Stats.merge associative"
+    (QCheck.triple stats_arb stats_arb stats_arb)
+    (fun (a, b, c) ->
+      Stats.merge (Stats.merge a b) c = Stats.merge a (Stats.merge b c))
+
+let test_merge_identity () =
+  let z = Stats.create () in
+  let s =
+    { z with Stats.accesses = 7; reads = 5; writes = 2; mem_cycles = 90;
+      cpu_cycles = 11 }
+  in
+  Alcotest.(check bool) "zero is left identity" true (Stats.merge z s = s);
+  Alcotest.(check bool) "zero is right identity" true (Stats.merge s z = s)
+
+(* ------------------------------------------------------------------ *)
+(* (c) measured parallel run: summed miss counters == sequential       *)
+(* ------------------------------------------------------------------ *)
+
+(* On a read-only scan every morsel starts on a cache-line and TLB-page
+   boundary (morsel size 4096 divides any row offset into aligned byte
+   offsets), so each line and page is touched from exactly one domain and
+   the summed traffic equals the sequential run's.  The split between
+   prefetched and random LLC misses shifts (each domain restarts the
+   prefetcher's streams) but their sum is invariant.  Cycle counts are
+   max-over-domains and not comparable. *)
+let test_measured_parity () =
+  let run domains =
+    let hier = Memsim.Hierarchy.create () in
+    let cat = Workloads.Microbench.build ~hier ~n:10_000 () in
+    let plan =
+      Relalg.Planner.plan cat (Relalg.Sql.parse cat "select A, B from R")
+    in
+    Engine.run_measured ~domains Engine.Jit cat plan ~params:[||]
+  in
+  let r_seq, seq = run 1 in
+  let r_par, par = run 3 in
+  check_result "scan rows" r_seq r_par;
+  let counters (s : Stats.t) =
+    [
+      ("accesses", s.Stats.accesses); ("reads", s.Stats.reads);
+      ("writes", s.Stats.writes); ("l1_misses", s.Stats.l1_misses);
+      ("l2_misses", s.Stats.l2_misses);
+      ("llc_accesses", s.Stats.llc_accesses);
+      ("llc_misses", s.Stats.llc_seq_misses + s.Stats.llc_rand_misses);
+      ("tlb_misses", s.Stats.tlb_misses);
+    ]
+  in
+  List.iter2
+    (fun (name, a) (_, b) -> Alcotest.(check int) name a b)
+    (counters seq) (counters par)
+
+let suite =
+  [
+    Alcotest.test_case "parallel equals sequential (all engines)" `Quick
+      test_engines_agree;
+    Alcotest.test_case "parallelizable plan shapes" `Quick test_parallelizable;
+    QCheck_alcotest.to_alcotest qcheck_merge_commutative;
+    QCheck_alcotest.to_alcotest qcheck_merge_associative;
+    Alcotest.test_case "Stats.merge identity" `Quick test_merge_identity;
+    Alcotest.test_case "measured parallel miss parity" `Quick
+      test_measured_parity;
+  ]
