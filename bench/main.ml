@@ -24,6 +24,7 @@ let experiments =
     ("ablations", Ablations.run);
     ("wallclock", Wallclock.run);
     ("parallel", Parallel.run);
+    ("tracefast", Tracefast.run);
   ]
 
 let () =

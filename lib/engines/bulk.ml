@@ -97,6 +97,30 @@ let eval_expr ctx src i e =
 
 let src_schema ctx plan = Physical.schema ctx.cat plan
 
+let block = 1024
+
+(* Batched column materialization: the source is a whole base relation and
+   the column is stored plain and non-nullable, so both the stored column
+   and the destination vector are fixed-stride runs.  [charges] is the
+   per-tuple CPU charge of the loop being replaced (evaluation + read +
+   push charges), kept identical to the generic path. *)
+let mat_col_run ctx rel c ~charges v =
+  let n = Relation.nrows rel in
+  if n > 0 then begin
+    let vals = Array.make (min block n) Value.Null in
+    Buffer.grow v.cbuf ((v.cn + n) * v.width);
+    let lo = ref 0 in
+    while !lo < n do
+      let m = min block (n - !lo) in
+      Relation.read_value_run rel ~lo:!lo ~count:m c vals;
+      charge ctx (charges * ctx.per_value * m);
+      Buffer.write_value_run v.cbuf (v.cn * v.width) ~stride:v.width ~ty:v.ty
+        ~count:m vals;
+      v.cn <- v.cn + m;
+      lo := !lo + m
+    done
+  end
+
 (* Materialize the listed columns of [src] into a Mat. *)
 let materialize ctx (schema : Schema.attr array) src cols =
   let n = src_count src in
@@ -108,9 +132,13 @@ let materialize ctx (schema : Schema.attr array) src cols =
         colvec_create ctx ~ty:a.Schema.ty ~nullable:a.Schema.nullable
           ~capacity:n
       in
-      for i = 0 to n - 1 do
-        colvec_push ctx v (src_get ctx src i c)
-      done;
+      (match src with
+      | Base (rel, None) when Relation.run_readable rel c && not v.nullable ->
+          mat_col_run ctx rel c ~charges:2 v
+      | _ ->
+          for i = 0 to n - 1 do
+            colvec_push ctx v (src_get ctx src i c)
+          done);
       out.(c) <- Some v)
     cols;
   Mat (out, n)
@@ -132,6 +160,15 @@ let index_tids ctx table access =
       | Some idx -> Storage.Index.lookup_range idx ~lo:(ev lo) ~hi:(ev hi)
       | None -> assert false)
 
+(* Append [k] surviving tids to a posvec as one run. *)
+let posvec_push_run ctx v surv k =
+  if k > 0 then begin
+    charge ctx (ctx.per_value * k);
+    Buffer.grow v.pbuf ((v.pn + k) * 8);
+    Buffer.write_int_run v.pbuf (v.pn * 8) ~count:k surv;
+    v.pn <- v.pn + k
+  end
+
 (* Selection the bulk way: one pass per conjunct over the current candidate
    positions, materializing the surviving positions each time. *)
 let filter_base ctx rel pos pred =
@@ -140,16 +177,59 @@ let filter_base ctx rel pos pred =
     (fun pos conj ->
       let n = match pos with None -> Relation.nrows rel | Some p -> p.pn in
       let keep = posvec_create ctx ~capacity:(max 16 (n / 4)) in
-      for i = 0 to n - 1 do
-        let tid = match pos with None -> i | Some p -> posvec_get ctx p i in
-        charge ctx ctx.per_value;
-        let v =
-          Expr.eval conj ~params:ctx.params (fun col ->
-              charge ctx ctx.per_value;
-              Relation.get rel tid col)
-        in
-        if Expr.truthy v then posvec_push ctx keep tid
-      done;
+      (match Runtime.simple_int_cmp ~params:ctx.params rel conj with
+      | Some (c, test) when n > 0 -> (
+          (* Per-tuple charges mirror the generic loop below: one evaluation
+             charge, one column-read charge, plus (for a position input) one
+             posvec-read charge; each survivor adds one push charge. *)
+          let surv = Array.make (min block n) 0 in
+          match pos with
+          | None ->
+              let vals = Array.make (min block n) 0 in
+              let lo = ref 0 in
+              while !lo < n do
+                let m = min block (n - !lo) in
+                Relation.read_int_run rel ~lo:!lo ~count:m c vals;
+                charge ctx (2 * ctx.per_value * m);
+                let k = ref 0 in
+                for i = 0 to m - 1 do
+                  if test (Array.unsafe_get vals i) then begin
+                    Array.unsafe_set surv !k (!lo + i);
+                    incr k
+                  end
+                done;
+                posvec_push_run ctx keep surv !k;
+                lo := !lo + m
+              done
+          | Some p ->
+              let tids = Array.make (min block n) 0 in
+              let lo = ref 0 in
+              while !lo < n do
+                let m = min block (n - !lo) in
+                Buffer.read_int_run p.pbuf (!lo * 8) ~count:m tids;
+                charge ctx (3 * ctx.per_value * m);
+                let k = ref 0 in
+                for i = 0 to m - 1 do
+                  let tid = Array.unsafe_get tids i in
+                  if test (Relation.get_int rel tid c) then begin
+                    Array.unsafe_set surv !k tid;
+                    incr k
+                  end
+                done;
+                posvec_push_run ctx keep surv !k;
+                lo := !lo + m
+              done)
+      | _ ->
+          for i = 0 to n - 1 do
+            let tid = match pos with None -> i | Some p -> posvec_get ctx p i in
+            charge ctx ctx.per_value;
+            let v =
+              Expr.eval conj ~params:ctx.params (fun col ->
+                  charge ctx ctx.per_value;
+                  Relation.get rel tid col)
+            in
+            if Expr.truthy v then posvec_push ctx keep tid
+          done);
       Some keep)
     pos conjs
 
@@ -224,9 +304,14 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
               colvec_create ctx ~ty:a.Schema.ty ~nullable:a.Schema.nullable
                 ~capacity:n
             in
-            for i = 0 to n - 1 do
-              colvec_push ctx v (eval_expr ctx src i exprs.(j))
-            done;
+            (match (exprs.(j), src) with
+            | Expr.Col c, Base (rel, None)
+              when Relation.run_readable rel c && not v.nullable ->
+                mat_col_run ctx rel c ~charges:3 v
+            | _ ->
+                for i = 0 to n - 1 do
+                  colvec_push ctx v (eval_expr ctx src i exprs.(j))
+                done);
             Some v)
           schema
       in
@@ -309,9 +394,14 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
       let mat_expr e =
         let ty, nullable = Relalg.Plan.type_of_expr child_schema e in
         let v = colvec_create ctx ~ty ~nullable ~capacity:n in
-        for i = 0 to n - 1 do
-          colvec_push ctx v (eval_expr ctx src i e)
-        done;
+        (match (e, src) with
+        | Expr.Col c, Base (rel, None)
+          when Relation.run_readable rel c && not v.nullable ->
+            mat_col_run ctx rel c ~charges:3 v
+        | _ ->
+            for i = 0 to n - 1 do
+              colvec_push ctx v (eval_expr ctx src i e)
+            done);
         v
       in
       let key_vecs = List.map mat_expr key_exprs in
@@ -327,15 +417,15 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
         Runtime.Agg_table.create ?hier:ctx.hier ctx.arena ~aggs
           ~global:(keys = []) ~key_width:16 ()
       in
+      let agg_vec_arr = Array.of_list agg_vecs in
       for i = 0 to n - 1 do
         let key = List.map (fun v -> colvec_get ctx v i) key_vecs in
         let inputs =
-          Array.of_list
-            (List.map
-               (function
-                 | Some v -> colvec_get ctx v i
-                 | None -> Value.Null)
-               agg_vecs)
+          Array.map
+            (function
+              | Some v -> colvec_get ctx v i
+              | None -> Value.Null)
+            agg_vec_arr
         in
         Runtime.Agg_table.update table ~key ~inputs
       done;

@@ -85,19 +85,24 @@ type domain_state = {
   d_arena : Arena.t;
 }
 
-(* A shadow catalog for one morsel: every relation is a read-only view whose
-   traced accesses go to the domain's private hierarchy, the driver table is
-   sliced to the morsel's row range, and intermediates allocate from the
-   domain's private arena. *)
-let morsel_catalog cat st ~driver ~lo ~len =
+(* A shadow catalog for one domain, built once per worker: every relation is
+   a read-only view whose traced accesses go to the domain's private
+   hierarchy, and intermediates allocate from the domain's private arena.
+   The returned driver view is resliced in place per morsel — the morsel
+   loop mutates only its row window instead of reallocating catalog and
+   views for every morsel. *)
+let domain_catalog cat st ~driver =
   let vcat = Catalog.create ?hier:st.d_hier ~arena:st.d_arena () in
+  let driver_view = ref None in
   List.iter
     (fun name ->
       let rel = Relation.with_hier (Catalog.find cat name) st.d_hier in
-      let rel = if String.equal name driver then Relation.slice rel ~lo ~len else rel in
+      if String.equal name driver then driver_view := Some rel;
       Catalog.add_relation vcat rel)
     (Catalog.names cat);
-  vcat
+  match !driver_view with
+  | Some drv -> (vcat, drv)
+  | None -> invalid_arg "Parallel: driver table not in catalog"
 
 (* ------------------------------------------------------------------ *)
 (* Merging per-morsel partial results                                  *)
@@ -181,12 +186,13 @@ let run_morsels ~domains ~morsel_size ~(runner : runner) ~measured cat
   let next = Atomic.make 0 in
   let worker d () =
     let st = states.(d) in
+    let vcat, drv = domain_catalog cat st ~driver in
     let rec loop () =
       let m = Atomic.fetch_and_add next 1 in
       if m < n_morsels then begin
         let lo = m * morsel_size in
         let len = min morsel_size (n - lo) in
-        let vcat = morsel_catalog cat st ~driver ~lo ~len in
+        Relation.reslice drv ~lo ~len;
         results.(m) <- Some (runner vcat morsel_plan);
         loop ()
       end

@@ -28,6 +28,31 @@ let concat_results = function
 let charge hier n =
   match hier with Some h -> Memsim.Hierarchy.add_cpu h n | None -> ()
 
+(* Recognize a predicate conjunct of the shape [Col c <op> rhs] with [rhs]
+   column-free and integer-valued, over a plain non-nullable int column of
+   [rel]: engines can then evaluate it on unboxed ints read in runs.
+   [Value.compare] on any mix of [VInt]/[VDate] is plain int comparison, so
+   the unboxed test is exact. *)
+let simple_int_cmp ~params rel conj =
+  let module Expr = Relalg.Expr in
+  match conj with
+  | Expr.Cmp (op, Expr.Col c, rhs)
+    when Expr.cols rhs = [] && Storage.Relation.int_run_readable rel c -> (
+      match Expr.eval rhs ~params (fun _ -> assert false) with
+      | Value.VInt r | Value.VDate r ->
+          let test : int -> bool =
+            match op with
+            | Expr.Eq -> fun v -> v = r
+            | Expr.Ne -> fun v -> v <> r
+            | Expr.Lt -> fun v -> v < r
+            | Expr.Le -> fun v -> v <= r
+            | Expr.Gt -> fun v -> v > r
+            | Expr.Ge -> fun v -> v >= r
+          in
+          Some (c, test)
+      | _ -> None)
+  | _ -> None
+
 module Sim_hash = struct
   type 'v t = {
     hier : Memsim.Hierarchy.t option;
@@ -36,7 +61,7 @@ module Sim_hash = struct
     tbl : (int, (Value.t list * 'v) list ref) Hashtbl.t;
     mutable order : Value.t list list; (* insertion order of distinct keys *)
     mutable base : int;
-    mutable slots : int;
+    mutable slots : int; (* always a power of two *)
     mutable count : int;
   }
 
@@ -59,7 +84,8 @@ module Sim_hash = struct
   let touch t ~write h =
     match t.hier with
     | Some hier ->
-        let slot = (h land max_int) mod t.slots in
+        (* slots is a power of two, so masking equals the modulo *)
+        let slot = h land (t.slots - 1) in
         let addr = t.base + (slot * t.entry_width) in
         let width = min t.entry_width 64 in
         Memsim.Hierarchy.add_cpu hier Cpu_model.hash_op;
@@ -121,6 +147,13 @@ module Sim_hash = struct
         t.order <- key :: t.order;
         t.count <- t.count + 1
 
+  (* The simulated traffic of an {!update} that finds its key — one probe-read
+     and one write-back of the entry — without the OCaml-side lookup.  The
+     global-aggregate fast path uses it once the single state is resolved. *)
+  let retouch t ~hash =
+    touch t ~write:false hash;
+    touch t ~write:true hash
+
   let iter t f =
     List.iter
       (fun key ->
@@ -139,28 +172,48 @@ end
 module Agg_table = struct
   type t = {
     aggs : Aggregate.t list;
+    agg_arr : Aggregate.t array;
     table : Aggregate.state array Sim_hash.t;
     global : bool;
+    empty_hash : int; (* hash of the empty key, precomputed *)
     mutable saw_row : bool;
+    mutable gstates : Aggregate.state array option;
+        (* the single state row of an all-rows aggregate, cached so the
+           per-row path skips the hash-table lookup (traffic unchanged) *)
   }
 
   let create ?hier arena ~aggs ?(global = false) ~key_width () =
     let entry_width = key_width + (16 * List.length aggs) in
     {
       aggs;
+      agg_arr = Array.of_list aggs;
       table = Sim_hash.create ?hier arena ~entry_width:(max 16 entry_width) ();
       global;
+      empty_hash = Sim_hash.key_hash [];
       saw_row = false;
+      gstates = None;
     }
+
+  let step_all t states inputs =
+    for i = 0 to Array.length t.agg_arr - 1 do
+      Aggregate.step (Array.unsafe_get states i) (Array.unsafe_get inputs i)
+    done
 
   let update t ~key ~inputs =
     t.saw_row <- true;
-    Sim_hash.update t.table ~key
-      ~init:(fun () ->
-        Array.of_list
-          (List.map (fun (a : Aggregate.t) -> Aggregate.init a.func) t.aggs))
-      (fun states ->
-        List.iteri (fun i _ -> Aggregate.step states.(i) inputs.(i)) t.aggs)
+    match (key, t.gstates) with
+    | [], Some states ->
+        (* the empty key always hits its one entry: same read + write-back
+           touches as the generic lookup, minus the OCaml-side search *)
+        Sim_hash.retouch t.table ~hash:t.empty_hash;
+        step_all t states inputs
+    | _ ->
+        Sim_hash.update t.table ~key
+          ~init:(fun () ->
+            Array.map (fun (a : Aggregate.t) -> Aggregate.init a.func) t.agg_arr)
+          (fun states ->
+            if key == [] then t.gstates <- Some states;
+            step_all t states inputs)
 
   let emit t f =
     if t.global && (not t.saw_row) && Sim_hash.length t.table = 0 then begin
@@ -184,10 +237,8 @@ let sort_rows ?hier arena ~row_width ~keys rows =
     | Some h ->
         let base = Storage.Arena.alloc arena (n * row_width) in
         (* materialize the run *)
-        for i = 0 to n - 1 do
-          Memsim.Hierarchy.write h ~addr:(base + (i * row_width))
-            ~width:(min row_width 64)
-        done;
+        Memsim.Hierarchy.write_run h ~addr:base ~width:(min row_width 64)
+          ~count:n ~stride:row_width;
         (* n log n random touches for the comparison-based sort *)
         let log2n =
           int_of_float (Float.ceil (Float.log (float_of_int n) /. Float.log 2.0))

@@ -17,6 +17,16 @@ val concat_results : result list -> result
 val charge : Memsim.Hierarchy.t option -> int -> unit
 (** Charge CPU cycles if a hierarchy is attached. *)
 
+val simple_int_cmp :
+  params:Value.t array ->
+  Storage.Relation.t ->
+  Relalg.Expr.t ->
+  (int * (int -> bool)) option
+(** Recognize a conjunct of the shape [Col c <op> rhs] with [rhs] column-free
+    and integer-valued, over a plain non-nullable int column: returns the
+    column index and an unboxed test exactly equivalent to the boxed
+    evaluation.  Engines use it to run selections over column runs. *)
+
 (** A hash table whose probe/update traffic is modeled as repetitive random
     accesses into a simulator region (the [rr_acc] of the cost model).  The
     actual key/value storage is an OCaml hashtable — the simulator only

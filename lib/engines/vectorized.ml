@@ -118,57 +118,75 @@ let run_pipeline ctx (p : pipeline) : Value.t array list =
   let total =
     match tid_source with Some tids -> Array.length tids | None -> n
   in
+  (* scratch arrays mirroring the two simulator-resident vectors: tids move
+     through the simulated buffers as whole runs, not element by element *)
+  let tids_arr = Array.make vector_size 0 in
+  let keep_arr = Array.make vector_size 0 in
   let chunk_start = ref 0 in
   while !chunk_start < total do
     let m = min vector_size (total - !chunk_start) in
-    (* 1. fill the selection vector with the vector's tids *)
-    for i = 0 to m - 1 do
-      let tid =
-        match tid_source with
-        | Some tids -> tids.(!chunk_start + i)
-        | None -> !chunk_start + i
-      in
-      Buffer.write_int selvec (i * 8) tid
-    done;
+    (* 1. fill the selection vector with the vector's tids (one run) *)
+    (match tid_source with
+    | Some tids -> Array.blit tids !chunk_start tids_arr 0 m
+    | None ->
+        for i = 0 to m - 1 do
+          tids_arr.(i) <- !chunk_start + i
+        done);
+    Buffer.write_int_run selvec 0 ~count:m tids_arr;
     (* 2. one pass per conjunct, compacting survivors into [scratch] *)
     let count = ref m in
     List.iter
       (fun conj ->
+        Buffer.read_int_run selvec 0 ~count:!count tids_arr;
         let kept = ref 0 in
-        for i = 0 to !count - 1 do
-          let tid = Buffer.read_int selvec (i * 8) in
-          if Expr.truthy (eval_at tid conj) then begin
-            Buffer.write_int scratch (!kept * 8) tid;
-            incr kept
-          end
-        done;
+        (match Runtime.simple_int_cmp ~params:ctx.params rel conj with
+        | Some (c, test) ->
+            (* unboxed comparison; charges equal the generic evaluation: one
+               expression charge plus one column-read charge per tuple *)
+            charge ctx (2 * Cpu_model.bulk_per_value * !count);
+            for i = 0 to !count - 1 do
+              let tid = Array.unsafe_get tids_arr i in
+              if test (Relation.get_int rel tid c) then begin
+                Array.unsafe_set keep_arr !kept tid;
+                incr kept
+              end
+            done
+        | None ->
+            for i = 0 to !count - 1 do
+              let tid = Array.unsafe_get tids_arr i in
+              if Expr.truthy (eval_at tid conj) then begin
+                Array.unsafe_set keep_arr !kept tid;
+                incr kept
+              end
+            done);
+        Buffer.write_int_run scratch 0 ~count:!kept keep_arr;
         (* copy back: the two small buffers stay cache resident *)
-        for i = 0 to !kept - 1 do
-          Buffer.write_int selvec (i * 8) (Buffer.read_int scratch (i * 8))
-        done;
+        Buffer.touch_run scratch 0 ~width:8 ~count:!kept ~stride:8;
+        Buffer.write_int_run selvec 0 ~count:!kept keep_arr;
         count := !kept)
       p.conjuncts;
     (* 3. sink: aggregate or project the survivors *)
+    Buffer.read_int_run selvec 0 ~count:!count tids_arr;
     (match group_state with
     | Some (keys, aggs, table) ->
+        let agg_arr = Array.of_list aggs in
         for i = 0 to !count - 1 do
-          let tid = Buffer.read_int selvec (i * 8) in
+          let tid = tids_arr.(i) in
           let key = List.map (fun (e, _) -> eval_at tid e) keys in
           let inputs =
-            Array.of_list
-              (List.map
-                 (fun (a : Aggregate.t) ->
-                   match a.Aggregate.expr with
-                   | Some e -> eval_at tid e
-                   | None -> Value.Null)
-                 aggs)
+            Array.map
+              (fun (a : Aggregate.t) ->
+                match a.Aggregate.expr with
+                | Some e -> eval_at tid e
+                | None -> Value.Null)
+              agg_arr
           in
           Runtime.Agg_table.update table ~key ~inputs
         done
     | None ->
         let arity = Schema.arity (Relation.schema rel) in
         for i = 0 to !count - 1 do
-          let tid = Buffer.read_int selvec (i * 8) in
+          let tid = tids_arr.(i) in
           match p.projection with
           | Some exprs ->
               emit (Array.of_list (List.map (fun (e, _) -> eval_at tid e) exprs))

@@ -17,12 +17,40 @@ val access : t -> int -> bool
 (** [access t line] looks up [line]; on a miss the line is inserted, evicting
     the LRU way of its set.  Returns [true] on a hit. *)
 
+type probe = Miss | Hit | Hit_pending
+
+val access_pending : t -> int -> probe
+(** Like {!access}, but also maintains a per-slot "pending prefetch" flag —
+    a fixed-size direct-mapped structure keyed by line address through the
+    set function, replacing an unbounded hash set of prefetched lines.
+    [Hit_pending] is returned exactly once per prefetch: on the first demand
+    touch of a line filled by {!insert_pending}.  A demand fill (miss, or
+    eviction by any fill) clears the victim slot's flag, so pendingness
+    tracks residency exactly. *)
+
 val insert : t -> int -> unit
 (** [insert t line] fills [line] without counting it as a demand access (used
     by the prefetcher). Inserting an already-present line refreshes its age. *)
 
+val insert_pending : t -> int -> unit
+(** {!insert} that marks the filled line pending (prefetched, not yet
+    demand-touched).  Refreshing an already-present line leaves its flag
+    unchanged. *)
+
 val mem : t -> int -> bool
 (** [mem t line] is a lookup without any side effect. *)
+
+(** Reference probes: the pre-batching implementation (mod-based set
+    indexing, separate find and victim walks), kept verbatim so that the
+    hierarchy's per-word reference path measures the original tracer's wall
+    clock.  Decisions are identical to the optimized probes; the per-slot
+    pending flags are not maintained (the reference hierarchy tracks
+    prefetched lines in a side table), so drive a given cache through one
+    family of probes only. *)
+
+val access_ref : t -> int -> bool
+val insert_ref : t -> int -> unit
+val mem_ref : t -> int -> bool
 
 val clear : t -> unit
 

@@ -1,12 +1,15 @@
 type t = {
   params : Params.t;
   mutable tracing : bool;
+  mutable fastpath : bool;
   l1 : Cache.t;
   l2 : Cache.t;
   l3 : Cache.t;
   tlb : Cache.t;
   pf : Prefetcher.t;
-  pending : (int, unit) Hashtbl.t; (* prefetched lines not yet demand-touched *)
+  pending_ref : (int, unit) Hashtbl.t;
+      (* prefetched-lines side table of the reference (fast path off)
+         tracer; the fast path keeps pendingness in per-slot cache flags *)
   stats : Stats.t;
   l1_bits : int;
   l2_bits : int;
@@ -17,7 +20,24 @@ type t = {
   l3_lat : int;
   tlb_lat : int;
   mem_lat : int;
+  mutable last_tlb : int;
+      (* page of the most recent actual TLB probe.  Every TLB modification
+         goes through that probe, so a repeat lookup of this page is a
+         guaranteed hit that would only refresh an already-MRU entry: it can
+         be skipped with identical counters, costs and replacement state. *)
+  mutable last_l2 : int; (* same memo for the most recent L2 line probed *)
+  mutable last_l1 : int;
+      (* same memo for the most recent L1 line probed; fires on
+         read-modify-write word patterns (aggregate state updates) *)
 }
+
+(* Process-wide default for new hierarchies; MEMSIM_FASTPATH=0 turns the
+   run-batched fast path off everywhere so the whole bench harness can be
+   timed against the reference per-word decomposition. *)
+let default_fastpath () =
+  match Sys.getenv_opt "MEMSIM_FASTPATH" with
+  | Some "0" -> false
+  | _ -> true
 
 let create ?(params = Params.nehalem) () =
   assert (Array.length params.levels = 3);
@@ -28,12 +48,13 @@ let create ?(params = Params.nehalem) () =
   {
     params;
     tracing = true;
+    fastpath = default_fastpath ();
     l1;
     l2;
     l3;
     tlb;
     pf = Prefetcher.create ~streams:params.prefetch_streams;
-    pending = Hashtbl.create 1024;
+    pending_ref = Hashtbl.create 1024;
     stats = Stats.create ();
     l1_bits = Cache.block_bits l1;
     l2_bits = Cache.block_bits l2;
@@ -44,44 +65,123 @@ let create ?(params = Params.nehalem) () =
     l3_lat = params.levels.(2).latency;
     tlb_lat = params.tlb.latency;
     mem_lat = params.memory_latency;
+    last_tlb = -1;
+    last_l2 = -1;
+    last_l1 = -1;
   }
 
 let params t = t.params
 
-(* One 8-byte-word probe of the hierarchy.  Returns the cycle cost. *)
+(* The L1→L2→LLC walk of one 8-byte-word probe, without the TLB lookup.
+   Callers that have just probed another word of the same page may use this
+   directly: the page is resident and most-recently-used, so the skipped
+   TLB lookup would be a guaranteed hit that only refreshes an already-MRU
+   entry — no counter, cost or replacement decision can differ.  Returns
+   the cycle cost. *)
+let probe_word_no_tlb t a =
+  let s = t.stats in
+  let l1_line = a lsr t.l1_bits in
+  if l1_line = t.last_l1 then (* guaranteed hit, see [last_l1] *) t.l1_lat
+  else if begin
+    t.last_l1 <- l1_line;
+    Cache.access t.l1 l1_line
+  end
+  then t.l1_lat
+  else begin
+    s.l1_misses <- s.l1_misses + 1;
+    let l2_line = a lsr t.l2_bits in
+    if l2_line = t.last_l2 then
+      (* repeat of the line probed by the previous L2 access: resident and
+         MRU (access fills on miss), so this is a guaranteed hit *)
+      t.l1_lat + t.l2_lat
+    else if begin
+      t.last_l2 <- l2_line;
+      Cache.access t.l2 l2_line
+    end
+    then t.l1_lat + t.l2_lat
+    else begin
+      s.l2_misses <- s.l2_misses + 1;
+      let line = a lsr t.l3_bits in
+      s.llc_accesses <- s.llc_accesses + 1;
+      let mem_cost =
+        match Cache.access_pending t.l3 line with
+        | Cache.Hit -> 0
+        | Cache.Hit_pending ->
+            (* first demand touch of a prefetched line: its memory latency
+               was hidden behind processing — the paper's "sequential miss" *)
+            s.llc_seq_misses <- s.llc_seq_misses + 1;
+            0
+        | Cache.Miss ->
+            s.llc_rand_misses <- s.llc_rand_misses + 1;
+            t.mem_lat
+      in
+      (match Prefetcher.observe t.pf line with
+      | Some p ->
+          if not (Cache.mem t.l3 p) then begin
+            Cache.insert_pending t.l3 p;
+            s.prefetches <- s.prefetches + 1
+          end
+      | None -> ());
+      t.l1_lat + t.l2_lat + t.l3_lat + mem_cost
+    end
+  end
+
+(* One 8-byte-word probe of the full hierarchy.  Returns the cycle cost. *)
 let probe_word t a =
+  let page = a lsr t.tlb_bits in
+  let tlb_cost =
+    if page = t.last_tlb then (* guaranteed hit, see [last_tlb] *) 0
+    else begin
+      t.last_tlb <- page;
+      if Cache.access t.tlb page then 0
+      else begin
+        t.stats.tlb_misses <- t.stats.tlb_misses + 1;
+        t.tlb_lat
+      end
+    end
+  in
+  tlb_cost + probe_word_no_tlb t a
+
+(* Reference tracer: the original (pre-batching) per-word walk, kept
+   verbatim — mod-based set indexing, two-pass find/victim walks, the
+   prefetched-line side table, a TLB probe per L1-line group.  It is the
+   "before" that MEMSIM_FASTPATH=0 measures and the independent
+   implementation the identity tests compare the batched path against.
+   Counters and cycles are identical to the fast path by the arguments on
+   [touch_fast]/[touch_run_fast] below; only the wall-clock profile
+   differs.  A hierarchy must run one path from creation: the two represent
+   prefetch pendingness differently, so flipping mid-stream is unsound. *)
+let probe_word_ref t a =
   let s = t.stats in
   let cost = ref t.l1_lat in
-  if not (Cache.access t.tlb (a lsr t.tlb_bits)) then begin
+  if not (Cache.access_ref t.tlb (a lsr t.tlb_bits)) then begin
     s.tlb_misses <- s.tlb_misses + 1;
     cost := !cost + t.tlb_lat
   end;
-  if not (Cache.access t.l1 (a lsr t.l1_bits)) then begin
+  if not (Cache.access_ref t.l1 (a lsr t.l1_bits)) then begin
     s.l1_misses <- s.l1_misses + 1;
     cost := !cost + t.l2_lat;
-    if not (Cache.access t.l2 (a lsr t.l2_bits)) then begin
+    if not (Cache.access_ref t.l2 (a lsr t.l2_bits)) then begin
       s.l2_misses <- s.l2_misses + 1;
       cost := !cost + t.l3_lat;
       let line = a lsr t.l3_bits in
       s.llc_accesses <- s.llc_accesses + 1;
-      if Cache.access t.l3 line then begin
-        if Hashtbl.mem t.pending line then begin
-          (* first demand touch of a prefetched line: its memory latency was
-             hidden behind processing — the paper's "sequential miss" *)
+      if Cache.access_ref t.l3 line then begin
+        if Hashtbl.mem t.pending_ref line then begin
           s.llc_seq_misses <- s.llc_seq_misses + 1;
-          Hashtbl.remove t.pending line
+          Hashtbl.remove t.pending_ref line
         end
       end
       else begin
-        Hashtbl.remove t.pending line;
+        Hashtbl.remove t.pending_ref line;
         s.llc_rand_misses <- s.llc_rand_misses + 1;
         cost := !cost + t.mem_lat
       end;
       match Prefetcher.observe t.pf line with
       | Some p ->
-          if not (Cache.mem t.l3 p) then begin
-            Cache.insert t.l3 p;
-            Hashtbl.replace t.pending p ();
+          if not (Cache.mem_ref t.l3 p) then begin
+            Cache.insert_ref t.l3 p;
+            Hashtbl.replace t.pending_ref p ();
             s.prefetches <- s.prefetches + 1
           end
       | None -> ()
@@ -89,7 +189,30 @@ let probe_word t a =
   end;
   !cost
 
-let touch t ~addr ~width ~is_write =
+let touch_ref t ~addr ~width ~is_write =
+  let s = t.stats in
+  let first = addr lsr 3 and last = (addr + width - 1) lsr 3 in
+  if first = last then begin
+    s.accesses <- s.accesses + 1;
+    if is_write then s.writes <- s.writes + 1 else s.reads <- s.reads + 1;
+    s.mem_cycles <- s.mem_cycles + probe_word_ref t (first lsl 3)
+  end
+  else begin
+    let group_bits = min t.l1_bits t.tlb_bits - 3 in
+    let group_mask = (1 lsl max 0 group_bits) - 1 in
+    let w = ref first in
+    while !w <= last do
+      let g_last = min last (!w lor group_mask) in
+      let k = g_last - !w + 1 in
+      s.accesses <- s.accesses + k;
+      if is_write then s.writes <- s.writes + k else s.reads <- s.reads + k;
+      let c = probe_word_ref t (!w lsl 3) in
+      s.mem_cycles <- s.mem_cycles + c + ((k - 1) * t.l1_lat);
+      w := g_last + 1
+    done
+  end
+
+let touch_fast t ~addr ~width ~is_write =
   let s = t.stats in
   let first = addr lsr 3 and last = (addr + width - 1) lsr 3 in
   (* Fast path: words sharing one L1 line (and hence one TLB page, as lines
@@ -105,19 +228,147 @@ let touch t ~addr ~width ~is_write =
     s.mem_cycles <- s.mem_cycles + probe_word t (first lsl 3)
   end
   else begin
+    (* One probe per L1-line group as before; additionally the TLB lookup is
+       elided while the walk stays on the page just probed — that lookup is a
+       guaranteed hit refreshing an already-MRU entry, so counters, cycles
+       and replacement state are unchanged (same argument as the group
+       skip). *)
     let group_bits = min t.l1_bits t.tlb_bits - 3 in
     let group_mask = (1 lsl max 0 group_bits) - 1 in
+    let page_bits = t.tlb_bits - 3 in
     let w = ref first in
+    let cur_page = ref (-1) in
     while !w <= last do
       let g_last = min last (!w lor group_mask) in
       let k = g_last - !w + 1 in
       s.accesses <- s.accesses + k;
       if is_write then s.writes <- s.writes + k else s.reads <- s.reads + k;
-      let c = probe_word t (!w lsl 3) in
+      let pg = !w lsr page_bits in
+      let c =
+        if pg = !cur_page then probe_word_no_tlb t (!w lsl 3)
+        else begin
+          cur_page := pg;
+          probe_word t (!w lsl 3)
+        end
+      in
       s.mem_cycles <- s.mem_cycles + c + ((k - 1) * t.l1_lat);
       w := g_last + 1
     done
   end
+
+(* Run-batched tracing: simulate
+
+     for i = 0 to count-1 do touch ~addr:(addr + i*stride) ~width done
+
+   probing each distinct L1 line once per streak and each distinct TLB page
+   once per streak.  The equivalence argument is the one [touch] makes for
+   words of one line, extended across the accesses of the run: while
+   consecutive accesses stay inside the line just probed, a re-probe is a
+   guaranteed L1 (and TLB) hit whose only effect is refreshing already-MRU
+   recency — invisible to counters, costs and all replacement decisions, as
+   LRU only compares ages relatively.  Likewise a streak that moves to a new
+   line of the page just probed re-probes only L1/L2/LLC; the TLB entry is
+   resident and MRU.  Every skipped word still accounts one access at L1
+   latency, so counters and cycles are byte-identical to the per-word loop.
+   State is tracked only within one call: the first access always probes. *)
+let touch_run_fast t ~addr ~width ~count ~stride ~is_write =
+  let s = t.stats in
+  let group_bits = max 0 (min t.l1_bits t.tlb_bits - 3) in
+  let group_mask = (1 lsl group_bits) - 1 in
+  (* word-group -> page shift: group_bits <= tlb_bits - 3 by construction *)
+  let page_shift = t.tlb_bits - 3 - group_bits in
+  let words = ref 0 in
+  let cycles = ref 0 in
+  let cur_group = ref (-1) in
+  if stride > 0 && stride land 7 = 0 && (addr land 7) + width <= 8 then begin
+    (* The engines' canonical shape — every element is exactly one word and
+       the stride keeps word alignment (column scans, position vectors, row
+       runs).  Addresses increase monotonically, so each distinct line is
+       one streak: charge whole streaks per loop iteration instead of
+       walking the run element by element.  Counter accounting is the
+       per-element loop's, just summed per streak: one probe plus L1 latency
+       for every further element of the streak. *)
+    let gb = group_bits + 3 in
+    if stride >= 1 lsl gb then begin
+      (* every element lands in its own group: probe each, only the TLB
+         lookup is elided while the page stays the same *)
+      for i = 0 to count - 1 do
+        let a = addr + (i * stride) in
+        let g = a lsr gb in
+        let c =
+          if !cur_group >= 0 && !cur_group lsr page_shift = g lsr page_shift
+          then probe_word_no_tlb t a
+          else probe_word t a
+        in
+        cur_group := g;
+        cycles := !cycles + c
+      done;
+      words := count
+    end
+    else begin
+      let i = ref 0 in
+      while !i < count do
+        let a = addr + (!i * stride) in
+        let g = a lsr gb in
+        let k =
+          min (count - !i) (((((g + 1) lsl gb) - a) + stride - 1) / stride)
+        in
+        let c =
+          if !cur_group >= 0 && !cur_group lsr page_shift = g lsr page_shift
+          then probe_word_no_tlb t a
+          else probe_word t a
+        in
+        cur_group := g;
+        cycles := !cycles + c + ((k - 1) * t.l1_lat);
+        words := !words + k;
+        i := !i + k
+      done
+    end
+  end
+  else
+    for i = 0 to count - 1 do
+      let a = addr + (i * stride) in
+      let first = a lsr 3 and last = (a + width - 1) lsr 3 in
+      let w = ref first in
+      while !w <= last do
+        let g_last = min last (!w lor group_mask) in
+        let k = g_last - !w + 1 in
+        let g = !w lsr group_bits in
+        if g = !cur_group then cycles := !cycles + (k * t.l1_lat)
+        else begin
+          let c =
+            if !cur_group >= 0 && !cur_group lsr page_shift = g lsr page_shift
+            then probe_word_no_tlb t (!w lsl 3)
+            else probe_word t (!w lsl 3)
+          in
+          cur_group := g;
+          cycles := !cycles + c + ((k - 1) * t.l1_lat)
+        end;
+        words := !words + k;
+        w := g_last + 1
+      done
+    done;
+  s.accesses <- s.accesses + !words;
+  if is_write then s.writes <- s.writes + !words
+  else s.reads <- s.reads + !words;
+  s.mem_cycles <- s.mem_cycles + !cycles
+
+let touch t ~addr ~width ~is_write =
+  if t.fastpath then touch_fast t ~addr ~width ~is_write
+  else touch_ref t ~addr ~width ~is_write
+
+(* The reference semantics of a run: the plain per-word loop over the
+   reference tracer.  Kept as the slow path so identity tests and the
+   tracefast bench can toggle between the two on the same access stream. *)
+let touch_run_slow t ~addr ~width ~count ~stride ~is_write =
+  for i = 0 to count - 1 do
+    touch_ref t ~addr:(addr + (i * stride)) ~width ~is_write
+  done
+
+let touch_run t ~addr ~width ~count ~stride ~is_write =
+  if count > 0 && width > 0 then
+    if t.fastpath then touch_run_fast t ~addr ~width ~count ~stride ~is_write
+    else touch_run_slow t ~addr ~width ~count ~stride ~is_write
 
 let read t ~addr ~width =
   if t.tracing then touch t ~addr ~width ~is_write:false
@@ -125,10 +376,19 @@ let read t ~addr ~width =
 let write t ~addr ~width =
   if t.tracing then touch t ~addr ~width ~is_write:true
 
+let read_run t ~addr ~width ~count ~stride =
+  if t.tracing then touch_run t ~addr ~width ~count ~stride ~is_write:false
+
+let write_run t ~addr ~width ~count ~stride =
+  if t.tracing then touch_run t ~addr ~width ~count ~stride ~is_write:true
+
 let add_cpu t n = if t.tracing then t.stats.cpu_cycles <- t.stats.cpu_cycles + n
 
 let set_enabled t b = t.tracing <- b
 let enabled t = t.tracing
+
+let set_fastpath t b = t.fastpath <- b
+let fastpath t = t.fastpath
 
 let without_tracing t f =
   let prev = t.tracing in
@@ -146,4 +406,7 @@ let reset t =
   Cache.clear t.l3;
   Cache.clear t.tlb;
   Prefetcher.clear t.pf;
-  Hashtbl.reset t.pending
+  Hashtbl.reset t.pending_ref;
+  t.last_tlb <- -1;
+  t.last_l2 <- -1;
+  t.last_l1 <- -1

@@ -21,6 +21,38 @@ val read : t -> addr:int -> width:int -> unit
 val write : t -> addr:int -> width:int -> unit
 (** Simulate a store.  Timing model is identical to {!read} (write-allocate). *)
 
+val read_run : t -> addr:int -> width:int -> count:int -> stride:int -> unit
+(** [read_run t ~addr ~width ~count ~stride] simulates the access run
+
+    {[ for i = 0 to count - 1 do read t ~addr:(addr + i * stride) ~width done ]}
+
+    walking it line-by-line: one cache walk per distinct L1 line, one TLB
+    lookup per distinct page, prefetcher observed at line granularity.  All
+    counters and cycle totals are byte-identical to the per-word loop above —
+    re-probing a line (or page) that the immediately preceding access just
+    probed is a guaranteed hit whose only effect would be refreshing
+    already-most-recently-used recency.  [count <= 0] or [width <= 0] is a
+    no-op.  Negative strides and overlapping elements are supported. *)
+
+val write_run : t -> addr:int -> width:int -> count:int -> stride:int -> unit
+(** Store version of {!read_run}. *)
+
+val set_fastpath : t -> bool -> unit
+(** When the fast path is off, all tracing runs on the reference per-word
+    tracer — the original pre-batching implementation, kept verbatim
+    (mod-based set indexing, two-pass find/victim walks, prefetched-line
+    side table) — and {!read_run}/{!write_run} decompose into the literal
+    per-word loop.  Used by identity tests and the [tracefast] bench to
+    verify zero counter drift on the same access stream and to measure the
+    batching speedup against the true before.  Default: on, unless the
+    environment variable [MEMSIM_FASTPATH] is ["0"] at {!create} time — the
+    bench harness uses that to time whole experiments against the reference
+    decomposition.  Choose the path before the first traced access: the two
+    tracers represent prefetch pendingness differently, so flipping
+    mid-stream (on a non-empty hierarchy) is unsound. *)
+
+val fastpath : t -> bool
+
 val add_cpu : t -> int -> unit
 (** Charge [n] CPU cycles of instruction work (predicate evaluation, hashing,
     virtual-call overhead, ...). *)

@@ -24,34 +24,36 @@ let clear t =
   t.clock <- 0
 
 let find_stream t line =
+  let n = Array.length t.streams in
   let best = ref (-1) in
   let best_delta = ref max_int in
-  Array.iteri
-    (fun i s ->
-      if s.valid then begin
-        let d = abs (line - s.last) in
-        if d <= max_stream_delta && d < !best_delta then begin
-          best := i;
-          best_delta := d
-        end
-      end)
-    t.streams;
+  for i = 0 to n - 1 do
+    let s = Array.unsafe_get t.streams i in
+    if s.valid then begin
+      let d = abs (line - s.last) in
+      if d <= max_stream_delta && d < !best_delta then begin
+        best := i;
+        best_delta := d
+      end
+    end
+  done;
   !best
 
 let lru_slot t =
+  let n = Array.length t.streams in
   let best = ref 0 in
   let best_age = ref max_int in
-  Array.iteri
-    (fun i s ->
-      if not s.valid then begin
-        best := i;
-        best_age := -1
-      end
-      else if s.age < !best_age then begin
-        best := i;
-        best_age := s.age
-      end)
-    t.streams;
+  for i = 0 to n - 1 do
+    let s = Array.unsafe_get t.streams i in
+    if not s.valid then begin
+      best := i;
+      best_age := -1
+    end
+    else if s.age < !best_age then begin
+      best := i;
+      best_age := s.age
+    end
+  done;
   !best
 
 let observe t line =

@@ -57,8 +57,74 @@ val write_value : t -> int -> ty:Value.ty -> nullable:bool -> Value.t -> unit
 val untraced_read_int : t -> int -> int
 (** Read without touching the simulator (used by assertions and tests). *)
 
+val untraced_write_int : t -> int -> int -> unit
+(** Write without touching the simulator (bulk-load fast path; loads run
+    untraced anyway). *)
+
+val blit_raw : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Untraced raw byte copy between buffers.  The repartition/load path uses
+    it to move stored fields without decoding values; setup work is excluded
+    from measurements, so no traffic is simulated. *)
+
+val copy_run :
+  src:t ->
+  src_off:int ->
+  src_stride:int ->
+  dst:t ->
+  dst_off:int ->
+  dst_stride:int ->
+  width:int ->
+  count:int ->
+  unit
+(** Untraced strided field copy: [count] fields of [width] bytes, the i-th
+    read at [src_off + i*src_stride] and written at [dst_off + i*dst_stride].
+    Contiguous-on-both-sides copies collapse to one blit; 8-byte fields move
+    as int64 loads/stores. *)
+
 val touch : t -> int -> width:int -> unit
 (** Report a read of [width] bytes at the given offset without moving data
     (used to model accesses whose payload is handled elsewhere). *)
 
 val touch_write : t -> int -> width:int -> unit
+
+(** {1 Run accessors}
+
+    Each traces the whole fixed-stride access run with a single
+    {!Memsim.Hierarchy.read_run}/[write_run] call (line-batched, counters
+    byte-identical to the per-element loop) and moves the bytes in a tight
+    loop with the hierarchy match and bounds math hoisted out.  [dst]/[src]
+    arrays must hold at least [count] elements; offsets are not
+    bounds-checked beyond what [Bytes] enforces. *)
+
+val touch_run : t -> int -> width:int -> count:int -> stride:int -> unit
+(** Trace [count] reads of [width] bytes, [stride] apart, starting at the
+    given offset, without moving data. *)
+
+val touch_write_run : t -> int -> width:int -> count:int -> stride:int -> unit
+
+val read_int_run : t -> int -> ?stride:int -> count:int -> int array -> unit
+(** [read_int_run t off ~stride ~count dst] fills [dst.(0..count-1)] with the
+    8-byte ints at [off], [off+stride], ...  [stride] defaults to 8
+    (contiguous). *)
+
+val write_int_run : t -> int -> ?stride:int -> count:int -> int array -> unit
+
+val read_float_run : t -> int -> ?stride:int -> count:int -> float array -> unit
+val write_float_run : t -> int -> ?stride:int -> count:int -> float array -> unit
+
+val read_bytes_run : t -> int -> len:int -> Bytes.t -> unit
+(** [read_bytes_run t off ~len dst] traces one [len]-byte read and blits the
+    bytes into [dst.(0..len-1)]. *)
+
+val write_bytes_run : t -> int -> len:int -> Bytes.t -> unit
+
+val read_value_run :
+  t -> int -> stride:int -> ty:Value.ty -> count:int -> Value.t array -> unit
+(** Boxed-value run read for {e non-nullable} fixed-width attributes (a
+    nullable field is two touches per element — null byte and payload — and
+    cannot be expressed as one uniform run; callers must use {!read_value}). *)
+
+val write_value_run :
+  t -> int -> stride:int -> ty:Value.ty -> count:int -> Value.t array -> unit
+(** Non-nullable counterpart of {!write_value}; no element of [src] may be
+    [Null]. *)

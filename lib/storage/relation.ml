@@ -40,8 +40,13 @@ type t = {
   mutable capacity : int;
   arena : Arena.t;
   hier : Memsim.Hierarchy.t option;
-  row_base : int; (* first stored row of this (possibly sliced) view *)
+  mutable row_base : int; (* first stored row of this (possibly sliced) view *)
   view : bool; (* read-only view over storage owned by another value *)
+  parent_base : int; (* window of the parent at view-creation time: *)
+  parent_rows : int; (* {!reslice} may move this view anywhere inside it *)
+  uniform8 : bool; (* every attr Plain, non-null, 8 bytes wide, and each
+                      partition holds a consecutive ascending attr range *)
+  tuple_parts : int array; (* partition indices in schema-attr order *)
 }
 
 let create ?hier ?(capacity = 1024) ?(encodings = []) arena schema layout =
@@ -103,6 +108,30 @@ let create ?hier ?(capacity = 1024) ?(encodings = []) arena schema layout =
         { attrs; offsets; width = !width; buf })
       (Layout.partitions layout)
   in
+  let uniform8 =
+    let ok = ref true in
+    for a = 0 to n - 1 do
+      let attr = Schema.attr schema a in
+      (match attr.Schema.ty with
+      | Value.Int | Value.Date -> ()
+      | _ -> ok := false);
+      if attr.Schema.nullable || enc.(a) <> Encoding.Plain then ok := false
+    done;
+    Array.iter
+      (fun p ->
+        Array.iteri
+          (fun slot a -> if a <> p.attrs.(0) + slot then ok := false)
+          p.attrs)
+      parts;
+    !ok
+  in
+  let tuple_parts =
+    let idx = Array.init (Array.length parts) Fun.id in
+    Array.sort
+      (fun i j -> compare parts.(i).attrs.(0) parts.(j).attrs.(0))
+      idx;
+    idx
+  in
   {
     schema;
     layout;
@@ -117,12 +146,23 @@ let create ?hier ?(capacity = 1024) ?(encodings = []) arena schema layout =
     hier;
     row_base = 0;
     view = false;
+    parent_base = 0;
+    parent_rows = 0;
+    uniform8;
+    tuple_parts;
   }
 
 let slice t ~lo ~len =
   if lo < 0 || len < 0 || lo + len > t.nrows then
     invalid_arg "Relation.slice: range out of bounds";
-  { t with row_base = t.row_base + lo; nrows = len; view = true }
+  {
+    t with
+    row_base = t.row_base + lo;
+    nrows = len;
+    view = true;
+    parent_base = t.row_base;
+    parent_rows = t.nrows;
+  }
 
 let with_hier t hier =
   let part p = { p with buf = Buffer.with_hier p.buf hier } in
@@ -135,7 +175,16 @@ let with_hier t hier =
     dicts = Array.map (Option.map dict) t.dicts;
     sparses = Array.map (Option.map sparse) t.sparses;
     view = true;
+    parent_base = t.row_base;
+    parent_rows = t.nrows;
   }
+
+let reslice t ~lo ~len =
+  if not t.view then invalid_arg "Relation.reslice: not a view";
+  if lo < 0 || len < 0 || lo + len > t.parent_rows then
+    invalid_arg "Relation.reslice: range out of bounds";
+  t.row_base <- t.parent_base + lo;
+  t.nrows <- len
 
 let schema t = t.schema
 let layout t = t.layout
@@ -303,7 +352,68 @@ let set t tid a v =
   let p = t.parts.(pi) in
   write_field t p ~tid ~off:((tid * p.width) + off) a v
 
-let get_tuple t tid = Array.init (Schema.arity t.schema) (fun a -> get t tid a)
+let get_tuple t tid =
+  if t.uniform8 then begin
+    (* All fields are plain non-null 8-byte values and each partition holds a
+       consecutive attr range, so the per-attr access sequence of the generic
+       path is, partition by partition, one contiguous 8-byte-stride run —
+       trace it as such (identical order, identical counters) and serve the
+       payloads untraced. *)
+    let tid = t.row_base + tid in
+    let out = Array.make (Schema.arity t.schema) Value.Null in
+    Array.iter
+      (fun pi ->
+        let p = t.parts.(pi) in
+        let n = Array.length p.attrs in
+        let base_off = tid * p.width in
+        Buffer.touch_run p.buf base_off ~width:8 ~count:n ~stride:8;
+        for slot = 0 to n - 1 do
+          let a = p.attrs.(slot) in
+          let v = Buffer.untraced_read_int p.buf (base_off + p.offsets.(slot)) in
+          out.(a) <-
+            (match (Schema.attr t.schema a).Schema.ty with
+            | Value.Date -> Value.VDate v
+            | _ -> Value.VInt v)
+        done)
+      t.tuple_parts;
+    out
+  end
+  else Array.init (Schema.arity t.schema) (fun a -> get t tid a)
+
+let run_readable t a =
+  t.encodings.(a) = Encoding.Plain && not (Schema.attr t.schema a).Schema.nullable
+
+let int_run_readable t a =
+  run_readable t a
+  &&
+  match (Schema.attr t.schema a).Schema.ty with
+  | Value.Int | Value.Date -> true
+  | _ -> false
+
+let get_int t tid a =
+  let tid = t.row_base + tid in
+  let pi, off = t.loc.(a) in
+  let p = t.parts.(pi) in
+  Buffer.read_int p.buf ((tid * p.width) + off)
+
+let read_int_run t ~lo ~count a dst =
+  if lo < 0 || count < 0 || lo + count > t.nrows then
+    invalid_arg "Relation.read_int_run: range out of bounds";
+  let pi, off = t.loc.(a) in
+  let p = t.parts.(pi) in
+  Buffer.read_int_run p.buf
+    (((t.row_base + lo) * p.width) + off)
+    ~stride:p.width ~count dst
+
+let read_value_run t ~lo ~count a dst =
+  if lo < 0 || count < 0 || lo + count > t.nrows then
+    invalid_arg "Relation.read_value_run: range out of bounds";
+  let pi, off = t.loc.(a) in
+  let p = t.parts.(pi) in
+  let ty, _ = field t a in
+  Buffer.read_value_run p.buf
+    (((t.row_base + lo) * p.width) + off)
+    ~stride:p.width ~ty ~count dst
 
 let addr t tid a =
   let tid = t.row_base + tid in
@@ -329,16 +439,113 @@ let repartition t layout =
     create ?hier:t.hier ~capacity:(max 1 t.nrows) ~encodings:(encodings t)
       t.arena t.schema layout
   in
-  untraced t (fun () ->
-      for tid = 0 to t.nrows - 1 do
-        ignore (append dst (get_tuple t tid))
-      done);
+  let all_plain = Array.for_all (fun e -> e = Encoding.Plain) t.encodings in
+  if all_plain then begin
+    (* Plain fields have the same stored bytes under any partitioning, so a
+       repartition is pure byte movement: copy each attribute's column of
+       fixed-width fields directly instead of boxing every value through
+       get_tuple/append.  (Dict and Sparse columns keep OCaml-side state and
+       take the generic path.) *)
+    ensure_capacity dst t.nrows;
+    let fw a = Encoding.stored_width (Schema.attr t.schema a) t.encodings.(a) in
+    Array.iter
+      (fun dp ->
+        (* copy maximal attr groups that are contiguous in both the source
+           and the destination partition as one strided field run *)
+        let na = Array.length dp.attrs in
+        let i = ref 0 in
+        while !i < na do
+          let a0 = dp.attrs.(!i) in
+          let spi, soff0 = t.loc.(a0) in
+          let doff0 = snd dst.loc.(a0) in
+          let wsum = ref (fw a0) in
+          let j = ref (!i + 1) in
+          let grow = ref true in
+          while !grow && !j < na do
+            let a = dp.attrs.(!j) in
+            let spi', soff' = t.loc.(a) in
+            if
+              spi' = spi
+              && soff' = soff0 + !wsum
+              && snd dst.loc.(a) = doff0 + !wsum
+            then begin
+              wsum := !wsum + fw a;
+              incr j
+            end
+            else grow := false
+          done;
+          let sp = t.parts.(spi) in
+          Buffer.copy_run ~src:sp.buf
+            ~src_off:((t.row_base * sp.width) + soff0)
+            ~src_stride:sp.width ~dst:dp.buf ~dst_off:doff0
+            ~dst_stride:dp.width ~width:!wsum ~count:t.nrows;
+          i := !j
+        done)
+      dst.parts;
+    dst.nrows <- t.nrows
+  end
+  else
+    untraced t (fun () ->
+        for tid = 0 to t.nrows - 1 do
+          ignore (append dst (get_tuple t tid))
+        done);
   dst
 
 let load t ~n f =
   if t.view then invalid_arg "Relation.load: relation is a read-only view";
   untraced t (fun () ->
       ensure_capacity t (t.nrows + n);
+      if t.uniform8 then
+        (* every field is a plain non-nullable 8-byte int/date: store the
+           payloads directly instead of dispatching [append]'s per-field
+           write (loads run untraced, so the simulator sees nothing either
+           way) *)
+        let arity = Schema.arity t.schema in
+        for row = 0 to n - 1 do
+          let values = f ~row in
+          if Array.length values <> arity then
+            invalid_arg "Relation.load: arity mismatch";
+          let tid = t.nrows in
+          Array.iter
+            (fun p ->
+              let base = tid * p.width in
+              Array.iteri
+                (fun slot a ->
+                  Buffer.untraced_write_int p.buf
+                    (base + Array.unsafe_get p.offsets slot)
+                    (Value.to_int (Array.unsafe_get values a)))
+                p.attrs)
+            t.parts;
+          t.nrows <- tid + 1
+        done
+      else
+        for row = 0 to n - 1 do
+          ignore (append t (f ~row))
+        done)
+
+(* Unboxed bulk load for all-plain-int relations: the generator fills a
+   reusable int array, so wide synthetic tables (microbench: 200k x 16)
+   skip 16 [Value.t] boxes and a fresh array per row. *)
+let load_int_rows t ~n f =
+  if t.view then
+    invalid_arg "Relation.load_int_rows: relation is a read-only view";
+  if not t.uniform8 then
+    invalid_arg "Relation.load_int_rows: not an all-plain-int relation";
+  untraced t (fun () ->
+      ensure_capacity t (t.nrows + n);
+      let dst = Array.make (Schema.arity t.schema) 0 in
       for row = 0 to n - 1 do
-        ignore (append t (f ~row))
+        f ~row dst;
+        let tid = t.nrows in
+        Array.iter
+          (fun p ->
+            let base = tid * p.width in
+            Array.iteri
+              (fun slot a ->
+                Buffer.untraced_write_int p.buf
+                  (base + Array.unsafe_get p.offsets slot)
+                  (Array.unsafe_get dst a))
+              p.attrs)
+          t.parts;
+        t.nrows <- tid + 1
       done)

@@ -37,6 +37,12 @@ val with_hier : t -> Memsim.Hierarchy.t option -> t
     Worker domains of a parallel query each read the shared relation through
     their own view so simulated cache behaviour composes per-domain. *)
 
+val reslice : t -> lo:int -> len:int -> unit
+(** Move a view's window to rows [lo .. lo+len-1] of its parent (the window
+    the parent had when the view was created).  Mutates the view in place —
+    the morsel loop of the parallel executor builds one view per domain and
+    reslices it per morsel instead of reallocating catalog and views. *)
+
 val append : t -> Value.t array -> int
 (** Append a full tuple (one value per schema attribute, in schema order);
     returns the new tuple id.  Grows partitions as needed. *)
@@ -47,6 +53,30 @@ val get : t -> int -> int -> Value.t
 val set : t -> int -> int -> Value.t -> unit
 
 val get_tuple : t -> int -> Value.t array
+(** Whole-tuple read.  When every attribute is plain, non-nullable and
+    8 bytes wide (and partitions hold consecutive attr ranges), the access
+    trace is batched per partition as one contiguous run — same access
+    order, same counters, far fewer simulator calls. *)
+
+val run_readable : t -> int -> bool
+(** The attribute is stored plain and non-nullable, i.e. a range of tuples
+    is one fixed-stride run of equal-width fields. *)
+
+val int_run_readable : t -> int -> bool
+(** {!run_readable} and 8-byte integer-valued ([Int] or [Date]). *)
+
+val get_int : t -> int -> int -> int
+(** [get_int t tid a] reads attribute [a] of tuple [tid] as an unboxed int —
+    same traced access as {!get}, no allocation.  Requires
+    {!int_run_readable}. *)
+
+val read_int_run : t -> lo:int -> count:int -> int -> int array -> unit
+(** [read_int_run t ~lo ~count a dst] reads attribute [a] of tuples
+    [lo .. lo+count-1] into [dst.(0..count-1)] as unboxed ints, tracing the
+    whole run with one simulator call.  Requires {!int_run_readable}. *)
+
+val read_value_run : t -> lo:int -> count:int -> int -> Value.t array -> unit
+(** Boxed-value variant; requires {!run_readable}. *)
 
 val addr : t -> int -> int -> int
 (** Virtual address of the stored field (including null byte if present). *)
@@ -85,3 +115,9 @@ val repartition : t -> Layout.t -> t
 val load :
   t -> n:int -> (row:int -> Value.t array) -> unit
 (** Bulk-append [n] generated tuples with tracing disabled. *)
+
+val load_int_rows : t -> n:int -> (row:int -> int array -> unit) -> unit
+(** Unboxed {!load} for relations whose every attribute is a plain
+    non-nullable 8-byte int/date: [f ~row dst] fills the reusable [dst]
+    (one int per attribute, schema order).  Raises [Invalid_argument] on
+    any other relation. *)

@@ -79,4 +79,8 @@ let zipf t ~n ~theta =
 
 let string t ~alphabet ~len =
   let k = String.length alphabet in
-  String.init len (fun _ -> alphabet.[int t k])
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (String.unsafe_get alphabet (int t k))
+  done;
+  Bytes.unsafe_to_string b

@@ -21,11 +21,12 @@ let build ?hier ~n () =
   let cat = Storage.Catalog.create ?hier () in
   let rel = Storage.Catalog.add cat schema (Layout.row schema) in
   let rng = Mrdb_util.Rng.create 0xF16_3 in
-  Storage.Relation.load rel ~n (fun ~row ->
+  Storage.Relation.load_int_rows rel ~n (fun ~row dst ->
       ignore row;
-      Array.init 16 (fun i ->
-          if i = 0 then V.VInt (Mrdb_util.Rng.int rng domain)
-          else V.VInt (Mrdb_util.Rng.int rng 1000)));
+      dst.(0) <- Mrdb_util.Rng.int rng domain;
+      for i = 1 to 15 do
+        dst.(i) <- Mrdb_util.Rng.int rng 1000
+      done);
   cat
 
 let predicate =

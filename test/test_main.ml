@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("memsim", Test_memsim.suite);
+      ("tracefast", Test_tracefast.suite);
       ("storage", Test_storage.suite);
       ("indexes", Test_indexes.suite);
       ("encodings", Test_encodings.suite);
