@@ -1,0 +1,161 @@
+(* Durability overhead and recovery speed.
+
+   Keeps the hot path honest three ways:
+   - simulated counters with and without the WAL observer must be identical
+     (logging is additive, off the traced path);
+   - wall-clock logging overhead per updated tuple (in-memory sink and a
+     real file sink), vs. the non-durable update;
+   - snapshot write / full recovery wall-clock vs. relation size.
+
+   Results go to BENCH_durability.json. *)
+
+module F = Durability.Faultio
+module D = Durability.Durable
+module Wal = Durability.Wal
+
+let best_time ?(repeat = 5) f =
+  let best = ref infinity in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best then best := t
+  done;
+  !best
+
+let update_sql = "update R set B = 7 where A < 500000"
+
+let build_catalog ?hier n = Workloads.Microbench.build ?hier ~n ()
+
+let update_plan cat =
+  Relalg.Planner.plan cat (Relalg.Sql.parse cat update_sql)
+
+let run_update cat =
+  ignore
+    (Engines.Engine.run Engines.Engine.Jit cat (update_plan cat) ~params:[||])
+
+(* every measured run updates the same tuples: rebuild the catalog inside
+   the timed closure would swamp the measurement, so rebuild around it *)
+let time_update ~attach n =
+  best_time (fun () ->
+      let cat = build_catalog n in
+      let d = attach cat in
+      run_update cat;
+      Option.iter D.detach d)
+
+let simulated_cycles ~durable n =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = build_catalog ~hier n in
+  let d = if durable then Some (D.attach (F.memory ()) cat) else None in
+  let _, st =
+    Engines.Engine.run_measured Engines.Engine.Jit cat (update_plan cat)
+      ~params:[||]
+  in
+  Option.iter D.detach d;
+  Memsim.Stats.total_cycles st
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mrdb_bench_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+let run () =
+  Common.header "durability: logging overhead and recovery speed";
+  let scale = Common.scale_env "MRDB_BENCH_SCALE" 1.0 in
+  let n = int_of_float (50_000.0 *. scale) in
+  let updated = ref 0 in
+
+  (* the hot-path contract first *)
+  let plain_cycles = simulated_cycles ~durable:false n in
+  let logged_cycles = simulated_cycles ~durable:true n in
+  if plain_cycles <> logged_cycles then
+    failwith "durability perturbed the simulated counters";
+  Common.note "simulated cycles identical with and without WAL: %d"
+    plain_cycles;
+
+  (* how many tuples the statement updates (for the per-tuple number) *)
+  (let cat = build_catalog n in
+   let rel = Storage.Catalog.find cat "R" in
+   run_update cat;
+   for tid = 0 to Storage.Relation.nrows rel - 1 do
+     if Storage.Relation.get rel tid 1 = Storage.Value.VInt 7 then
+       incr updated
+   done);
+  Common.note "statement updates %d of %d tuples" !updated n;
+
+  let t_plain = time_update ~attach:(fun _ -> None) n in
+  let t_mem =
+    time_update ~attach:(fun cat -> Some (D.attach (F.memory ()) cat)) n
+  in
+  let t_file =
+    with_tmpdir (fun dir ->
+        time_update ~attach:(fun cat -> Some (D.attach (F.in_dir dir) cat)) n)
+  in
+  let per_tuple t =
+    1e9 *. (t -. t_plain) /. float_of_int (max 1 !updated)
+  in
+  Printf.printf "  %-28s %10.3f ms\n" "update, no durability"
+    (1000. *. t_plain);
+  Printf.printf "  %-28s %10.3f ms  (%+.0f ns/tuple)\n" "update, WAL in memory"
+    (1000. *. t_mem) (per_tuple t_mem);
+  Printf.printf "  %-28s %10.3f ms  (%+.0f ns/tuple)\n" "update, WAL on disk"
+    (1000. *. t_file) (per_tuple t_file);
+
+  (* snapshot + recovery vs. size *)
+  let sizes =
+    List.filter
+      (fun s -> s <= n)
+      [ n / 25; n / 5; n ]
+    |> List.sort_uniq compare
+  in
+  let snap_rows =
+    List.map
+      (fun rows ->
+        let env = F.memory () in
+        let cat = build_catalog rows in
+        let d = D.attach env cat in
+        let t_snap = best_time ~repeat:3 (fun () -> D.checkpoint d) in
+        D.detach d;
+        let snap_bytes = F.durable_size env Durability.Snapshot.store_name in
+        let t_rec =
+          best_time ~repeat:3 (fun () ->
+              ignore (Durability.Recover.run env))
+        in
+        Printf.printf
+          "  %8d rows  snapshot %8.3f ms (%7d KiB)  recovery %8.3f ms\n" rows
+          (1000. *. t_snap) (snap_bytes / 1024) (1000. *. t_rec);
+        (rows, t_snap, snap_bytes, t_rec))
+      sizes
+  in
+
+  let oc = open_out "BENCH_durability.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"durability\",\n  \"rows\": %d,\n  \
+     \"updated_tuples\": %d,\n  \"simulated_cycles_plain\": %d,\n  \
+     \"simulated_cycles_logged\": %d,\n  \"update_seconds_plain\": %.6f,\n  \
+     \"update_seconds_wal_memory\": %.6f,\n  \
+     \"update_seconds_wal_file\": %.6f,\n  \
+     \"logging_ns_per_tuple_memory\": %.1f,\n  \
+     \"logging_ns_per_tuple_file\": %.1f,\n  \"snapshots\": [\n%s\n  ]\n}\n"
+    n !updated plain_cycles logged_cycles t_plain t_mem t_file
+    (per_tuple t_mem) (per_tuple t_file)
+    (String.concat ",\n"
+       (List.map
+          (fun (rows, t_snap, bytes, t_rec) ->
+            Printf.sprintf
+              "    { \"rows\": %d, \"snapshot_seconds\": %.6f, \
+               \"snapshot_bytes\": %d, \"recovery_seconds\": %.6f }"
+              rows t_snap bytes t_rec)
+          snap_rows));
+  close_out oc;
+  Common.note "wrote BENCH_durability.json"

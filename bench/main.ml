@@ -25,6 +25,7 @@ let experiments =
     ("wallclock", Wallclock.run);
     ("parallel", Parallel.run);
     ("tracefast", Tracefast.run);
+    ("durability", Durability_bench.run);
   ]
 
 let () =

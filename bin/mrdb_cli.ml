@@ -83,14 +83,76 @@ let sample_flag =
        & info [ "sample" ]
            ~doc:"Estimate predicate selectivities by sampling the data                  instead of textbook heuristics.")
 
+(* ---- durability --------------------------------------------------- *)
+
+let wal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "wal" ] ~docv:"FILE"
+           ~doc:"Enable durability: write-ahead-log all catalog mutations \
+                 to $(docv), flushed at every commit.")
+
+let snapshot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "snapshot" ] ~docv:"FILE"
+           ~doc:"Snapshot file used by checkpoints and recovery (default: \
+                 the WAL file with a $(b,.snapshot) suffix).")
+
+let recover_flag =
+  Arg.(value & flag
+       & info [ "recover" ]
+           ~doc:"Rebuild the catalog from the snapshot and WAL instead of \
+                 loading a demo database (requires $(b,--wal)).")
+
+let durability_env ~wal ~snapshot =
+  let snap =
+    match snapshot with Some s -> s | None -> wal ^ ".snapshot"
+  in
+  Durability.Faultio.files () ~path:(fun store ->
+      if store = Durability.Wal.store_name then wal
+      else if store = Durability.Snapshot.store_name then snap
+      else if store = Durability.Snapshot.tmp_name then snap ^ ".tmp"
+      else wal ^ "." ^ store)
+
+let print_warnings ws =
+  List.iter (fun w -> Printf.eprintf "mrdb: warning: %s\n%!" w) ws
+
+(* Demo catalog with durability attached, or a catalog recovered from the
+   durable state; [k] runs with the catalog and the log is closed after. *)
+let with_catalog db scale ~wal ~snapshot ~recover k =
+  match wal with
+  | None ->
+      if recover then failwith "--recover requires --wal FILE";
+      let cat, hier = load_db db scale in
+      k cat hier
+  | Some wal ->
+      let env = durability_env ~wal ~snapshot in
+      let hier, d =
+        if recover then begin
+          let hier = Memsim.Hierarchy.create () in
+          let r, d = Durability.Durable.recover ~hier env in
+          print_warnings r.Durability.Recover.warnings;
+          Printf.eprintf
+            "mrdb: recovered %d table(s), replayed %d transaction(s)\n%!"
+            (List.length (Storage.Catalog.names r.Durability.Recover.cat))
+            r.Durability.Recover.replayed;
+          (hier, d)
+        end
+        else
+          let cat, hier = load_db db scale in
+          (hier, Durability.Durable.attach env cat)
+      in
+      Fun.protect
+        ~finally:(fun () -> Durability.Durable.detach d)
+        (fun () -> k (Durability.Durable.catalog d) hier)
+
 let plan_of ~sample cat sql params =
   let logical = Relalg.Sql.parse cat sql in
   if sample then Relalg.Planner.plan ~sample_with:params cat logical
   else Relalg.Planner.plan cat logical
 
 let run_cmd =
-  let run db scale engine domains sql params sample =
-    let cat, _ = load_db db scale in
+  let run db scale engine domains sql params sample wal snapshot recover =
+    with_catalog db scale ~wal ~snapshot ~recover @@ fun cat _hier ->
     let plan = plan_of ~sample cat sql (parse_params params) in
     let result, st =
       Engines.Engine.run_measured ~domains engine cat plan
@@ -104,7 +166,31 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a SQL statement and report simulated cycles.")
     Term.(
       const run $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
-      $ param_arg $ sample_flag)
+      $ param_arg $ sample_flag $ wal_arg $ snapshot_arg $ recover_flag)
+
+let checkpoint_cmd =
+  let checkpoint wal snapshot =
+    let env = durability_env ~wal ~snapshot in
+    let r, d = Durability.Durable.recover env in
+    print_warnings r.Durability.Recover.warnings;
+    Durability.Durable.checkpoint d;
+    Durability.Durable.detach d;
+    Printf.printf
+      "checkpointed %d table(s) (replayed %d transaction(s), watermark %d); \
+       WAL truncated\n"
+      (List.length (Storage.Catalog.names r.Durability.Recover.cat))
+      r.Durability.Recover.replayed r.Durability.Recover.last_txid
+  in
+  let wal_req =
+    Arg.(required & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE" ~doc:"Write-ahead-log file.")
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Fold the WAL into a fresh snapshot (recover, snapshot, truncate \
+          the log).")
+    Term.(const checkpoint $ wal_req $ snapshot_arg)
 
 let explain_cmd =
   let explain db scale sql params sample =
@@ -274,7 +360,20 @@ let main_cmd =
     (Cmd.info "mrdb" ~version:Core.version ~doc)
     [
       run_cmd; explain_cmd; codegen_cmd; layout_cmd; optimize_cmd;
-      export_cmd; import_cmd; calibrate_cmd;
+      export_cmd; import_cmd; calibrate_cmd; checkpoint_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* User mistakes (malformed SQL, unknown tables, bad arguments) become a
+   one-line diagnostic and a nonzero exit; anything else keeps its
+   backtrace. *)
+let () =
+  try exit (Cmd.eval ~catch:false main_cmd) with
+  | Relalg.Sql.Parse_error msg ->
+      Printf.eprintf "mrdb: %s\n" msg;
+      exit 1
+  | e -> (
+      match Mrdb_util.Errors.to_diagnostic e with
+      | Some msg ->
+          Printf.eprintf "mrdb: %s\n" msg;
+          exit 1
+      | None -> raise e)

@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+   Every WAL record and snapshot carries one so recovery can tell a torn or
+   corrupted tail from valid data. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b ~pos ~len =
+  let t = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := t.((!crc lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+           lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let bytes b ~pos ~len = update 0 b ~pos ~len
+
+let string s = bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -1,0 +1,6 @@
+(** CRC-32 (IEEE, polynomial 0xEDB88320) checksums for durability records. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes starting at [pos]; the result fits 32 bits. *)
+
+val string : string -> int

@@ -1,0 +1,51 @@
+(** Binary wire-format helpers shared by the WAL and snapshots.
+
+    Little-endian, length-prefixed.  Readers raise {!Truncated} instead of
+    returning partial data, so callers can tell a torn tail apart from
+    valid records. *)
+
+exception Truncated of string
+
+(** {2 Writer} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val u8 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val i64 : writer -> int -> unit
+val f64 : writer -> float -> unit
+val str : writer -> string -> unit
+val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val array : writer -> (writer -> 'a -> unit) -> 'a array -> unit
+val value : writer -> Storage.Value.t -> unit
+val ty : writer -> Storage.Value.ty -> unit
+val schema : writer -> Storage.Schema.t -> unit
+val layout_groups : writer -> int list list -> unit
+val encoding : writer -> Storage.Encoding.t -> unit
+val encodings : writer -> (int * Storage.Encoding.t) list -> unit
+val index_kind : writer -> Storage.Index.kind -> unit
+
+(** {2 Reader} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> Bytes.t -> reader
+val remaining : reader -> int
+val at_end : reader -> bool
+
+val ru8 : reader -> int
+val ru32 : reader -> int
+val ri64 : reader -> int
+val rf64 : reader -> float
+val rstr : reader -> string
+val rlist : reader -> (reader -> 'a) -> 'a list
+val rvalue : reader -> Storage.Value.t
+val rty : reader -> Storage.Value.ty
+val rschema : reader -> Storage.Schema.t
+val rlayout_groups : reader -> int list list
+val rencoding : reader -> Storage.Encoding.t
+val rencodings : reader -> (int * Storage.Encoding.t) list
+val rindex_kind : reader -> Storage.Index.kind

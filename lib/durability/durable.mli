@@ -1,0 +1,33 @@
+(** The durability manager: observes catalog mutations (see
+    {!Storage.Catalog.set_observer}) and writes them ahead to the log,
+    flushing at commit boundaries.  Operations arriving outside a
+    {!Storage.Catalog.in_txn} frame are auto-wrapped in their own committed
+    transaction.  Event payload reads run untraced, so enabling durability
+    leaves the simulated memory counters untouched. *)
+
+type t
+
+val attach : Faultio.t -> Storage.Catalog.t -> t
+(** Start durability for a (possibly non-empty) catalog: seed a snapshot of
+    its current state, truncate the WAL, and register the observer. *)
+
+val recover : ?hier:Memsim.Hierarchy.t -> Faultio.t -> Recover.result * t
+(** Recover from the env's durable state, then attach to the recovered
+    catalog (appending to the surviving log). *)
+
+val checkpoint : t -> unit
+(** Snapshot the current state (untraced) and truncate the WAL.  Crash-safe
+    at every intermediate point: the snapshot becomes durable only via an
+    atomic rename, and its watermark makes replay of a stale log a no-op. *)
+
+val detach : t -> unit
+(** Unregister the observer and close the log. *)
+
+val catalog : t -> Storage.Catalog.t
+val committed : t -> int
+(** Transactions committed (and flushed) since attach/recover. *)
+
+val wal_records : t -> int
+val wal_bytes : t -> int
+(** Records/bytes written to the current log segment (resets at
+    {!checkpoint}). *)

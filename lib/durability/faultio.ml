@@ -1,0 +1,266 @@
+(* Fault-injectable storage for the durability subsystem.
+
+   All WAL and snapshot I/O goes through an [env]: a small set of named byte
+   stores backed either by real files (the CLI) or by in-memory buffers (the
+   recovery test harness).  Writes are buffered per sink; only [flush] makes
+   bytes durable.  A fault plan can simulate a process crash at any
+   write/flush/rename boundary — each such boundary is one numbered *crash
+   point* — optionally letting a prefix of the un-flushed bytes survive (a
+   torn write / partial flush).  Everything is deterministic: the same plan
+   over the same workload crashes at the same byte. *)
+
+exception Crash of string
+(** The simulated process death.  Whoever drives the workload catches it,
+    drops all live state and runs recovery against the env's durable
+    contents. *)
+
+type plan =
+  | Reliable  (** no faults *)
+  | Crash_at of { point : int; torn : float }
+      (** die at the [point]-th crash point (1-based); [torn] is the
+          fraction of the un-flushed tail that becomes durable anyway
+          (0.0 = all buffered bytes lost, 1.0 = the op fully hit the medium
+          before the crash). *)
+  | Seeded of { seed : int; mean_period : int }
+      (** crash at a pseudo-random boundary roughly every [mean_period]
+          crash points, with a pseudo-random torn fraction — deterministic
+          for a fixed seed. *)
+
+type store = { mutable data : Bytes.t; mutable len : int }
+
+type backend =
+  | Mem of (string, store) Hashtbl.t
+  | Dir of (string -> string)
+
+type t = {
+  backend : backend;
+  mutable plan : plan;
+  mutable ops : int;
+  mutable rng : int64;
+}
+
+let memory ?(plan = Reliable) () =
+  { backend = Mem (Hashtbl.create 4); plan; ops = 0; rng = 0L }
+
+let files ?(plan = Reliable) ~path () =
+  { backend = Dir path; plan; ops = 0; rng = 0L }
+
+let in_dir ?plan dir =
+  files ?plan ~path:(fun name -> Filename.concat dir name) ()
+
+let set_plan t plan =
+  t.plan <- plan;
+  t.rng <- (match plan with Seeded { seed; _ } -> Int64.of_int seed | _ -> 0L)
+
+let points t = t.ops
+let reset_points t = t.ops <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Durable stores                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mem_store tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some s -> s
+  | None ->
+      let s = { data = Bytes.create 256; len = 0 } in
+      Hashtbl.replace tbl name s;
+      s
+
+let mem_append s chunk pos n =
+  if s.len + n > Bytes.length s.data then begin
+    let bigger = Bytes.create (max (s.len + n) (2 * Bytes.length s.data)) in
+    Bytes.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  Bytes.blit chunk pos s.data s.len n;
+  s.len <- s.len + n
+
+let durable_append t name chunk pos n =
+  if n > 0 then
+    match t.backend with
+    | Mem tbl -> mem_append (mem_store tbl name) chunk pos n
+    | Dir path ->
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (path name)
+        in
+        output_substring oc (Bytes.unsafe_to_string chunk) pos n;
+        close_out oc
+
+let durable_truncate t name =
+  match t.backend with
+  | Mem tbl -> (mem_store tbl name).len <- 0
+  | Dir path ->
+      let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 (path name) in
+      close_out oc
+
+let durable_rename t ~src ~dst =
+  match t.backend with
+  | Mem tbl ->
+      (match Hashtbl.find_opt tbl src with
+      | Some s ->
+          Hashtbl.replace tbl dst s;
+          Hashtbl.remove tbl src
+      | None -> ())
+  | Dir path -> if Sys.file_exists (path src) then Sys.rename (path src) (path dst)
+
+let read_all t name =
+  match t.backend with
+  | Mem tbl -> (
+      match Hashtbl.find_opt tbl name with
+      | Some s -> Some (Bytes.sub s.data 0 s.len)
+      | None -> None)
+  | Dir path ->
+      let file = path name in
+      if Sys.file_exists file then begin
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let b = Bytes.create n in
+        really_input ic b 0 n;
+        close_in ic;
+        Some b
+      end
+      else None
+
+let exists t name = read_all t name <> None
+
+let delete t name =
+  match t.backend with
+  | Mem tbl -> Hashtbl.remove tbl name
+  | Dir path -> if Sys.file_exists (path name) then Sys.remove (path name)
+
+let durable_size t name =
+  match read_all t name with Some b -> Bytes.length b | None -> 0
+
+(* Test helpers modeling read-side faults: bit rot and short reads. *)
+
+let corrupt_byte t name off =
+  match t.backend with
+  | Mem tbl ->
+      let s = mem_store tbl name in
+      if off < s.len then
+        Bytes.set s.data off
+          (Char.chr (Char.code (Bytes.get s.data off) lxor 0xFF))
+  | Dir path -> (
+      match read_all t name with
+      | Some b when off < Bytes.length b ->
+          Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xFF));
+          let oc = open_out_gen [ Open_trunc; Open_binary ] 0o644 (path name) in
+          output_bytes oc b;
+          close_out oc
+      | _ -> ())
+
+let truncate_store t name len =
+  match t.backend with
+  | Mem tbl ->
+      let s = mem_store tbl name in
+      s.len <- min s.len (max 0 len)
+  | Dir path -> (
+      match read_all t name with
+      | Some b ->
+          let keep = min (Bytes.length b) (max 0 len) in
+          let oc = open_out_gen [ Open_trunc; Open_binary ] 0o644 (path name) in
+          output_bytes oc (Bytes.sub b 0 keep);
+          close_out oc
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Crash points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let splitmix st =
+  let z = Int64.add !st 0x9E3779B97F4A7C15L in
+  st := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Advance the crash-point counter for one op; returns [Some torn] if the
+   plan says the process dies here. *)
+let crash_here t =
+  t.ops <- t.ops + 1;
+  match t.plan with
+  | Reliable -> None
+  | Crash_at { point; torn } -> if t.ops = point then Some torn else None
+  | Seeded { mean_period; _ } ->
+      let st = ref t.rng in
+      let draw = splitmix st in
+      let hit = Int64.rem (Int64.logand draw Int64.max_int)
+                  (Int64.of_int (max 1 mean_period)) = 0L in
+      let torn =
+        float_of_int
+          (Int64.to_int (Int64.rem (Int64.logand (splitmix st) Int64.max_int) 3L))
+        /. 2.0
+      in
+      t.rng <- !st;
+      if hit then Some torn else None
+
+let torn_bytes torn len =
+  let k = int_of_float ((torn *. float_of_int len) +. 0.5) in
+  min len (max 0 k)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sink = {
+  env : t;
+  name : string;
+  pending : Stdlib.Buffer.t;
+  mutable dead : bool;
+}
+
+let create t name =
+  (match crash_here t with
+  | Some torn when torn < 1.0 -> raise (Crash "before truncate")
+  | Some _ ->
+      durable_truncate t name;
+      raise (Crash "after truncate")
+  | None -> durable_truncate t name);
+  { env = t; name; pending = Stdlib.Buffer.create 256; dead = false }
+
+let append t name =
+  { env = t; name; pending = Stdlib.Buffer.create 256; dead = false }
+
+let check_alive s what =
+  if s.dead then invalid_arg (Printf.sprintf "Faultio.%s: sink crashed" what)
+
+let write s chunk =
+  check_alive s "write";
+  Stdlib.Buffer.add_string s.pending chunk;
+  match crash_here s.env with
+  | Some torn ->
+      s.dead <- true;
+      let b = Stdlib.Buffer.to_bytes s.pending in
+      durable_append s.env s.name b 0 (torn_bytes torn (Bytes.length b));
+      raise (Crash (Printf.sprintf "during write of %s" s.name))
+  | None -> ()
+
+let flush s =
+  check_alive s "flush";
+  match crash_here s.env with
+  | Some torn ->
+      s.dead <- true;
+      let b = Stdlib.Buffer.to_bytes s.pending in
+      durable_append s.env s.name b 0 (torn_bytes torn (Bytes.length b));
+      raise (Crash (Printf.sprintf "during flush of %s" s.name))
+  | None ->
+      let b = Stdlib.Buffer.to_bytes s.pending in
+      durable_append s.env s.name b 0 (Bytes.length b);
+      Stdlib.Buffer.clear s.pending
+
+let close s =
+  if not s.dead then begin
+    if Stdlib.Buffer.length s.pending > 0 then flush s;
+    s.dead <- true
+  end
+
+let rename t ~src ~dst =
+  match crash_here t with
+  | Some torn when torn < 1.0 -> raise (Crash "before rename")
+  | Some _ ->
+      durable_rename t ~src ~dst;
+      raise (Crash "after rename")
+  | None -> durable_rename t ~src ~dst

@@ -1,0 +1,72 @@
+(** Fault-injectable storage for the durability subsystem.
+
+    An [env] is a small set of named byte stores — backed by real files (the
+    CLI) or in-memory buffers (the recovery harness).  Sink writes are
+    buffered; only {!flush} makes bytes durable.  A {!plan} can simulate a
+    process crash at any write/flush/truncate/rename boundary (each is one
+    numbered {e crash point}), optionally letting a prefix of the un-flushed
+    tail survive — torn writes and partial flushes.  Deterministic: the same
+    plan over the same workload crashes at the same byte. *)
+
+exception Crash of string
+(** Simulated process death.  The workload driver catches it, drops all live
+    state, and runs recovery against the env's durable contents. *)
+
+type plan =
+  | Reliable
+  | Crash_at of { point : int; torn : float }
+      (** die at the [point]-th crash point (1-based); [torn] ∈ [0,1] is the
+          fraction of the un-flushed tail that becomes durable anyway. *)
+  | Seeded of { seed : int; mean_period : int }
+      (** crash roughly every [mean_period] points with pseudo-random torn
+          fraction; deterministic for a fixed seed. *)
+
+type t
+
+val memory : ?plan:plan -> unit -> t
+val files : ?plan:plan -> path:(string -> string) -> unit -> t
+(** [files ~path] stores [name] at file [path name]. *)
+
+val in_dir : ?plan:plan -> string -> t
+(** File backend mapping store [name] to [dir/name]. *)
+
+val set_plan : t -> plan -> unit
+val points : t -> int
+(** Crash points passed so far (for enumerating them exhaustively). *)
+
+val reset_points : t -> unit
+
+(** {2 Durable reads and store management} *)
+
+val read_all : t -> string -> Bytes.t option
+val exists : t -> string -> bool
+val delete : t -> string -> unit
+val durable_size : t -> string -> int
+val rename : t -> src:string -> dst:string -> unit
+(** Atomic; one crash point (the crash lands before or after, never mid). *)
+
+val corrupt_byte : t -> string -> int -> unit
+(** Flip every bit of the byte at the given durable offset (test helper
+    modeling checksum-detectable bit rot). *)
+
+val truncate_store : t -> string -> int -> unit
+(** Cut the durable store to a byte prefix (test helper modeling short
+    reads / lost tails). *)
+
+(** {2 Sinks} *)
+
+type sink
+
+val create : t -> string -> sink
+(** Truncate the store and open it for writing (one crash point). *)
+
+val append : t -> string -> sink
+(** Open the store for appending. *)
+
+val write : sink -> string -> unit
+(** Buffer bytes (one crash point; a crash may tear the buffered tail). *)
+
+val flush : sink -> unit
+(** Make all buffered bytes durable (one crash point). *)
+
+val close : sink -> unit

@@ -1,0 +1,116 @@
+(* Crash recovery: load the latest valid snapshot, then replay the
+   committed transactions of the WAL's clean prefix.
+
+   Replay collects each transaction's operations between its Begin and
+   Commit; Abort (or a missing Commit — torn tail, crash) discards them.
+   Transactions whose id is at or below the snapshot watermark are already
+   reflected in the snapshot (a crash can land between checkpoint-rename
+   and WAL truncation) and are skipped.  Records at or beyond the scan's
+   clean prefix (after a checksum-corrupt record) are never committed:
+   applying transactions that follow a hole could replay effects out of
+   order.  Index contents are rebuilt from their definitions at the end —
+   they are derived data. *)
+
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Layout = Storage.Layout
+module Schema = Storage.Schema
+
+type result = {
+  cat : Catalog.t;
+  last_txid : int;  (** highest transaction id seen (committed or not) *)
+  replayed : int;  (** committed transactions applied from the WAL *)
+  warnings : string list;
+}
+
+let apply_op cat (op : Wal.op) =
+  match op with
+  | Wal.Create_relation { table = _; schema; layout; encodings } ->
+      ignore (Catalog.add ~encodings cat schema (Layout.of_indices schema layout))
+  | Wal.Append { table; values } ->
+      ignore (Relation.append (Catalog.find cat table) values)
+  | Wal.Load { table; rows } ->
+      let rel = Catalog.find cat table in
+      Array.iter (fun row -> ignore (Relation.append rel row)) rows
+  | Wal.Update { table; tid; attr; value } ->
+      Relation.set (Catalog.find cat table) tid attr value
+  | Wal.Set_layout { table; layout } ->
+      let rel = Catalog.find cat table in
+      Catalog.set_layout cat table
+        (Layout.of_indices (Relation.schema rel) layout)
+  | Wal.Create_index { table; iname; kind; attrs } ->
+      Catalog.create_index cat table ~name:iname ~kind ~attrs
+
+let run ?hier env =
+  let warnings = ref [] in
+  let warn s = warnings := s :: !warnings in
+  let cat, watermark =
+    match Snapshot.read ?hier env with
+    | Snapshot.Loaded (cat, last_txid) -> (cat, last_txid)
+    | Snapshot.Missing -> (Catalog.create ?hier (), 0)
+    | Snapshot.Invalid why ->
+        warn (why ^ " — starting from an empty catalog");
+        (Catalog.create ?hier (), 0)
+  in
+  let scanned = Wal.scan env in
+  List.iter warn scanned.Wal.warnings;
+  let pending : (int, Wal.op list) Hashtbl.t = Hashtbl.create 8 in
+  let last_txid = ref watermark in
+  let replayed = ref 0 in
+  let poisoned = ref false in
+  let untraced f =
+    match hier with
+    | Some h -> Memsim.Hierarchy.without_tracing h f
+    | None -> f ()
+  in
+  let commit txid =
+    match Hashtbl.find_opt pending txid with
+    | None -> ()
+    | Some ops ->
+        Hashtbl.remove pending txid;
+        if txid > watermark && not !poisoned then begin
+          (try untraced (fun () -> List.iter (apply_op cat) (List.rev ops))
+           with e ->
+             warn
+               (Printf.sprintf
+                  "wal: replay of transaction %d failed (%s) — discarding \
+                   it and the rest of the log"
+                  txid (Printexc.to_string e));
+             poisoned := true);
+          if not !poisoned then incr replayed
+        end
+  in
+  List.iteri
+    (fun i record ->
+      if i < scanned.Wal.clean then begin
+        (match record with
+        | Wal.Begin txid -> Hashtbl.replace pending txid []
+        | Wal.Op { txid; op } -> (
+            match Hashtbl.find_opt pending txid with
+            | Some ops -> Hashtbl.replace pending txid (op :: ops)
+            | None -> Hashtbl.replace pending txid [ op ])
+        | Wal.Commit txid -> commit txid
+        | Wal.Abort txid -> Hashtbl.remove pending txid);
+        match record with
+        | Wal.Begin txid | Wal.Op { txid; _ } | Wal.Commit txid
+        | Wal.Abort txid ->
+            if txid > !last_txid then last_txid := txid
+      end)
+    scanned.Wal.records;
+  (* discard still-open transactions (uncommitted at the crash) silently —
+     that is exactly the contract; rebuild every index from its definition *)
+  untraced (fun () ->
+      List.iter
+        (fun name ->
+          let rel = Catalog.find cat name in
+          let arity = Schema.arity (Relation.schema rel) in
+          if arity > 0 && Catalog.index_defs cat name <> [] then
+            Catalog.rebuild_indexes_for cat name
+              ~attrs:(List.init arity Fun.id))
+        (Catalog.names cat));
+  {
+    cat;
+    last_txid = !last_txid;
+    replayed = !replayed;
+    warnings = List.rev !warnings;
+  }

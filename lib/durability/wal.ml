@@ -1,0 +1,251 @@
+(* The write-ahead log: length-prefixed, checksummed, transaction-framed
+   records for every logical mutation of the catalog.
+
+   Wire format per record:
+
+     u32 payload length | u32 CRC-32 of payload | payload
+
+   The payload's first byte tags the record kind; operations carry the txid
+   of their enclosing transaction.  Commit is the durability point: the
+   manager flushes the sink on commit, so a crash can only lose or tear
+   records of uncommitted transactions (which recovery discards anyway).
+
+   Scanning is resilient: a torn tail (short header, impossible length,
+   truncated payload at the end of the log) ends the scan; a record whose
+   checksum does not match is *skipped with a warning* and taints the rest
+   of the log — recovery replays only the clean prefix, because applying
+   transactions that follow a hole could observe effects out of order. *)
+
+module Schema = Storage.Schema
+module Value = Storage.Value
+module Encoding = Storage.Encoding
+module Index = Storage.Index
+
+type op =
+  | Create_relation of {
+      table : string;
+      schema : Schema.t;
+      layout : int list list;
+      encodings : (int * Encoding.t) list;
+    }
+  | Append of { table : string; values : Value.t array }
+  | Load of { table : string; rows : Value.t array array }
+  | Update of { table : string; tid : int; attr : int; value : Value.t }
+  | Set_layout of { table : string; layout : int list list }
+  | Create_index of {
+      table : string;
+      iname : string;
+      kind : Index.kind;
+      attrs : string list;
+    }
+
+type record =
+  | Begin of int
+  | Commit of int
+  | Abort of int
+  | Op of { txid : int; op : op }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let encode_op w = function
+  | Create_relation { table; schema; layout; encodings } ->
+      Codec.u8 w 1;
+      Codec.str w table;
+      Codec.schema w schema;
+      Codec.layout_groups w layout;
+      Codec.encodings w encodings
+  | Append { table; values } ->
+      Codec.u8 w 2;
+      Codec.str w table;
+      Codec.array w Codec.value values
+  | Load { table; rows } ->
+      Codec.u8 w 3;
+      Codec.str w table;
+      Codec.array w (fun w row -> Codec.array w Codec.value row) rows
+  | Update { table; tid; attr; value } ->
+      Codec.u8 w 4;
+      Codec.str w table;
+      Codec.i64 w tid;
+      Codec.u32 w attr;
+      Codec.value w value
+  | Set_layout { table; layout } ->
+      Codec.u8 w 5;
+      Codec.str w table;
+      Codec.layout_groups w layout
+  | Create_index { table; iname; kind; attrs } ->
+      Codec.u8 w 6;
+      Codec.str w table;
+      Codec.str w iname;
+      Codec.index_kind w kind;
+      Codec.list w Codec.str attrs
+
+let decode_op r =
+  match Codec.ru8 r with
+  | 1 ->
+      let table = Codec.rstr r in
+      let schema = Codec.rschema r in
+      let layout = Codec.rlayout_groups r in
+      let encodings = Codec.rencodings r in
+      Create_relation { table; schema; layout; encodings }
+  | 2 ->
+      let table = Codec.rstr r in
+      let values = Array.of_list (Codec.rlist r Codec.rvalue) in
+      Append { table; values }
+  | 3 ->
+      let table = Codec.rstr r in
+      let rows =
+        Array.of_list
+          (Codec.rlist r (fun r -> Array.of_list (Codec.rlist r Codec.rvalue)))
+      in
+      Load { table; rows }
+  | 4 ->
+      let table = Codec.rstr r in
+      let tid = Codec.ri64 r in
+      let attr = Codec.ru32 r in
+      let value = Codec.rvalue r in
+      Update { table; tid; attr; value }
+  | 5 ->
+      let table = Codec.rstr r in
+      let layout = Codec.rlayout_groups r in
+      Set_layout { table; layout }
+  | 6 ->
+      let table = Codec.rstr r in
+      let iname = Codec.rstr r in
+      let kind = Codec.rindex_kind r in
+      let attrs = Codec.rlist r Codec.rstr in
+      Create_index { table; iname; kind; attrs }
+  | t -> raise (Codec.Truncated (Printf.sprintf "op: unknown tag %d" t))
+
+let encode record =
+  let w = Codec.writer () in
+  (match record with
+  | Begin txid ->
+      Codec.u8 w 1;
+      Codec.i64 w txid
+  | Commit txid ->
+      Codec.u8 w 2;
+      Codec.i64 w txid
+  | Abort txid ->
+      Codec.u8 w 3;
+      Codec.i64 w txid
+  | Op { txid; op } ->
+      Codec.u8 w 4;
+      Codec.i64 w txid;
+      encode_op w op);
+  Codec.contents w
+
+let decode r =
+  match Codec.ru8 r with
+  | 1 -> Begin (Codec.ri64 r)
+  | 2 -> Commit (Codec.ri64 r)
+  | 3 -> Abort (Codec.ri64 r)
+  | 4 ->
+      let txid = Codec.ri64 r in
+      let op = decode_op r in
+      Op { txid; op }
+  | t -> raise (Codec.Truncated (Printf.sprintf "record: unknown tag %d" t))
+
+let decode_string s = decode (Codec.reader (Bytes.unsafe_of_string s))
+
+let frame payload =
+  let w = Codec.writer () in
+  Codec.u32 w (String.length payload);
+  Codec.u32 w (Checksum.string payload);
+  Codec.contents w ^ payload
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  sink : Faultio.sink;
+  mutable records : int;
+  mutable bytes : int;
+}
+
+let store_name = "wal"
+
+let create env = { sink = Faultio.create env store_name; records = 0; bytes = 0 }
+let append env = { sink = Faultio.append env store_name; records = 0; bytes = 0 }
+
+let write w record =
+  let framed = frame (encode record) in
+  w.records <- w.records + 1;
+  w.bytes <- w.bytes + String.length framed;
+  Faultio.write w.sink framed
+
+let flush w = Faultio.flush w.sink
+let close w = Faultio.close w.sink
+
+let records_written w = w.records
+let bytes_written w = w.bytes
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type scanned = {
+  records : record list;  (** every decodable record, in log order *)
+  clean : int;
+      (** records before the first corruption; replay must not commit
+          anything at or beyond this index *)
+  warnings : string list;
+}
+
+let max_record = 1 lsl 26
+
+let scan env =
+  match Faultio.read_all env store_name with
+  | None -> { records = []; clean = 0; warnings = [] }
+  | Some buf ->
+      let n = Bytes.length buf in
+      let records = ref [] in
+      let count = ref 0 in
+      let clean = ref None in
+      let warnings = ref [] in
+      let warn fmt =
+        Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt
+      in
+      let taint () = if !clean = None then clean := Some !count in
+      let pos = ref 0 in
+      (try
+         while !pos < n do
+           if n - !pos < 8 then begin
+             warn "wal: torn tail (%d trailing bytes discarded)" (n - !pos);
+             raise Exit
+           end;
+           let hdr = Codec.reader ~pos:!pos ~len:8 buf in
+           let len = Codec.ru32 hdr in
+           let crc = Codec.ru32 hdr in
+           if len > max_record || len > n - !pos - 8 then begin
+             warn
+               "wal: torn tail at byte %d (record claims %d bytes, %d \
+                remain)"
+               !pos len
+               (n - !pos - 8);
+             raise Exit
+           end;
+           if Checksum.bytes buf ~pos:(!pos + 8) ~len <> crc then begin
+             warn "wal: checksum mismatch at byte %d — skipping record" !pos;
+             taint ()
+           end
+           else begin
+             match decode (Codec.reader ~pos:(!pos + 8) ~len buf) with
+             | record ->
+                 records := record :: !records;
+                 incr count
+             | exception Codec.Truncated what ->
+                 warn "wal: undecodable record at byte %d (%s) — skipping"
+                   !pos what;
+                 taint ()
+           end;
+           pos := !pos + 8 + len
+         done
+       with Exit -> ());
+      {
+        records = List.rev !records;
+        clean = (match !clean with Some c -> c | None -> !count);
+        warnings = List.rev !warnings;
+      }

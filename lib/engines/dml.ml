@@ -46,11 +46,13 @@ let update ~per_value ~call_cost cat ~params ~table ~access ~post ~assignments
       List.iter
         (fun (a, v) ->
           charge per_value;
-          Relation.set rel tid a v)
+          Relation.set rel tid a v;
+          Catalog.notify_update cat table ~tid ~attr:a ~value:v)
         new_values;
       incr updated
     end
   in
+  Catalog.in_txn cat @@ fun () ->
   (match index_tids cat params table access with
   | Some tids -> List.iter visit tids
   | None ->

@@ -111,7 +111,10 @@ let check t =
           net > 0.0
           && saving_per_window > t.min_benefit *. Float.max 1.0 current_cost
         then begin
-          Catalog.set_layout t.cat table new_layout;
+          (* one transaction per repartition, so the WAL frames the layout
+             change and the index rebuilds it implies *)
+          Catalog.in_txn t.cat (fun () ->
+              Catalog.set_layout t.cat table new_layout);
           let ev =
             { table; old_layout; new_layout; predicted_saving = net }
           in

@@ -391,7 +391,7 @@ type env = (string * string * int) list
 (* resolve a table name case-insensitively against the catalog *)
 let find_table cat name =
   try Storage.Catalog.find cat name
-  with Not_found -> (
+  with Mrdb_util.Errors.Unknown_table _ -> (
     match
       List.find_opt (fun n -> kw_eq n name) (Storage.Catalog.names cat)
     with

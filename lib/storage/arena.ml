@@ -9,6 +9,14 @@ let create ?(start = page) () = { next = max page (round_up start) }
 let mark t = t.next
 
 let alloc t size =
+  if size < 0 then
+    invalid_arg (Printf.sprintf "Arena.alloc: negative size %d" size);
+  if size > max_int - t.next - (2 * page) then
+    invalid_arg
+      (Printf.sprintf
+         "Arena.alloc: %d bytes overflows the address space (next free \
+          address %d)"
+         size t.next);
   let base = t.next in
   let size = round_up size in
   t.next <- t.next + size + page (* one guard page between regions *);

@@ -18,4 +18,7 @@ val mark : t -> int
     handed out.  Used to carve disjoint per-domain address ranges. *)
 
 val alloc : t -> int -> int
-(** [alloc t size] reserves [size] bytes and returns the base address. *)
+(** [alloc t size] reserves [size] bytes and returns the base address.
+    @raise Invalid_argument (naming the requested size) on negative or
+    address-space-overflowing requests instead of failing deep inside a
+    buffer index computation. *)

@@ -3,22 +3,63 @@ type entry = {
   mutable indexes : (string * Index.kind * string list * Index.t) list;
 }
 
+(* Observation events for mutating operations.  A registered observer (the
+   durability manager) turns these into write-ahead-log records; with no
+   observer every notification is a single [None] match, so the non-durable
+   hot path is untouched. *)
+type obs_event =
+  | Obs_begin
+  | Obs_commit
+  | Obs_abort
+  | Obs_create_relation of { table : string }
+  | Obs_append of { table : string; tid : int }
+  | Obs_load of { table : string; row_lo : int; rows : int }
+  | Obs_update of { table : string; tid : int; attr : int; value : Value.t }
+  | Obs_set_layout of { table : string; layout : Layout.t }
+  | Obs_create_index of {
+      table : string;
+      iname : string;
+      kind : Index.kind;
+      attrs : string list;
+    }
+
 type t = {
   arena : Arena.t;
   hier : Memsim.Hierarchy.t option;
   tbl : (string, entry) Hashtbl.t;
+  mutable obs : (obs_event -> unit) option;
 }
 
 let create ?hier ?arena () =
   let arena = match arena with Some a -> a | None -> Arena.create () in
-  { arena; hier; tbl = Hashtbl.create 16 }
+  { arena; hier; tbl = Hashtbl.create 16; obs = None }
 
 let arena t = t.arena
 let hier t = t.hier
 
+let set_observer t f = t.obs <- Some f
+let clear_observer t = t.obs <- None
+let observed t = t.obs <> None
+
+let emit t ev = match t.obs with Some f -> f ev | None -> ()
+
+let in_txn t f =
+  match t.obs with
+  | None -> f ()
+  | Some _ -> (
+      emit t Obs_begin;
+      match f () with
+      | r ->
+          emit t Obs_commit;
+          r
+      | exception e ->
+          emit t Obs_abort;
+          raise e)
+
 let add_relation t rel =
   let name = (Relation.schema rel).Schema.name in
-  Hashtbl.replace t.tbl name { rel; indexes = [] }
+  Hashtbl.replace t.tbl name { rel; indexes = [] };
+  emit t (Obs_create_relation { table = name })
 
 let add ?encodings t schema layout =
   let rel = Relation.create ?hier:t.hier ?encodings t.arena schema layout in
@@ -28,7 +69,7 @@ let add ?encodings t schema layout =
 let entry t name =
   match Hashtbl.find_opt t.tbl name with
   | Some e -> e
-  | None -> raise Not_found
+  | None -> raise (Mrdb_util.Errors.Unknown_table name)
 
 let find t name = (entry t name).rel
 
@@ -48,6 +89,7 @@ let build_index rel kind attr_names =
 
 let set_layout t name layout =
   let e = entry t name in
+  emit t (Obs_set_layout { table = name; layout });
   e.rel <- Relation.repartition e.rel layout;
   e.indexes <-
     List.map
@@ -57,6 +99,7 @@ let set_layout t name layout =
 
 let create_index t name ~name:iname ~kind ~attrs =
   let e = entry t name in
+  emit t (Obs_create_index { table = name; iname; kind; attrs });
   let idx = build_index e.rel kind attrs in
   e.indexes <- (iname, kind, attrs, idx) :: e.indexes
 
@@ -87,4 +130,20 @@ let rebuild_indexes_for t name ~attrs =
 
 let notify_insert t name ~tid =
   let e = entry t name in
+  emit t (Obs_append { table = name; tid });
   List.iter (fun (_, _, _, idx) -> Index.insert idx e.rel ~tid) e.indexes
+
+let notify_update t name ~tid ~attr ~value =
+  match t.obs with
+  | None -> ()
+  | Some f -> f (Obs_update { table = name; tid; attr; value })
+
+let notify_load t name ~row_lo ~rows =
+  match t.obs with
+  | None -> ()
+  | Some f -> f (Obs_load { table = name; row_lo; rows })
+
+let index_defs t name =
+  List.rev_map
+    (fun (iname, kind, attrs, _) -> (iname, kind, attrs))
+    (entry t name).indexes

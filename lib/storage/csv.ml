@@ -117,6 +117,9 @@ let import cat ~table path =
       in
       let arity = Schema.arity schema in
       let count = ref 0 in
+      (* one transaction per file: a crash mid-import recovers to either no
+         rows or the whole file, never a prefix *)
+      Catalog.in_txn cat @@ fun () ->
       List.iter
         (fun line ->
           if not (String.equal (String.trim line) "") then begin

@@ -11,3 +11,12 @@ let pp ppf = function
   | Plain -> Format.pp_print_string ppf "plain"
   | Dict -> Format.pp_print_string ppf "dict"
   | Sparse -> Format.pp_print_string ppf "sparse"
+
+(* serialization hooks: stable one-byte wire codes *)
+let to_code = function Plain -> 0 | Dict -> 1 | Sparse -> 2
+
+let of_code = function
+  | 0 -> Plain
+  | 1 -> Dict
+  | 2 -> Sparse
+  | c -> invalid_arg (Printf.sprintf "Encoding.of_code: %d" c)

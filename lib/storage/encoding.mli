@@ -21,3 +21,9 @@ val stored_width : Schema.attr -> t -> int
     byte for nullable attributes). *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_code : t -> int
+(** Stable one-byte wire code — the serialization hook for durability. *)
+
+val of_code : int -> t
+(** Inverse of {!to_code}. @raise Invalid_argument on unknown codes. *)

@@ -21,6 +21,13 @@ val of_names : Schema.t -> string list list -> t
 val partitions : t -> int array array
 (** Attribute indices per partition, in stored order. *)
 
+val to_groups : t -> int list list
+(** The exact partition groups in stored order — the serialization hook
+    used by durability; [of_indices schema (to_groups t)] rebuilds an
+    identical layout. *)
+
+val n_attrs : t -> int
+
 val n_partitions : t -> int
 
 val partition_of_attr : t -> int -> int

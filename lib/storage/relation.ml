@@ -152,9 +152,14 @@ let create ?hier ?(capacity = 1024) ?(encodings = []) arena schema layout =
     tuple_parts;
   }
 
+let out_of_bounds t what ~lo ~len =
+  invalid_arg
+    (Printf.sprintf "Relation.%s(%s): rows [%d, %d) out of bounds (0 <= lo, \
+                     0 <= len, lo+len <= %d rows)"
+       what t.schema.Schema.name lo (lo + len) t.nrows)
+
 let slice t ~lo ~len =
-  if lo < 0 || len < 0 || lo + len > t.nrows then
-    invalid_arg "Relation.slice: range out of bounds";
+  if lo < 0 || len < 0 || lo + len > t.nrows then out_of_bounds t "slice" ~lo ~len;
   {
     t with
     row_base = t.row_base + lo;
@@ -182,7 +187,11 @@ let with_hier t hier =
 let reslice t ~lo ~len =
   if not t.view then invalid_arg "Relation.reslice: not a view";
   if lo < 0 || len < 0 || lo + len > t.parent_rows then
-    invalid_arg "Relation.reslice: range out of bounds";
+    invalid_arg
+      (Printf.sprintf
+         "Relation.reslice(%s): rows [%d, %d) out of bounds (parent window \
+          holds %d rows)"
+         t.schema.Schema.name lo (lo + len) t.parent_rows);
   t.row_base <- t.parent_base + lo;
   t.nrows <- len
 
@@ -340,19 +349,28 @@ let append t values =
   t.nrows <- tid + 1;
   tid
 
+let check_tid t what tid =
+  if tid < 0 || tid >= t.nrows then
+    invalid_arg
+      (Printf.sprintf "Relation.%s(%s): tuple %d out of bounds (%d rows)"
+         what t.schema.Schema.name tid t.nrows)
+
 let get t tid a =
+  check_tid t "get" tid;
   let tid = t.row_base + tid in
   let pi, off = t.loc.(a) in
   let p = t.parts.(pi) in
   read_field t p ~tid ~off:((tid * p.width) + off) a
 
 let set t tid a v =
+  check_tid t "set" tid;
   let tid = t.row_base + tid in
   let pi, off = t.loc.(a) in
   let p = t.parts.(pi) in
   write_field t p ~tid ~off:((tid * p.width) + off) a v
 
 let get_tuple t tid =
+  check_tid t "get_tuple" tid;
   if t.uniform8 then begin
     (* All fields are plain non-null 8-byte values and each partition holds a
        consecutive attr range, so the per-attr access sequence of the generic
@@ -398,7 +416,7 @@ let get_int t tid a =
 
 let read_int_run t ~lo ~count a dst =
   if lo < 0 || count < 0 || lo + count > t.nrows then
-    invalid_arg "Relation.read_int_run: range out of bounds";
+    out_of_bounds t "read_int_run" ~lo ~len:count;
   let pi, off = t.loc.(a) in
   let p = t.parts.(pi) in
   Buffer.read_int_run p.buf
@@ -407,7 +425,7 @@ let read_int_run t ~lo ~count a dst =
 
 let read_value_run t ~lo ~count a dst =
   if lo < 0 || count < 0 || lo + count > t.nrows then
-    invalid_arg "Relation.read_value_run: range out of bounds";
+    out_of_bounds t "read_value_run" ~lo ~len:count;
   let pi, off = t.loc.(a) in
   let p = t.parts.(pi) in
   let ty, _ = field t a in
@@ -433,6 +451,14 @@ let untraced t f =
   match t.hier with
   | Some h -> Memsim.Hierarchy.without_tracing h f
   | None -> f ()
+
+(* Serialization hook: visit every stored tuple without generating simulated
+   traffic (snapshotting is setup work, like loads and index builds). *)
+let iter_rows t f =
+  untraced t (fun () ->
+      for tid = 0 to t.nrows - 1 do
+        f tid (get_tuple t tid)
+      done)
 
 let repartition t layout =
   let dst =

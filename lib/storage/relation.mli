@@ -48,9 +48,15 @@ val append : t -> Value.t array -> int
     returns the new tuple id.  Grows partitions as needed. *)
 
 val get : t -> int -> int -> Value.t
-(** [get t tid attr]. *)
+(** [get t tid attr].
+    @raise Invalid_argument (naming the relation and tuple) when [tid] is
+    out of bounds. *)
 
 val set : t -> int -> int -> Value.t -> unit
+
+val iter_rows : t -> (int -> Value.t array -> unit) -> unit
+(** [iter_rows t f] calls [f tid tuple] for every stored tuple in tid order,
+    untraced — the serialization hook snapshots are built from. *)
 
 val get_tuple : t -> int -> Value.t array
 (** Whole-tuple read.  When every attribute is plain, non-nullable and

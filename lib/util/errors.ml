@@ -1,0 +1,20 @@
+(* Typed error taxonomy shared across layers.
+
+   Storage raises these instead of bare [Not_found]-style exceptions so that
+   front ends (the CLI in particular) can turn user mistakes into one-line
+   diagnostics instead of backtraces.  Internal invariant violations keep
+   using [Invalid_argument]/[assert]. *)
+
+exception Unknown_table of string
+(** A catalog lookup named a table that does not exist. *)
+
+exception Corrupt_log of string
+(** A durability file (WAL or snapshot) failed structural validation beyond
+    what recovery can tolerate. *)
+
+let to_diagnostic = function
+  | Unknown_table t -> Some (Printf.sprintf "unknown table %S" t)
+  | Corrupt_log msg -> Some (Printf.sprintf "corrupt durability file: %s" msg)
+  | Invalid_argument msg -> Some msg
+  | Failure msg -> Some msg
+  | _ -> None

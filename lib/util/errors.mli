@@ -1,0 +1,12 @@
+(** Typed error taxonomy shared across layers. *)
+
+exception Unknown_table of string
+(** A catalog lookup named a table that does not exist. *)
+
+exception Corrupt_log of string
+(** A durability file (WAL or snapshot) failed structural validation beyond
+    what recovery can tolerate. *)
+
+val to_diagnostic : exn -> string option
+(** A one-line human-readable description for user-facing errors;
+    [None] for unexpected exceptions (which should keep their backtrace). *)

@@ -21,5 +21,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("edge_cases", Test_edge_cases.suite);
       ("robustness", Test_robustness.suite);
+      ("recovery", Test_recovery.suite);
       ("db", Test_db.suite);
     ]

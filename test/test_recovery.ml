@@ -1,0 +1,427 @@
+(* Durability and crash recovery.
+
+   The centerpiece is an exhaustive crash-point matrix: a scripted workload
+   (loads, index build, SQL updates, a repartition, a checkpoint, more
+   updates, appends) runs against the fault-injectable store once reliably —
+   recording the catalog digest after every committed step — and then once
+   per (crash point × torn-write fraction).  After every simulated crash,
+   recovery must produce a catalog value-identical to one of the committed
+   states, and at least as recent as the last step whose effects were fully
+   durable before the crash. *)
+
+module V = Storage.Value
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Layout = Storage.Layout
+module Schema = Storage.Schema
+module Encoding = Storage.Encoding
+module F = Durability.Faultio
+module D = Durability.Durable
+module Wal = Durability.Wal
+module Snapshot = Durability.Snapshot
+module Recover = Durability.Recover
+
+(* ------------------------------------------------------------------ *)
+(* The scripted workload                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema =
+  Schema.make "t"
+    [ ("id", V.Int); ("grp", V.Int); ("amount", V.Int); ("name", V.Varchar 12) ]
+
+let initial_row row =
+  [|
+    V.VInt row;
+    V.VInt (row mod 5);
+    V.VInt (row * 3 mod 101);
+    V.VStr (Printf.sprintf "n%03d" row);
+  |]
+
+let run_update cat sql =
+  let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+  ignore (Engines.Engine.run Engines.Engine.Jit cat plan ~params:[||])
+
+(* Run the workload against [env], recording [(step, digest, points_after)]
+   after every committed step.  Raises [Faultio.Crash] mid-way when the
+   env's plan says so. *)
+let run_script env =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Catalog.create ~hier () in
+  let marks = ref [ ("empty", Snapshot.digest cat, 0) ] in
+  let mark step = marks := (step, Snapshot.digest cat, F.points env) :: !marks in
+  let d = D.attach env cat in
+  mark "attach";
+  Catalog.in_txn cat (fun () ->
+      let rel = Catalog.add cat schema (Layout.row schema) in
+      Relation.load rel ~n:40 (fun ~row -> initial_row row);
+      Catalog.notify_load cat "t" ~row_lo:0 ~rows:40);
+  mark "load";
+  Catalog.create_index cat "t" ~name:"pk" ~kind:Storage.Index.Hash
+    ~attrs:[ "id" ];
+  mark "index";
+  run_update cat "update t set amount = 999 where grp = 2";
+  mark "update1";
+  (* what Layoutopt.Adaptive does when it decides to repartition *)
+  Catalog.in_txn cat (fun () ->
+      Catalog.set_layout cat "t"
+        (Layout.of_names schema [ [ "id"; "grp" ]; [ "amount"; "name" ] ]));
+  mark "repartition";
+  D.checkpoint d;
+  mark "checkpoint";
+  run_update cat "update t set name = 'patched' where id = 7";
+  mark "update2";
+  Catalog.in_txn cat (fun () ->
+      let rel = Catalog.find cat "t" in
+      for row = 40 to 44 do
+        let tid = Relation.append rel (initial_row row) in
+        Catalog.notify_insert cat "t" ~tid
+      done);
+  mark "append";
+  D.detach d;
+  List.rev !marks
+
+(* The dry run: digests of every committed state and the total number of
+   crash points the workload passes. *)
+let dry_run () =
+  let env = F.memory () in
+  let marks = run_script env in
+  (marks, F.points env)
+
+let digest_index marks dg =
+  (* latest step with this digest (checkpoint does not change the state, so
+     digests need not be unique) *)
+  let best = ref (-1) in
+  List.iteri (fun i (_, d, _) -> if d = dg then best := i) marks;
+  !best
+
+let recover_digest env =
+  F.set_plan env F.Reliable;
+  let r = Recover.run env in
+  (Snapshot.digest r.Recover.cat, r)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive crash-point matrix                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_matrix () =
+  let marks, total = dry_run () in
+  Alcotest.(check bool) "workload passes crash points" true (total > 20);
+  let checked = ref 0 in
+  List.iter
+    (fun torn ->
+      for point = 1 to total do
+        let env = F.memory ~plan:(F.Crash_at { point; torn }) () in
+        (match run_script env with
+        | _ ->
+            Alcotest.failf "point %d torn %.1f: expected a crash" point torn
+        | exception F.Crash _ -> ());
+        let dg, r = recover_digest env in
+        let idx = digest_index marks dg in
+        if idx < 0 then
+          Alcotest.failf
+            "point %d torn %.1f: recovered state matches no committed state \
+             (warnings: %s)"
+            point torn
+            (String.concat " | " r.Recover.warnings);
+        (* every step whose crash points all happened before this crash was
+           fully flushed — recovery must be at least that recent *)
+        let floor = ref 0 in
+        List.iteri
+          (fun i (_, _, pts) -> if pts < point && i > !floor then floor := i)
+          marks;
+        if idx < !floor then
+          Alcotest.failf
+            "point %d torn %.1f: recovered %S but %S was already durable"
+            point torn
+            (let s, _, _ = List.nth marks idx in
+             s)
+            (let s, _, _ = List.nth marks !floor in
+             s);
+        incr checked
+      done)
+    [ 0.0; 0.5; 1.0 ];
+  Alcotest.(check bool) "matrix covered" true (!checked >= 3 * total)
+
+(* ------------------------------------------------------------------ *)
+(* Corruption                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_corrupt_wal_record () =
+  let marks, _ = dry_run () in
+  let env = F.memory () in
+  ignore (run_script env);
+  let size = F.durable_size env Wal.store_name in
+  Alcotest.(check bool) "wal non-empty" true (size > 0);
+  F.corrupt_byte env Wal.store_name (size / 2);
+  let dg, r = recover_digest env in
+  Alcotest.(check bool) "corruption warned about" true
+    (r.Recover.warnings <> []);
+  Alcotest.(check bool) "recovered a committed state" true
+    (digest_index marks dg >= 0)
+
+let test_corrupt_snapshot () =
+  let marks, _ = dry_run () in
+  let env = F.memory () in
+  ignore (run_script env);
+  F.corrupt_byte env Snapshot.store_name
+    (F.durable_size env Snapshot.store_name / 2);
+  let dg, r = recover_digest env in
+  Alcotest.(check bool) "corruption warned about" true
+    (r.Recover.warnings <> []);
+  (* the snapshot is gone; the post-checkpoint WAL still replays against an
+     empty catalog or not at all — never a crash *)
+  ignore dg;
+  ignore marks
+
+let test_missing_everything () =
+  let env = F.memory () in
+  let r = Recover.run env in
+  Alcotest.(check int) "no transactions" 0 r.Recover.replayed;
+  Alcotest.(check (list string)) "no tables" []
+    (Catalog.names r.Recover.cat)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded soak                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let soak_rounds () =
+  match Sys.getenv_opt "MRDB_RECOVERY_SOAK" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 10)
+  | None -> 10
+
+let soak_seed () =
+  match Sys.getenv_opt "MRDB_RECOVERY_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0x5eed)
+  | None -> 0x5eed
+
+let test_seeded_soak () =
+  let marks, _ = dry_run () in
+  let base = soak_seed () in
+  for round = 1 to soak_rounds () do
+    let seed = base + round in
+    let env =
+      F.memory ~plan:(F.Seeded { seed; mean_period = 11 }) ()
+    in
+    (match run_script env with
+    | _ -> () (* the seed let the whole workload through *)
+    | exception F.Crash _ -> ());
+    let dg, r = recover_digest env in
+    if digest_index marks dg < 0 then
+      Alcotest.failf "seed %d: recovered state matches no committed state \
+                      (warnings: %s)"
+        seed
+        (String.concat " | " r.Recover.warnings)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: codec round trips and torn prefixes                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_value ty : V.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  match (ty : V.ty) with
+  | V.Int -> map (fun i -> V.VInt i) (int_range (-1_000_000) 1_000_000)
+  | V.Float -> map (fun f -> V.VFloat f) (float_bound_inclusive 1e6)
+  | V.Bool -> map (fun b -> V.VBool b) bool
+  | V.Date -> map (fun d -> V.VDate d) (int_range 0 40_000)
+  | V.Varchar n ->
+      map (fun s -> V.VStr s) (string_size ~gen:printable (int_range 0 n))
+
+let gen_ty : V.ty QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return V.Int;
+      QCheck.Gen.return V.Float;
+      QCheck.Gen.return V.Bool;
+      QCheck.Gen.return V.Date;
+      QCheck.Gen.map (fun n -> V.Varchar n) (QCheck.Gen.int_range 1 16);
+    ]
+
+let gen_schema name : Schema.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* arity = int_range 1 5 in
+  let* attrs =
+    flatten_l
+      (List.init arity (fun i ->
+           let* ty = gen_ty in
+           let* nullable = bool in
+           return (Printf.sprintf "a%d" i, ty, nullable)))
+  in
+  return (Schema.make_nullable name attrs)
+
+(* a random partition of [0 .. arity-1] into contiguous-free groups *)
+let gen_groups arity : int list list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* shuffled = shuffle_l (List.init arity Fun.id) in
+  let rec cut acc rest =
+    match rest with
+    | [] -> return (List.rev acc)
+    | _ ->
+        let* k = int_range 1 (List.length rest) in
+        let g = List.filteri (fun i _ -> i < k) rest in
+        let rest = List.filteri (fun i _ -> i >= k) rest in
+        cut (g :: acc) rest
+  in
+  cut [] shuffled
+
+let gen_encodings schema groups : (int * Encoding.t) list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let singleton a =
+    List.exists (function [ b ] -> a = b | _ -> false) groups
+  in
+  flatten_l
+    (List.init (Schema.arity schema) (fun a ->
+         let attr = Schema.attr schema a in
+         let* pick = int_range 0 3 in
+         let enc =
+           match pick with
+           | 1 -> Encoding.Dict
+           | 2 when attr.Schema.nullable && singleton a -> Encoding.Sparse
+           | _ -> Encoding.Plain
+         in
+         return (a, enc)))
+  |> fun g -> map (List.filter (fun (_, e) -> e <> Encoding.Plain)) g
+
+let gen_row schema : V.t array QCheck.Gen.t =
+  let open QCheck.Gen in
+  flatten_a
+    (Array.init (Schema.arity schema) (fun a ->
+         let attr = Schema.attr schema a in
+         if attr.Schema.nullable then
+           let* null = int_range 0 3 in
+           if null = 0 then return V.Null else gen_value attr.Schema.ty
+         else gen_value attr.Schema.ty))
+
+(* a small random catalog: schemas, layouts, encodings, rows, an index *)
+let gen_catalog : Catalog.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* ntables = int_range 1 3 in
+  let* specs =
+    flatten_l
+      (List.init ntables (fun i ->
+           let* schema = gen_schema (Printf.sprintf "t%d" i) in
+           let* groups = gen_groups (Schema.arity schema) in
+           let* encodings = gen_encodings schema groups in
+           let* nrows = int_range 0 12 in
+           let* rows = flatten_l (List.init nrows (fun _ -> gen_row schema)) in
+           let* want_index = bool in
+           return (schema, groups, encodings, rows, want_index)))
+  in
+  let cat = Catalog.create () in
+  List.iter
+    (fun (schema, groups, encodings, rows, want_index) ->
+      let rel =
+        Catalog.add ~encodings cat schema (Layout.of_indices schema groups)
+      in
+      List.iter (fun row -> ignore (Relation.append rel row)) rows;
+      (* hash-index the first non-nullable attribute, if any *)
+      if want_index then
+        Array.to_list schema.Schema.attrs
+        |> List.find_opt (fun (a : Schema.attr) -> not a.Schema.nullable)
+        |> Option.iter (fun (a : Schema.attr) ->
+               Catalog.create_index cat schema.Schema.name ~name:"qidx"
+                 ~kind:Storage.Index.Hash ~attrs:[ a.Schema.name ]))
+    specs;
+  return cat
+
+let qcheck_snapshot_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"snapshot payload round-trips"
+    (QCheck.make gen_catalog)
+    (fun cat ->
+      let payload = Snapshot.serialize_payload ~last_txid:42 cat in
+      let cat', txid = Snapshot.deserialize_payload payload in
+      txid = 42 && Snapshot.digest cat' = Snapshot.digest cat)
+
+let gen_op : Wal.op QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* schema = gen_schema "w" in
+  let* groups = gen_groups (Schema.arity schema) in
+  let* encodings = gen_encodings schema groups in
+  let* row = gen_row schema in
+  let* tid = int_range 0 1000 in
+  oneofl
+    [
+      Wal.Create_relation { table = "w"; schema; layout = groups; encodings };
+      Wal.Append { table = "w"; values = row };
+      Wal.Load { table = "w"; rows = [| row; row |] };
+      Wal.Update { table = "w"; tid; attr = 0; value = row.(0) };
+      Wal.Set_layout { table = "w"; layout = groups };
+      Wal.Create_index
+        { table = "w"; iname = "i"; kind = Storage.Index.Rbtree;
+          attrs = [ "a0" ] };
+    ]
+
+let gen_record : Wal.record QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* txid = int_range 0 100_000 in
+  let* op = gen_op in
+  oneofl
+    [ Wal.Begin txid; Wal.Commit txid; Wal.Abort txid; Wal.Op { txid; op } ]
+
+let qcheck_wal_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"wal record round-trips"
+    (QCheck.make gen_record)
+    (fun record -> Wal.decode_string (Wal.encode record) = record)
+
+let qcheck_torn_prefix =
+  (* cutting the WAL at ANY byte still recovers a committed state *)
+  let marks, _ = dry_run () in
+  QCheck.Test.make ~count:60 ~name:"torn wal prefix recovers committed state"
+    QCheck.(float_bound_inclusive 1.0)
+    (fun frac ->
+      let env = F.memory () in
+      ignore (run_script env);
+      let size = F.durable_size env Wal.store_name in
+      F.truncate_store env Wal.store_name
+        (int_of_float (frac *. float_of_int size));
+      let dg, _ = recover_digest env in
+      digest_index marks dg >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Hot path isolation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let measured_update ~durable () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Catalog.create ~hier () in
+  let rel = Catalog.add cat schema (Layout.row schema) in
+  Relation.load rel ~n:200 (fun ~row -> initial_row row);
+  let d = if durable then Some (D.attach (F.memory ()) cat) else None in
+  let plan =
+    Relalg.Planner.plan cat
+      (Relalg.Sql.parse cat "update t set amount = 1 where grp = 3")
+  in
+  let _, st =
+    Engines.Engine.run_measured Engines.Engine.Jit cat plan ~params:[||]
+  in
+  Option.iter D.detach d;
+  st
+
+let test_counters_unchanged () =
+  let plain = measured_update ~durable:false () in
+  let logged = measured_update ~durable:true () in
+  Alcotest.(check int) "identical simulated cycles"
+    (Memsim.Stats.total_cycles plain)
+    (Memsim.Stats.total_cycles logged);
+  Alcotest.(check int) "identical sequential misses"
+    plain.Memsim.Stats.llc_seq_misses logged.Memsim.Stats.llc_seq_misses;
+  Alcotest.(check int) "identical random misses"
+    plain.Memsim.Stats.llc_rand_misses logged.Memsim.Stats.llc_rand_misses
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "exhaustive crash-point matrix" `Slow test_crash_matrix;
+    Alcotest.test_case "corrupt wal record skipped with warning" `Quick
+      test_corrupt_wal_record;
+    Alcotest.test_case "corrupt snapshot tolerated" `Quick
+      test_corrupt_snapshot;
+    Alcotest.test_case "recovery from nothing" `Quick test_missing_everything;
+    Alcotest.test_case "seeded crash soak" `Quick test_seeded_soak;
+    Alcotest.test_case "durability leaves counters untouched" `Quick
+      test_counters_unchanged;
+    QCheck_alcotest.to_alcotest qcheck_wal_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_snapshot_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_torn_prefix;
+  ]

@@ -152,7 +152,9 @@ let test_reslice () =
     (Storage.Relation.get rel 95 0)
     (Storage.Relation.get view 5 0);
   Alcotest.check_raises "window beyond parent rejected"
-    (Invalid_argument "Relation.reslice: range out of bounds") (fun () ->
+    (Invalid_argument
+       "Relation.reslice(t): rows [95, 105) out of bounds (parent window \
+        holds 100 rows)") (fun () ->
       Storage.Relation.reslice view ~lo:95 ~len:10)
 
 let suite =
