@@ -332,6 +332,69 @@ let import_cmd =
        ~doc:"Load a CSV file into a fresh table (types inferred) and              optionally query it.")
     Term.(const import $ path_arg $ name_arg $ sql_opt)
 
+let fuzz_cmd =
+  let fuzz seed cases max_rows mutate no_recovery quiet =
+    let log msg = if not quiet then Printf.eprintf "mrdb fuzz: %s\n%!" msg in
+    let failures =
+      Fuzz.Harness.fuzz ~mutate ~recovery:(not no_recovery) ~max_rows ~log
+        ~seed ~cases ()
+    in
+    if failures = [] then
+      Printf.printf
+        "fuzz: %d case(s) from seed %d: no divergences across all engine x \
+         layout x fastpath combinations\n"
+        cases seed
+    else begin
+      List.iter
+        (fun r -> Format.printf "%a@." Fuzz.Harness.pp_report r)
+        failures;
+      Printf.printf "fuzz: %d of %d case(s) FAILED (seed %d)\n"
+        (List.length failures) cases seed;
+      exit 1
+    end
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Base seed; case $(i,i) uses seed SEED+$(i,i), so any \
+                   single case replays with $(b,--seed) (SEED+i) \
+                   $(b,--cases) 1.")
+  in
+  let cases_arg =
+    Arg.(value & opt int 100
+         & info [ "cases" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let max_rows_arg =
+    Arg.(value & opt int 120
+         & info [ "max-rows" ] ~docv:"N"
+             ~doc:"Upper bound on generated rows per table.")
+  in
+  let mutate_flag =
+    Arg.(value & flag
+         & info [ "mutate" ]
+             ~doc:"Self-test: inject a comparison-weakening bug (Lt becomes \
+                   Le) into one engine combination; the run should FAIL.")
+  in
+  let no_recovery_flag =
+    Arg.(value & flag
+         & info [ "no-recovery" ]
+             ~doc:"Skip the WAL + crash-recovery digest check.")
+  in
+  let quiet_flag =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generated schemas, data and episodes run \
+          through every engine x layout x tracer-fastpath combination (plus \
+          morsel-parallel execution, metamorphic predicate rewrites and \
+          crash recovery) and must match a reference oracle.  Failures are \
+          shrunk to a minimal OCaml repro.")
+    Term.(
+      const fuzz $ seed_arg $ cases_arg $ max_rows_arg $ mutate_flag
+      $ no_recovery_flag $ quiet_flag)
+
 let calibrate_cmd =
   let calibrate () =
     let params = Memsim.Params.nehalem in
@@ -360,7 +423,7 @@ let main_cmd =
     (Cmd.info "mrdb" ~version:Core.version ~doc)
     [
       run_cmd; explain_cmd; codegen_cmd; layout_cmd; optimize_cmd;
-      export_cmd; import_cmd; calibrate_cmd; checkpoint_cmd;
+      export_cmd; import_cmd; calibrate_cmd; checkpoint_cmd; fuzz_cmd;
     ]
 
 (* User mistakes (malformed SQL, unknown tables, bad arguments) become a

@@ -1,0 +1,501 @@
+(* The differential driver.  One case fans out into the full matrix:
+
+     engine (volcano/bulk/vectorized/hyrise/jit + parallel) ×
+     layout (NSM / DSM / the case's random PDSM) ×
+     tracer fastpath (on / off, sequential engines)
+
+   Every combination replays the whole episode against a fresh catalog and
+   must (a) produce the oracle's result multiset for every query and the
+   oracle's final table contents, (b) report byte-identical simulator
+   counters across fastpath modes, (c) satisfy the metamorphic invariants —
+   truth-preserving predicate rewrites keep results, and WAL + crash
+   recovery reproduces the live catalog digest.
+
+   [mutate] injects a deliberate comparison-weakening bug (Lt becomes Le)
+   into one combination; the harness uses it to prove the oracle actually
+   has teeth. *)
+
+module V = Storage.Value
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Plan = Relalg.Plan
+module Expr = Relalg.Expr
+module Engine = Engines.Engine
+module Runtime = Engines.Runtime
+
+type divergence = {
+  combo : string; (* e.g. "bulk/dsm/fast" *)
+  statement : int; (* episode index, or -1 for end-of-episode checks *)
+  detail : string;
+}
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "[%s] stmt %d: %s" d.combo d.statement d.detail
+
+(* ------------------------------------------------------------------ *)
+(* Result comparison (multisets, with float tolerance)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Parallel aggregation may re-associate float sums, so float equality is
+   relative-epsilon; everything else is exact. *)
+let value_eq a b =
+  match (a, b) with
+  | V.VFloat x, V.VFloat y ->
+      x = y
+      || (Float.is_nan x && Float.is_nan y)
+      || Float.abs (x -. y) <= 1e-9 *. Float.max (Float.abs x) (Float.abs y)
+  | _ -> V.compare a b = 0
+
+let row_eq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i va -> if not (value_eq va b.(i)) then ok := false) a;
+  !ok
+
+let compare_rows_total (a : V.t array) (b : V.t array) =
+  let c = compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else begin
+    let r = ref 0 in
+    (try
+       Array.iteri
+         (fun i va ->
+           let c = V.compare va b.(i) in
+           if c <> 0 then begin
+             r := c;
+             raise Exit
+           end)
+         a
+     with Exit -> ());
+    !r
+  end
+
+let sort_multiset rows = List.sort compare_rows_total rows
+
+let show_row row =
+  "("
+  ^ String.concat ", " (Array.to_list (Array.map V.to_display row))
+  ^ ")"
+
+(* [None] if equal as multisets, otherwise a human-readable discrepancy *)
+let multiset_mismatch ~expected ~got =
+  let e = sort_multiset expected and g = sort_multiset got in
+  let ne = List.length e and ng = List.length g in
+  if ne <> ng then
+    Some (Printf.sprintf "cardinality: expected %d rows, got %d" ne ng)
+  else
+    let rec go i e g =
+      match (e, g) with
+      | [], [] -> None
+      | re :: e', rg :: g' ->
+          if row_eq re rg then go (i + 1) e' g'
+          else
+            Some
+              (Printf.sprintf "row %d (sorted): expected %s, got %s" i
+                 (show_row re) (show_row rg))
+      | _ -> Some "length mismatch"
+    in
+    go 0 e g
+
+let columns_mismatch ~(expected : string array) ~(got : string array) =
+  if expected <> got then
+    Some
+      (Printf.sprintf "columns: expected [%s], got [%s]"
+         (String.concat "; " (Array.to_list expected))
+         (String.concat "; " (Array.to_list got)))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Catalog construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let build_catalog ?hier (c : Case.t) mode =
+  let cat = Catalog.create ?hier () in
+  List.iter
+    (fun (tab : Case.table) ->
+      let rel =
+        Catalog.add cat (Case.schema_of_table tab)
+          (Case.layout_of_table tab mode)
+      in
+      let rows = Array.of_list tab.Case.rows in
+      if Array.length rows > 0 then
+        Relation.load rel ~n:(Array.length rows) (fun ~row -> rows.(row)))
+    c.Case.tables;
+  cat
+
+(* ------------------------------------------------------------------ *)
+(* Mutation injection (the harness self-test)                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec weaken_expr e =
+  match e with
+  | Expr.Cmp (Expr.Lt, a, b) -> Some (Expr.Cmp (Expr.Le, a, b))
+  | Expr.Cmp _ | Expr.Like _ | Expr.Col _ | Expr.Param _ | Expr.Const _
+  | Expr.IsNull _ | Expr.Arith _ ->
+      None
+  | Expr.Not e' -> Option.map (fun w -> Expr.Not w) (weaken_expr e')
+  | Expr.And es ->
+      Option.map (fun ws -> Expr.And ws) (weaken_first es)
+  | Expr.Or es -> Option.map (fun ws -> Expr.Or ws) (weaken_first es)
+
+and weaken_first = function
+  | [] -> None
+  | e :: rest -> (
+      match weaken_expr e with
+      | Some w -> Some (w :: rest)
+      | None -> Option.map (fun ws -> e :: ws) (weaken_first rest))
+
+(* weaken the first strict comparison found in a Select predicate *)
+let rec weaken_plan = function
+  | Plan.Select (child, pred) -> (
+      match weaken_expr pred with
+      | Some w -> Some (Plan.Select (child, w))
+      | None ->
+          Option.map (fun c -> Plan.Select (c, pred)) (weaken_plan child))
+  | Plan.Scan _ | Plan.Insert _ | Plan.Update _ -> None
+  | Plan.Project (child, exprs) ->
+      Option.map (fun c -> Plan.Project (c, exprs)) (weaken_plan child)
+  | Plan.Join ({ left; right; _ } as j) -> (
+      match weaken_plan left with
+      | Some l -> Some (Plan.Join { j with left = l })
+      | None -> Option.map (fun r -> Plan.Join { j with right = r }) (weaken_plan right))
+  | Plan.Group_by ({ child; _ } as g) ->
+      Option.map (fun c -> Plan.Group_by { g with child = c }) (weaken_plan child)
+  | Plan.Sort ({ child; _ } as s) ->
+      Option.map (fun c -> Plan.Sort { s with child = c }) (weaken_plan child)
+  | Plan.Limit (child, n) ->
+      Option.map (fun c -> Plan.Limit (c, n)) (weaken_plan child)
+
+(* ------------------------------------------------------------------ *)
+(* Episode execution on one combination                                *)
+(* ------------------------------------------------------------------ *)
+
+type combo_outcome = {
+  divergences : divergence list;
+  stats : Memsim.Stats.t list; (* per-query counters, in episode order *)
+}
+
+let oracle_results (c : Case.t) =
+  let o = Oracle.init c in
+  let per_stmt =
+    List.map (fun stmt -> Oracle.run_statement o stmt) c.Case.episode
+  in
+  let dumps =
+    List.map (fun (t : Case.table) -> Oracle.dump o t.Case.tname) c.Case.tables
+  in
+  (per_stmt, dumps)
+
+let stats_fields (s : Memsim.Stats.t) =
+  [
+    ("accesses", s.Memsim.Stats.accesses);
+    ("reads", s.Memsim.Stats.reads);
+    ("writes", s.Memsim.Stats.writes);
+    ("l1_misses", s.Memsim.Stats.l1_misses);
+    ("l2_misses", s.Memsim.Stats.l2_misses);
+    ("llc_accesses", s.Memsim.Stats.llc_accesses);
+    ("llc_seq_misses", s.Memsim.Stats.llc_seq_misses);
+    ("llc_rand_misses", s.Memsim.Stats.llc_rand_misses);
+    ("tlb_misses", s.Memsim.Stats.tlb_misses);
+    ("prefetches", s.Memsim.Stats.prefetches);
+    ("mem_cycles", s.Memsim.Stats.mem_cycles);
+    ("cpu_cycles", s.Memsim.Stats.cpu_cycles);
+  ]
+
+let stats_mismatch a b =
+  List.fold_left2
+    (fun acc (name, va) (_, vb) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if va <> vb then
+            Some (Printf.sprintf "counter %s: %d vs %d" name va vb)
+          else None)
+    None (stats_fields a) (stats_fields b)
+
+(* Run the whole episode on a fresh catalog.  [domains] > 1 exercises the
+   morsel-parallel path; [fastpath] toggles the tracer fast path; [mutate]
+   injects the Lt->Le bug into query plans. *)
+let run_combo ?(mutate = false) ?(domains = 1) ?morsel_size ~engine ~mode
+    ~fastpath (c : Case.t) ~oracle:(per_stmt_oracle, dumps_oracle) =
+  let combo =
+    Printf.sprintf "%s%s/%s/%s" (Engine.name engine)
+      (if domains > 1 then Printf.sprintf "(x%d)" domains else "")
+      (Case.layout_mode_name mode)
+      (if fastpath then "fast" else "slow")
+  in
+  let hier = Memsim.Hierarchy.create () in
+  Memsim.Hierarchy.set_fastpath hier fastpath;
+  let cat = build_catalog ~hier c mode in
+  let divergences = ref [] in
+  let stats = ref [] in
+  let diverge statement detail =
+    divergences := { combo; statement; detail } :: !divergences
+  in
+  let params = c.Case.params in
+  List.iteri
+    (fun i (stmt, oracle_r) ->
+      try
+        match stmt with
+        | Case.Exec logical ->
+            let phys = Relalg.Planner.plan cat logical in
+            ignore (Engine.run ~domains ?morsel_size engine cat phys ~params)
+        | Case.Query logical ->
+            let logical =
+              if mutate then
+                match weaken_plan logical with
+                | Some w -> w
+                | None -> logical
+              else logical
+            in
+            let phys = Relalg.Planner.plan cat logical in
+            let r, st =
+              Engine.run_measured ~cold:true ~domains ?morsel_size engine cat
+                phys ~params
+            in
+            if domains = 1 then stats := st :: !stats;
+            let expected =
+              match oracle_r with Some o -> o | None -> assert false
+            in
+            (match
+               columns_mismatch ~expected:expected.Oracle.columns
+                 ~got:r.Runtime.columns
+             with
+            | Some d -> diverge i d
+            | None -> ());
+            (match
+               multiset_mismatch ~expected:expected.Oracle.rows
+                 ~got:r.Runtime.rows
+             with
+            | Some d -> diverge i d
+            | None -> ())
+      with e -> diverge i ("exception: " ^ Printexc.to_string e))
+    (List.combine c.Case.episode per_stmt_oracle);
+  (* end-of-episode state: every table must match the oracle's *)
+  List.iteri
+    (fun ti ((tab : Case.table), (dump : Oracle.result)) ->
+      try
+        let rel = Catalog.find cat tab.Case.tname in
+        let got = ref [] in
+        for tid = Relation.nrows rel - 1 downto 0 do
+          got := Relation.get_tuple rel tid :: !got
+        done;
+        match multiset_mismatch ~expected:dump.Oracle.rows ~got:!got with
+        | Some d ->
+            diverge (-1)
+              (Printf.sprintf "final state of %s: %s" tab.Case.tname d)
+        | None -> ()
+      with e ->
+        diverge (-1)
+          (Printf.sprintf "final state of table %d: exception: %s" ti
+             (Printexc.to_string e)))
+    (List.combine c.Case.tables dumps_oracle);
+  { divergences = List.rev !divergences; stats = List.rev !stats }
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic predicate rewrites                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rewrites =
+  [
+    ("not-not", fun p -> Expr.Not (Expr.Not p));
+    ("and-dup", fun p -> Expr.And [ p; p ]);
+    ("or-dup", fun p -> Expr.Or [ p; p ]);
+    ("and-true", fun p -> Expr.And [ p; Expr.Const (V.VBool true) ]);
+  ]
+
+let rec rewrite_preds f = function
+  | Plan.Select (child, pred) -> Plan.Select (rewrite_preds f child, f pred)
+  | Plan.Scan _ as p -> p
+  | Plan.Project (child, exprs) -> Plan.Project (rewrite_preds f child, exprs)
+  | Plan.Join ({ left; right; _ } as j) ->
+      Plan.Join
+        { j with left = rewrite_preds f left; right = rewrite_preds f right }
+  | Plan.Group_by ({ child; _ } as g) ->
+      Plan.Group_by { g with child = rewrite_preds f child }
+  | Plan.Sort ({ child; _ } as s) ->
+      Plan.Sort { s with child = rewrite_preds f child }
+  | Plan.Limit (child, n) -> Plan.Limit (rewrite_preds f child, n)
+  | (Plan.Insert _ | Plan.Update _) as p -> p
+
+let rec has_select = function
+  | Plan.Select _ -> true
+  | Plan.Scan _ | Plan.Insert _ | Plan.Update _ -> false
+  | Plan.Project (child, _) | Plan.Limit (child, _) -> has_select child
+  | Plan.Join { left; right; _ } -> has_select left || has_select right
+  | Plan.Group_by { child; _ } | Plan.Sort { child; _ } -> has_select child
+
+(* Replays the episode on one engine; every query with a Select also runs
+   under each truth-preserving rewrite, which must not change the result
+   multiset.  Queries are side-effect free, so the replays between DML are
+   safe. *)
+let run_metamorphic (c : Case.t) =
+  let cat = build_catalog c Case.Pdsm in
+  let params = c.Case.params in
+  let divergences = ref [] in
+  List.iteri
+    (fun i stmt ->
+      try
+        match stmt with
+        | Case.Exec logical ->
+            let phys = Relalg.Planner.plan cat logical in
+            ignore (Engine.run Engine.Bulk cat phys ~params)
+        | Case.Query logical when has_select logical ->
+            let base =
+              Engine.run Engine.Bulk cat
+                (Relalg.Planner.plan cat logical)
+                ~params
+            in
+            List.iter
+              (fun (rname, f) ->
+                let rewritten = rewrite_preds f logical in
+                let r =
+                  Engine.run Engine.Bulk cat
+                    (Relalg.Planner.plan cat rewritten)
+                    ~params
+                in
+                match
+                  multiset_mismatch ~expected:base.Runtime.rows
+                    ~got:r.Runtime.rows
+                with
+                | Some d ->
+                    divergences :=
+                      {
+                        combo = "metamorphic/" ^ rname;
+                        statement = i;
+                        detail = d;
+                      }
+                      :: !divergences
+                | None -> ())
+              rewrites
+        | Case.Query _ -> ()
+      with e ->
+        divergences :=
+          {
+            combo = "metamorphic";
+            statement = i;
+            detail = "exception: " ^ Printexc.to_string e;
+          }
+          :: !divergences)
+    c.Case.episode;
+  List.rev !divergences
+
+(* ------------------------------------------------------------------ *)
+(* WAL + crash-recovery replay                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_recovery (c : Case.t) =
+  let module F = Durability.Faultio in
+  let module D = Durability.Durable in
+  let module Snapshot = Durability.Snapshot in
+  let module Recover = Durability.Recover in
+  try
+    let env = F.memory () in
+    let cat = Catalog.create () in
+    let d = D.attach env cat in
+    List.iter
+      (fun (tab : Case.table) ->
+        Catalog.in_txn cat (fun () ->
+            let rel =
+              Catalog.add cat (Case.schema_of_table tab)
+                (Case.layout_of_table tab Case.Pdsm)
+            in
+            let rows = Array.of_list tab.Case.rows in
+            if Array.length rows > 0 then begin
+              Relation.load rel ~n:(Array.length rows) (fun ~row -> rows.(row));
+              Catalog.notify_load cat tab.Case.tname ~row_lo:0
+                ~rows:(Array.length rows)
+            end))
+      c.Case.tables;
+    let params = c.Case.params in
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Case.Exec logical | Case.Query logical ->
+            let phys = Relalg.Planner.plan cat logical in
+            ignore (Engine.run Engine.Jit cat phys ~params))
+      c.Case.episode;
+    let live = Snapshot.digest cat in
+    D.detach d;
+    let r = Recover.run env in
+    let recovered = Snapshot.digest r.Recover.cat in
+    if live <> recovered then
+      [
+        {
+          combo = "recovery";
+          statement = -1;
+          detail =
+            Printf.sprintf "catalog digest after replay: live %s <> recovered %s"
+              live recovered;
+        };
+      ]
+    else []
+  with e ->
+    [
+      {
+        combo = "recovery";
+        statement = -1;
+        detail = "exception: " ^ Printexc.to_string e;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The full matrix for one case                                        *)
+(* ------------------------------------------------------------------ *)
+
+let modes = [ Case.Nsm; Case.Dsm; Case.Pdsm ]
+
+let run_case ?(mutate = false) ?(recovery = true) (c : Case.t) =
+  let oracle = oracle_results c in
+  let divergences = ref [] in
+  let add ds = divergences := !divergences @ ds in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun engine ->
+          (* the mutation only targets one combination: proving the harness
+             notices a single buggy engine is exactly the point *)
+          let mutate_here =
+            mutate && engine = Engine.Bulk && mode = Case.Nsm
+          in
+          let fast =
+            run_combo ~mutate:mutate_here ~engine ~mode ~fastpath:true c
+              ~oracle
+          in
+          add fast.divergences;
+          let slow =
+            run_combo ~mutate:mutate_here ~engine ~mode ~fastpath:false c
+              ~oracle
+          in
+          add slow.divergences;
+          (* identical address streams => identical counters *)
+          if List.length fast.stats = List.length slow.stats then
+            List.iteri
+              (fun i (a, b) ->
+                match stats_mismatch a b with
+                | Some d ->
+                    add
+                      [
+                        {
+                          combo =
+                            Printf.sprintf "%s/%s/fastpath-counters"
+                              (Engine.name engine)
+                              (Case.layout_mode_name mode);
+                          statement = i;
+                          detail = d;
+                        };
+                      ]
+                | None -> ())
+              (List.combine fast.stats slow.stats))
+        Engine.all;
+      (* morsel-driven parallel execution over the same layouts; a small
+         morsel size forces real multi-morsel merges even on tiny tables *)
+      let par =
+        run_combo ~domains:2 ~morsel_size:16 ~engine:Engine.Jit ~mode
+          ~fastpath:true c ~oracle
+      in
+      add par.divergences)
+    modes;
+  add (run_metamorphic c);
+  if recovery then add (run_recovery c);
+  !divergences

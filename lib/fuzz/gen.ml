@@ -1,0 +1,493 @@
+(* Typed random-case generator ("mrdbsmith").  Everything derives from one
+   integer seed through the repo's deterministic [Mrdb_util.Rng]: schemas,
+   data distributions (uniform / zipf / correlated / NULL-heavy /
+   overflow-adjacent), partial decompositions, and well-typed episodes of
+   queries and DML over [Relalg.Plan].  The same seed always regenerates the
+   same case, which is what makes corpus replay and shrink repros possible. *)
+
+module V = Storage.Value
+module Rng = Mrdb_util.Rng
+module Plan = Relalg.Plan
+module Expr = Relalg.Expr
+module Aggregate = Relalg.Aggregate
+
+let date_epoch = 730_000
+
+(* ------------------------------------------------------------------ *)
+(* Schemas and data                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type dist =
+  | Uniform of int * int
+  | Small_domain of int (* heavy duplicates: group-by friendly *)
+  | Zipf of int * float
+  | Correlated of int * int (* source column (earlier, int), factor *)
+  | Big_int (* overflow-adjacent: sums wrap the 63-bit int *)
+
+let gen_ty rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> V.Int
+  | 4 | 5 -> V.Int
+  | 6 -> V.Date
+  | 7 -> V.Float
+  | 8 -> V.Varchar (4 + Rng.int rng 9)
+  | _ -> V.Varchar 6
+
+let int_like (c : Case.col) =
+  match c.Case.ty with V.Int | V.Date -> true | _ -> false
+
+let gen_cols rng =
+  let n = 1 + Rng.int rng 6 in
+  let cols =
+    List.init n (fun i ->
+        {
+          Case.cname = Printf.sprintf "c%d" i;
+          ty = gen_ty rng;
+          nullable = Rng.bool rng 0.3;
+        })
+  in
+  (* guarantee at least one non-nullable int column: join keys, update
+     targets and mod-bucket group keys need one *)
+  if
+    List.exists (fun c -> int_like c && not c.Case.nullable) cols
+  then cols
+  else
+    { Case.cname = Printf.sprintf "c%d" n; ty = V.Int; nullable = false }
+    :: cols
+    |> List.mapi (fun i c -> { c with Case.cname = Printf.sprintf "c%d" i })
+
+let gen_dist rng cols i (c : Case.col) =
+  match c.Case.ty with
+  | V.Int ->
+      let earlier_ints =
+        List.filteri (fun j cj -> j < i && cj.Case.ty = V.Int) cols
+      in
+      (match Rng.int rng 10 with
+      | 0 | 1 | 2 -> Small_domain (1 + Rng.int rng 9)
+      | 3 | 4 -> Uniform (-Rng.int rng 50, 50 + Rng.int rng 1000)
+      | 5 | 6 -> Zipf (5 + Rng.int rng 40, 0.5 +. Rng.float rng)
+      | 7 when earlier_ints <> [] ->
+          let src =
+            let idx = Rng.int rng (List.length earlier_ints) in
+            let name = (List.nth earlier_ints idx).Case.cname in
+            (* recover the positional index of the chosen source column *)
+            let rec find k = function
+              | [] -> 0
+              | cj :: _ when cj.Case.cname = name -> k
+              | _ :: rest -> find (k + 1) rest
+            in
+            find 0 cols
+          in
+          Correlated (src, 1 + Rng.int rng 5)
+      | 8 when Rng.bool rng 0.5 -> Big_int
+      | _ -> Uniform (0, 100))
+  | V.Date -> Uniform (date_epoch, date_epoch + 400)
+  | _ -> Uniform (0, 100)
+
+(* string pool per varchar column: heavy duplicates make LIKE and group-by
+   predicates meaningful *)
+let gen_string_pool rng width =
+  let n = 2 + Rng.int rng 5 in
+  Array.init n (fun _ ->
+      Rng.string rng ~alphabet:"abcd" ~len:(Rng.int rng (width + 1)))
+
+let gen_rows rng ~max_rows cols =
+  let n =
+    match Rng.int rng 20 with
+    | 0 -> 0
+    | 1 -> 1
+    | 2 -> 2
+    | _ -> 1 + Rng.int rng (max 1 max_rows)
+  in
+  let cols_arr = Array.of_list cols in
+  let dists = Array.of_list (List.mapi (fun i c -> gen_dist rng cols i c) cols) in
+  let pools =
+    Array.map
+      (fun (c : Case.col) ->
+        match c.Case.ty with
+        | V.Varchar w -> Some (gen_string_pool rng w)
+        | _ -> None)
+      cols_arr
+  in
+  let null_heavy =
+    Array.map (fun (c : Case.col) -> c.Case.nullable && Rng.bool rng 0.4) cols_arr
+  in
+  List.init n (fun _ ->
+      let row = Array.make (Array.length cols_arr) V.Null in
+      Array.iteri
+        (fun i (c : Case.col) ->
+          let null =
+            c.Case.nullable
+            && Rng.bool rng (if null_heavy.(i) then 0.6 else 0.1)
+          in
+          row.(i) <-
+            (if null then V.Null
+             else
+               match c.Case.ty with
+               | V.Int -> (
+                   match dists.(i) with
+                   | Uniform (lo, hi) -> V.VInt (Rng.int_in rng lo hi)
+                   | Small_domain k -> V.VInt (Rng.int rng k)
+                   | Zipf (n, theta) -> V.VInt (Rng.zipf rng ~n ~theta)
+                   | Correlated (src, f) ->
+                       let base =
+                         match row.(src) with
+                         | V.VInt v -> v
+                         | _ -> 0
+                       in
+                       V.VInt ((base * f) + Rng.int rng 3)
+                   | Big_int ->
+                       V.VInt ((max_int / 2) - 8 + Rng.int rng 16))
+               | V.Date -> V.VDate (Rng.int_in rng date_epoch (date_epoch + 400))
+               | V.Float ->
+                   (* dyadic rationals: sums of a few hundred of them are
+                      exact, so sequential float aggregation stays
+                      bit-reproducible *)
+                   V.VFloat (float_of_int (Rng.int_in rng (-8000) 8000) /. 64.0)
+               | V.Bool -> V.VBool (Rng.bool rng 0.5)
+               | V.Varchar _ -> (
+                   match pools.(i) with
+                   | Some pool -> V.VStr (Rng.choose rng pool)
+                   | None -> V.VStr "")))
+        cols_arr;
+      row)
+
+(* random partial decomposition: assign every attribute to one of k buckets,
+   drop empties — covers NSM (k=1), DSM (k=arity) and everything between *)
+let gen_groups rng arity =
+  let k = 1 + Rng.int rng arity in
+  let buckets = Array.make k [] in
+  for a = arity - 1 downto 0 do
+    let b = Rng.int rng k in
+    buckets.(b) <- a :: buckets.(b)
+  done;
+  Array.to_list buckets |> List.filter (fun g -> g <> [])
+
+let gen_table rng ~max_rows tname =
+  let cols = gen_cols rng in
+  {
+    Case.tname;
+    cols;
+    groups = gen_groups rng (List.length cols);
+    rows = gen_rows rng ~max_rows cols;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cols_where pred (cols : Case.col list) =
+  List.filteri (fun _ _ -> true) cols
+  |> List.mapi (fun i c -> (i, c))
+  |> List.filter (fun (_, c) -> pred c)
+  |> List.map fst
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let gen_int_const rng =
+  V.VInt
+    (match Rng.int rng 6 with
+    | 0 -> Rng.int rng 10
+    | 1 -> -Rng.int rng 20
+    | 2 -> Rng.int_in rng 100 1000
+    | 3 -> 0
+    | 4 -> (max_int / 2) - Rng.int rng 4
+    | _ -> Rng.int rng 100)
+
+let gen_const_for rng (ty : V.ty) =
+  match ty with
+  | V.Int -> gen_int_const rng
+  | V.Date -> V.VInt (Rng.int_in rng date_epoch (date_epoch + 400))
+  | V.Float -> V.VFloat (float_of_int (Rng.int_in rng (-8000) 8000) /. 64.0)
+  | V.Bool -> V.VBool (Rng.bool rng 0.5)
+  | V.Varchar w -> V.VStr (Rng.string rng ~alphabet:"abcd" ~len:(Rng.int rng (w + 1)))
+
+let gen_cmp_op rng =
+  pick rng [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ]
+
+(* int-valued scalar over the non-nullable int-like columns (safe anywhere,
+   including update right-hand sides of non-nullable targets) *)
+let rec gen_int_scalar rng cols depth =
+  let nn_ints = cols_where (fun c -> int_like c && not c.Case.nullable) cols in
+  if depth = 0 || nn_ints = [] || Rng.bool rng 0.4 then
+    if nn_ints <> [] && Rng.bool rng 0.7 then Expr.Col (pick rng nn_ints)
+    else if Rng.bool rng 0.2 then Expr.Param (1 + Rng.int rng 2)
+    else Expr.Const (gen_int_const rng)
+  else
+    let a = gen_int_scalar rng cols (depth - 1) in
+    match Rng.int rng 5 with
+    | 0 -> Expr.Arith (Expr.Add, a, gen_int_scalar rng cols (depth - 1))
+    | 1 -> Expr.Arith (Expr.Sub, a, gen_int_scalar rng cols (depth - 1))
+    | 2 -> Expr.Arith (Expr.Mul, a, gen_int_scalar rng cols (depth - 1))
+    | 3 -> Expr.Arith (Expr.Div, a, Expr.Const (V.VInt (1 + Rng.int rng 7)))
+    | _ -> Expr.Arith (Expr.Mod, a, Expr.Const (V.VInt (2 + Rng.int rng 9)))
+
+let gen_pred_leaf rng (cols : Case.col list) =
+  let numeric =
+    cols_where (fun c -> match c.Case.ty with V.Varchar _ | V.Bool -> false | _ -> true) cols
+  in
+  let strings = cols_where (fun c -> match c.Case.ty with V.Varchar _ -> true | _ -> false) cols in
+  let nullables = cols_where (fun c -> c.Case.nullable) cols in
+  let choice = Rng.int rng 10 in
+  let col_ty i = (List.nth cols i).Case.ty in
+  if choice < 4 && numeric <> [] then
+    let c = pick rng numeric in
+    Expr.Cmp (gen_cmp_op rng, Expr.Col c, Expr.Const (gen_const_for rng (col_ty c)))
+  else if choice < 5 && List.length numeric >= 2 then
+    let a = pick rng numeric and b = pick rng numeric in
+    Expr.Cmp (gen_cmp_op rng, Expr.Col a, Expr.Col b)
+  else if choice < 7 then
+    Expr.Cmp (gen_cmp_op rng, gen_int_scalar rng cols 1, gen_int_scalar rng cols 1)
+  else if choice < 8 && strings <> [] then
+    let c = pick rng strings in
+    let pat =
+      pick rng [ "a%"; "%b%"; "ab_"; "%"; "_"; "%a"; "a_c%"; "" ]
+    in
+    Expr.Like (Expr.Col c, Expr.Const (V.VStr pat))
+  else if choice < 9 && nullables <> [] then
+    let e = Expr.IsNull (Expr.Col (pick rng nullables)) in
+    if Rng.bool rng 0.5 then e else Expr.Not e
+  else if numeric <> [] then
+    let c = pick rng numeric in
+    Expr.Cmp (gen_cmp_op rng, Expr.Col c, Expr.Param (1 + Rng.int rng 2))
+  else Expr.Cmp (Expr.Eq, Expr.Const (V.VInt 0), Expr.Const (V.VInt 0))
+
+let rec gen_pred rng cols depth =
+  if depth = 0 || Rng.bool rng 0.55 then gen_pred_leaf rng cols
+  else
+    match Rng.int rng 3 with
+    | 0 ->
+        Expr.And [ gen_pred rng cols (depth - 1); gen_pred rng cols (depth - 1) ]
+    | 1 ->
+        Expr.Or [ gen_pred rng cols (depth - 1); gen_pred rng cols (depth - 1) ]
+    | _ -> Expr.Not (gen_pred rng cols (depth - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Query plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_agg rng cols i =
+  let name = Printf.sprintf "a%d" i in
+  let numeric =
+    cols_where (fun c -> match c.Case.ty with V.Varchar _ -> false | _ -> true) cols
+  in
+  let any = List.init (List.length cols) Fun.id in
+  match Rng.int rng 6 with
+  | 0 -> Aggregate.make Aggregate.Count_star name
+  | 1 -> Aggregate.make Aggregate.Count ~expr:(Expr.Col (pick rng any)) name
+  | 2 when numeric <> [] ->
+      Aggregate.make Aggregate.Sum ~expr:(Expr.Col (pick rng numeric)) name
+  | 3 when numeric <> [] ->
+      Aggregate.make Aggregate.Min ~expr:(Expr.Col (pick rng numeric)) name
+  | 4 when numeric <> [] ->
+      Aggregate.make Aggregate.Max ~expr:(Expr.Col (pick rng numeric)) name
+  | 5 when numeric <> [] ->
+      Aggregate.make Aggregate.Avg ~expr:(Expr.Col (pick rng numeric)) name
+  | _ -> Aggregate.make Aggregate.Sum ~expr:(gen_int_scalar rng cols 1) name
+
+let gen_group_key rng cols i =
+  let name = Printf.sprintf "k%d" i in
+  let groupable =
+    cols_where (fun c -> match c.Case.ty with V.Float -> false | _ -> true) cols
+  in
+  let nn_ints = cols_where (fun c -> int_like c && not c.Case.nullable) cols in
+  if nn_ints <> [] && Rng.bool rng 0.35 then
+    ( Expr.Arith
+        (Expr.Mod, Expr.Col (pick rng nn_ints), Expr.Const (V.VInt (2 + Rng.int rng 6))),
+      name )
+  else if groupable <> [] then (Expr.Col (pick rng groupable), name)
+  else (Expr.Const (V.VInt 0), name)
+
+(* group over every column: the all-columns distinct query *)
+let gen_group_all_keys cols =
+  List.mapi (fun i _ -> (Expr.Col i, Printf.sprintf "k%d" i)) cols
+
+let gen_project_exprs rng cols =
+  let n = 1 + Rng.int rng 3 in
+  let any = List.init (List.length cols) Fun.id in
+  List.init n (fun i ->
+      let name = Printf.sprintf "p%d" i in
+      match Rng.int rng 5 with
+      | 0 | 1 -> (Expr.Col (pick rng any), name)
+      | 2 | 3 -> (gen_int_scalar rng cols 2, name)
+      | _ -> (gen_pred_leaf rng cols, name))
+
+(* output arity of a generated plan (no catalog needed: shapes are closed) *)
+let rec arity_of tables = function
+  | Plan.Scan name ->
+      List.length (List.find (fun t -> t.Case.tname = name) tables).Case.cols
+  | Plan.Select (c, _) | Plan.Limit (c, _) -> arity_of tables c
+  | Plan.Sort { child; _ } -> arity_of tables child
+  | Plan.Project (_, exprs) -> List.length exprs
+  | Plan.Join { left; right; _ } -> arity_of tables left + arity_of tables right
+  | Plan.Group_by { keys; aggs; _ } -> List.length keys + List.length aggs
+  | Plan.Insert _ | Plan.Update _ -> 0
+
+(* Sort over a random subset keeps the multiset; Sort over ALL columns makes
+   a Limit prefix deterministic across engines, so Limit only ever appears
+   above a total sort. *)
+let wrap_sort_limit rng tables plan =
+  let arity = arity_of tables plan in
+  if arity = 0 then plan
+  else
+    match Rng.int rng 10 with
+    | 0 | 1 ->
+        let nkeys = 1 + Rng.int rng arity in
+        let perm = Rng.permutation rng arity in
+        let keys =
+          List.init nkeys (fun i ->
+              (perm.(i), if Rng.bool rng 0.5 then Plan.Asc else Plan.Desc))
+        in
+        Plan.Sort { child = plan; keys }
+    | 2 | 3 ->
+        let perm = Rng.permutation rng arity in
+        let keys =
+          Array.to_list
+            (Array.map
+               (fun i -> (i, if Rng.bool rng 0.5 then Plan.Asc else Plan.Desc))
+               perm)
+        in
+        Plan.Limit (Plan.Sort { child = plan; keys }, Rng.int rng 12)
+    | _ -> plan
+
+let gen_single_table_query rng (t : Case.table) tables =
+  let cols = t.Case.cols in
+  let core = Plan.Scan t.Case.tname in
+  let core =
+    if Rng.bool rng 0.75 then Plan.Select (core, gen_pred rng cols 2) else core
+  in
+  let shaped =
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        (* aggregation *)
+        let keys =
+          match Rng.int rng 5 with
+          | 0 -> [] (* global aggregate *)
+          | 1 -> gen_group_all_keys cols
+          | k -> List.init (min k 2) (fun i -> gen_group_key rng cols i)
+        in
+        let aggs = List.init (1 + Rng.int rng 3) (fun i -> gen_agg rng cols i) in
+        Plan.Group_by { child = core; keys; aggs }
+    | 4 | 5 | 6 -> Plan.Project (core, gen_project_exprs rng cols)
+    | _ -> core (* select * *)
+  in
+  wrap_sort_limit rng tables shaped
+
+let gen_join_query rng (t0 : Case.table) (t1 : Case.table) tables =
+  let key_of (t : Case.table) =
+    let nn_ints =
+      cols_where (fun c -> int_like c && not c.Case.nullable) t.Case.cols
+    in
+    pick rng nn_ints
+  in
+  let side t =
+    let s = Plan.Scan t.Case.tname in
+    if Rng.bool rng 0.4 then Plan.Select (s, gen_pred rng t.Case.cols 1) else s
+  in
+  let join =
+    Plan.Join
+      {
+        left = side t0;
+        right = side t1;
+        left_keys = [ key_of t0 ];
+        right_keys = [ key_of t1 ];
+      }
+  in
+  let combined = t0.Case.cols @ t1.Case.cols in
+  let shaped =
+    match Rng.int rng 3 with
+    | 0 ->
+        let keys = List.init (1 + Rng.int rng 2) (fun i -> gen_group_key rng combined i) in
+        let aggs = List.init (1 + Rng.int rng 2) (fun i -> gen_agg rng combined i) in
+        Plan.Group_by { child = join; keys; aggs }
+    | 1 -> Plan.Project (join, gen_project_exprs rng combined)
+    | _ -> join
+  in
+  wrap_sort_limit rng tables shaped
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_update rng (t : Case.table) =
+  let cols = t.Case.cols in
+  let int_targets =
+    cols_where (fun c -> c.Case.ty = V.Int && not c.Case.nullable) cols
+  in
+  let float_targets =
+    cols_where (fun c -> c.Case.ty = V.Float && not c.Case.nullable) cols
+  in
+  let nn_floats = float_targets in
+  let rhs_float () =
+    let leaf () =
+      if nn_floats <> [] && Rng.bool rng 0.6 then Expr.Col (pick rng nn_floats)
+      else Expr.Const (gen_const_for rng V.Float)
+    in
+    if Rng.bool rng 0.5 then leaf ()
+    else Expr.Arith (pick rng [ Expr.Add; Expr.Sub; Expr.Mul ], leaf (), leaf ())
+  in
+  let candidates =
+    List.map (fun a -> (a, `Int)) int_targets
+    @ List.map (fun a -> (a, `Float)) float_targets
+  in
+  if candidates = [] then None
+  else begin
+    let n = 1 + Rng.int rng (min 2 (List.length candidates)) in
+    let perm = Rng.permutation rng (List.length candidates) in
+    let chosen = List.init n (fun i -> List.nth candidates perm.(i)) in
+    let assignments =
+      List.map
+        (fun (a, kind) ->
+          ( a,
+            match kind with
+            | `Int -> gen_int_scalar rng cols 2
+            | `Float -> rhs_float () ))
+        (List.sort_uniq compare chosen)
+    in
+    let pred = if Rng.bool rng 0.8 then Some (gen_pred rng cols 2) else None in
+    Some (Plan.Update { table = t.Case.tname; assignments; pred })
+  end
+
+let gen_insert rng (t : Case.table) =
+  let values =
+    List.map
+      (fun (c : Case.col) ->
+        if c.Case.nullable && Rng.bool rng 0.25 then Expr.Const V.Null
+        else Expr.Const (Case.coerce c.Case.ty (gen_const_for rng c.Case.ty)))
+      t.Case.cols
+  in
+  Plan.Insert { table = t.Case.tname; values }
+
+(* ------------------------------------------------------------------ *)
+(* Cases                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_statement rng tables =
+  let t = pick rng tables in
+  match Rng.int rng 100 with
+  | n when n < 70 -> Case.Query (gen_single_table_query rng t tables)
+  | n when n < 90 -> (
+      match gen_update rng t with
+      | Some u -> Case.Exec u
+      | None -> Case.Query (gen_single_table_query rng t tables))
+  | n when n < 95 -> Case.Exec (gen_insert rng t)
+  | _ -> (
+      match tables with
+      | [ t0; t1 ] -> Case.Query (gen_join_query rng t0 t1 tables)
+      | _ -> Case.Query (gen_single_table_query rng t tables))
+
+let case ?(max_rows = 120) seed =
+  let rng = Rng.create seed in
+  let params =
+    [| V.VInt (Rng.int_in rng (-20) 120); V.VInt (Rng.int_in rng (-20) 120) |]
+  in
+  let n_tables = if Rng.bool rng 0.2 then 2 else 1 in
+  let tables =
+    List.init n_tables (fun i ->
+        gen_table rng
+          ~max_rows:(if i = 0 then max_rows else max 1 (max_rows / 4))
+          (Printf.sprintf "t%d" i))
+  in
+  let n_stmts = 2 + Rng.int rng 3 in
+  let episode = List.init n_stmts (fun _ -> gen_statement rng tables) in
+  { Case.seed; tables; episode; params }

@@ -1,0 +1,87 @@
+(* The fuzz loop: generate case [seed + i], run it through the full
+   differential matrix, shrink anything that fails, and report.  Case [i]
+   of a run is regenerated exactly by `--seed (seed + i) --cases 1`, which
+   is the replay line every failure report carries. *)
+
+type outcome = Ok | Diverged of Driver.divergence list | Raised of string
+
+type report = {
+  seed : int;
+  case : Case.t;
+  outcome : outcome; (* of the original case *)
+  minimized : Case.t; (* = case when outcome = Ok *)
+}
+
+let outcome_of ?(mutate = false) ?(recovery = true) c =
+  match Driver.run_case ~mutate ~recovery c with
+  | [] -> Ok
+  | ds -> Diverged ds
+  | exception e -> Raised (Printexc.to_string e)
+
+(* The shrinker must preserve the *kind* of failure: a case that diverged
+   shrinks towards smaller divergent cases (candidates whose oracle or
+   generator-side evaluation raises are rejected, so shrinking cannot walk
+   into ill-formed plans), and a case that raised shrinks towards smaller
+   raising cases. *)
+let failure_pred ?(mutate = false) ?(recovery = true) = function
+  | Ok -> fun _ -> false
+  | Diverged _ -> (
+      fun c ->
+        match Driver.run_case ~mutate ~recovery c with
+        | [] -> false
+        | _ :: _ -> true
+        | exception _ -> false)
+  | Raised _ -> (
+      fun c ->
+        match Driver.run_case ~mutate ~recovery c with
+        | _ -> false
+        | exception _ -> true)
+
+let run_seed ?(mutate = false) ?(recovery = true) ?(max_rows = 120) seed =
+  let case = Gen.case ~max_rows seed in
+  let outcome = outcome_of ~mutate ~recovery case in
+  let minimized =
+    match outcome with
+    | Ok -> case
+    | _ ->
+        Shrink.minimize ~failing:(failure_pred ~mutate ~recovery outcome) case
+  in
+  { seed; case; outcome; minimized }
+
+let pp_report ppf (r : report) =
+  match r.outcome with
+  | Ok -> Format.fprintf ppf "seed %d: ok" r.seed
+  | Raised msg ->
+      Format.fprintf ppf
+        "seed %d: exception: %s@.--- minimized repro ---@.%s" r.seed msg
+        (Case.to_ocaml r.minimized)
+  | Diverged ds ->
+      Format.fprintf ppf "seed %d: %d divergence(s)@." r.seed (List.length ds);
+      List.iter (fun d -> Format.fprintf ppf "  %a@." Driver.pp_divergence d) ds;
+      Format.fprintf ppf "--- minimized repro (%d rows) ---@.%s"
+        (Case.total_rows r.minimized)
+        (Case.to_ocaml r.minimized)
+
+(* Run [cases] consecutive seeds; returns the failing reports. *)
+let fuzz ?(mutate = false) ?(recovery = true) ?(max_rows = 120)
+    ?(log = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  for i = 0 to cases - 1 do
+    let r = run_seed ~mutate ~recovery ~max_rows (seed + i) in
+    (match r.outcome with
+    | Ok -> ()
+    | _ -> failures := r :: !failures);
+    if (i + 1) mod 50 = 0 || i = cases - 1 then
+      log
+        (Printf.sprintf "%d/%d cases, %d failure(s)" (i + 1) cases
+           (List.length !failures))
+  done;
+  List.rev !failures
+
+(* Corpus replay: a pinned regression case (hand-written or emitted by the
+   shrinker) must stay green. *)
+let replay_case ?(mutate = false) ?(recovery = true) c =
+  outcome_of ~mutate ~recovery c
+
+let replay_seed ?(max_rows = 120) seed =
+  outcome_of (Gen.case ~max_rows seed)

@@ -1,0 +1,262 @@
+(* The reference oracle: a row-at-a-time interpreter over plain value lists,
+   written for obviousness rather than speed and sharing no code with the six
+   engines (aggregation in particular is re-derived from the documented
+   semantics, not [Relalg.Aggregate]).  Its one concession to the storage
+   layer is [Case.coerce]: values pass through the same write/read rounding
+   the buffers apply, so the oracle's world is the world engines read back. *)
+
+module V = Storage.Value
+module Plan = Relalg.Plan
+module Expr = Relalg.Expr
+module Aggregate = Relalg.Aggregate
+
+type table_state = {
+  cols : Case.col list;
+  mutable rows : V.t array list; (* tid order *)
+}
+
+type t = { tables : (string * table_state) list; params : V.t array }
+
+let init (c : Case.t) =
+  {
+    params = c.Case.params;
+    tables =
+      List.map
+        (fun (tab : Case.table) ->
+          let tys = List.map (fun col -> col.Case.ty) tab.Case.cols in
+          ( tab.Case.tname,
+            {
+              cols = tab.Case.cols;
+              rows =
+                List.map
+                  (fun row ->
+                    Array.of_list
+                      (List.map2 Case.coerce tys (Array.to_list row)))
+                  tab.Case.rows;
+            } ))
+        c.Case.tables;
+  }
+
+let table t name = List.assoc name t.tables
+
+(* a query result in the same shape engines produce *)
+type result = { columns : string array; rows : V.t array list }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation, re-derived: count ignores NULL, count-star does not; sum
+   keeps integer and float contributions apart and only becomes float if a
+   float was seen; avg is always float; min/max use Value.compare; every
+   aggregate over zero non-null inputs is NULL except counts.              *)
+(* ------------------------------------------------------------------ *)
+
+type agg_acc = {
+  mutable n : int; (* non-null inputs (rows for count-star) *)
+  mutable si : int;
+  mutable sf : float;
+  mutable seen_float : bool;
+  mutable extreme : V.t;
+}
+
+let agg_init () =
+  { n = 0; si = 0; sf = 0.0; seen_float = false; extreme = V.Null }
+
+let agg_step (a : Aggregate.t) acc value =
+  match a.Aggregate.func with
+  | Aggregate.Count_star -> acc.n <- acc.n + 1
+  | _ when V.is_null value -> ()
+  | Aggregate.Count -> acc.n <- acc.n + 1
+  | Aggregate.Sum | Aggregate.Avg -> (
+      acc.n <- acc.n + 1;
+      match value with
+      | V.VFloat f ->
+          acc.seen_float <- true;
+          acc.sf <- acc.sf +. f
+      | v -> acc.si <- acc.si + V.to_int v)
+  | Aggregate.Min ->
+      if V.is_null acc.extreme || V.compare value acc.extreme < 0 then
+        acc.extreme <- value
+  | Aggregate.Max ->
+      if V.is_null acc.extreme || V.compare value acc.extreme > 0 then
+        acc.extreme <- value
+
+let agg_finish (a : Aggregate.t) acc =
+  match a.Aggregate.func with
+  | Aggregate.Count_star | Aggregate.Count -> V.VInt acc.n
+  | Aggregate.Sum ->
+      if acc.n = 0 then V.Null
+      else if acc.seen_float then V.VFloat (acc.sf +. float_of_int acc.si)
+      else V.VInt acc.si
+  | Aggregate.Avg ->
+      if acc.n = 0 then V.Null
+      else
+        V.VFloat ((acc.sf +. float_of_int acc.si) /. float_of_int acc.n)
+  | Aggregate.Min | Aggregate.Max -> acc.extreme
+
+(* ------------------------------------------------------------------ *)
+(* Plan interpretation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let eval_row ~params expr (row : V.t array) =
+  Expr.eval expr ~params (fun i -> row.(i))
+
+let truthy_row ~params pred row = Expr.truthy (eval_row ~params pred row)
+
+let rec columns_of t = function
+  | Plan.Scan name ->
+      Array.of_list (List.map (fun c -> c.Case.cname) (table t name).cols)
+  | Plan.Select (c, _) | Plan.Limit (c, _) -> columns_of t c
+  | Plan.Sort { child; _ } -> columns_of t child
+  | Plan.Project (_, exprs) -> Array.of_list (List.map snd exprs)
+  | Plan.Join { left; right; _ } ->
+      Array.append (columns_of t left) (columns_of t right)
+  | Plan.Group_by { keys; aggs; _ } ->
+      Array.of_list
+        (List.map snd keys @ List.map (fun a -> a.Aggregate.name) aggs)
+  | Plan.Insert _ | Plan.Update _ -> [||]
+
+let rec rows_of t plan : V.t array list =
+  let params = t.params in
+  match plan with
+  | Plan.Scan name -> (table t name).rows
+  | Plan.Select (child, pred) ->
+      List.filter (truthy_row ~params pred) (rows_of t child)
+  | Plan.Project (child, exprs) ->
+      List.map
+        (fun row ->
+          Array.of_list (List.map (fun (e, _) -> eval_row ~params e row) exprs))
+        (rows_of t child)
+  | Plan.Join { left; right; left_keys; right_keys } ->
+      (* nested loops; key NULLs never match, like a hash join *)
+      let rrows = rows_of t right in
+      List.concat_map
+        (fun lrow ->
+          List.filter_map
+            (fun rrow ->
+              let matches =
+                List.for_all2
+                  (fun lk rk ->
+                    (not (V.is_null lrow.(lk)))
+                    && (not (V.is_null rrow.(rk)))
+                    && V.equal lrow.(lk) rrow.(rk))
+                  left_keys right_keys
+              in
+              if matches then Some (Array.append lrow rrow) else None)
+            rrows)
+        (rows_of t left)
+  | Plan.Group_by { child; keys; aggs } ->
+      let input = rows_of t child in
+      (* distinct keys in first-occurrence order, matched structurally --
+         the same discipline the engines' hash tables use *)
+      let order : V.t list list ref = ref [] in
+      let groups : (V.t list, agg_acc array) Hashtbl.t = Hashtbl.create 16 in
+      let accs_for key =
+        match Hashtbl.find_opt groups key with
+        | Some accs -> accs
+        | None ->
+            let accs =
+              Array.of_list (List.map (fun _ -> agg_init ()) aggs)
+            in
+            Hashtbl.add groups key accs;
+            order := key :: !order;
+            accs
+      in
+      List.iter
+        (fun row ->
+          let key = List.map (fun (e, _) -> eval_row ~params e row) keys in
+          let accs = accs_for key in
+          List.iteri
+            (fun i (a : Aggregate.t) ->
+              let v =
+                match a.Aggregate.expr with
+                | None -> V.Null (* count-star: value unused *)
+                | Some e -> eval_row ~params e row
+              in
+              agg_step a accs.(i) v)
+            aggs)
+        input;
+      (* a global aggregate (no keys) over empty input still emits one row
+         of initial accumulators *)
+      if keys = [] && input = [] then ignore (accs_for []);
+      List.rev_map
+        (fun key ->
+          let accs = Hashtbl.find groups key in
+          Array.of_list
+            (key @ List.mapi (fun i a -> agg_finish a accs.(i)) aggs))
+        !order
+  | Plan.Sort { child; keys } ->
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | (col, dir) :: rest ->
+              let c = V.compare a.(col) b.(col) in
+              let c = match dir with Plan.Asc -> c | Plan.Desc -> -c in
+              if c <> 0 then c else go rest
+        in
+        go keys
+      in
+      List.stable_sort cmp (rows_of t child)
+  | Plan.Limit (child, n) ->
+      List.filteri (fun i _ -> i < n) (rows_of t child)
+  | Plan.Insert _ | Plan.Update _ -> []
+
+let query t plan = { columns = columns_of t plan; rows = rows_of t plan }
+
+(* ------------------------------------------------------------------ *)
+(* DML side effects                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let exec t plan =
+  let params = t.params in
+  match plan with
+  | Plan.Insert { table = name; values } ->
+      let ts = table t name in
+      let row =
+        Array.of_list
+          (List.map2
+             (fun (c : Case.col) e ->
+               Case.coerce c.Case.ty
+                 (Expr.eval e ~params (fun _ ->
+                      invalid_arg "oracle: INSERT values cannot reference columns")))
+             ts.cols values)
+      in
+      ts.rows <- ts.rows @ [ row ]
+  | Plan.Update { table = name; assignments; pred } ->
+      let ts = table t name in
+      let tys = Array.of_list (List.map (fun c -> c.Case.ty) ts.cols) in
+      ts.rows <-
+        List.map
+          (fun row ->
+            let matches =
+              match pred with
+              | None -> true
+              | Some p -> truthy_row ~params p row
+            in
+            if not matches then row
+            else begin
+              (* right-hand sides all see the OLD tuple *)
+              let news =
+                List.map
+                  (fun (a, e) ->
+                    (a, Case.coerce tys.(a) (eval_row ~params e row)))
+                  assignments
+              in
+              let row' = Array.copy row in
+              List.iter (fun (a, v) -> row'.(a) <- v) news;
+              row'
+            end)
+          ts.rows
+  | _ -> invalid_arg "oracle: exec expects Insert or Update"
+
+let run_statement t = function
+  | Case.Query p -> Some (query t p)
+  | Case.Exec p ->
+      exec t p;
+      None
+
+(* full-table dump, for end-of-episode state comparison *)
+let dump t name =
+  let ts = table t name in
+  {
+    columns = Array.of_list (List.map (fun c -> c.Case.cname) ts.cols);
+    rows = ts.rows;
+  }

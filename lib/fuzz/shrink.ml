@@ -1,0 +1,421 @@
+(* Greedy fixpoint minimizer for failing cases.  Every candidate edit is
+   kept only if the case still fails, so the output reproduces the original
+   divergence (or a simpler one) with as little left as possible:
+
+     - drop whole statements, then whole tables no statement mentions
+     - delta-debug rows away (halves first, then single rows)
+     - drop columns no statement references (with index remapping)
+     - strip plan wrappers and simplify predicates
+     - halve integer domains in the data
+
+   The passes repeat until none of them makes progress. *)
+
+module V = Storage.Value
+module Plan = Relalg.Plan
+module Expr = Relalg.Expr
+module Aggregate = Relalg.Aggregate
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let stmt_plan = function Case.Query p -> p | Case.Exec p -> p
+
+(* ------------------------------------------------------------------ *)
+(* Column dropping: remap every table-level column reference            *)
+(* ------------------------------------------------------------------ *)
+
+(* does this subplan's output expose table [t]'s raw columns? *)
+let rec on_table t = function
+  | Plan.Scan n -> n = t
+  | Plan.Select (c, _) -> on_table t c
+  | _ -> false
+
+let shift k i = if i > k then i - 1 else i
+
+let remap_expr k e =
+  if List.mem k (Expr.cols e) then None
+  else Some (Expr.remap e (shift k))
+
+let remap_agg k (a : Aggregate.t) =
+  match a.Aggregate.expr with
+  | None -> Some a
+  | Some e ->
+      Option.map
+        (fun e' -> Aggregate.make a.Aggregate.func ~expr:e' a.Aggregate.name)
+        (remap_expr k e)
+
+let rec all_some = function
+  | [] -> Some []
+  | None :: _ -> None
+  | Some x :: rest -> Option.map (fun xs -> x :: xs) (all_some rest)
+
+(* [Some p'] iff dropping column [k] of table [t] leaves [p] well-formed:
+   no reference to the dropped column, every other table-level reference
+   shifted.  Plans joining over [t] are left alone (combined-output
+   references are not worth tracking for a shrink heuristic). *)
+let rec remap_plan t k p =
+  match p with
+  | Plan.Scan _ -> Some p
+  | Plan.Select (c, pred) ->
+      if on_table t c then
+        match (remap_expr k pred, remap_plan t k c) with
+        | Some pred', Some c' -> Some (Plan.Select (c', pred'))
+        | _ -> None
+      else Option.map (fun c' -> Plan.Select (c', pred)) (remap_plan t k c)
+  | Plan.Project (c, exprs) ->
+      if on_table t c then
+        match
+          ( all_some
+              (List.map
+                 (fun (e, n) ->
+                   Option.map (fun e' -> (e', n)) (remap_expr k e))
+                 exprs),
+            remap_plan t k c )
+        with
+        | Some exprs', Some c' -> Some (Plan.Project (c', exprs'))
+        | _ -> None
+      else Option.map (fun c' -> Plan.Project (c', exprs)) (remap_plan t k c)
+  | Plan.Group_by { child; keys; aggs } ->
+      if on_table t child then
+        match
+          ( all_some
+              (List.map
+                 (fun (e, n) ->
+                   Option.map (fun e' -> (e', n)) (remap_expr k e))
+                 keys),
+            all_some (List.map (remap_agg k) aggs),
+            remap_plan t k child )
+        with
+        | Some keys', Some aggs', Some c' ->
+            Some (Plan.Group_by { child = c'; keys = keys'; aggs = aggs' })
+        | _ -> None
+      else
+        Option.map
+          (fun c' -> Plan.Group_by { child = c'; keys; aggs })
+          (remap_plan t k child)
+  | Plan.Sort { child; keys } ->
+      if on_table t child then
+        if List.exists (fun (i, _) -> i = k) keys then None
+        else
+          Option.map
+            (fun c' ->
+              Plan.Sort
+                { child = c'; keys = List.map (fun (i, d) -> (shift k i, d)) keys })
+            (remap_plan t k child)
+      else
+        Option.map (fun c' -> Plan.Sort { child = c'; keys }) (remap_plan t k child)
+  | Plan.Limit (c, n) -> Option.map (fun c' -> Plan.Limit (c', n)) (remap_plan t k c)
+  | Plan.Join { left; right; _ } ->
+      if List.mem t (Plan.tables left) || List.mem t (Plan.tables right) then
+        None
+      else Some p
+  | Plan.Insert { table; values } ->
+      if table = t then
+        if List.length values <= k then None
+        else Some (Plan.Insert { table; values = drop_nth values k })
+      else Some p
+  | Plan.Update { table; assignments; pred } ->
+      if table = t then
+        if List.exists (fun (a, _) -> a = k) assignments then None
+        else
+          let assignments' =
+            all_some
+              (List.map
+                 (fun (a, e) ->
+                   Option.map (fun e' -> (shift k a, e')) (remap_expr k e))
+                 assignments)
+          in
+          let pred' =
+            match pred with
+            | None -> Some None
+            | Some pr -> Option.map (fun w -> Some w) (remap_expr k pr)
+          in
+          match (assignments', pred') with
+          | Some a', Some p' ->
+              Some (Plan.Update { table; assignments = a'; pred = p' })
+          | _ -> None
+      else Some p
+
+let drop_column (c : Case.t) tname k =
+  let episode' =
+    all_some
+      (List.map
+         (fun stmt ->
+           match stmt with
+           | Case.Query p ->
+               Option.map (fun p' -> Case.Query p') (remap_plan tname k p)
+           | Case.Exec p ->
+               Option.map (fun p' -> Case.Exec p') (remap_plan tname k p))
+         c.Case.episode)
+  in
+  match episode' with
+  | None -> None
+  | Some episode ->
+      let tables =
+        List.map
+          (fun (tab : Case.table) ->
+            if tab.Case.tname <> tname then tab
+            else
+              {
+                tab with
+                Case.cols = drop_nth tab.Case.cols k;
+                rows =
+                  List.map
+                    (fun row ->
+                      Array.of_list (drop_nth (Array.to_list row) k))
+                    tab.Case.rows;
+                groups =
+                  List.filter_map
+                    (fun g ->
+                      match
+                        List.filter_map
+                          (fun a ->
+                            if a = k then None else Some (shift k a))
+                          g
+                      with
+                      | [] -> None
+                      | g' -> Some g')
+                    tab.Case.groups;
+              })
+          c.Case.tables
+      in
+      (* a table must keep at least one column *)
+      if
+        List.exists
+          (fun (tab : Case.table) -> tab.Case.cols = [])
+          tables
+      then None
+      else Some { c with Case.tables; episode }
+
+(* ------------------------------------------------------------------ *)
+(* Plan simplification candidates                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* one-step structural simplifications of a plan, in decreasing order of
+   how much they remove *)
+let rec plan_steps p =
+  let wrap f = List.map f in
+  match p with
+  | Plan.Scan _ | Plan.Insert _ -> []
+  | Plan.Select (c, pred) ->
+      (c :: List.map (fun pr -> Plan.Select (c, pr)) (pred_steps pred))
+      @ wrap (fun c' -> Plan.Select (c', pred)) (plan_steps c)
+  | Plan.Project (c, exprs) ->
+      (c
+      :: List.concat
+           (List.mapi
+              (fun i _ ->
+                if List.length exprs > 1 then
+                  [ Plan.Project (c, drop_nth exprs i) ]
+                else [])
+              exprs))
+      @ wrap (fun c' -> Plan.Project (c', exprs)) (plan_steps c)
+  | Plan.Sort { child; keys } ->
+      (child
+      :: List.concat
+           (List.mapi
+              (fun i _ ->
+                if List.length keys > 1 then
+                  [ Plan.Sort { child; keys = drop_nth keys i } ]
+                else [])
+              keys))
+      @ wrap (fun c' -> Plan.Sort { child = c'; keys }) (plan_steps child)
+  | Plan.Limit (c, n) ->
+      (c :: (if n > 0 then [ Plan.Limit (c, n / 2) ] else []))
+      @ wrap (fun c' -> Plan.Limit (c', n)) (plan_steps c)
+  | Plan.Group_by { child; keys; aggs } ->
+      List.concat
+        (List.mapi
+           (fun i _ ->
+             if List.length aggs > 1 then
+               [ Plan.Group_by { child; keys; aggs = drop_nth aggs i } ]
+             else [])
+           aggs)
+      @ List.concat
+          (List.mapi
+             (fun i _ -> [ Plan.Group_by { child; keys = drop_nth keys i; aggs } ])
+             keys)
+      @ wrap (fun c' -> Plan.Group_by { child = c'; keys; aggs }) (plan_steps child)
+  | Plan.Join ({ left; right; _ } as j) ->
+      wrap (fun l -> Plan.Join { j with left = l }) (plan_steps left)
+      @ wrap (fun r -> Plan.Join { j with right = r }) (plan_steps right)
+  | Plan.Update { table; assignments; pred } ->
+      (match pred with
+      | Some pr ->
+          Plan.Update { table; assignments; pred = None }
+          :: List.map
+               (fun pr' -> Plan.Update { table; assignments; pred = Some pr' })
+               (pred_steps pr)
+      | None -> [])
+      @ List.concat
+          (List.mapi
+             (fun i _ ->
+               if List.length assignments > 1 then
+                 [ Plan.Update { table; assignments = drop_nth assignments i; pred } ]
+               else [])
+             assignments)
+
+and pred_steps = function
+  | Expr.And es | Expr.Or es -> es
+  | Expr.Not e -> [ e ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* The passes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let try_candidates ~failing current candidates =
+  List.fold_left
+    (fun acc cand ->
+      match acc with
+      | Some _ -> acc
+      | None -> if failing cand then Some cand else None)
+    None (candidates current)
+
+(* apply [candidates] repeatedly until no candidate fails anymore *)
+let exhaust ~failing candidates c =
+  let rec go c =
+    match try_candidates ~failing c candidates with
+    | Some c' -> go c'
+    | None -> c
+  in
+  go c
+
+let drop_statement_candidates (c : Case.t) =
+  List.mapi
+    (fun i _ -> { c with Case.episode = drop_nth c.Case.episode i })
+    c.Case.episode
+  |> List.filter (fun (c' : Case.t) -> c'.Case.episode <> [])
+
+let drop_table_candidates (c : Case.t) =
+  if List.length c.Case.tables <= 1 then []
+  else
+    let used =
+      List.concat_map (fun s -> Plan.tables (stmt_plan s)) c.Case.episode
+    in
+    List.filter_map
+      (fun (tab : Case.table) ->
+        if List.mem tab.Case.tname used then None
+        else
+          Some
+            {
+              c with
+              Case.tables =
+                List.filter
+                  (fun (t : Case.table) -> t.Case.tname <> tab.Case.tname)
+                  c.Case.tables;
+            })
+      c.Case.tables
+
+(* delta-debugging on one table's rows: drop progressively smaller chunks *)
+let shrink_rows ~failing (c : Case.t) =
+  let shrink_table c tname =
+    let rows_of c =
+      (Case.find_table c tname).Case.rows
+    in
+    let with_rows (c : Case.t) rows =
+      {
+        c with
+        Case.tables =
+          List.map
+            (fun (tab : Case.table) ->
+              if tab.Case.tname = tname then { tab with Case.rows = rows }
+              else tab)
+            c.Case.tables;
+      }
+    in
+    let rec chunk_pass c size =
+      let rows = rows_of c in
+      let n = List.length rows in
+      if size = 0 || n = 0 then c
+      else begin
+        let rec try_from c start =
+          let rows = rows_of c in
+          let n = List.length rows in
+          if start >= n then c
+          else
+            let kept =
+              List.filteri (fun i _ -> i < start || i >= start + size) rows
+            in
+            let cand = with_rows c kept in
+            if List.length kept < n && failing cand then try_from cand start
+            else try_from c (start + size)
+        in
+        let c = try_from c 0 in
+        chunk_pass c (size / 2)
+      end
+    in
+    let n = List.length (rows_of c) in
+    chunk_pass c (max 1 (n / 2))
+  in
+  List.fold_left
+    (fun c (tab : Case.table) -> shrink_table c tab.Case.tname)
+    c c.Case.tables
+
+let drop_column_candidates (c : Case.t) =
+  List.concat_map
+    (fun (tab : Case.table) ->
+      List.concat
+        (List.mapi
+           (fun k _ ->
+             match drop_column c tab.Case.tname k with
+             | Some c' -> [ c' ]
+             | None -> [])
+           tab.Case.cols))
+    c.Case.tables
+
+let simplify_plan_candidates (c : Case.t) =
+  List.concat
+    (List.mapi
+       (fun i stmt ->
+         let rebuild p =
+           {
+             c with
+             Case.episode =
+               List.mapi
+                 (fun j s ->
+                   if i = j then
+                     match stmt with
+                     | Case.Query _ -> Case.Query p
+                     | Case.Exec _ -> Case.Exec p
+                   else s)
+                 c.Case.episode;
+           }
+         in
+         List.map rebuild (plan_steps (stmt_plan stmt)))
+       c.Case.episode)
+
+let halve_domains (c : Case.t) =
+  let halve_value = function
+    | V.VInt v when v <> 0 -> V.VInt (v / 2)
+    | v -> v
+  in
+  {
+    c with
+    Case.params = Array.map halve_value c.Case.params;
+    tables =
+      List.map
+        (fun (tab : Case.table) ->
+          { tab with Case.rows = List.map (Array.map halve_value) tab.Case.rows })
+        c.Case.tables;
+  }
+
+let minimize ?(max_passes = 6) ~failing (c : Case.t) =
+  let pass c =
+    let c = exhaust ~failing drop_statement_candidates c in
+    let c = exhaust ~failing drop_table_candidates c in
+    let c = shrink_rows ~failing c in
+    let c = exhaust ~failing drop_column_candidates c in
+    let c = exhaust ~failing simplify_plan_candidates c in
+    let c =
+      let h = halve_domains c in
+      if h <> c && failing h then h else c
+    in
+    c
+  in
+  let rec go c n =
+    if n = 0 then c
+    else
+      let c' = pass c in
+      if c' = c then c else go c' (n - 1)
+  in
+  go c max_passes

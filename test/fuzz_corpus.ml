@@ -1,0 +1,156 @@
+(* Regression corpus for the differential fuzzer.  Two kinds of entries:
+
+   - seed replays: seeds that once produced interesting cases (or anchor the
+     CI acceptance run) are regenerated from the generator and re-run through
+     the full differential matrix; any divergence fails the suite.
+   - pinned cases: hand-written or shrinker-emitted [Case.t] literals that
+     stay green even if the generator's seed -> case mapping changes.
+
+   The suite also re-proves the harness can catch bugs at all: the driver's
+   Lt -> Le predicate mutation must diverge on the boundary case below and
+   shrink to a handful of rows. *)
+
+module V = Storage.Value
+module Expr = Relalg.Expr
+module Plan = Relalg.Plan
+module Case = Fuzz.Case
+module Harness = Fuzz.Harness
+
+let outcome_label = function
+  | Harness.Ok -> "ok"
+  | Harness.Diverged ds ->
+      Printf.sprintf "%d divergence(s), first: %s" (List.length ds)
+        (Format.asprintf "%a" Fuzz.Driver.pp_divergence (List.hd ds))
+  | Harness.Raised msg -> "exception: " ^ msg
+
+let check_ok label outcome =
+  Alcotest.(check string) label "ok" (outcome_label outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Seed replays                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Seeds the harness has already cleared in long runs; pinned here so a
+   behavioural change in any engine (or the oracle) that disagrees on one of
+   these cases is caught by `dune runtest`, not only by the next fuzz run.
+   Replay any of them by hand with `mrdb_cli fuzz --seed N --cases 1`. *)
+let regression_seeds =
+  [
+    42 (* first seed of the CI acceptance run *);
+    47 (* caught the Lt->Le mutation during harness bring-up *);
+    58 (* two-table episode with a join and an update *);
+    123 (* zipf-skewed group-by with NULL-heavy aggregate input *);
+    1000 (* first seed of the wide overnight hunt *);
+  ]
+
+let test_seed_replays () =
+  List.iter
+    (fun seed ->
+      check_ok (Printf.sprintf "seed %d" seed) (Harness.replay_seed seed))
+    regression_seeds
+
+(* A short fresh sweep, distinct from the pinned seeds, so runtest always
+   exercises the generator end-to-end on never-inspected cases. *)
+let test_fresh_sweep () =
+  let failures = Harness.fuzz ~seed:9000 ~cases:8 ~max_rows:60 () in
+  List.iter
+    (fun (r : Harness.report) ->
+      Alcotest.failf "fresh seed %d failed: %s@.%s" r.Harness.seed
+        (outcome_label r.Harness.outcome)
+        (Case.to_ocaml r.Harness.minimized))
+    failures
+
+(* ------------------------------------------------------------------ *)
+(* Pinned boundary case                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-written predicate-boundary case: rows 0..20 filtered by c0 < 10.
+   Exactly one row (c0 = 10) separates Lt from Le, so the driver's injected
+   mutation is guaranteed to diverge here — and the correct engines are
+   guaranteed to agree with the oracle on the boundary row's exclusion. *)
+let boundary_case =
+  let rows = List.init 21 (fun i -> [| V.VInt i; V.VInt (i mod 3) |]) in
+  {
+    Case.seed = 0;
+    tables =
+      [
+        {
+          Case.tname = "t0";
+          cols =
+            [
+              { Case.cname = "c0"; ty = V.Int; nullable = false };
+              { Case.cname = "c1"; ty = V.Int; nullable = false };
+            ];
+          groups = [ [ 0 ]; [ 1 ] ];
+          rows;
+        };
+      ];
+    episode =
+      [
+        Case.Query
+          (Plan.Select
+             (Plan.Scan "t0", Expr.Cmp (Expr.Lt, Expr.Col 0, Expr.Const (V.VInt 10))));
+        Case.Query
+          (Plan.Group_by
+             {
+               child = Plan.Scan "t0";
+               keys = [ (Expr.Col 1, "k") ];
+               aggs =
+                 [ Relalg.Aggregate.(make Sum ~expr:(Expr.Col 0) "s") ];
+             });
+      ];
+    params = [| V.VInt 0; V.VInt 0 |];
+  }
+
+let test_boundary_case () =
+  check_ok "pinned boundary case" (Harness.replay_case boundary_case)
+
+(* The new-corpus-on-shared-runner entry: the pinned case, one Alcotest case
+   per engine via [Helpers.across_engines], each engine checked directly
+   against the oracle on NSM with the fast path on. *)
+let boundary_per_engine engine () =
+  let oracle = Fuzz.Driver.oracle_results boundary_case in
+  let out =
+    Fuzz.Driver.run_combo ~engine ~mode:Case.Nsm ~fastpath:true boundary_case
+      ~oracle
+  in
+  match out.Fuzz.Driver.divergences with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "boundary case diverged: %a" Fuzz.Driver.pp_divergence d
+
+(* ------------------------------------------------------------------ *)
+(* Mutation self-check                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The harness is only trustworthy if it catches bugs: weakening the first
+   Lt to Le (the driver's --mutate switch) must diverge on the boundary
+   case, and the shrinker must cut the 21-row table to a handful of rows
+   while preserving the divergence. *)
+let test_mutation_caught () =
+  match Harness.replay_case ~mutate:true boundary_case with
+  | Harness.Ok -> Alcotest.fail "Lt->Le mutation was not detected"
+  | Harness.Raised msg -> Alcotest.failf "mutated run raised: %s" msg
+  | Harness.Diverged _ as outcome ->
+      let minimized =
+        Fuzz.Shrink.minimize
+          ~failing:(Harness.failure_pred ~mutate:true outcome)
+          boundary_case
+      in
+      let n = Case.total_rows minimized in
+      Alcotest.(check bool)
+        (Printf.sprintf "shrinks below 10 rows (got %d)" n)
+        true (n <= 10);
+      (* the shrunk case must itself still diverge under the mutation *)
+      (match Harness.replay_case ~mutate:true minimized with
+      | Harness.Diverged _ -> ()
+      | o -> Alcotest.failf "minimized case no longer diverges: %s"
+               (outcome_label o))
+
+let suite =
+  Alcotest.test_case "regression seeds replay clean" `Slow test_seed_replays
+  :: Alcotest.test_case "fresh seed sweep" `Slow test_fresh_sweep
+  :: Alcotest.test_case "pinned boundary case" `Quick test_boundary_case
+  :: Alcotest.test_case "Lt->Le mutation caught and shrunk" `Quick
+       test_mutation_caught
+  :: Helpers.across_engines "boundary case vs oracle" boundary_per_engine

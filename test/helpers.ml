@@ -61,6 +61,20 @@ let join_catalog ?(n_orders = 300) ?(n_customers = 40) () =
       [| V.VInt row; V.VInt (row mod n_customers); V.VInt (row mod 97) |]);
   cat
 
+(* The engine-matrix runner: one Alcotest case per execution engine, named
+   "<name> [<engine>]".  Shared by the engine, parallel, tracefast and fuzz
+   corpus suites instead of each rolling its own loop over [Engine.all]. *)
+let across_engines ?(speed = `Quick) name f =
+  List.map
+    (fun e ->
+      Alcotest.test_case
+        (Printf.sprintf "%s [%s]" name (Engines.Engine.name e))
+        speed (f e))
+    Engines.Engine.all
+
+(* inline variant for assertions that loop over engines inside one case *)
+let iter_engines f = List.iter f Engines.Engine.all
+
 let run_sql ?(engine = Engines.Engine.Jit) ?(params = [||]) cat sql =
   let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
   Engines.Engine.run engine cat plan ~params

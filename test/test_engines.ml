@@ -120,13 +120,90 @@ let test_like_predicate engine () =
      60 rows cover name000..name049 once and name000..name009 again *)
   Helpers.check_rows "like matches" [ [| V.VInt 20 |] ] r.Runtime.rows
 
-let per_engine name f =
-  List.map
-    (fun e ->
-      Alcotest.test_case
-        (Printf.sprintf "%s [%s]" name (Engine.name e))
-        `Quick (f e))
-    engines
+(* ------------------------------------------------------------------ *)
+(* Aggregate edge cases (fuzz-harness companions)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny nullable table whose [v] column is entirely NULL. *)
+let nullable_catalog n =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Storage.Catalog.create ~hier () in
+  let schema =
+    Storage.Schema.make_nullable "nt"
+      [ ("k", V.Int, false); ("v", V.Int, true) ]
+  in
+  let rel = Storage.Catalog.add cat schema (Storage.Layout.row schema) in
+  Storage.Relation.load rel ~n (fun ~row -> [| V.VInt (row mod 3); V.Null |]);
+  cat
+
+let test_grouped_aggregate_empty_input engine () =
+  (* grouped aggregates over an empty input emit NO rows (unlike the global
+     aggregate, which emits one initial-accumulator row) *)
+  let cat = Helpers.small_catalog ~n:40 () in
+  let r =
+    Helpers.run_sql ~engine ~params:[| V.VInt (-1) |] cat
+      "select grp, count(*) c, sum(amount) s from t where id = $1 group by grp"
+  in
+  Helpers.check_rows "no groups from empty input" [] r.Runtime.rows
+
+let test_all_null_aggregates engine () =
+  let cat = nullable_catalog 9 in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select count(*) cs, count(v) c, sum(v) s, min(v) mn, max(v) mx, \
+       avg(v) a from nt"
+  in
+  (* count(v) skips NULLs; every other NULL-fed aggregate yields NULL *)
+  Helpers.check_rows "all-NULL column"
+    [ [| V.VInt 9; V.VInt 0; V.Null; V.Null; V.Null; V.Null |] ]
+    r.Runtime.rows
+
+let test_single_row_aggregates engine () =
+  let cat = Helpers.small_catalog ~n:1 () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select grp, count(*) c, sum(amount) s, min(id) mn, max(id) mx, \
+       avg(score) a from t group by grp"
+  in
+  Helpers.check_rows "single-row group"
+    [ [| V.VInt 0; V.VInt 1; V.VInt 0; V.VInt 0; V.VInt 0; V.VFloat 0.0 |] ]
+    r.Runtime.rows
+
+let test_group_by_every_column engine () =
+  (* keying on every column makes each of the n distinct rows its own
+     group; the aggregate degenerates to the identity *)
+  let n = 23 in
+  let cat = Helpers.small_catalog ~n () in
+  let r =
+    Helpers.run_sql ~engine cat
+      "select id, grp, amount, name, score, count(*) c from t group by id, \
+       grp, amount, name, score order by id"
+  in
+  Alcotest.(check int) "one group per row" n (List.length r.Runtime.rows);
+  List.iteri
+    (fun i row ->
+      Alcotest.(check Helpers.value_testable) "key is row id" (V.VInt i) row.(0);
+      Alcotest.(check Helpers.value_testable) "all groups singleton"
+        (V.VInt 1) row.(5))
+    r.Runtime.rows
+
+let test_overflow_adjacent_sum engine () =
+  (* sums flirting with max_int must wrap identically everywhere (OCaml
+     ints wrap silently; the invariant is cross-engine identity, which the
+     fuzzer's Big_int distribution also leans on) *)
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Storage.Catalog.create ~hier () in
+  let schema = Storage.Schema.make "big" [ ("x", V.Int) ] in
+  let rel = Storage.Catalog.add cat schema (Storage.Layout.row schema) in
+  let near = (max_int / 2) - 3 in
+  Storage.Relation.load rel ~n:4 (fun ~row -> [| V.VInt (near + row) |]);
+  let r = Helpers.run_sql ~engine cat "select sum(x) s from big" in
+  let expected = (4 * near) + 6 in
+  Helpers.check_rows "wrapped sum identical"
+    [ [| V.VInt expected |] ]
+    r.Runtime.rows
+
+let per_engine = Helpers.across_engines
 
 (* ------------------------------------------------------------------ *)
 (* Cross-engine equivalence                                            *)
@@ -343,6 +420,11 @@ let suite =
   @ per_engine "insert" test_insert
   @ per_engine "projection exprs" test_projection_expressions
   @ per_engine "like predicate" test_like_predicate
+  @ per_engine "grouped aggregate, empty input" test_grouped_aggregate_empty_input
+  @ per_engine "all-NULL aggregates" test_all_null_aggregates
+  @ per_engine "single-row aggregates" test_single_row_aggregates
+  @ per_engine "group by every column" test_group_by_every_column
+  @ per_engine "overflow-adjacent sum" test_overflow_adjacent_sum
   @ [
       Alcotest.test_case "engines agree (fixed queries x layouts)" `Quick
         test_engines_agree;

@@ -22,5 +22,6 @@ let () =
       ("edge_cases", Test_edge_cases.suite);
       ("robustness", Test_robustness.suite);
       ("recovery", Test_recovery.suite);
+      ("fuzz_corpus", Fuzz_corpus.suite);
       ("db", Test_db.suite);
     ]

@@ -236,6 +236,66 @@ let test_repartition_preserves_data () =
   let after = List.init 200 (Relation.get_tuple rel') in
   Helpers.check_rows "same tuples" before after
 
+(* ------------------------------------------------------------------ *)
+(* Slice / reslice boundaries                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_slice_boundaries () =
+  let cat = Helpers.small_catalog ~n:50 () in
+  let rel = Storage.Catalog.find cat "t" in
+  (* zero-length slices are legal at every position, including both ends *)
+  List.iter
+    (fun lo ->
+      let s = Relation.slice rel ~lo ~len:0 in
+      Alcotest.(check int)
+        (Printf.sprintf "empty slice at %d" lo)
+        0 (Relation.nrows s))
+    [ 0; 25; 50 ];
+  (* a full-width slice is the identity on contents *)
+  let full = Relation.slice rel ~lo:0 ~len:50 in
+  Alcotest.(check int) "full slice length" 50 (Relation.nrows full);
+  Alcotest.(check Helpers.row_testable) "full slice last tuple"
+    (Relation.get_tuple rel 49) (Relation.get_tuple full 49);
+  (* one-row slices at both extremes *)
+  let first = Relation.slice rel ~lo:0 ~len:1 in
+  let last = Relation.slice rel ~lo:49 ~len:1 in
+  Alcotest.(check Helpers.value_testable) "first row" (V.VInt 0)
+    (Relation.get first 0 0);
+  Alcotest.(check Helpers.value_testable) "last row" (V.VInt 49)
+    (Relation.get last 0 0)
+
+let test_slice_of_slice () =
+  let cat = Helpers.small_catalog ~n:100 () in
+  let rel = Storage.Catalog.find cat "t" in
+  let mid = Relation.slice rel ~lo:20 ~len:60 in
+  (* nested slice pinned to the parent's low end: tuple 0 = base row 20 *)
+  let lo_end = Relation.slice mid ~lo:0 ~len:5 in
+  Alcotest.(check Helpers.value_testable) "low-end nested origin" (V.VInt 20)
+    (Relation.get lo_end 0 0);
+  (* nested slice pinned to the parent's high end: last tuple = base row 79 *)
+  let hi_end = Relation.slice mid ~lo:55 ~len:5 in
+  Alcotest.(check Helpers.value_testable) "high-end nested last" (V.VInt 79)
+    (Relation.get hi_end 4 0);
+  (* zero-length nested slice exactly at the parent's upper bound *)
+  let empty = Relation.slice mid ~lo:60 ~len:0 in
+  Alcotest.(check int) "empty at parent bound" 0 (Relation.nrows empty)
+
+let test_reslice_boundaries () =
+  let cat = Helpers.small_catalog ~n:30 () in
+  let rel = Storage.Catalog.find cat "t" in
+  let view = Relation.with_hier rel (Relation.hier rel) in
+  (* reslice to a zero-length window, then back out to the full relation *)
+  Relation.reslice view ~lo:0 ~len:0;
+  Alcotest.(check int) "zero window" 0 (Relation.nrows view);
+  Relation.reslice view ~lo:0 ~len:30;
+  Alcotest.(check int) "full window again" 30 (Relation.nrows view);
+  (* zero-length window at the far end is the last legal position *)
+  Relation.reslice view ~lo:30 ~len:0;
+  Alcotest.(check int) "empty at end" 0 (Relation.nrows view);
+  Relation.reslice view ~lo:29 ~len:1;
+  Alcotest.(check Helpers.value_testable) "final row window" (V.VInt 29)
+    (Relation.get view 0 0)
+
 let qcheck_relation_roundtrip =
   QCheck.Test.make ~count:100
     ~name:"relation stores arbitrary int/string tuples under random layouts"
@@ -297,4 +357,7 @@ let suite =
     Alcotest.test_case "repartition preserves data" `Quick
       test_repartition_preserves_data;
     QCheck_alcotest.to_alcotest qcheck_relation_roundtrip;
+    Alcotest.test_case "slice boundaries" `Quick test_slice_boundaries;
+    Alcotest.test_case "slice of slice" `Quick test_slice_of_slice;
+    Alcotest.test_case "reslice boundaries" `Quick test_reslice_boundaries;
   ]

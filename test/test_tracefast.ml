@@ -162,9 +162,4 @@ let suite =
   :: QCheck_alcotest.to_alcotest qcheck_run_identity_interleaved
   :: Alcotest.test_case "fig3 point traced fast=slow" `Quick test_fig3_point
   :: Alcotest.test_case "reslice window" `Quick test_reslice
-  :: List.map
-       (fun e ->
-         Alcotest.test_case
-           (Printf.sprintf "engine identity: %s" (Engine.name e))
-           `Quick (test_engine_identity e))
-       Engine.all
+  :: Helpers.across_engines "engine identity" test_engine_identity
