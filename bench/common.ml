@@ -36,3 +36,22 @@ let measure engine cat plan params =
 let measure_query engine cat (q : Workloads.Workload.query) ~use_indexes =
   let plan = q.Workloads.Workload.make_plan ~use_indexes in
   measure engine cat plan q.Workloads.Workload.params
+
+(* ------------------------------------------------------------------ *)
+(* Unified bench output                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every benchmark that persists results writes normalized trajectory
+   points through this one sink, so [bench/report.exe] can consolidate,
+   diff and gate them without per-file parsers. *)
+
+let commit () =
+  match Sys.getenv_opt "MRDB_COMMIT" with
+  | Some c -> c
+  | None -> ( match Sys.getenv_opt "GITHUB_SHA" with Some c -> c | None -> "")
+
+let pt ~bench ~metric ?unit_ v = Obs.Trajectory.point ~bench ~metric ?unit_ v
+
+let write_bench file points =
+  Obs.Trajectory.save file (Obs.Trajectory.make_run ~commit:(commit ()) points);
+  note "wrote %s" file

@@ -138,24 +138,30 @@ let run () =
       sizes
   in
 
-  let oc = open_out "BENCH_durability.json" in
-  Printf.fprintf oc
-    "{\n  \"benchmark\": \"durability\",\n  \"rows\": %d,\n  \
-     \"updated_tuples\": %d,\n  \"simulated_cycles_plain\": %d,\n  \
-     \"simulated_cycles_logged\": %d,\n  \"update_seconds_plain\": %.6f,\n  \
-     \"update_seconds_wal_memory\": %.6f,\n  \
-     \"update_seconds_wal_file\": %.6f,\n  \
-     \"logging_ns_per_tuple_memory\": %.1f,\n  \
-     \"logging_ns_per_tuple_file\": %.1f,\n  \"snapshots\": [\n%s\n  ]\n}\n"
-    n !updated plain_cycles logged_cycles t_plain t_mem t_file
-    (per_tuple t_mem) (per_tuple t_file)
-    (String.concat ",\n"
-       (List.map
-          (fun (rows, t_snap, bytes, t_rec) ->
-            Printf.sprintf
-              "    { \"rows\": %d, \"snapshot_seconds\": %.6f, \
-               \"snapshot_bytes\": %d, \"recovery_seconds\": %.6f }"
-              rows t_snap bytes t_rec)
-          snap_rows));
-  close_out oc;
-  Common.note "wrote BENCH_durability.json"
+  let bench = "durability" in
+  let pt = Common.pt ~bench in
+  Common.write_bench "BENCH_durability.json"
+    ([
+       pt ~metric:"rows" ~unit_:"rows" (float_of_int n);
+       pt ~metric:"updated_tuples" (float_of_int !updated);
+       pt ~metric:"simulated_cycles_plain" ~unit_:"cycles"
+         (float_of_int plain_cycles);
+       pt ~metric:"simulated_cycles_logged" ~unit_:"cycles"
+         (float_of_int logged_cycles);
+       pt ~metric:"update_seconds_plain" ~unit_:"s" t_plain;
+       pt ~metric:"update_seconds_wal_memory" ~unit_:"s" t_mem;
+       pt ~metric:"update_seconds_wal_file" ~unit_:"s" t_file;
+       pt ~metric:"logging_ns_per_tuple_memory" ~unit_:"ns"
+         (per_tuple t_mem);
+       pt ~metric:"logging_ns_per_tuple_file" ~unit_:"ns" (per_tuple t_file);
+     ]
+    @ List.concat_map
+        (fun (rows, t_snap, bytes, t_rec) ->
+          let m k = Printf.sprintf "snapshot.%d.%s" rows k in
+          [
+            pt ~metric:(m "snapshot_seconds") ~unit_:"s" t_snap;
+            pt ~metric:(m "snapshot_bytes") ~unit_:"bytes"
+              (float_of_int bytes);
+            pt ~metric:(m "recovery_seconds") ~unit_:"s" t_rec;
+          ])
+        snap_rows)

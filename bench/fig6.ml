@@ -32,23 +32,27 @@ let run () =
     (fun s ->
       (* drive the conditional read directly (predicate column untraced so
          the counters contain only the projection region) *)
+      (* cold caches per selectivity point; the counters themselves are
+         read through a scoped section rather than off the global reset *)
       Memsim.Hierarchy.reset hier;
       let threshold =
         int_of_float (s *. float_of_int Workloads.Microbench.domain)
       in
       let matched = ref 0 in
-      for tid = 0 to n - 1 do
-        Memsim.Hierarchy.set_enabled hier false;
-        let a = Storage.Value.to_int (Storage.Relation.get rel tid 0) in
-        Memsim.Hierarchy.set_enabled hier true;
-        if a < threshold then begin
-          incr matched;
-          for attr = 1 to 4 do
-            ignore (Storage.Relation.get rel tid attr)
-          done
-        end
-      done;
-      let st = Memsim.Hierarchy.stats hier in
+      let (), st =
+        Memsim.Hierarchy.section hier (fun () ->
+            for tid = 0 to n - 1 do
+              Memsim.Hierarchy.set_enabled hier false;
+              let a = Storage.Value.to_int (Storage.Relation.get rel tid 0) in
+              Memsim.Hierarchy.set_enabled hier true;
+              if a < threshold then begin
+                incr matched;
+                for attr = 1 to 4 do
+                  ignore (Storage.Relation.get rel tid attr)
+                done
+              end
+            done)
+      in
       let meas_seq = float_of_int st.Memsim.Stats.llc_seq_misses /. region_lines in
       let meas_rand =
         float_of_int st.Memsim.Stats.llc_rand_misses /. region_lines

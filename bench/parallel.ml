@@ -68,20 +68,20 @@ let run () =
       Printf.printf "  %-8d %12.3f %8.2fx\n" d (1000. *. t) (t1 /. t))
     rows;
   Common.note "all parallel results identical to the sequential run";
-  let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc
-    "{\n  \"benchmark\": \"parallel-scaling\",\n  \"rows\": %d,\n  \
-     \"selectivity\": %g,\n  \"engine\": %S,\n  \
-     \"recommended_domains\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
-    n_rows sel
-    (Engines.Engine.name engine)
-    (Domain.recommended_domain_count ())
-    (String.concat ",\n"
-       (List.map
-          (fun (d, t) ->
-            Printf.sprintf
-              "    { \"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f }"
-              d t (t1 /. t))
-          rows));
-  close_out oc;
-  Common.note "wrote BENCH_parallel.json"
+  let bench = "parallel" in
+  let pt = Common.pt ~bench in
+  Common.write_bench "BENCH_parallel.json"
+    ([
+       pt ~metric:"rows" ~unit_:"rows" (float_of_int n_rows);
+       pt ~metric:"selectivity" sel;
+       pt ~metric:"recommended_domains"
+         (float_of_int (Domain.recommended_domain_count ()));
+     ]
+    @ List.concat_map
+        (fun (d, t) ->
+          let m name = Printf.sprintf "domains.%d.%s" d name in
+          [
+            pt ~metric:(m "seconds") ~unit_:"s" t;
+            pt ~metric:(m "speedup") ~unit_:"x" (t1 /. t);
+          ])
+        rows)

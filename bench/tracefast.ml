@@ -166,46 +166,54 @@ let run () =
           seed_s new_s (seed_s /. new_s) pairs)
       vs_seed
   end;
-  let oc = open_out "BENCH_trace_fastpath.json" in
-  Printf.fprintf oc
-    "{\n  \"benchmark\": \"trace-fastpath\",\n  \"rows\": %d,\n  \
-     \"selectivity\": %g,\n  \"repeats\": %d,\n  \"engines\": [\n%s\n  ],\n  \
-     \"experiments\": [\n%s\n  ],\n  \"endtoend_vs_seed\": {\n    \"note\": \
-     \"whole-change wall clock vs the pre-batching build (commit 89a6026), \
-     measured as medians of interleaved seed/new runs; the MEMSIM_FASTPATH \
-     toggle above isolates the tracer only and understates the engine-layer \
-     part of the change\",\n    \"runs\": [\n%s\n    ]\n  }\n}\n"
-    n_rows sel repeats
-    (String.concat ",\n"
-       (List.map
-          (fun r ->
-            Printf.sprintf
-              "    { \"engine\": %S, \"fast_seconds\": %.6f, \
-               \"slow_seconds\": %.6f, \"speedup\": %.3f, \"accesses\": %d, \
-               \"traced_values_per_sec_fast\": %.0f, \
-               \"traced_values_per_sec_slow\": %.0f, \
-               \"counters_identical\": %b }"
-              r.engine r.fast_s r.slow_s (r.slow_s /. r.fast_s) r.accesses
-              (float_of_int r.accesses /. r.fast_s)
-              (float_of_int r.accesses /. r.slow_s)
-              r.identical)
-          rows))
-    (String.concat ",\n"
-       (List.map
-          (fun (name, tf, ts) ->
-            Printf.sprintf
-              "    { \"name\": %S, \"fastpath_seconds\": %.3f, \
-               \"perword_seconds\": %.3f, \"speedup\": %.3f }"
-              name tf ts (ts /. tf))
-          experiment_rows))
-    (String.concat ",\n"
-       (List.map
-          (fun (name, seed_s, new_s, pairs) ->
-            Printf.sprintf
-              "      { \"name\": %S, \"seed_seconds\": %.3f, \
-               \"new_seconds\": %.3f, \"speedup\": %.3f, \
-               \"interleaved_pairs\": %d }"
-              name seed_s new_s (seed_s /. new_s) pairs)
-          vs_seed));
-  close_out oc;
-  Common.note "wrote BENCH_trace_fastpath.json"
+  (* [vs_seed] numbers compare the whole change against the pre-batching
+     build (commit 89a6026), as medians of interleaved seed/new runs; the
+     MEMSIM_FASTPATH toggle isolates the tracer only and understates the
+     engine-layer part of the change. *)
+  let bench = "trace_fastpath" in
+  let pt = Common.pt ~bench in
+  Common.write_bench "BENCH_trace_fastpath.json"
+    ([
+       pt ~metric:"rows" ~unit_:"rows" (float_of_int n_rows);
+       pt ~metric:"selectivity" sel;
+       pt ~metric:"repeats" (float_of_int repeats);
+     ]
+    @ List.concat_map
+        (fun r ->
+          let m name = Printf.sprintf "engine.%s.%s" r.engine name in
+          [
+            pt ~metric:(m "fast_seconds") ~unit_:"s" r.fast_s;
+            pt ~metric:(m "slow_seconds") ~unit_:"s" r.slow_s;
+            pt ~metric:(m "speedup") ~unit_:"x" (r.slow_s /. r.fast_s);
+            pt ~metric:(m "accesses") (float_of_int r.accesses);
+            pt
+              ~metric:(m "traced_values_per_sec_fast")
+              (float_of_int r.accesses /. r.fast_s);
+            pt
+              ~metric:(m "traced_values_per_sec_slow")
+              (float_of_int r.accesses /. r.slow_s);
+            pt
+              ~metric:(m "counters_identical")
+              ~unit_:"bool"
+              (if r.identical then 1. else 0.);
+          ])
+        rows
+    @ List.concat_map
+        (fun (name, tf, ts) ->
+          let m k = Printf.sprintf "experiment.%s.%s" name k in
+          [
+            pt ~metric:(m "fastpath_seconds") ~unit_:"s" tf;
+            pt ~metric:(m "perword_seconds") ~unit_:"s" ts;
+            pt ~metric:(m "speedup") ~unit_:"x" (ts /. tf);
+          ])
+        experiment_rows
+    @ List.concat_map
+        (fun (name, seed_s, new_s, pairs) ->
+          let m k = Printf.sprintf "vs_seed.%s.%s" name k in
+          [
+            pt ~metric:(m "seed_seconds") ~unit_:"s" seed_s;
+            pt ~metric:(m "new_seconds") ~unit_:"s" new_s;
+            pt ~metric:(m "speedup") ~unit_:"x" (seed_s /. new_s);
+            pt ~metric:(m "interleaved_pairs") (float_of_int pairs);
+          ])
+        vs_seed)

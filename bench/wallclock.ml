@@ -57,7 +57,10 @@ let benchmark tests =
   let results = Analyze.merge (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
   results
 
+(* Print estimates and collect them as [(name, ns_per_run)] for the
+   trajectory file. *)
 let print_results results =
+  let collected = ref [] in
   Hashtbl.iter
     (fun measure tbl ->
       if String.equal measure (Measure.label Instance.monotonic_clock) then
@@ -65,17 +68,35 @@ let print_results results =
           (fun name ols ->
             match Bechamel.Analyze.OLS.estimates ols with
             | Some [ est ] ->
-                Printf.printf "  %-40s %12.0f ns/run\n" name est
+                Printf.printf "  %-40s %12.0f ns/run\n" name est;
+                collected := (name, est) :: !collected
             | _ -> Printf.printf "  %-40s (no estimate)\n" name)
           tbl)
-    results
+    results;
+  List.sort compare !collected
+
+(* "mrdb example-query/jit" -> "example-query.jit" *)
+let metric_of_test_name name =
+  let name =
+    match String.index_opt name ' ' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  String.map (function '/' -> '.' | c -> c) name
 
 let run () =
   Common.header "Wall-clock (Bechamel) — real execution, no simulator";
   let tests = engine_tests () @ layout_tests () in
-  print_results (benchmark tests);
+  let estimates = print_results (benchmark tests) in
   Common.note
     "expected: volcano is several times slower than jit/bulk in real \
      execution — per-tuple closure indirection is a genuine overhead, not \
      only a simulated one.  (The HYRISE engine is omitted here: it differs \
-     from bulk only in the CPU cycles charged to the simulator.)"
+     from bulk only in the CPU cycles charged to the simulator.)";
+  Common.write_bench "BENCH_wallclock.json"
+    (List.map
+       (fun (name, est) ->
+         Common.pt ~bench:"wallclock"
+           ~metric:(metric_of_test_name name ^ ".ns_per_run")
+           ~unit_:"ns" est)
+       estimates)

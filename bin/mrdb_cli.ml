@@ -150,23 +150,46 @@ let plan_of ~sample cat sql params =
   if sample then Relalg.Planner.plan ~sample_with:params cat logical
   else Relalg.Planner.plan cat logical
 
+(* ---- metrics export ----------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"After the command, export the process metrics registry to \
+                 $(docv): Prometheus text format if it ends in $(b,.prom), \
+                 JSON otherwise.")
+
+let export_metrics = function
+  | None -> ()
+  | Some path ->
+      if Filename.check_suffix path ".prom" then begin
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Obs.Metrics.to_prometheus ()))
+      end
+      else Obs.Json.write_file path (Obs.Metrics.to_json ())
+
 let run_cmd =
-  let run db scale engine domains sql params sample wal snapshot recover =
-    with_catalog db scale ~wal ~snapshot ~recover @@ fun cat _hier ->
-    let plan = plan_of ~sample cat sql (parse_params params) in
-    let result, st =
-      Engines.Engine.run_measured ~domains engine cat plan
-        ~params:(parse_params params)
-    in
-    Format.printf "%a" Engines.Runtime.pp_result result;
-    Printf.printf "-- %d rows\n" (List.length result.Engines.Runtime.rows);
-    print_stats st
+  let run db scale engine domains sql params sample wal snapshot recover
+      metrics =
+    (with_catalog db scale ~wal ~snapshot ~recover @@ fun cat _hier ->
+     let plan = plan_of ~sample cat sql (parse_params params) in
+     let result, st =
+       Engines.Engine.run_measured ~domains engine cat plan
+         ~params:(parse_params params)
+     in
+     Format.printf "%a" Engines.Runtime.pp_result result;
+     Printf.printf "-- %d rows\n" (List.length result.Engines.Runtime.rows);
+     print_stats st);
+    export_metrics metrics
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a SQL statement and report simulated cycles.")
     Term.(
       const run $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
-      $ param_arg $ sample_flag $ wal_arg $ snapshot_arg $ recover_flag)
+      $ param_arg $ sample_flag $ wal_arg $ snapshot_arg $ recover_flag
+      $ metrics_arg)
 
 let checkpoint_cmd =
   let checkpoint wal snapshot =
@@ -192,19 +215,30 @@ let checkpoint_cmd =
           the log).")
     Term.(const checkpoint $ wal_req $ snapshot_arg)
 
+let analyze_flag =
+  Arg.(value & flag
+       & info [ "analyze" ]
+           ~doc:"Also execute the plan on the selected engine and report \
+                 memsim-measured per-operator cycles with the cost model's \
+                 relative error (EXPLAIN ANALYZE).")
+
 let explain_cmd =
-  let explain db scale sql params sample =
+  let explain db scale engine domains sql params sample analyze =
     let cat, _ = load_db db scale in
-    let plan = plan_of ~sample cat sql (parse_params params) in
-    Format.printf "physical plan:@.%a@.@." Relalg.Physical.pp plan;
-    print_endline (Costmodel.Model.explain cat plan)
+    let params = parse_params params in
+    let plan = plan_of ~sample cat sql params in
+    print_string
+      (Obs_explain.render ~analyze ~engine ~domains ~params cat plan)
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Show the physical plan, its access-pattern program and the cost \
-          model's estimate.")
-    Term.(const explain $ db_arg $ scale_arg $ sql_arg $ param_arg $ sample_flag)
+         "Show the physical plan with per-operator predicted cost, its \
+          access-pattern program, and (with $(b,--analyze)) the \
+          memsim-measured per-operator cycles and relative error.")
+    Term.(
+      const explain $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
+      $ param_arg $ sample_flag $ analyze_flag)
 
 let codegen_cmd =
   let codegen db scale sql =
@@ -333,12 +367,13 @@ let import_cmd =
     Term.(const import $ path_arg $ name_arg $ sql_opt)
 
 let fuzz_cmd =
-  let fuzz seed cases max_rows mutate no_recovery quiet =
+  let fuzz seed cases max_rows mutate no_recovery quiet metrics =
     let log msg = if not quiet then Printf.eprintf "mrdb fuzz: %s\n%!" msg in
     let failures =
       Fuzz.Harness.fuzz ~mutate ~recovery:(not no_recovery) ~max_rows ~log
         ~seed ~cases ()
     in
+    export_metrics metrics;
     if failures = [] then
       Printf.printf
         "fuzz: %d case(s) from seed %d: no divergences across all engine x \
@@ -393,7 +428,7 @@ let fuzz_cmd =
           shrunk to a minimal OCaml repro.")
     Term.(
       const fuzz $ seed_arg $ cases_arg $ max_rows_arg $ mutate_flag
-      $ no_recovery_flag $ quiet_flag)
+      $ no_recovery_flag $ quiet_flag $ metrics_arg)
 
 let calibrate_cmd =
   let calibrate () =

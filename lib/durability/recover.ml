@@ -41,7 +41,19 @@ let apply_op cat (op : Wal.op) =
   | Wal.Create_index { table; iname; kind; attrs } ->
       Catalog.create_index cat table ~name:iname ~kind ~attrs
 
+let m_recoveries =
+  Obs.Metrics.counter "mrdb_recoveries_total" ~help:"Recovery runs"
+
+let m_replayed =
+  Obs.Metrics.counter "mrdb_recovery_replayed_txns_total"
+    ~help:"Committed transactions replayed from the WAL during recovery"
+
+let m_recovery_seconds =
+  Obs.Metrics.histogram "mrdb_recovery_seconds"
+    ~help:"Wall time of one recovery run (snapshot load + WAL replay)"
+
 let run ?hier env =
+  let t0 = Sys.time () in
   let warnings = ref [] in
   let warn s = warnings := s :: !warnings in
   let cat, watermark =
@@ -108,6 +120,9 @@ let run ?hier env =
             Catalog.rebuild_indexes_for cat name
               ~attrs:(List.init arity Fun.id))
         (Catalog.names cat));
+  Obs.Metrics.incr m_recoveries;
+  Obs.Metrics.add m_replayed !replayed;
+  Obs.Metrics.observe m_recovery_seconds (Sys.time () -. t0);
   {
     cat;
     last_txid = !last_txid;

@@ -106,7 +106,19 @@ let deserialize_payload ?hier payload =
 (* Durable write / read                                               *)
 (* ------------------------------------------------------------------ *)
 
+let m_snapshots =
+  Obs.Metrics.counter "mrdb_snapshots_total" ~help:"Snapshots written"
+
+let m_snapshot_bytes =
+  Obs.Metrics.counter "mrdb_snapshot_bytes_total"
+    ~help:"Snapshot payload bytes written"
+
+let m_snapshot_seconds =
+  Obs.Metrics.histogram "mrdb_snapshot_seconds"
+    ~help:"Wall time to serialize and persist one snapshot"
+
 let write env ~last_txid cat =
+  let t0 = Sys.time () in
   let payload = untraced cat (fun () -> magic ^ serialize_payload ~last_txid cat) in
   let w = Codec.writer () in
   Codec.u32 w (String.length payload);
@@ -116,7 +128,10 @@ let write env ~last_txid cat =
   Faultio.write sink payload;
   Faultio.flush sink;
   Faultio.close sink;
-  Faultio.rename env ~src:tmp_name ~dst:store_name
+  Faultio.rename env ~src:tmp_name ~dst:store_name;
+  Obs.Metrics.incr m_snapshots;
+  Obs.Metrics.add m_snapshot_bytes (String.length payload);
+  Obs.Metrics.observe m_snapshot_seconds (Sys.time () -. t0)
 
 type read_result =
   | Loaded of Catalog.t * int  (** catalog and its WAL watermark *)

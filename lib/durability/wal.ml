@@ -167,6 +167,14 @@ type writer = {
 
 let store_name = "wal"
 
+let m_records =
+  Obs.Metrics.counter "mrdb_wal_records_total"
+    ~help:"WAL records framed and written"
+
+let m_bytes =
+  Obs.Metrics.counter "mrdb_wal_bytes_total"
+    ~help:"Framed WAL bytes written (header + payload + checksum)"
+
 let create env = { sink = Faultio.create env store_name; records = 0; bytes = 0 }
 let append env = { sink = Faultio.append env store_name; records = 0; bytes = 0 }
 
@@ -174,6 +182,8 @@ let write w record =
   let framed = frame (encode record) in
   w.records <- w.records + 1;
   w.bytes <- w.bytes + String.length framed;
+  Obs.Metrics.incr m_records;
+  Obs.Metrics.add m_bytes (String.length framed);
   Faultio.write w.sink framed
 
 let flush w = Faultio.flush w.sink

@@ -264,7 +264,11 @@ let filter_mat ctx schema cols n pred =
 
 (* Columns of its input that the remaining plan needs from this operator's
    output (computed by the caller and passed down). *)
-let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
+let rec eval ctx path (plan : Physical.t) ~(needed : int list) : src =
+  if Prof.on () then Prof.op path plan (fun () -> eval_raw ctx path plan ~needed)
+  else eval_raw ctx path plan ~needed
+
+and eval_raw ctx path (plan : Physical.t) ~(needed : int list) : src =
   match plan with
   | Physical.Scan { table; access; post; _ } -> (
       let rel = Catalog.find ctx.cat table in
@@ -284,7 +288,7 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
       let child_needed =
         List.sort_uniq compare (needed @ Expr.cols pred)
       in
-      match eval ctx child ~needed:child_needed with
+      match eval ctx (Prof.child path 0) child ~needed:child_needed with
       | Base (rel, pos) -> Base (rel, filter_base ctx rel pos pred)
       | Mat (cols, n) ->
           filter_mat ctx (src_schema ctx child) cols n pred)
@@ -294,7 +298,7 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
         List.sort_uniq compare
           (List.concat_map Expr.cols (Array.to_list exprs))
       in
-      let src = eval ctx child ~needed:child_needed in
+      let src = eval ctx (Prof.child path 0) child ~needed:child_needed in
       let n = src_count src in
       let schema = src_schema ctx plan in
       let out =
@@ -330,21 +334,25 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
               (fun c -> if c >= build_arity then Some (c - build_arity) else None)
               needed)
       in
-      let bsrc = eval ctx build ~needed:needed_build in
-      let psrc = eval ctx probe ~needed:needed_probe in
-      let bsrc =
-        match bsrc with
-        | Mat _ -> bsrc
-        | Base _ -> materialize ctx build_schema bsrc needed_build
-      in
+      let bsrc = eval ctx (Prof.child path 0) build ~needed:needed_build in
+      let psrc = eval ctx (Prof.child path 1) probe ~needed:needed_probe in
       let ht =
         Runtime.Sim_hash.create ?hier:ctx.hier ctx.arena ~entry_width:16 ()
       in
-      let bn = src_count bsrc in
-      for i = 0 to bn - 1 do
-        let key = List.map (fun c -> src_get ctx bsrc i c) build_keys in
-        Runtime.Sim_hash.add ht ~key i
-      done;
+      let bsrc =
+        Prof.phase "build" (fun () ->
+            let bsrc =
+              match bsrc with
+              | Mat _ -> bsrc
+              | Base _ -> materialize ctx build_schema bsrc needed_build
+            in
+            let bn = src_count bsrc in
+            for i = 0 to bn - 1 do
+              let key = List.map (fun c -> src_get ctx bsrc i c) build_keys in
+              Runtime.Sim_hash.add ht ~key i
+            done;
+            bsrc)
+      in
       let pn = src_count psrc in
       let schema = src_schema ctx plan in
       let out_cols =
@@ -358,24 +366,25 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
           schema
       in
       let out_n = ref 0 in
-      for i = 0 to pn - 1 do
-        let key = List.map (fun c -> src_get ctx psrc i c) probe_keys in
-        List.iter
-          (fun bi ->
-            Array.iteri
-              (fun j v ->
-                match v with
-                | None -> ()
-                | Some v ->
-                    let value =
-                      if j < build_arity then src_get ctx bsrc bi j
-                      else src_get ctx psrc i (j - build_arity)
-                    in
-                    colvec_push ctx v value)
-              out_cols;
-            incr out_n)
-          (Runtime.Sim_hash.find_all ht ~key)
-      done;
+      Prof.phase "probe" (fun () ->
+          for i = 0 to pn - 1 do
+            let key = List.map (fun c -> src_get ctx psrc i c) probe_keys in
+            List.iter
+              (fun bi ->
+                Array.iteri
+                  (fun j v ->
+                    match v with
+                    | None -> ()
+                    | Some v ->
+                        let value =
+                          if j < build_arity then src_get ctx bsrc bi j
+                          else src_get ctx psrc i (j - build_arity)
+                        in
+                        colvec_push ctx v value)
+                  out_cols;
+                incr out_n)
+              (Runtime.Sim_hash.find_all ht ~key)
+          done);
       Mat (out_cols, !out_n)
   | Physical.Group_by { child; keys; aggs; _ } ->
       let key_exprs = List.map fst keys in
@@ -387,7 +396,7 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
                 match a.Aggregate.expr with Some e -> Expr.cols e | None -> [])
               aggs)
       in
-      let src = eval ctx child ~needed:child_needed in
+      let src = eval ctx (Prof.child path 0) child ~needed:child_needed in
       let n = src_count src in
       let child_schema = src_schema ctx child in
       (* bulk style: materialize key and argument vectors first *)
@@ -404,31 +413,33 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
             done);
         v
       in
-      let key_vecs = List.map mat_expr key_exprs in
-      let agg_vecs =
-        List.map
-          (fun (a : Aggregate.t) ->
-            match a.Aggregate.expr with
-            | Some e -> Some (mat_expr e)
-            | None -> None)
-          aggs
+      let key_vecs, agg_vecs =
+        Prof.phase "materialize" (fun () ->
+            ( List.map mat_expr key_exprs,
+              List.map
+                (fun (a : Aggregate.t) ->
+                  match a.Aggregate.expr with
+                  | Some e -> Some (mat_expr e)
+                  | None -> None)
+                aggs ))
       in
       let table =
         Runtime.Agg_table.create ?hier:ctx.hier ctx.arena ~aggs
           ~global:(keys = []) ~key_width:16 ()
       in
       let agg_vec_arr = Array.of_list agg_vecs in
-      for i = 0 to n - 1 do
-        let key = List.map (fun v -> colvec_get ctx v i) key_vecs in
-        let inputs =
-          Array.map
-            (function
-              | Some v -> colvec_get ctx v i
-              | None -> Value.Null)
-            agg_vec_arr
-        in
-        Runtime.Agg_table.update table ~key ~inputs
-      done;
+      Prof.phase "accumulate" (fun () ->
+          for i = 0 to n - 1 do
+            let key = List.map (fun v -> colvec_get ctx v i) key_vecs in
+            let inputs =
+              Array.map
+                (function
+                  | Some v -> colvec_get ctx v i
+                  | None -> Value.Null)
+                agg_vec_arr
+            in
+            Runtime.Agg_table.update table ~key ~inputs
+          done);
       let schema = src_schema ctx plan in
       let out =
         Array.map
@@ -440,35 +451,38 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
       in
       let n_keys = List.length keys in
       let count = ref 0 in
-      Runtime.Agg_table.emit table (fun key finished ->
-          List.iteri
-            (fun j v ->
-              match out.(j) with
-              | Some vec -> colvec_push ctx vec v
-              | None -> ())
-            key;
-          Array.iteri
-            (fun j v ->
-              match out.(n_keys + j) with
-              | Some vec -> colvec_push ctx vec v
-              | None -> ())
-            finished;
-          incr count);
+      Prof.phase "emit" (fun () ->
+          Runtime.Agg_table.emit table (fun key finished ->
+              List.iteri
+                (fun j v ->
+                  match out.(j) with
+                  | Some vec -> colvec_push ctx vec v
+                  | None -> ())
+                key;
+              Array.iteri
+                (fun j v ->
+                  match out.(n_keys + j) with
+                  | Some vec -> colvec_push ctx vec v
+                  | None -> ())
+                finished;
+              incr count));
       Mat (out, !count)
   | Physical.Sort { child; keys } ->
       let schema = src_schema ctx child in
       let all = List.init (Array.length schema) Fun.id in
       let child_needed = List.sort_uniq compare (needed @ List.map fst keys @ all) in
-      let src = eval ctx child ~needed:child_needed in
+      let src = eval ctx (Prof.child path 0) child ~needed:child_needed in
       let n = src_count src in
       let rows =
         List.init n (fun i ->
             Array.init (Array.length schema) (fun c -> src_get ctx src i c))
       in
       let sorted =
-        Runtime.sort_rows ?hier:ctx.hier ctx.arena
-          ~row_width:(max 8 (Schema.row_width { Schema.name = ""; attrs = schema }))
-          ~keys rows
+        Prof.phase "sort" (fun () ->
+            Runtime.sort_rows ?hier:ctx.hier ctx.arena
+              ~row_width:
+                (max 8 (Schema.row_width { Schema.name = ""; attrs = schema }))
+              ~keys rows)
       in
       let out =
         Array.map
@@ -489,7 +503,7 @@ let rec eval ctx (plan : Physical.t) ~(needed : int list) : src =
         sorted;
       Mat (out, n)
   | Physical.Limit { child; n } ->
-      let src = eval ctx child ~needed in
+      let src = eval ctx (Prof.child path 0) child ~needed in
       let count = min n (src_count src) in
       let schema = src_schema ctx child in
       let avail =
@@ -543,7 +557,7 @@ let run ?(per_value = Cpu_model.bulk_per_value) cat plan ~params =
     Array.map (fun (a : Schema.attr) -> a.Schema.name) schema
   in
   let all = List.init (Array.length schema) Fun.id in
-  let src = eval ctx plan ~needed:all in
+  let src = eval ctx (Prof.child Prof.root 0) plan ~needed:all in
   let n = src_count src in
   let rows =
     List.init n (fun i ->

@@ -47,5 +47,8 @@ let run_measured ?(cold = true) ?(domains = 1) ?morsel_size kind cat plan
     | Some h ->
         if cold then Memsim.Hierarchy.reset h
         else Memsim.Hierarchy.reset_stats h;
+        (* a profiling session started before this reset must re-base its
+           counter mark or it would see a negative delta *)
+        Obs.Profile.resync ();
         let r = run_sequential kind cat plan ~params in
         (r, Memsim.Hierarchy.snapshot h)

@@ -42,8 +42,8 @@ let index_tids ctx table access =
 
 (* compile: returns a thunk that drives the pipeline(s), pushing rows into
    [consume]. *)
-let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
-    =
+let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
+    unit -> unit =
   match plan with
   | Physical.Scan { table; access; post; _ } ->
       let rel = Catalog.find ctx.cat table in
@@ -124,23 +124,25 @@ let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
             | None -> None)
         | _ -> None
       in
-      fun () ->
-        (match (fast_scan, access) with
-        | Some fast, _ -> fast ()
-        | None, Physical.Full_scan ->
-            let n = Relation.nrows rel in
-            for tid = 0 to n - 1 do
-              visit tid
-            done
-        | None, (Physical.Index_eq _ | Physical.Index_range _) ->
-            List.iter visit (index_tids ctx table access))
+      Prof.thunk path plan (fun () ->
+          match (fast_scan, access) with
+          | Some fast, _ -> fast ()
+          | None, Physical.Full_scan ->
+              let n = Relation.nrows rel in
+              for tid = 0 to n - 1 do
+                visit tid
+              done
+          | None, (Physical.Index_eq _ | Physical.Index_range _) ->
+              List.iter visit (index_tids ctx table access))
   | Physical.Select { child; pred; _ } ->
       let cur_row = ref (fun (_ : int) -> Value.Null) in
       let p = Expr.specialize pred ~params:ctx.params (fun i -> !cur_row i) in
-      compile ctx child ~consume:(fun row ->
-          cur_row := row;
-          charge ctx Cpu_model.jit_per_value;
-          if Expr.truthy (p ()) then consume row)
+      compile ctx (Prof.child path 0) child
+        ~consume:
+          (Prof.consume path plan (fun row ->
+               cur_row := row;
+               charge ctx Cpu_model.jit_per_value;
+               if Expr.truthy (p ()) then consume row))
   | Physical.Project { child; exprs } ->
       let cur_row = ref (fun (_ : int) -> Value.Null) in
       let compiled =
@@ -150,13 +152,15 @@ let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
                Expr.specialize e ~params:ctx.params (fun i -> !cur_row i))
              exprs)
       in
-      compile ctx child ~consume:(fun row ->
-          cur_row := row;
-          let out i =
-            charge ctx Cpu_model.jit_per_value;
-            compiled.(i) ()
-          in
-          consume out)
+      compile ctx (Prof.child path 0) child
+        ~consume:
+          (Prof.consume path plan (fun row ->
+               cur_row := row;
+               let out i =
+                 charge ctx Cpu_model.jit_per_value;
+                 compiled.(i) ()
+               in
+               consume out))
   | Physical.Hash_join { build; probe; build_keys; probe_keys; _ } ->
       let build_arity = arity ctx build in
       let build_schema = Physical.schema ctx.cat build in
@@ -172,21 +176,26 @@ let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
       in
       (* build pipeline: materialize the build row into the hash table *)
       let run_build =
-        compile ctx build ~consume:(fun row ->
-            let key = List.map row build_keys in
-            let payload = Array.init build_arity row in
-            Runtime.Sim_hash.add ht ~key payload)
+        compile ctx (Prof.child path 0) build
+          ~consume:
+            (Prof.consume_phase path "build" (fun row ->
+                 let key = List.map row build_keys in
+                 let payload = Array.init build_arity row in
+                 Runtime.Sim_hash.add ht ~key payload))
       in
       let run_probe =
-        compile ctx probe ~consume:(fun row ->
-            let key = List.map row probe_keys in
-            List.iter
-              (fun payload ->
-                let out i =
-                  if i < build_arity then payload.(i) else row (i - build_arity)
-                in
-                consume out)
-              (Runtime.Sim_hash.find_all ht ~key))
+        compile ctx (Prof.child path 1) probe
+          ~consume:
+            (Prof.consume_phase path "probe" (fun row ->
+                 let key = List.map row probe_keys in
+                 List.iter
+                   (fun payload ->
+                     let out i =
+                       if i < build_arity then payload.(i)
+                       else row (i - build_arity)
+                     in
+                     consume out)
+                   (Runtime.Sim_hash.find_all ht ~key)))
       in
       fun () ->
         run_build ();
@@ -228,24 +237,28 @@ let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
       let agg_fn_arr = Array.of_list agg_fns in
       let per_row_charge = Cpu_model.jit_per_value * (1 + List.length aggs) in
       let run_child =
-        compile ctx child ~consume:(fun row ->
-            cur_row := row;
-            charge ctx per_row_charge;
-            let key = List.map (fun f -> f ()) key_fns in
-            let inputs = Array.map (fun f -> f ()) agg_fn_arr in
-            Runtime.Agg_table.update table ~key ~inputs)
+        compile ctx (Prof.child path 0) child
+          ~consume:
+            (Prof.consume_phase path "accumulate" (fun row ->
+                 cur_row := row;
+                 charge ctx per_row_charge;
+                 let key = List.map (fun f -> f ()) key_fns in
+                 let inputs = Array.map (fun f -> f ()) agg_fn_arr in
+                 Runtime.Agg_table.update table ~key ~inputs))
       in
       let n_keys = List.length keys in
       fun () ->
         run_child ();
-        Runtime.Agg_table.emit table (fun key finished ->
-            let key_arr = Array.of_list key in
-            let out i =
-              if i < n_keys then
-                if Array.length key_arr = 0 then Value.Null else key_arr.(i)
-              else finished.(i - n_keys)
-            in
-            consume out)
+        Prof.phase_at path "emit" (fun () ->
+            Runtime.Agg_table.emit table (fun key finished ->
+                let key_arr = Array.of_list key in
+                let out i =
+                  if i < n_keys then
+                    if Array.length key_arr = 0 then Value.Null
+                    else key_arr.(i)
+                  else finished.(i - n_keys)
+                in
+                consume out))
   | Physical.Sort { child; keys } ->
       let out_arity = arity ctx child in
       let schema = Physical.schema ctx.cat child in
@@ -257,31 +270,36 @@ let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
       in
       let rows = ref [] in
       let run_child =
-        compile ctx child ~consume:(fun row ->
-            rows := Array.init out_arity row :: !rows)
+        compile ctx (Prof.child path 0) child
+          ~consume:
+            (Prof.consume_phase path "buffer" (fun row ->
+                 rows := Array.init out_arity row :: !rows))
       in
       fun () ->
         run_child ();
         let sorted =
-          Runtime.sort_rows ?hier:ctx.hier ctx.arena ~row_width:(max 8 row_width)
-            ~keys (List.rev !rows)
+          Prof.phase_at path "sort" (fun () ->
+              Runtime.sort_rows ?hier:ctx.hier ctx.arena
+                ~row_width:(max 8 row_width) ~keys (List.rev !rows))
         in
         List.iter (fun r -> consume (fun i -> r.(i))) sorted
   | Physical.Limit { child; n } ->
       let seen = ref 0 in
-      compile ctx child ~consume:(fun row ->
-          if !seen < n then begin
-            incr seen;
-            consume row
-          end)
+      compile ctx (Prof.child path 0) child
+        ~consume:
+          (Prof.consume path plan (fun row ->
+               if !seen < n then begin
+                 incr seen;
+                 consume row
+               end))
   | Physical.Update { table; access; post; assignments; _ } ->
-      fun () ->
-        let n =
-          Dml.update ~per_value:Cpu_model.jit_per_value ~call_cost:0 ctx.cat
-            ~params:ctx.params ~table ~access ~post ~assignments
-        in
-        ignore n;
-        ignore consume
+      Prof.thunk path plan (fun () ->
+          let n =
+            Dml.update ~per_value:Cpu_model.jit_per_value ~call_cost:0 ctx.cat
+              ~params:ctx.params ~table ~access ~post ~assignments
+          in
+          ignore n;
+          ignore consume)
   | Physical.Insert { table; values } ->
       let rel = Catalog.find ctx.cat table in
       let compiled =
@@ -291,12 +309,12 @@ let rec compile ctx (plan : Physical.t) ~(consume : row -> unit) : unit -> unit
                 invalid_arg "INSERT values cannot reference columns"))
           values
       in
-      fun () ->
-        let tuple = Array.of_list (List.map (fun f -> f ()) compiled) in
-        charge ctx (Cpu_model.jit_per_value * Array.length tuple);
-        let tid = Relation.append rel tuple in
-        Catalog.notify_insert ctx.cat table ~tid;
-        consume (fun _ -> Value.VInt tid)
+      Prof.thunk path plan (fun () ->
+          let tuple = Array.of_list (List.map (fun f -> f ()) compiled) in
+          charge ctx (Cpu_model.jit_per_value * Array.length tuple);
+          let tid = Relation.append rel tuple in
+          Catalog.notify_insert ctx.cat table ~tid;
+          consume (fun _ -> Value.VInt tid))
 
 let run cat plan ~params =
   let hier = Catalog.hier cat in
@@ -312,6 +330,6 @@ let run cat plan ~params =
     rows := (if out_arity = 0 then [||] else materialized) :: !rows
   in
   let consume = if out_arity = 0 then fun _ -> () else consume in
-  let execute = compile ctx plan ~consume in
+  let execute = compile ctx (Prof.child Prof.root 0) plan ~consume in
   execute ();
   { Runtime.columns; rows = List.rev !rows }

@@ -184,25 +184,48 @@ let run_morsels ~domains ~morsel_size ~(runner : runner) ~measured cat
   in
   let results : Runtime.result option array = Array.make n_morsels None in
   let next = Atomic.make 0 in
+  (* decided on the parent domain: workers run on domains with no session
+     installed, so they can't consult Profile.on themselves *)
+  let prof = Obs.Profile.on () in
+  let profiles : Obs.Span.profile option array = Array.make domains None in
   let worker d () =
     let st = states.(d) in
-    let vcat, drv = domain_catalog cat st ~driver in
-    let rec loop () =
-      let m = Atomic.fetch_and_add next 1 in
-      if m < n_morsels then begin
-        let lo = m * morsel_size in
-        let len = min morsel_size (n - lo) in
-        Relation.reslice drv ~lo ~len;
-        results.(m) <- Some (runner vcat morsel_plan);
-        loop ()
-      end
+    (* each worker profiles against its private hierarchy; worker 0 runs
+       on the parent domain, where start/stop save and restore the
+       parent's session *)
+    let session =
+      if prof then
+        Some
+          (Obs.Profile.start ?hier:st.d_hier
+             ~label:(Printf.sprintf "domain %d" d) ())
+      else None
     in
-    loop ()
+    Fun.protect
+      ~finally:(fun () ->
+        match session with
+        | Some s -> profiles.(d) <- Some (Obs.Profile.stop s)
+        | None -> ())
+      (fun () ->
+        let vcat, drv = domain_catalog cat st ~driver in
+        let rec loop () =
+          let m = Atomic.fetch_and_add next 1 in
+          if m < n_morsels then begin
+            let lo = m * morsel_size in
+            let len = min morsel_size (n - lo) in
+            Relation.reslice drv ~lo ~len;
+            results.(m) <- Some (runner vcat morsel_plan);
+            loop ()
+          end
+        in
+        loop ())
   in
   let helpers = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
   Fun.protect
     ~finally:(fun () -> List.iter Domain.join helpers)
     (worker 0);
+  if prof then
+    Obs.Profile.add_domains
+      (List.filter_map Fun.id (Array.to_list profiles));
   let partials =
     Array.map
       (function
@@ -277,6 +300,7 @@ let run_measured ?(cold = true) ~domains ?(morsel_size = default_morsel_size)
     | Some h ->
         if cold then Memsim.Hierarchy.reset h
         else Memsim.Hierarchy.reset_stats h;
+        Obs.Profile.resync ();
         let r = runner cat plan in
         (r, Memsim.Hierarchy.snapshot h)
   in

@@ -1,0 +1,45 @@
+(* Shared profiling hooks for the execution engines.
+
+   Engines consult [on] while constructing their operator machinery and
+   only wrap thunks when a profiling session is installed, so with
+   profiling disabled the executed code is exactly the unwrapped seed
+   path.  Span ids are plan paths ([child] appends ".i"), which keeps
+   attribution stable across engines regardless of their dynamic call
+   shape (pull vs push). *)
+
+module Physical = Relalg.Physical
+
+let on = Obs.Profile.on
+let child = Obs.Span.child
+let root = Obs.Span.root_id
+let phase = Obs.Profile.phase
+
+let label (p : Physical.t) =
+  match p with
+  | Physical.Scan { table; access; _ } -> (
+      match access with
+      | Physical.Full_scan -> "scan " ^ table
+      | Physical.Index_eq _ | Physical.Index_range _ -> "index scan " ^ table)
+  | Physical.Select _ -> "select"
+  | Physical.Project _ -> "project"
+  | Physical.Hash_join _ -> "hash join"
+  | Physical.Group_by _ -> "group by"
+  | Physical.Sort _ -> "sort"
+  | Physical.Limit _ -> "limit"
+  | Physical.Update { table; _ } -> "update " ^ table
+  | Physical.Insert { table; _ } -> "insert " ^ table
+
+let op path plan f = Obs.Profile.op ~id:path ~label:(label plan) f
+let op_id path ~label f = Obs.Profile.op ~id:path ~label f
+let phase_at path name f = Obs.Profile.phase_at ~id:path name f
+
+(* Construction-gated wrappers for push-based engines: [consume] wraps an
+   operator's per-row body in its own span, [consume_phase] in a named
+   phase of that operator, [thunk] wraps a pipeline driver. *)
+let consume path plan f =
+  if on () then fun row -> op path plan (fun () -> f row) else f
+
+let consume_phase path name f =
+  if on () then fun row -> phase_at path name (fun () -> f row) else f
+
+let thunk path plan f = if on () then fun () -> op path plan f else f

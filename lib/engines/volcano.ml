@@ -40,7 +40,13 @@ let index_tids ctx table access =
       | Some idx -> Storage.Index.lookup_range idx ~lo:(ev lo) ~hi:(ev hi)
       | None -> assert false)
 
-let rec open_iter ctx (plan : Physical.t) : iter =
+let rec open_iter ctx path (plan : Physical.t) : iter =
+  let it = open_raw ctx path plan in
+  (* construction-time gate: without a profiling session the iterator is
+     returned unwrapped, so the disabled path is the seed code path *)
+  if Prof.on () then fun () -> Prof.op path plan it else it
+
+and open_raw ctx path (plan : Physical.t) : iter =
   match plan with
   | Physical.Scan { table; access; post; _ } ->
       let rel = Catalog.find ctx.cat table in
@@ -80,7 +86,7 @@ let rec open_iter ctx (plan : Physical.t) : iter =
       in
       next_match
   | Physical.Select { child; pred; _ } ->
-      let src = open_iter ctx child in
+      let src = open_iter ctx (Prof.child path 0) child in
       let rec next () =
         call ctx;
         match src () with
@@ -90,7 +96,7 @@ let rec open_iter ctx (plan : Physical.t) : iter =
       in
       next
   | Physical.Project { child; exprs } ->
-      let src = open_iter ctx child in
+      let src = open_iter ctx (Prof.child path 0) child in
       let exprs = Array.of_list (List.map fst exprs) in
       fun () ->
         call ctx;
@@ -100,7 +106,7 @@ let rec open_iter ctx (plan : Physical.t) : iter =
   | Physical.Hash_join { build; probe; build_keys; probe_keys; _ } ->
       let entry_width = 64 in
       let ht = Runtime.Sim_hash.create ?hier:ctx.hier ctx.arena ~entry_width () in
-      let build_iter = open_iter ctx build in
+      let build_iter = open_iter ctx (Prof.child path 0) build in
       let built = ref false in
       let ensure_built () =
         if not !built then begin
@@ -112,11 +118,11 @@ let rec open_iter ctx (plan : Physical.t) : iter =
                 Runtime.Sim_hash.add ht ~key tuple;
                 drain ()
           in
-          drain ();
+          Prof.phase "build" drain;
           built := true
         end
       in
-      let probe_iter = open_iter ctx probe in
+      let probe_iter = open_iter ctx (Prof.child path 1) probe in
       let pending = ref [] in
       let rec next () =
         call ctx;
@@ -137,7 +143,7 @@ let rec open_iter ctx (plan : Physical.t) : iter =
       in
       next
   | Physical.Group_by { child; keys; aggs; _ } ->
-      let src = open_iter ctx child in
+      let src = open_iter ctx (Prof.child path 0) child in
       let table =
         Runtime.Agg_table.create ?hier:ctx.hier ctx.arena ~aggs
           ~global:(keys = []) ~key_width:16 ()
@@ -161,10 +167,11 @@ let rec open_iter ctx (plan : Physical.t) : iter =
               Runtime.Agg_table.update table ~key ~inputs;
               drain ()
         in
-        drain ();
+        Prof.phase "accumulate" drain;
         let out = ref [] in
-        Runtime.Agg_table.emit table (fun key finished ->
-            out := Array.append (Array.of_list key) finished :: !out);
+        Prof.phase "emit" (fun () ->
+            Runtime.Agg_table.emit table (fun key finished ->
+                out := Array.append (Array.of_list key) finished :: !out));
         List.rev !out
       in
       fun () ->
@@ -185,7 +192,7 @@ let rec open_iter ctx (plan : Physical.t) : iter =
             results := Some rest;
             Some r)
   | Physical.Sort { child; keys } ->
-      let src = open_iter ctx child in
+      let src = open_iter ctx (Prof.child path 0) child in
       let buffered = ref None in
       fun () ->
         call ctx;
@@ -203,8 +210,9 @@ let rec open_iter ctx (plan : Physical.t) : iter =
               in
               drain ();
               let sorted =
-                Runtime.sort_rows ?hier:ctx.hier ctx.arena ~row_width:32 ~keys
-                  (List.rev !acc)
+                Prof.phase "sort" (fun () ->
+                    Runtime.sort_rows ?hier:ctx.hier ctx.arena ~row_width:32
+                      ~keys (List.rev !acc))
               in
               sorted
         in
@@ -216,7 +224,7 @@ let rec open_iter ctx (plan : Physical.t) : iter =
             buffered := Some rest;
             Some r)
   | Physical.Limit { child; n } ->
-      let src = open_iter ctx child in
+      let src = open_iter ctx (Prof.child path 0) child in
       let seen = ref 0 in
       fun () ->
         call ctx;
@@ -269,7 +277,8 @@ let run cat plan ~params =
   let columns =
     Array.map (fun (a : Storage.Schema.attr) -> a.Storage.Schema.name) schema
   in
-  let it = open_iter ctx plan in
+  (* the top operator is span "0", child of the session's query root "" *)
+  let it = open_iter ctx (Prof.child Prof.root 0) plan in
   let rows = ref [] in
   let rec drain () =
     match it () with

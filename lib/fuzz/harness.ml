@@ -37,9 +37,25 @@ let failure_pred ?(mutate = false) ?(recovery = true) = function
         | _ -> false
         | exception _ -> true)
 
+let m_cases =
+  Obs.Metrics.counter "mrdb_fuzz_cases_total" ~help:"Fuzz cases executed"
+
+let m_divergences =
+  Obs.Metrics.counter "mrdb_fuzz_divergences_total"
+    ~help:"Engine-vs-oracle divergences observed (pre-shrink)"
+
+let m_raised =
+  Obs.Metrics.counter "mrdb_fuzz_exceptions_total"
+    ~help:"Fuzz cases that raised (pre-shrink)"
+
 let run_seed ?(mutate = false) ?(recovery = true) ?(max_rows = 120) seed =
   let case = Gen.case ~max_rows seed in
   let outcome = outcome_of ~mutate ~recovery case in
+  Obs.Metrics.incr m_cases;
+  (match outcome with
+  | Ok -> ()
+  | Diverged ds -> Obs.Metrics.add m_divergences (List.length ds)
+  | Raised _ -> Obs.Metrics.incr m_raised);
   let minimized =
     match outcome with
     | Ok -> case

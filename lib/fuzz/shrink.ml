@@ -263,12 +263,18 @@ and pred_steps = function
 (* The passes                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let m_shrink_steps =
+  Obs.Metrics.counter "mrdb_fuzz_shrink_steps_total"
+    ~help:"Shrink candidates evaluated while minimizing failing cases"
+
 let try_candidates ~failing current candidates =
   List.fold_left
     (fun acc cand ->
       match acc with
       | Some _ -> acc
-      | None -> if failing cand then Some cand else None)
+      | None ->
+          Obs.Metrics.incr m_shrink_steps;
+          if failing cand then Some cand else None)
     None (candidates current)
 
 (* apply [candidates] repeatedly until no candidate fails anymore *)

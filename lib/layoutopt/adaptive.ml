@@ -84,7 +84,20 @@ let rec plan_tables acc (p : Relalg.Physical.t) =
   | Relalg.Physical.Hash_join { build; probe; _ } ->
       plan_tables (plan_tables acc build) probe
 
+let m_checks =
+  Obs.Metrics.counter "mrdb_adaptive_checks_total"
+    ~help:"Adaptive layout re-optimization checks"
+
+let m_repartitions =
+  Obs.Metrics.counter "mrdb_adaptive_repartitions_total"
+    ~help:"Tables repartitioned by the adaptive optimizer"
+
+let m_last_saving =
+  Obs.Metrics.gauge "mrdb_adaptive_last_predicted_saving"
+    ~help:"Predicted net cycle saving of the most recent repartition"
+
 let check t =
+  Obs.Metrics.incr m_checks;
   let workload = workload_of t in
   let tables =
     List.concat_map (fun (p, _) -> plan_tables [] p) workload
@@ -118,6 +131,8 @@ let check t =
           let ev =
             { table; old_layout; new_layout; predicted_saving = net }
           in
+          Obs.Metrics.incr m_repartitions;
+          Obs.Metrics.set m_last_saving net;
           t.events <- ev :: t.events;
           Some ev
         end

@@ -397,6 +397,11 @@ let without_tracing t f =
 
 let stats t = t.stats
 let snapshot t = Stats.copy t.stats
+
+let section t f =
+  let before = Stats.copy t.stats in
+  let v = f () in
+  (v, Stats.diff t.stats before)
 let reset_stats t = Stats.reset t.stats
 
 let reset t =

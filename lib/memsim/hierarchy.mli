@@ -62,6 +62,13 @@ val stats : t -> Stats.t
 
 val snapshot : t -> Stats.t
 
+val section : t -> (unit -> 'a) -> 'a * Stats.t
+(** [section t f] runs [f] and returns its result together with the
+    counter delta it produced (snapshot before, diff after).  Unlike
+    {!reset_stats}-based measurement this is scoped: it composes with an
+    enclosing measurement instead of destroying it, so callers can
+    attribute counters to a region without owning the whole hierarchy. *)
+
 val reset_stats : t -> unit
 (** Zero the counters, keeping cache contents (to measure warm behaviour). *)
 

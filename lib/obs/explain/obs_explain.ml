@@ -1,0 +1,150 @@
+module Physical = Relalg.Physical
+module Catalog = Storage.Catalog
+module Engine = Engines.Engine
+module Span = Obs.Span
+module Stats = Memsim.Stats
+
+let children = function
+  | Physical.Scan _ | Physical.Insert _ | Physical.Update _ -> []
+  | Physical.Select { child; _ }
+  | Physical.Project { child; _ }
+  | Physical.Group_by { child; _ }
+  | Physical.Sort { child; _ }
+  | Physical.Limit { child; _ } ->
+      [ child ]
+  | Physical.Hash_join { build; probe; _ } -> [ build; probe ]
+
+(* one line of operator detail beyond the label *)
+let detail = function
+  | Physical.Scan { sel; post; _ } ->
+      if post = None then "" else Printf.sprintf "(sel %.3g)" sel
+  | Physical.Select { sel; _ } -> Printf.sprintf "(sel %.3g)" sel
+  | Physical.Hash_join { match_sel; _ } ->
+      Printf.sprintf "(match %.3g)" match_sel
+  | Physical.Group_by { n_groups; _ } ->
+      Printf.sprintf "(~%.0f groups)" n_groups
+  | Physical.Limit { n; _ } -> Printf.sprintf "(%d)" n
+  | Physical.Project { exprs; _ } ->
+      Printf.sprintf "(%d exprs)" (List.length exprs)
+  | _ -> ""
+
+(* preorder walk with span paths matching the engines' id scheme *)
+let operators plan =
+  let acc = ref [] in
+  let rec go path depth plan =
+    acc := (path, depth, plan) :: !acc;
+    List.iteri (fun i c -> go (Span.child path i) (depth + 1) c) (children plan)
+  in
+  go (Span.child Span.root_id 0) 0 plan;
+  List.rev !acc
+
+let pct f = Printf.sprintf "%+.1f%%" (100. *. f)
+
+let counters_line st =
+  Printf.sprintf
+    "%d cycles (mem %d, cpu %d); misses: L1 %d, L2 %d, LLC %d seq + %d rand, \
+     TLB %d; prefetches %d"
+    (Stats.total_cycles st) st.Stats.mem_cycles st.Stats.cpu_cycles
+    st.Stats.l1_misses st.Stats.l2_misses st.Stats.llc_seq_misses
+    st.Stats.llc_rand_misses st.Stats.tlb_misses st.Stats.prefetches
+
+let render ?(analyze = false) ?(engine = Engine.Jit) ?(domains = 1)
+    ?(params = [||]) cat plan =
+  let buf = Buffer.create 1024 in
+  let ops = operators plan in
+  let predicted =
+    List.map
+      (fun (path, _, sub) -> (path, Costmodel.Model.query_cost cat sub))
+      ops
+  in
+  let measurement =
+    if not analyze then None
+    else begin
+      (match Catalog.hier cat with
+      | None ->
+          invalid_arg
+            "Obs_explain: EXPLAIN ANALYZE requires a simulated catalog"
+      | Some _ -> ());
+      let session =
+        Obs.Profile.start ?hier:(Catalog.hier cat) ~label:"query" ()
+      in
+      match Engine.run_measured ~domains engine cat plan ~params with
+      | result, st -> Some (result, st, Obs.Profile.stop session)
+      | exception e ->
+          ignore (Obs.Profile.stop session);
+          raise e
+    end
+  in
+  let headers =
+    [ "path"; "operator"; "est.rows"; "predicted cyc" ]
+    @ if analyze then [ "measured cyc"; "rel.err" ] else []
+  in
+  let tab = Mrdb_util.Texttab.create headers in
+  List.iter
+    (fun (path, depth, sub) ->
+      let pred = List.assoc path predicted in
+      let base =
+        [
+          path;
+          Printf.sprintf "%s%s%s"
+            (String.make (2 * depth) ' ')
+            (Engines.Prof.label sub)
+            (match detail sub with "" -> "" | d -> " " ^ d);
+          Printf.sprintf "%.0f" (Physical.cardinality cat sub);
+          Printf.sprintf "%.3g" pred;
+        ]
+      in
+      let extra =
+        match measurement with
+        | None -> []
+        | Some (_, _, profile) ->
+            let meas =
+              float_of_int (Stats.total_cycles (Span.inclusive profile path))
+            in
+            if meas > 0. then
+              [ Printf.sprintf "%.3g" meas; pct ((pred -. meas) /. meas) ]
+            else [ "0"; "-" ]
+      in
+      Mrdb_util.Texttab.row tab (base @ extra))
+    ops;
+  Buffer.add_string buf (Mrdb_util.Texttab.render tab);
+  Buffer.add_char buf '\n';
+  (* the compiled access-pattern program *)
+  let pattern, descs = Costmodel.Emit.emit cat plan in
+  Buffer.add_string buf "access-pattern program:\n  ";
+  Buffer.add_string buf (Costmodel.Pattern.to_string pattern);
+  Buffer.add_char buf '\n';
+  if descs <> [] then begin
+    Buffer.add_string buf "access descriptors:\n";
+    List.iter
+      (fun d ->
+        Buffer.add_string buf
+          (Format.asprintf "  %a\n" (Costmodel.Emit.pp_desc cat) d))
+      descs
+  end;
+  let total_pred = Costmodel.Model.query_cost cat plan in
+  Buffer.add_string buf
+    (Printf.sprintf "predicted cost: %.3g cycles\n" total_pred);
+  (match measurement with
+  | None -> ()
+  | Some (result, st, profile) ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "measured (%s%s): %s\n" (Engine.name engine)
+           (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
+           (counters_line st));
+      Buffer.add_string buf
+        (Printf.sprintf "rows: %d\n" (List.length result.Engines.Runtime.rows));
+      let meas_total = float_of_int (Stats.total_cycles st) in
+      if meas_total > 0. then
+        Buffer.add_string buf
+          (Printf.sprintf "whole-query relative error: %s\n"
+             (pct ((total_pred -. meas_total) /. meas_total)));
+      if domains > 1 then
+        Buffer.add_string buf
+          "note: workers execute a rewritten morsel pipeline, so span paths \
+           in the\nper-domain profile refer to the worker plan; per-operator \
+           rows above are\napproximate under parallel execution.\n";
+      Buffer.add_string buf "span profile:\n";
+      Buffer.add_string buf (Format.asprintf "%a\n" Span.pp profile));
+  Buffer.contents buf

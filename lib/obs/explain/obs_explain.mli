@@ -1,0 +1,27 @@
+(** EXPLAIN / EXPLAIN ANALYZE rendering.
+
+    [render] shows, for a physical plan under the catalog's stored
+    layouts: the operator tree with per-operator predicted cycles (the
+    cost model applied to every subtree), the compiled access-pattern
+    program with its access descriptors, and the whole-query estimate.
+
+    With [~analyze:true] the plan is also executed on the chosen engine
+    under a profiling session, and the table gains memsim-{e measured}
+    per-operator inclusive cycles plus a relative-error column; the
+    footer reports the whole-query counters (per-level misses, demand vs
+    prefetched) and, for [domains > 1], the per-domain span breakdown.
+    Per-operator measured cycles sum the work of all domains; the
+    whole-query line keeps the merged critical-path semantics of
+    [Engine.run_measured]. *)
+
+val render :
+  ?analyze:bool ->
+  ?engine:Engines.Engine.kind ->
+  ?domains:int ->
+  ?params:Storage.Value.t array ->
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  string
+(** Defaults: [analyze = false], [engine = Jit], [domains = 1],
+    [params = [||]].  [analyze] on a catalog without a simulated
+    hierarchy raises [Invalid_argument]. *)

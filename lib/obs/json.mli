@@ -1,0 +1,38 @@
+(** A small JSON tree with a parser and printer.
+
+    The observability layer needs to read every historical [BENCH_*.json]
+    file (the trajectory consolidator) and to round-trip its own metrics
+    export without external dependencies, so this is a complete JSON
+    implementation of the parts the project emits: objects, arrays,
+    strings, numbers, booleans, null.  Numbers are kept as [float]
+    (integers print without a fractional part). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} with a position-annotated message. *)
+
+val parse : string -> t
+val parse_file : string -> t
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent > 0] pretty-prints with that step (default 2). *)
+
+val write_file : string -> t -> unit
+(** Pretty-print to a file, atomically (write temp, rename). *)
+
+val member : string -> t -> t option
+(** Object field lookup ([None] on missing field or non-object). *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare order-insensitively,
+    numbers bitwise (so round-trips are exact). *)

@@ -30,6 +30,18 @@ type t = {
   mutable obs : (obs_event -> unit) option;
 }
 
+let m_inserts =
+  Obs.Metrics.counter "mrdb_catalog_inserts_total"
+    ~help:"Rows appended through the catalog"
+
+let m_updates =
+  Obs.Metrics.counter "mrdb_catalog_updates_total"
+    ~help:"In-place attribute updates through the catalog"
+
+let m_layout_changes =
+  Obs.Metrics.counter "mrdb_catalog_layout_changes_total"
+    ~help:"Table repartitions via set_layout"
+
 let create ?hier ?arena () =
   let arena = match arena with Some a -> a | None -> Arena.create () in
   { arena; hier; tbl = Hashtbl.create 16; obs = None }
@@ -89,6 +101,7 @@ let build_index rel kind attr_names =
 
 let set_layout t name layout =
   let e = entry t name in
+  Obs.Metrics.incr m_layout_changes;
   emit t (Obs_set_layout { table = name; layout });
   e.rel <- Relation.repartition e.rel layout;
   e.indexes <-
@@ -130,10 +143,12 @@ let rebuild_indexes_for t name ~attrs =
 
 let notify_insert t name ~tid =
   let e = entry t name in
+  Obs.Metrics.incr m_inserts;
   emit t (Obs_append { table = name; tid });
   List.iter (fun (_, _, _, idx) -> Index.insert idx e.rel ~tid) e.indexes
 
 let notify_update t name ~tid ~attr ~value =
+  Obs.Metrics.incr m_updates;
   match t.obs with
   | None -> ()
   | Some f -> f (Obs_update { table = name; tid; attr; value })

@@ -24,4 +24,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("fuzz_corpus", Fuzz_corpus.suite);
       ("db", Test_db.suite);
+      ("obs", Test_obs.suite);
     ]
