@@ -19,6 +19,7 @@ let experiments =
     ("fig12", Fig12.run);
     ("vectors", Vectors.run);
     ("compression", Compression.run);
+    ("compress", Compress.run);
     ("sparse", Sparse.run);
     ("adaptive", Adaptive.run);
     ("ablations", Ablations.run);

@@ -222,9 +222,24 @@ let analyze_flag =
                  memsim-measured per-operator cycles with the cost model's \
                  relative error (EXPLAIN ANALYZE).")
 
+let compress_db_flag =
+  Arg.(value & flag
+       & info [ "compress" ]
+           ~doc:"Apply the compression advisor's plan to every table before \
+                 planning: the storage section shows the chosen scheme per \
+                 partition and $(b,--analyze) surfaces the decode phases.")
+
+let compress_all cat =
+  List.iter
+    (fun name ->
+      let plan = Storage.Compress.plan (Storage.Catalog.find cat name) in
+      if plan <> [] then Storage.Compress.apply cat name plan)
+    (Storage.Catalog.names cat)
+
 let explain_cmd =
-  let explain db scale engine domains sql params sample analyze =
+  let explain db scale engine domains sql params sample analyze compress =
     let cat, _ = load_db db scale in
+    if compress then compress_all cat;
     let params = parse_params params in
     let plan = plan_of ~sample cat sql params in
     print_string
@@ -238,7 +253,7 @@ let explain_cmd =
           memsim-measured per-operator cycles and relative error.")
     Term.(
       const explain $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
-      $ param_arg $ sample_flag $ analyze_flag)
+      $ param_arg $ sample_flag $ analyze_flag $ compress_db_flag)
 
 let codegen_cmd =
   let codegen db scale sql =
@@ -269,7 +284,7 @@ let layout_cmd =
     Term.(const show $ db_arg $ scale_arg)
 
 let optimize_cmd =
-  let optimize db scale threshold =
+  let optimize db scale threshold compress apply =
     (* build the workload together with its own catalog so queries and data
        always match *)
     let hier = Memsim.Hierarchy.create () in
@@ -292,7 +307,7 @@ let optimize_cmd =
     in
     let wl = Workloads.Workload.plans ~use_indexes:false queries in
     let results =
-      Layoutopt.Optimizer.optimize
+      Layoutopt.Optimizer.optimize ~compress
         ~algorithm:(Layoutopt.Optimizer.Bpi threshold) cat wl
     in
     List.iter
@@ -303,18 +318,42 @@ let optimize_cmd =
         Format.printf "%-12s  est %.3g (row %.3g, column %.3g)@.  %a@."
           r.Layoutopt.Optimizer.table r.Layoutopt.Optimizer.estimated_cost
           r.Layoutopt.Optimizer.row_cost r.Layoutopt.Optimizer.column_cost
-          (Storage.Layout.pp schema) r.Layoutopt.Optimizer.layout)
-      results
+          (Storage.Layout.pp schema) r.Layoutopt.Optimizer.layout;
+        List.iter
+          (fun (a, e) ->
+            Format.printf "    compress %s: %a@."
+              (Storage.Schema.attr schema a).Storage.Schema.name
+              Storage.Encoding.pp e)
+          r.Layoutopt.Optimizer.encodings)
+      results;
+    if apply then begin
+      Layoutopt.Optimizer.apply cat results;
+      Format.printf "applied %d physical designs@." (List.length results)
+    end
   in
   let threshold_arg =
     Arg.(value & opt float 0.005
          & info [ "t"; "threshold" ] ~docv:"T"
              ~doc:"BPi relative improvement threshold.")
   in
+  let compress_arg =
+    Arg.(value & flag
+         & info [ "compress" ]
+             ~doc:"Search jointly over decomposition and per-column \
+                   compression (dictionary, RLE, frame-of-reference, null \
+                   suppression).")
+  in
+  let apply_arg =
+    Arg.(value & flag
+         & info [ "apply" ]
+             ~doc:"Repartition (and recompress) the stored tables to the \
+                   chosen designs before exiting.")
+  in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Run the BPi layout optimizer over the demo workload.")
-    Term.(const optimize $ db_arg $ scale_arg $ threshold_arg)
+    Term.(const optimize $ db_arg $ scale_arg $ threshold_arg $ compress_arg
+          $ apply_arg)
 
 let export_cmd =
   let table_arg =

@@ -10,9 +10,18 @@ type access_kind = Seq | Seq_cond of float | Rand
 
 type access_desc = { table : string; attrs : int list; kind : access_kind }
 
+type enc_hint = {
+  enc : Storage.Encoding.t;
+  distinct : int;  (** predicted dictionary entries (Dict) *)
+  runs : int;  (** predicted run count (Rle) *)
+  filled : int;  (** predicted non-null entries (Sparse) *)
+  exceptions : int;  (** predicted escape-coded values (For_bp) *)
+}
+
 type env = {
   cat : Catalog.t;
   layouts : (string * Layout.t) list;
+  encodings : (string * (int * enc_hint) list) list;
   estimate : Expr.t -> float option;
 }
 
@@ -25,13 +34,31 @@ let schema_of env table = Relation.schema (Catalog.find env.cat table)
 
 let nrows env table = Relation.nrows (Catalog.find env.cat table)
 
-(* widths are encoding-aware: a dictionary-compressed attribute occupies
-   only its code width in the partition *)
-let stored_width rel a = Relation.field_width rel a
+(* Like [layouts], [encodings] overrides the live encodings of named tables
+   wholesale: attributes absent from a table's hint list are costed plain. *)
+let hints_of env table = List.assoc_opt table env.encodings
 
-let part_width rel layout p =
+let data_width env table a =
+  Storage.Value.data_width (Schema.attr (schema_of env table) a).Schema.ty
+
+let enc_of env table a =
+  match hints_of env table with
+  | Some l -> (
+      match List.assoc_opt a l with
+      | Some h -> h.enc
+      | None -> Storage.Encoding.Plain)
+  | None -> Relation.encoding (Catalog.find env.cat table) a
+
+(* widths are encoding-aware: a dictionary-compressed attribute occupies
+   only its code width in the partition, an RLE or sparse one nothing *)
+let stored_width env table a =
+  Storage.Encoding.stored_width
+    (Schema.attr (schema_of env table) a)
+    (enc_of env table a)
+
+let part_width env table layout p =
   Array.fold_left
-    (fun acc a -> acc + stored_width rel a)
+    (fun acc a -> acc + stored_width env table a)
     0
     (Layout.partition_attrs layout p)
 
@@ -40,42 +67,129 @@ let conjunct_sel env e =
   | Some s -> s
   | None -> Expr.default_selectivity e
 
-let row_width_of_attrs rel attrs =
-  List.fold_left (fun acc a -> acc + stored_width rel a) 0 attrs
+let row_width_of_attrs env table attrs =
+  List.fold_left (fun acc a -> acc + stored_width env table a) 0 attrs
+
+(* predicted-or-live encoding parameters, each [Some] only when the
+   attribute carries (or is hypothesized to carry) that scheme *)
+let dict_params env table a =
+  match hints_of env table with
+  | Some l -> (
+      match List.assoc_opt a l with
+      | Some { enc = Storage.Encoding.Dict; distinct; _ } ->
+          Some (max 1 distinct, data_width env table a)
+      | _ -> None)
+  | None -> Relation.dict_info (Catalog.find env.cat table) a
+
+let sparse_params env table a =
+  match hints_of env table with
+  | Some l -> (
+      match List.assoc_opt a l with
+      | Some { enc = Storage.Encoding.Sparse; filled; _ } ->
+          Some (max 1 filled, 8 + data_width env table a)
+      | _ -> None)
+  | None -> Relation.sparse_info (Catalog.find env.cat table) a
+
+let rle_params env table a =
+  match hints_of env table with
+  | Some l -> (
+      match List.assoc_opt a l with
+      | Some { enc = Storage.Encoding.Rle; runs; _ } ->
+          Some (max 1 runs, 8 + data_width env table a)
+      | _ -> None)
+  | None -> Relation.rle_info (Catalog.find env.cat table) a
+
+let for_params env table a =
+  match hints_of env table with
+  | Some l -> (
+      match List.assoc_opt a l with
+      | Some { enc = Storage.Encoding.For_bp _; exceptions; _ } ->
+          Some exceptions
+      | _ -> None)
+  | None ->
+      Option.map fst (Relation.for_info (Catalog.find env.cat table) a)
 
 (* decoding a dictionary-compressed attribute is a repetitive random access
    into the dictionary region, once per read value *)
-let dict_decode_atoms rel accesses ~n =
+let dict_decode_atoms env table accesses ~n =
   List.filter_map
     (fun (a, s) ->
-      match Relation.dict_info rel a with
+      match dict_params env table a with
       | Some (ndv, value_width) ->
           let r = max 1 (int_of_float (s *. float_of_int n)) in
           Some (Pattern.rr_acc ~n:ndv ~w:value_width ~r ())
       | None -> None)
     accesses
 
-(* a sparse (key-value) attribute is read by binary search over its pair
-   list: ~log2(filled) probes per accessed tuple *)
-let sparse_atoms rel accesses ~n =
+(* binary-search probes into a side region (sparse pair list, RLE run list,
+   FOR exception table): ~log2(count) probes per accessed tuple *)
+let probe_atom ~count ~entry_width ~hits =
+  let log2k =
+    max 1
+      (int_of_float
+         (Float.ceil
+            (Float.log (float_of_int (max 2 count)) /. Float.log 2.0)))
+  in
+  Pattern.rr_acc ~n:count ~w:entry_width ~r:(max 1 hits * log2k) ()
+
+let sparse_atoms env table accesses ~n =
   List.filter_map
     (fun (a, s) ->
-      match Relation.sparse_info rel a with
+      match sparse_params env table a with
       | Some (filled, entry_width) ->
-          let log2k =
-            max 1
-              (int_of_float
-                 (Float.ceil
-                    (Float.log (float_of_int (max 2 filled)) /. Float.log 2.0)))
-          in
-          let r =
-            max 1 (int_of_float (s *. float_of_int n)) * log2k
-          in
-          Some (Pattern.rr_acc ~n:filled ~w:entry_width ~r ())
+          Some
+            (probe_atom ~count:filled ~entry_width
+               ~hits:(max 1 (int_of_float (s *. float_of_int n))))
       | None -> None)
     accesses
 
-let is_sparse rel a = Relation.sparse_info rel a <> None
+(* point-wise RLE reads: binary search of the run list per tuple *)
+let rle_probe_atoms env table accesses ~n =
+  List.filter_map
+    (fun (a, s) ->
+      match rle_params env table a with
+      | Some (runs, entry_width) ->
+          Some
+            (probe_atom ~count:runs ~entry_width
+               ~hits:(max 1 (int_of_float (s *. float_of_int n))))
+      | None -> None)
+    accesses
+
+(* scan-wise RLE reads: an unconditional access is evaluated run-granularly
+   (the engines' pushdown path), so the traffic is the run list itself;
+   conditional payloads fall back to per-tuple binary search *)
+let rle_scan_atoms env table accesses ~n =
+  let uncond, cond = List.partition (fun (_, s) -> s >= 1.0) accesses in
+  List.filter_map
+    (fun (a, _) ->
+      match rle_params env table a with
+      | Some (runs, entry_width) ->
+          Some (Pattern.s_trav_rle ~n ~runs ~w:entry_width ())
+      | None -> None)
+    uncond
+  @ rle_probe_atoms env table cond ~n
+
+(* frame-of-reference columns travel at code width (already reflected in
+   [stored_width]); reconstructing each read value is pure CPU work, plus
+   binary-search probes into the exception table for escape codes *)
+let for_decode_atoms env table accesses ~n =
+  List.concat_map
+    (fun (a, s) ->
+      match for_params env table a with
+      | None -> []
+      | Some exceptions ->
+          let reads = max 1 (int_of_float (s *. float_of_int n)) in
+          let dec = Pattern.decode ~n:reads () in
+          if exceptions > 0 then
+            let hits =
+              max 1 (int_of_float (s *. float_of_int exceptions))
+            in
+            [ dec; probe_atom ~count:exceptions ~entry_width:16 ~hits ]
+          else [ dec ])
+    accesses
+
+let is_sparse env table a = sparse_params env table a <> None
+let is_rle env table a = rle_params env table a <> None
 
 (* width of one output row of a plan *)
 let out_width env plan =
@@ -90,12 +204,14 @@ let out_width env plan =
    partition.  [sel] is the probability that the attribute is read for a
    given tuple (1.0 = unconditional). *)
 let scan_partition_patterns env table (accesses : (int * float) list) =
-  let rel = Catalog.find env.cat table in
   let layout = layout_of env table in
   let n = nrows env table in
   let llc_block = Memsim.Params.line_size Memsim.Params.nehalem in
   let sparse_accs, accesses =
-    List.partition (fun (a, _) -> is_sparse rel a) accesses
+    List.partition (fun (a, _) -> is_sparse env table a) accesses
+  in
+  let rle_accs, accesses =
+    List.partition (fun (a, _) -> is_rle env table a) accesses
   in
   let by_part = Hashtbl.create 8 in
   List.iter
@@ -104,14 +220,15 @@ let scan_partition_patterns env table (accesses : (int * float) list) =
       let prev = try Hashtbl.find by_part p with Not_found -> [] in
       Hashtbl.replace by_part p ((a, s) :: prev))
     accesses;
-  let decode_atoms = dict_decode_atoms rel accesses ~n in
-  decode_atoms
-  @ sparse_atoms rel sparse_accs ~n
+  dict_decode_atoms env table accesses ~n
+  @ for_decode_atoms env table accesses ~n
+  @ sparse_atoms env table sparse_accs ~n
+  @ rle_scan_atoms env table rle_accs ~n
   @ Hashtbl.fold
     (fun p attrs acc ->
-      let w = part_width rel layout p in
+      let w = part_width env table layout p in
       let uncond, cond = List.partition (fun (_, s) -> s >= 1.0) attrs in
-      let u_of l = row_width_of_attrs rel (List.map fst l) in
+      let u_of l = row_width_of_attrs env table (List.map fst l) in
       let pats = ref [] in
       if uncond <> [] then begin
         (* a narrow partition's lines are fetched unconditionally anyway, so
@@ -132,7 +249,7 @@ let scan_partition_patterns env table (accesses : (int * float) list) =
           (fun s attrs ->
             pats :=
               Pattern.s_trav_cr
-                ~u:(row_width_of_attrs rel attrs)
+                ~u:(row_width_of_attrs env table attrs)
                 ~n ~w ~s ()
               :: !pats)
           by_sel
@@ -142,10 +259,10 @@ let scan_partition_patterns env table (accesses : (int * float) list) =
 
 (* Point accesses (index fetch): one rr_acc per touched partition. *)
 let point_partition_patterns env table ~r attrs =
-  let rel = Catalog.find env.cat table in
   let layout = layout_of env table in
   let n = max 1 (nrows env table) in
-  let sparse_as, attrs2 = List.partition (is_sparse rel) attrs in
+  let sparse_as, attrs = List.partition (is_sparse env table) attrs in
+  let rle_as, attrs2 = List.partition (is_rle env table) attrs in
   let by_part = Hashtbl.create 8 in
   List.iter
     (fun a ->
@@ -153,15 +270,18 @@ let point_partition_patterns env table ~r attrs =
       let prev = try Hashtbl.find by_part p with Not_found -> [] in
       Hashtbl.replace by_part p (a :: prev))
     attrs2;
-  let decode_atoms =
-    dict_decode_atoms rel (List.map (fun a -> (a, 1.0)) attrs2) ~n:(max 1 r)
-  in
-  decode_atoms
-  @ sparse_atoms rel (List.map (fun a -> (a, 1.0)) sparse_as) ~n:(max 1 r)
+  let full a = List.map (fun x -> (x, 1.0)) a in
+  dict_decode_atoms env table (full attrs2) ~n:(max 1 r)
+  @ for_decode_atoms env table (full attrs2) ~n:(max 1 r)
+  @ sparse_atoms env table (full sparse_as) ~n:(max 1 r)
+  @ rle_probe_atoms env table (full rle_as) ~n:(max 1 r)
   @ Hashtbl.fold
     (fun p attrs acc ->
-      let w = part_width rel layout p in
-      Pattern.rr_acc ~u:(row_width_of_attrs rel attrs) ~n ~w ~r () :: acc)
+      let w = part_width env table layout p in
+      Pattern.rr_acc
+        ~u:(row_width_of_attrs env table attrs)
+        ~n ~w ~r ()
+      :: acc)
     by_part []
 
 (* Access list of a scan predicate under short-circuit evaluation.  For a
@@ -221,7 +341,6 @@ let hash_entry_width env plan keys =
   + Array.fold_left (fun acc a -> acc + Schema.stored_width a) 0 schema
 
 let emit_update env table access post assignments sel =
-  let rel = Catalog.find env.cat table in
   let n = max 1 (nrows env table) in
   let matches = max 1 (int_of_float (sel *. float_of_int n)) in
   let pred_accesses =
@@ -257,8 +376,10 @@ let emit_update env table access post assignments sel =
   let writes =
     List.map
       (fun p ->
-        Pattern.rr_acc ~u:(row_width_of_attrs rel assigned) ~n
-          ~w:(max 1 (part_width rel layout p))
+        Pattern.rr_acc
+          ~u:(row_width_of_attrs env table assigned)
+          ~n
+          ~w:(max 1 (part_width env table layout p))
           ~r:matches ())
       parts
   in
@@ -402,7 +523,6 @@ let rec go env (plan : Physical.t) ~(needed : int list) :
         descs )
   | Physical.Limit { child; _ } -> go env child ~needed
   | Physical.Insert { table; values } ->
-      let rel = Catalog.find env.cat table in
       let schema = schema_of env table in
       let layout = layout_of env table in
       let n = max 1 (nrows env table) in
@@ -413,10 +533,10 @@ let rec go env (plan : Physical.t) ~(needed : int list) :
              (fun attrs ->
                let w =
                  Array.fold_left
-                   (fun acc a -> acc + stored_width rel a)
+                   (fun acc a -> acc + stored_width env table a)
                    0 attrs
                in
-               Pattern.rr_acc ~n ~w ~r:1 ())
+               Pattern.rr_acc ~n ~w:(max 1 w) ~r:1 ())
              parts)
       in
       let index_pats =
@@ -436,8 +556,9 @@ let rec go env (plan : Physical.t) ~(needed : int list) :
   | Physical.Update { table; access; post; assignments; sel } ->
       emit_update env table access post assignments sel
 
-let emit ?(layouts = []) ?(estimate = fun _ -> None) cat plan =
-  let env = { cat; layouts; estimate } in
+let emit ?(layouts = []) ?(encodings = []) ?(estimate = fun _ -> None) cat
+    plan =
+  let env = { cat; layouts; encodings; estimate } in
   let arity = Array.length (Physical.schema cat plan) in
   let needed = List.init arity Fun.id in
   go env plan ~needed

@@ -21,14 +21,28 @@ type access_kind =
 
 type access_desc = { table : string; attrs : int list; kind : access_kind }
 
+type enc_hint = {
+  enc : Storage.Encoding.t;
+  distinct : int;  (** predicted dictionary entries (Dict) *)
+  runs : int;  (** predicted run count (Rle) *)
+  filled : int;  (** predicted non-null entries (Sparse) *)
+  exceptions : int;  (** predicted escape-coded values (For_bp) *)
+}
+(** A hypothetical per-attribute encoding with the statistics the compressed
+    atoms need — lets the optimizer cost compression schemes without
+    materializing them. *)
+
 val emit :
   ?layouts:(string * Storage.Layout.t) list ->
+  ?encodings:(string * (int * enc_hint) list) list ->
   ?estimate:(Relalg.Expr.t -> float option) ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->
   Pattern.t * access_desc list
 (** [layouts] overrides the stored layout of named tables (used by the
-    optimizer to evaluate candidate decompositions); [estimate] refines
+    optimizer to evaluate candidate decompositions); [encodings] likewise
+    overrides their live per-attribute encodings wholesale — attributes
+    absent from a listed table's hints are costed plain; [estimate] refines
     per-conjunct selectivities. *)
 
 val pp_desc : Storage.Catalog.t -> Format.formatter -> access_desc -> unit

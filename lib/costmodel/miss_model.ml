@@ -60,6 +60,12 @@ let misses_at_level ~capacity_share (lvl : Memsim.Params.level) atom =
       let ps = p_seq ~s ~per_line in
       let pr = p_rand ~s ~per_line in
       { total = p *. lines; seq = ps *. lines; rand = pr *. lines }
+  | Pattern.S_trav_rle { runs; w; _ } ->
+      (* the traffic is the run list itself: a sequential traversal of
+         [runs] entries of [w] bytes, however many tuples the runs cover *)
+      let lines = touched_lines ~block ~n:runs ~w ~u:w in
+      { total = lines; seq = lines; rand = 0.0 }
+  | Pattern.Decode _ -> { total = 0.0; seq = 0.0; rand = 0.0 }
 
 let atom_m0 atom =
   match (atom : Pattern.atom) with
@@ -71,6 +77,10 @@ let atom_m0 atom =
          per-tuple iteration is charged by the pattern's unconditional
          companion atom (the predicate traversal), not here *)
       float_of_int n *. s *. (1.0 +. words u)
+  | Pattern.S_trav_rle { runs; w; _ } ->
+      (* run-granular work: one processed item per run entry *)
+      float_of_int runs *. words w
+  | Pattern.Decode { n } -> float_of_int n
 
 let atom_misses ?(capacity_share = 1.0) (params : Memsim.Params.t) atom =
   let levels =

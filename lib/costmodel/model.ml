@@ -1,16 +1,21 @@
-let query_cost ?layouts ?estimate ?(params = Memsim.Params.nehalem)
-    ?(additive = false) cat plan =
-  let pattern, _ = Emit.emit ?layouts ?estimate cat plan in
+let query_cost ?layouts ?encodings ?estimate
+    ?(params = Memsim.Params.nehalem) ?(additive = false) cat plan =
+  let pattern, _ = Emit.emit ?layouts ?encodings ?estimate cat plan in
   Cost_function.cost ~additive params pattern
 
-let workload_cost ?layouts ?estimate ?params ?additive cat queries =
+let workload_cost ?layouts ?encodings ?estimate ?params ?additive cat
+    queries =
   List.fold_left
     (fun acc (plan, freq) ->
-      acc +. (freq *. query_cost ?layouts ?estimate ?params ?additive cat plan))
+      acc
+      +. freq
+         *. query_cost ?layouts ?encodings ?estimate ?params ?additive cat
+              plan)
     0.0 queries
 
-let explain ?layouts ?estimate ?(params = Memsim.Params.nehalem) cat plan =
-  let pattern, descs = Emit.emit ?layouts ?estimate cat plan in
+let explain ?layouts ?encodings ?estimate ?(params = Memsim.Params.nehalem)
+    cat plan =
+  let pattern, descs = Emit.emit ?layouts ?encodings ?estimate cat plan in
   let cost = Cost_function.cost params pattern in
   Format.asprintf
     "@[<v>pattern: %a@,descriptors: %a@,estimated cycles: %.0f@]" Pattern.pp

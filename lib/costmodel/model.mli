@@ -2,6 +2,7 @@
 
 val query_cost :
   ?layouts:(string * Storage.Layout.t) list ->
+  ?encodings:(string * (int * Emit.enc_hint) list) list ->
   ?estimate:(Relalg.Expr.t -> float option) ->
   ?params:Memsim.Params.t ->
   ?additive:bool ->
@@ -14,6 +15,7 @@ val query_cost :
 
 val workload_cost :
   ?layouts:(string * Storage.Layout.t) list ->
+  ?encodings:(string * (int * Emit.enc_hint) list) list ->
   ?estimate:(Relalg.Expr.t -> float option) ->
   ?params:Memsim.Params.t ->
   ?additive:bool ->
@@ -24,6 +26,7 @@ val workload_cost :
 
 val explain :
   ?layouts:(string * Storage.Layout.t) list ->
+  ?encodings:(string * (int * Emit.enc_hint) list) list ->
   ?estimate:(Relalg.Expr.t -> float option) ->
   ?params:Memsim.Params.t ->
   Storage.Catalog.t ->

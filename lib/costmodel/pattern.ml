@@ -3,6 +3,8 @@ type atom =
   | R_trav of { n : int; w : int; u : int }
   | Rr_acc of { n : int; w : int; u : int; r : int }
   | S_trav_cr of { n : int; w : int; u : int; s : float }
+  | S_trav_rle of { n : int; runs : int; w : int }
+  | Decode of { n : int }
 
 type t = Atom of atom | Seq of t list | Par of t list
 
@@ -17,6 +19,9 @@ let rr_acc ?u ~n ~w ~r () =
 
 let s_trav_cr ?u ~n ~w ~s () =
   Atom (S_trav_cr { n; w; u = Option.value u ~default:w; s })
+
+let s_trav_rle ~n ~runs ~w () = Atom (S_trav_rle { n; runs; w })
+let decode ~n () = Atom (Decode { n })
 
 let is_empty = function Seq [] | Par [] -> true | _ -> false
 
@@ -55,6 +60,9 @@ let pp_atom ppf = function
   | S_trav_cr { n; w; u; s } ->
       if u = w then Format.fprintf ppf "s_trav_cr(%d,%d,s=%.4g)" n w s
       else Format.fprintf ppf "s_trav_cr(%d,%d,u=%d,s=%.4g)" n w u s
+  | S_trav_rle { n; runs; w } ->
+      Format.fprintf ppf "s_trav_rle(%d,runs=%d,%d)" n runs w
+  | Decode { n } -> Format.fprintf ppf "decode(%d)" n
 
 let rec pp ppf = function
   | Atom a -> pp_atom ppf a

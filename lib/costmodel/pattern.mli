@@ -17,6 +17,13 @@ type atom =
   | S_trav_cr of { n : int; w : int; u : int; s : float }
       (** the new atom: sequential traversal where each item is read only
           with probability [s] (a selective projection) *)
+  | S_trav_rle of { n : int; runs : int; w : int }
+      (** run-granular traversal of a run-length-encoded column covering
+          [n] tuples in [runs] run entries of [w] bytes: the traffic is the
+          run list, not the tuples *)
+  | Decode of { n : int }
+      (** [n] pure-CPU value reconstructions (frame-of-reference
+          arithmetic): one cycle each, no memory traffic *)
 
 type t =
   | Atom of atom
@@ -27,6 +34,8 @@ val s_trav : ?u:int -> n:int -> w:int -> unit -> t
 val r_trav : ?u:int -> n:int -> w:int -> unit -> t
 val rr_acc : ?u:int -> n:int -> w:int -> r:int -> unit -> t
 val s_trav_cr : ?u:int -> n:int -> w:int -> s:float -> unit -> t
+val s_trav_rle : n:int -> runs:int -> w:int -> unit -> t
+val decode : n:int -> unit -> t
 
 val seq : t list -> t
 (** Flattening constructor for ⊕ (drops empty children). *)

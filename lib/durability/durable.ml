@@ -64,6 +64,10 @@ let op_of_event t (ev : Catalog.obs_event) : Wal.op option =
       Some (Wal.Update { table; tid; attr; value })
   | Catalog.Obs_set_layout { table; layout } ->
       Some (Wal.Set_layout { table; layout = Layout.to_groups layout })
+  | Catalog.Obs_set_physical { table; layout; encodings } ->
+      Some
+        (Wal.Set_physical
+           { table; layout = Layout.to_groups layout; encodings })
   | Catalog.Obs_create_index { table; iname; kind; attrs } ->
       Some (Wal.Create_index { table; iname; kind; attrs })
 

@@ -38,6 +38,11 @@ let apply_op cat (op : Wal.op) =
       let rel = Catalog.find cat table in
       Catalog.set_layout cat table
         (Layout.of_indices (Relation.schema rel) layout)
+  | Wal.Set_physical { table; layout; encodings } ->
+      let rel = Catalog.find cat table in
+      Catalog.set_physical cat table
+        ~layout:(Layout.of_indices (Relation.schema rel) layout)
+        encodings
   | Wal.Create_index { table; iname; kind; attrs } ->
       Catalog.create_index cat table ~name:iname ~kind ~attrs
 

@@ -32,6 +32,11 @@ type op =
   | Load of { table : string; rows : Value.t array array }
   | Update of { table : string; tid : int; attr : int; value : Value.t }
   | Set_layout of { table : string; layout : int list list }
+  | Set_physical of {
+      table : string;
+      layout : int list list;
+      encodings : (int * Encoding.t) list;
+    }
   | Create_index of {
       table : string;
       iname : string;
@@ -74,6 +79,11 @@ let encode_op w = function
       Codec.u8 w 5;
       Codec.str w table;
       Codec.layout_groups w layout
+  | Set_physical { table; layout; encodings } ->
+      Codec.u8 w 7;
+      Codec.str w table;
+      Codec.layout_groups w layout;
+      Codec.encodings w encodings
   | Create_index { table; iname; kind; attrs } ->
       Codec.u8 w 6;
       Codec.str w table;
@@ -116,6 +126,11 @@ let decode_op r =
       let kind = Codec.rindex_kind r in
       let attrs = Codec.rlist r Codec.rstr in
       Create_index { table; iname; kind; attrs }
+  | 7 ->
+      let table = Codec.rstr r in
+      let layout = Codec.rlayout_groups r in
+      let encodings = Codec.rencodings r in
+      Set_physical { table; layout; encodings }
   | t -> raise (Codec.Truncated (Printf.sprintf "op: unknown tag %d" t))
 
 let encode record =

@@ -22,6 +22,11 @@ type op =
       value : Storage.Value.t;
     }
   | Set_layout of { table : string; layout : int list list }
+  | Set_physical of {
+      table : string;
+      layout : int list list;
+      encodings : (int * Storage.Encoding.t) list;
+    }
   | Create_index of {
       table : string;
       iname : string;

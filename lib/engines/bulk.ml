@@ -177,7 +177,42 @@ let filter_base ctx rel pos pred =
     (fun pos conj ->
       let n = match pos with None -> Relation.nrows rel | Some p -> p.pn in
       let keep = posvec_create ctx ~capacity:(max 16 (n / 4)) in
-      (match Runtime.simple_int_cmp ~params:ctx.params rel conj with
+      let generic () =
+        for i = 0 to n - 1 do
+          let tid = match pos with None -> i | Some p -> posvec_get ctx p i in
+          charge ctx ctx.per_value;
+          let v =
+            Expr.eval conj ~params:ctx.params (fun col ->
+                charge ctx ctx.per_value;
+                Relation.get rel tid col)
+          in
+          if Expr.truthy v then posvec_push ctx keep tid
+        done
+      in
+      let compressed_scan =
+        match pos with
+        | None ->
+            Option.map snd
+              (Runtime.compressed_filter_range ?hier:ctx.hier
+                 ~params:ctx.params ~per_value:ctx.per_value rel conj)
+        | Some _ -> None
+      in
+      (match compressed_scan with
+      | Some scan ->
+          (* survivors arrive as ascending tid ranges; push them as runs *)
+          let surv = Array.make block 0 in
+          scan (fun ~lo ~len _ ->
+              let off = ref 0 in
+              while !off < len do
+                let m = min block (len - !off) in
+                for i = 0 to m - 1 do
+                  Array.unsafe_set surv i (lo + !off + i)
+                done;
+                posvec_push_run ctx keep surv m;
+                off := !off + m
+              done)
+      | None ->
+      match Runtime.simple_int_cmp ~params:ctx.params rel conj with
       | Some (c, test) when n > 0 -> (
           (* Per-tuple charges mirror the generic loop below: one evaluation
              charge, one column-read charge, plus (for a position input) one
@@ -219,17 +254,21 @@ let filter_base ctx rel pos pred =
                 posvec_push_run ctx keep surv !k;
                 lo := !lo + m
               done)
-      | _ ->
-          for i = 0 to n - 1 do
-            let tid = match pos with None -> i | Some p -> posvec_get ctx p i in
-            charge ctx ctx.per_value;
-            let v =
-              Expr.eval conj ~params:ctx.params (fun col ->
-                  charge ctx ctx.per_value;
-                  Relation.get rel tid col)
-            in
-            if Expr.truthy v then posvec_push ctx keep tid
-          done);
+      | _ -> (
+          match
+            ( pos,
+              Runtime.compressed_tid_test ?hier:ctx.hier ~params:ctx.params
+                ~per_value:ctx.per_value rel conj )
+          with
+          | Some p, Some test when n > 0 ->
+              (* position input over a coded column: per-tid narrow code
+                 test, charges mirroring the generic loop *)
+              for i = 0 to n - 1 do
+                let tid = posvec_get ctx p i in
+                charge ctx (2 * ctx.per_value);
+                if test tid then posvec_push ctx keep tid
+              done
+          | _ -> generic ()));
       Some keep)
     pos conjs
 
@@ -260,6 +299,36 @@ let filter_mat ctx schema cols n pred =
       Array.iter (fun i -> colvec_push ctx v (src_get ctx src i c)) keep;
       out.(c) <- Some v)
     avail;
+  Mat (out, !count)
+
+(* Emit a finished aggregation table as materialized output columns. *)
+let group_emit ctx plan keys table =
+  let schema = src_schema ctx plan in
+  let out =
+    Array.map
+      (fun (a : Schema.attr) ->
+        Some
+          (colvec_create ctx ~ty:a.Schema.ty ~nullable:a.Schema.nullable
+             ~capacity:16))
+      schema
+  in
+  let n_keys = List.length keys in
+  let count = ref 0 in
+  Prof.phase "emit" (fun () ->
+      Runtime.Agg_table.emit table (fun key finished ->
+          List.iteri
+            (fun j v ->
+              match out.(j) with
+              | Some vec -> colvec_push ctx vec v
+              | None -> ())
+            key;
+          Array.iteri
+            (fun j v ->
+              match out.(n_keys + j) with
+              | Some vec -> colvec_push ctx vec v
+              | None -> ())
+            finished;
+          incr count));
   Mat (out, !count)
 
 (* Columns of its input that the remaining plan needs from this operator's
@@ -399,6 +468,49 @@ and eval_raw ctx path (plan : Physical.t) ~(needed : int list) : src =
       let src = eval ctx (Prof.child path 0) child ~needed:child_needed in
       let n = src_count src in
       let child_schema = src_schema ctx child in
+      (* run-granular aggregation: grouping by a whole RLE column with every
+         aggregate argument on that same column folds each run into one
+         accumulator update *)
+      let rle_group =
+        match (src, key_exprs) with
+        | Base (rel, None), [ Expr.Col g ] when Relation.rle_readable rel g ->
+            if
+              List.for_all
+                (fun (a : Aggregate.t) ->
+                  match a.Aggregate.expr with
+                  | None -> true
+                  | Some (Expr.Col c) -> c = g
+                  | Some _ -> false)
+                aggs
+            then Some (rel, g)
+            else None
+        | _ -> None
+      in
+      (match rle_group with
+      | Some (rel, g) ->
+          let table =
+            Runtime.Agg_table.create ?hier:ctx.hier ctx.arena ~aggs
+              ~global:false ~key_width:16 ()
+          in
+          let agg_arr = Array.of_list aggs in
+          let per_run_charge = ctx.per_value * (1 + Array.length agg_arr) in
+          Prof.phase "accumulate" (fun () ->
+              if n > 0 then
+                Relation.iter_rle_runs rel ~lo:0 ~count:n g
+                  (fun ~lo:_ ~len v ->
+                    charge ctx per_run_charge;
+                    let inputs =
+                      Array.map
+                        (fun (a : Aggregate.t) ->
+                          match a.Aggregate.expr with
+                          | Some _ -> v
+                          | None -> Value.Null)
+                        agg_arr
+                    in
+                    Runtime.Agg_table.update_n table ~key:[ v ] ~inputs
+                      ~count:len));
+          group_emit ctx plan keys table
+      | None ->
       (* bulk style: materialize key and argument vectors first *)
       let mat_expr e =
         let ty, nullable = Relalg.Plan.type_of_expr child_schema e in
@@ -440,33 +552,7 @@ and eval_raw ctx path (plan : Physical.t) ~(needed : int list) : src =
             in
             Runtime.Agg_table.update table ~key ~inputs
           done);
-      let schema = src_schema ctx plan in
-      let out =
-        Array.map
-          (fun (a : Schema.attr) ->
-            Some
-              (colvec_create ctx ~ty:a.Schema.ty ~nullable:a.Schema.nullable
-                 ~capacity:16))
-          schema
-      in
-      let n_keys = List.length keys in
-      let count = ref 0 in
-      Prof.phase "emit" (fun () ->
-          Runtime.Agg_table.emit table (fun key finished ->
-              List.iteri
-                (fun j v ->
-                  match out.(j) with
-                  | Some vec -> colvec_push ctx vec v
-                  | None -> ())
-                key;
-              Array.iteri
-                (fun j v ->
-                  match out.(n_keys + j) with
-                  | Some vec -> colvec_push ctx vec v
-                  | None -> ())
-                finished;
-              incr count));
-      Mat (out, !count)
+      group_emit ctx plan keys table)
   | Physical.Sort { child; keys } ->
       let schema = src_schema ctx child in
       let all = List.init (Array.length schema) Fun.id in

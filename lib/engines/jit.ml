@@ -121,7 +121,30 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
                       done;
                       lo := !lo + m
                     done)
-            | None -> None)
+            | None -> (
+                (* single-column predicate over a compressed column: evaluate
+                   it on the compressed representation and visit surviving
+                   tid ranges; a known run value pre-populates the lazy
+                   column cache exactly as the generic path would leave it *)
+                match
+                  Runtime.compressed_filter_range ?hier:ctx.hier
+                    ~params:ctx.params ~per_value:Cpu_model.jit_per_value rel
+                    conj
+                with
+                | Some (c, scan) ->
+                    Some
+                      (fun () ->
+                        scan (fun ~lo ~len v ->
+                            for tid = lo to lo + len - 1 do
+                              cur_tid := tid;
+                              (match v with
+                              | Some value ->
+                                  cache.(c) <- value;
+                                  gen.(c) <- tid
+                              | None -> ());
+                              consume getcol
+                            done))
+                | None -> None))
         | _ -> None
       in
       Prof.thunk path plan (fun () ->

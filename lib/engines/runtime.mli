@@ -27,6 +27,34 @@ val simple_int_cmp :
     column index and an unboxed test exactly equivalent to the boxed
     evaluation.  Engines use it to run selections over column runs. *)
 
+val compressed_filter_range :
+  ?hier:Memsim.Hierarchy.t ->
+  params:Value.t array ->
+  per_value:int ->
+  Storage.Relation.t ->
+  Relalg.Expr.t ->
+  (int * ((lo:int -> len:int -> Value.t option -> unit) -> unit)) option
+(** Evaluate a predicate whose only column is stored compressed directly on
+    the compressed representation during a full scan: per-run evaluation for
+    RLE, a distinct-value bitmap plus narrow code scan for dictionaries, and
+    pure-CPU reconstruction with range pruning for frame-of-reference
+    columns.  Returns the column index and a driver that emits maximal
+    surviving tid ranges in ascending order (the value argument is [Some v]
+    when the whole range shares the known value [v] — RLE runs).  [None]
+    when no compressed fast path applies; results are always identical to
+    the generic decode-per-tuple evaluation. *)
+
+val compressed_tid_test :
+  ?hier:Memsim.Hierarchy.t ->
+  params:Value.t array ->
+  per_value:int ->
+  Storage.Relation.t ->
+  Relalg.Expr.t ->
+  (int -> bool) option
+(** Point-wise variant for position-list inputs: test one tid against a
+    dictionary bitmap or a reconstructed frame-of-reference value, reading
+    only the narrow stored code. *)
+
 (** A hash table whose probe/update traffic is modeled as repetitive random
     accesses into a simulator region (the [rr_acc] of the cost model).  The
     actual key/value storage is an OCaml hashtable — the simulator only
@@ -76,6 +104,12 @@ module Agg_table : sig
   val update : t -> key:Value.t list -> inputs:Value.t array -> unit
   (** [inputs] holds, positionally per aggregate, the evaluated argument
       ([Null] for count-star). *)
+
+  val update_n :
+    t -> key:Value.t list -> inputs:Value.t array -> count:int -> unit
+  (** Accumulate [count] identical rows with one entry lookup — the
+      run-granular aggregation path over RLE columns.  Exactly equal to
+      [count] calls of {!update} (see {!Relalg.Aggregate.step_n}). *)
 
   val emit : t -> (Value.t list -> Value.t array -> unit) -> unit
   (** Iterate groups as (key values, finished aggregate values); a global

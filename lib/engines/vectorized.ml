@@ -191,14 +191,31 @@ let run_pipeline ctx (p : pipeline) : Value.t array list =
                     incr kept
                   end
                 done
-            | None ->
-                for i = 0 to !count - 1 do
-                  let tid = Array.unsafe_get tids_arr i in
-                  if Expr.truthy (eval_at tid conj) then begin
-                    Array.unsafe_set keep_arr !kept tid;
-                    incr kept
-                  end
-                done);
+            | None -> (
+                match
+                  Runtime.compressed_tid_test ?hier:ctx.hier
+                    ~params:ctx.params ~per_value:Cpu_model.bulk_per_value rel
+                    conj
+                with
+                | Some test ->
+                    (* coded column: narrow code read + bitmap test/decode
+                       per tid; eval charges mirror the generic pass *)
+                    charge ctx (2 * Cpu_model.bulk_per_value * !count);
+                    for i = 0 to !count - 1 do
+                      let tid = Array.unsafe_get tids_arr i in
+                      if test tid then begin
+                        Array.unsafe_set keep_arr !kept tid;
+                        incr kept
+                      end
+                    done
+                | None ->
+                    for i = 0 to !count - 1 do
+                      let tid = Array.unsafe_get tids_arr i in
+                      if Expr.truthy (eval_at tid conj) then begin
+                        Array.unsafe_set keep_arr !kept tid;
+                        incr kept
+                      end
+                    done));
             Buffer.write_int_run scratch 0 ~count:!kept keep_arr;
             (* copy back: the two small buffers stay cache resident *)
             Buffer.touch_run scratch 0 ~width:8 ~count:!kept ~stride:8;

@@ -32,11 +32,17 @@ type t = {
 }
 
 (* Which physical representation to instantiate a table under.  [Pdsm] uses
-   the case's own random decomposition; the other two override it, giving the
-   layout axis of the differential matrix. *)
-type layout_mode = Nsm | Dsm | Pdsm
+   the case's own random decomposition; [Nsm]/[Dsm] override it, giving the
+   layout axis of the differential matrix.  [Comp] keeps the case's
+   decomposition and additionally applies the compression advisor's plan to
+   the generated rows — the compressed-execution axis. *)
+type layout_mode = Nsm | Dsm | Pdsm | Comp
 
-let layout_mode_name = function Nsm -> "nsm" | Dsm -> "dsm" | Pdsm -> "pdsm"
+let layout_mode_name = function
+  | Nsm -> "nsm"
+  | Dsm -> "dsm"
+  | Pdsm -> "pdsm"
+  | Comp -> "comp"
 
 let schema_of_table (t : table) : Schema.t =
   Schema.make_nullable t.tname
@@ -47,7 +53,7 @@ let layout_of_table (t : table) mode =
   match mode with
   | Nsm -> Layout.row schema
   | Dsm -> Layout.column schema
-  | Pdsm -> Layout.of_indices schema t.groups
+  | Pdsm | Comp -> Layout.of_indices schema t.groups
 
 let find_table t name = List.find (fun tab -> tab.tname = name) t.tables
 

@@ -114,11 +114,19 @@ let build_catalog ?hier (c : Case.t) mode =
   let cat = Catalog.create ?hier () in
   List.iter
     (fun (tab : Case.table) ->
-      let rel =
-        Catalog.add cat (Case.schema_of_table tab)
-          (Case.layout_of_table tab mode)
-      in
+      let schema = Case.schema_of_table tab in
+      let layout = Case.layout_of_table tab mode in
       let rows = Array.of_list tab.Case.rows in
+      let encodings, layout =
+        match mode with
+        | Case.Comp ->
+            (* the advisor's plan over the generated rows; Sparse/RLE
+               columns move to singleton partitions *)
+            let encs = Storage.Compress.plan_rows schema rows in
+            (encs, Storage.Compress.singleton_layout schema layout encs)
+        | _ -> ([], layout)
+      in
+      let rel = Catalog.add ~encodings cat schema layout in
       if Array.length rows > 0 then
         Relation.load rel ~n:(Array.length rows) (fun ~row -> rows.(row)))
     c.Case.tables;
@@ -443,7 +451,7 @@ let run_recovery (c : Case.t) =
 (* The full matrix for one case                                        *)
 (* ------------------------------------------------------------------ *)
 
-let modes = [ Case.Nsm; Case.Dsm; Case.Pdsm ]
+let modes = [ Case.Nsm; Case.Dsm; Case.Pdsm; Case.Comp ]
 
 let run_case ?(mutate = false) ?(recovery = true) (c : Case.t) =
   let oracle = oracle_results c in

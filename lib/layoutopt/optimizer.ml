@@ -2,18 +2,39 @@ module Emit = Costmodel.Emit
 module Model = Costmodel.Model
 module Layout = Storage.Layout
 module Schema = Storage.Schema
+module Compress = Storage.Compress
+module Encoding = Storage.Encoding
 
 type algorithm = Bpi of float | Obp
 
 type table_result = {
   table : string;
   layout : Storage.Layout.t;
+  encodings : (int * Encoding.t) list;
   cuts : Cut.t list;
   estimated_cost : float;
   row_cost : float;
   column_cost : float;
   search : Bpi.stats;
 }
+
+(* The statistics the compressed-traversal atoms need, taken from the same
+   advisor pass that proposes the scheme. *)
+let hint_of_stat (st : Compress.stat) (enc : Encoding.t) : Emit.enc_hint =
+  let exceptions =
+    match enc with
+    | Encoding.For_bp w ->
+        let i = match w with 1 -> 0 | 2 -> 1 | _ -> 2 in
+        st.Compress.for_exceptions.(i)
+    | _ -> 0
+  in
+  {
+    Emit.enc;
+    distinct = st.Compress.distinct;
+    runs = st.Compress.runs;
+    filled = st.Compress.non_null;
+    exceptions;
+  }
 
 let descs_for_table ?estimate cat table workload =
   List.concat_map
@@ -39,26 +60,56 @@ let cuts_for_table ?(extended = true) ?estimate cat table workload =
 let layout_of_partitioning schema partitioning =
   Layout.of_indices schema partitioning
 
-let workload_cost_with ?estimate ?params ?additive cat table layout workload =
-  Model.workload_cost ?estimate ?params ?additive
+let workload_cost_with ?estimate ?params ?additive ?(encodings = []) cat
+    table layout workload =
+  let encodings =
+    if encodings = [] then [] else [ (table, encodings) ]
+  in
+  Model.workload_cost ?estimate ?params ?additive ~encodings
     ~layouts:[ (table, layout) ]
     cat workload
 
-let optimize_table ?(algorithm = Bpi 0.005) ?(extended = true) ?estimate
-    ?params ?additive cat table workload =
+let optimize_table ?(algorithm = Bpi 0.005) ?(extended = true)
+    ?(compress = false) ?estimate ?params ?additive cat table workload =
   let rel = Storage.Catalog.find cat table in
   let schema = Storage.Relation.schema rel in
   let n_attrs = Schema.arity schema in
   let cuts = cuts_for_table ~extended ?estimate cat table workload in
-  let cost partitioning =
-    workload_cost_with ?estimate ?params ?additive cat table
-      (layout_of_partitioning schema partitioning)
-      workload
-  in
-  let partitioning, estimated_cost, search =
+  let search_with encodings =
+    let cost partitioning =
+      workload_cost_with ?estimate ?params ?additive ~encodings cat table
+        (layout_of_partitioning schema partitioning)
+        workload
+    in
     match algorithm with
     | Bpi threshold -> Bpi.optimize ~cost ~n_attrs ~cuts ~threshold
     | Obp -> Bpi.optimize_exhaustive ~cost ~n_attrs ~cuts
+  in
+  let plain_search = search_with [] in
+  let partitioning, estimated_cost, search, encodings =
+    if not compress then
+      let p, c, s = plain_search in
+      (p, c, s, [])
+    else
+      (* joint search: the advisor proposes per-column schemes, the same
+         cut-constrained decomposition search runs under their predicted
+         cost atoms, and the cheaper of the two physical designs wins *)
+      let stats = Compress.analyze rel in
+      let plan =
+        List.filter_map
+          (fun st ->
+            match Compress.choose schema st with
+            | Encoding.Plain -> None
+            | enc -> Some (st.Compress.attr, hint_of_stat st enc))
+          (Array.to_list stats)
+      in
+      let p0, c0, s0 = plain_search in
+      if plan = [] then (p0, c0, s0, [])
+      else
+        let p1, c1, s1 = search_with plan in
+        if c1 < c0 then
+          (p1, c1, s1, List.map (fun (a, h) -> (a, h.Emit.enc)) plan)
+        else (p0, c0, s0, [])
   in
   let layout = layout_of_partitioning schema partitioning in
   let row_cost =
@@ -69,9 +120,18 @@ let optimize_table ?(algorithm = Bpi 0.005) ?(extended = true) ?estimate
     workload_cost_with ?estimate ?params ?additive cat table
       (Layout.column schema) workload
   in
-  { table; layout; cuts; estimated_cost; row_cost; column_cost; search }
+  {
+    table;
+    layout;
+    encodings;
+    cuts;
+    estimated_cost;
+    row_cost;
+    column_cost;
+    search;
+  }
 
-let optimize ?algorithm ?extended ?estimate ?params cat workload =
+let optimize ?algorithm ?extended ?compress ?estimate ?params cat workload =
   let tables =
     List.concat_map
       (fun (plan, _) -> List.map (fun d -> d.Emit.table) (snd (Emit.emit cat plan)))
@@ -80,12 +140,16 @@ let optimize ?algorithm ?extended ?estimate ?params cat workload =
   in
   List.map
     (fun table ->
-      optimize_table ?algorithm ?extended ?estimate ?params cat table workload)
+      optimize_table ?algorithm ?extended ?compress ?estimate ?params cat
+        table workload)
     tables
 
 let apply cat results =
   List.iter
-    (fun r -> Storage.Catalog.set_layout cat r.table r.layout)
+    (fun r ->
+      if r.encodings = [] then
+        Storage.Catalog.set_layout cat r.table r.layout
+      else Compress.apply cat r.table ~layout:r.layout r.encodings)
     results
 
 (* silence unused-warning for descs_for_table, which is part of the

@@ -8,6 +8,8 @@ type algorithm =
 type table_result = {
   table : string;
   layout : Storage.Layout.t;
+  encodings : (int * Storage.Encoding.t) list;
+      (** chosen per-attribute compression (empty = plain storage) *)
   cuts : Cut.t list;  (** the extended reasonable cuts considered *)
   estimated_cost : float;  (** workload cost under the chosen layout *)
   row_cost : float;  (** workload cost under NSM, for reference *)
@@ -28,6 +30,7 @@ val cuts_for_table :
 val optimize_table :
   ?algorithm:algorithm ->
   ?extended:bool ->
+  ?compress:bool ->
   ?estimate:(Relalg.Expr.t -> float option) ->
   ?params:Memsim.Params.t ->
   ?additive:bool ->
@@ -38,11 +41,15 @@ val optimize_table :
 (** Optimize the layout of one table for a frequency-weighted workload.
     [extended = false] falls back to classic reasonable cuts (for the
     ablation experiment); [additive = true] uses the non-prefetch-aware cost
-    function. *)
+    function.  [compress = true] searches jointly over decomposition and
+    per-column compression: the advisor's candidate schemes are costed with
+    the compressed-traversal atoms and kept only when they beat the plain
+    design. *)
 
 val optimize :
   ?algorithm:algorithm ->
   ?extended:bool ->
+  ?compress:bool ->
   ?estimate:(Relalg.Expr.t -> float option) ->
   ?params:Memsim.Params.t ->
   Storage.Catalog.t ->
@@ -51,4 +58,5 @@ val optimize :
 (** Optimize every table the workload touches. *)
 
 val apply : Storage.Catalog.t -> table_result list -> unit
-(** Repartition the stored relations to the chosen layouts. *)
+(** Repartition the stored relations to the chosen layouts, applying any
+    chosen compression plan through {!Storage.Compress.apply}. *)

@@ -122,6 +122,40 @@ let render ?(analyze = false) ?(engine = Engine.Jit) ?(domains = 1)
           (Format.asprintf "  %a\n" (Costmodel.Emit.pp_desc cat) d))
       descs
   end;
+  (* stored physical design of every touched table: partitions with the
+     compression scheme chosen per attribute *)
+  let tables =
+    List.sort_uniq compare
+      (List.map (fun d -> d.Costmodel.Emit.table) descs)
+  in
+  if tables <> [] then begin
+    Buffer.add_string buf "storage:\n";
+    List.iter
+      (fun t ->
+        let rel = Catalog.find cat t in
+        let schema = Storage.Relation.schema rel in
+        let groups = Storage.Layout.to_groups (Storage.Relation.layout rel) in
+        List.iteri
+          (fun p attrs ->
+            let cells =
+              List.map
+                (fun a ->
+                  let name =
+                    (Storage.Schema.attr schema a).Storage.Schema.name
+                  in
+                  match Storage.Relation.encoding rel a with
+                  | Storage.Encoding.Plain -> name
+                  | e ->
+                      Printf.sprintf "%s:%s" name
+                        (Format.asprintf "%a" Storage.Encoding.pp e))
+                attrs
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  %s p%d {%s}\n" t p
+                 (String.concat "," cells)))
+          groups)
+      tables
+  end;
   let total_pred = Costmodel.Model.query_cost cat plan in
   Buffer.add_string buf
     (Printf.sprintf "predicted cost: %.3g cycles\n" total_pred);

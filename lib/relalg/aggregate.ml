@@ -44,6 +44,32 @@ let step st v =
       if not (Value.is_null v) then
         if Value.is_null st.best || Value.compare v st.best > 0 then st.best <- v
 
+(* [step_n st v k] = k repetitions of [step st v].  Counts and integer sums
+   use the closed form (native-int arithmetic wraps mod 2^63, so [k * v]
+   equals k wrapped additions exactly); min/max are idempotent; float sums
+   stay looped — repeated addition is not distributive in floating point and
+   the run-granular path must match the per-row path bit for bit. *)
+let step_n st v k =
+  if k = 1 then step st v
+  else if k > 0 then
+    match st.func with
+    | Count_star -> st.count <- st.count + k
+    | Count -> if not (Value.is_null v) then st.count <- st.count + k
+    | Sum | Avg ->
+        if not (Value.is_null v) then begin
+          match v with
+          | Value.VFloat f ->
+              for _ = 1 to k do
+                st.count <- st.count + 1;
+                st.is_float <- true;
+                st.sum_f <- st.sum_f +. f
+              done
+          | _ ->
+              st.count <- st.count + k;
+              st.sum_i <- st.sum_i + (k * Value.to_int v)
+        end
+    | Min | Max -> step st v
+
 let total st = st.sum_f +. float_of_int st.sum_i
 
 let finish st =

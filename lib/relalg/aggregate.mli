@@ -15,6 +15,13 @@ type state
 
 val init : func -> state
 val step : state -> Storage.Value.t -> unit
+
+val step_n : state -> Storage.Value.t -> int -> unit
+(** [step_n st v k] accumulates [v] [k] times, exactly equal to [k] calls of
+    {!step}: counts and integer sums take the closed form, min/max step
+    once, float sums repeat the addition (floating-point rounding identity
+    with the per-row path). *)
+
 val finish : state -> Storage.Value.t
 
 val output_type : t -> (int -> Storage.Value.ty) -> Storage.Value.ty

@@ -61,6 +61,33 @@ let read_byte t off =
   trace_read t off 1;
   Char.code (Bytes.get t.bytes off)
 
+(* Narrow unsigned accessors for compressed code fields (1/2/4/8 bytes). *)
+let get_uint t off ~width =
+  match width with
+  | 1 -> Char.code (Bytes.get t.bytes off)
+  | 2 -> Bytes.get_uint16_le t.bytes off
+  | 4 -> Int32.to_int (Bytes.get_int32_le t.bytes off) land 0xffffffff
+  | 8 -> Int64.to_int (Bytes.get_int64_le t.bytes off)
+  | _ -> invalid_arg "Buffer: unsupported uint width"
+
+let set_uint t off ~width v =
+  match width with
+  | 1 -> Bytes.set t.bytes off (Char.chr (v land 0xff))
+  | 2 -> Bytes.set_uint16_le t.bytes off (v land 0xffff)
+  | 4 -> Bytes.set_int32_le t.bytes off (Int32.of_int v)
+  | 8 -> Bytes.set_int64_le t.bytes off (Int64.of_int v)
+  | _ -> invalid_arg "Buffer: unsupported uint width"
+
+let read_uint t off ~width =
+  trace_read t off width;
+  get_uint t off ~width
+
+let write_uint t off ~width v =
+  trace_write t off width;
+  set_uint t off ~width v
+
+let untraced_read_uint t off ~width = get_uint t off ~width
+
 let write_byte t off v =
   trace_write t off 1;
   Bytes.set t.bytes off (Char.chr (v land 0xff))
@@ -200,6 +227,19 @@ let write_int_run t off ?(stride = 8) ~count src =
   else
     for i = 0 to count - 1 do
       write_int t (off + (i * stride)) (Array.unsafe_get src i)
+    done
+
+let read_uint_run t off ~width ?stride ~count dst =
+  let stride = match stride with Some s -> s | None -> width in
+  if run_fastpath t then begin
+    trace_read_run t off ~width ~count ~stride;
+    for i = 0 to count - 1 do
+      Array.unsafe_set dst i (get_uint t (off + (i * stride)) ~width)
+    done
+  end
+  else
+    for i = 0 to count - 1 do
+      Array.unsafe_set dst i (read_uint t (off + (i * stride)) ~width)
     done
 
 let read_float_run t off ?(stride = 8) ~count dst =

@@ -45,6 +45,16 @@ val write_int32 : t -> int -> int -> unit
 val read_byte : t -> int -> int
 val write_byte : t -> int -> int -> unit
 
+val read_uint : t -> int -> width:int -> int
+(** Unsigned little-endian accessor of 1, 2, 4 or 8 bytes — compressed code
+    fields are narrower than a machine word. *)
+
+val write_uint : t -> int -> width:int -> int -> unit
+
+val untraced_read_uint : t -> int -> width:int -> int
+(** {!read_uint} without touching the simulator; pair with {!touch_run} when
+    the access run has already been traced as a batch. *)
+
 val read_string : t -> int -> len:int -> string
 (** Reads [len] bytes and strips trailing zero padding. *)
 
@@ -108,6 +118,12 @@ val read_int_run : t -> int -> ?stride:int -> count:int -> int array -> unit
     (contiguous). *)
 
 val write_int_run : t -> int -> ?stride:int -> count:int -> int array -> unit
+
+val read_uint_run :
+  t -> int -> width:int -> ?stride:int -> count:int -> int array -> unit
+(** Unsigned narrow-field variant of {!read_int_run} ([stride] defaults to
+    [width]) — the code-scan primitive for dictionary and
+    frame-of-reference partitions. *)
 
 val read_float_run : t -> int -> ?stride:int -> count:int -> float array -> unit
 val write_float_run : t -> int -> ?stride:int -> count:int -> float array -> unit

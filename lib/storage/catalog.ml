@@ -16,6 +16,11 @@ type obs_event =
   | Obs_load of { table : string; row_lo : int; rows : int }
   | Obs_update of { table : string; tid : int; attr : int; value : Value.t }
   | Obs_set_layout of { table : string; layout : Layout.t }
+  | Obs_set_physical of {
+      table : string;
+      layout : Layout.t;
+      encodings : (int * Encoding.t) list;
+    }
   | Obs_create_index of {
       table : string;
       iname : string;
@@ -104,6 +109,24 @@ let set_layout t name layout =
   Obs.Metrics.incr m_layout_changes;
   emit t (Obs_set_layout { table = name; layout });
   e.rel <- Relation.repartition e.rel layout;
+  e.indexes <-
+    List.map
+      (fun (iname, kind, attr_names, _) ->
+        (iname, kind, attr_names, build_index e.rel kind attr_names))
+      e.indexes
+
+let m_physical_changes =
+  Obs.Metrics.counter "mrdb_catalog_physical_changes_total"
+    ~help:"Table rebuilds via set_physical (layout and/or encodings)"
+
+let set_physical t name ?layout encodings =
+  let e = entry t name in
+  let layout =
+    match layout with Some l -> l | None -> Relation.layout e.rel
+  in
+  Obs.Metrics.incr m_physical_changes;
+  emit t (Obs_set_physical { table = name; layout; encodings });
+  e.rel <- Relation.recompress e.rel ~layout encodings;
   e.indexes <-
     List.map
       (fun (iname, kind, attr_names, _) ->

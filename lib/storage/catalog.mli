@@ -19,6 +19,11 @@ type obs_event =
   | Obs_load of { table : string; row_lo : int; rows : int }
   | Obs_update of { table : string; tid : int; attr : int; value : Value.t }
   | Obs_set_layout of { table : string; layout : Layout.t }
+  | Obs_set_physical of {
+      table : string;
+      layout : Layout.t;
+      encodings : (int * Encoding.t) list;
+    }  (** joint layout + per-attribute encoding change *)
   | Obs_create_index of {
       table : string;
       iname : string;
@@ -50,6 +55,12 @@ val names : t -> string list
 
 val set_layout : t -> string -> Layout.t -> unit
 (** Repartition the stored relation (rebuilds indexes). *)
+
+val set_physical :
+  t -> string -> ?layout:Layout.t -> (int * Encoding.t) list -> unit
+(** Rebuild the stored relation under new per-attribute encodings and,
+    optionally, a new layout (rebuilds indexes).  Encodings incompatible
+    with the target layout fall back to plain, see {!Relation.recompress}. *)
 
 val create_index : t -> string -> name:string -> kind:Index.kind -> attrs:string list -> unit
 

@@ -1,0 +1,58 @@
+(** The compression advisor: per-column statistics, a footprint-driven
+    scheme chooser, and the catalog-level entry point that applies a chosen
+    plan and accounts for it in the metrics registry.
+
+    The advisor is deterministic in the stored rows, so recovery replay and
+    differential fuzzing can re-derive the same plan from the same data. *)
+
+type stat = {
+  attr : int;
+  rows : int;
+  non_null : int;
+  distinct : int;  (** capped at {!distinct_cap} *)
+  runs : int;  (** maximal equal-value runs in tid order *)
+  int_only : bool;
+  int_min : int;  (** meaningful only when [int_only] and [non_null > 0] *)
+  int_max : int;
+  for_exceptions : int array;
+      (** per candidate code width (1, 2, 4 bytes): values that do not fit
+          the zigzag window around the column's first non-null value *)
+}
+
+val distinct_cap : int
+
+val analyze : Relation.t -> stat array
+(** One untraced pass per column (statistics gathering is setup work). *)
+
+val analyze_rows : Schema.t -> Value.t array array -> stat array
+(** Same, over materialized rows (the fuzzer's deterministic path). *)
+
+val plain_bytes : Schema.t -> stat -> int
+
+val encoded_bytes : Schema.t -> stat -> Encoding.t -> int
+(** Predicted storage footprint of the column under a scheme — mirrors the
+    actual in-arena representations of {!Relation}. *)
+
+val choose : Schema.t -> stat -> Encoding.t
+(** The scheme with the smallest predicted footprint, if it saves at least
+    30% over plain storage; [Plain] otherwise. *)
+
+val plan : Relation.t -> (int * Encoding.t) list
+(** Non-plain {!choose} results for every column. *)
+
+val plan_rows : Schema.t -> Value.t array array -> (int * Encoding.t) list
+
+val singleton_layout :
+  Schema.t -> Layout.t -> (int * Encoding.t) list -> Layout.t
+(** Split every Sparse/RLE attribute of the plan into its own singleton
+    partition (those schemes store the column outside its partition's
+    tuples), leaving all other groups as they are. *)
+
+val attr_encoded_bytes : Relation.t -> int -> int
+(** Actual in-arena footprint of one column under its current encoding. *)
+
+val apply :
+  Catalog.t -> string -> ?layout:Layout.t -> (int * Encoding.t) list -> unit
+(** Apply a compression plan through {!Catalog.set_physical} (adjusting the
+    layout with {!singleton_layout}), then record bytes-before/after per
+    scheme and the relation's compression-ratio gauge in [Obs.Metrics]. *)

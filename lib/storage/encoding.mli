@@ -12,9 +12,24 @@ type t =
           data.  A sparse attribute must be the only attribute of its
           partition; reads are modeled as binary searches over the pair
           list. *)
+  | Rle
+      (** run-length encoding: the attribute is stored as a sorted list of
+          (start tid, value) runs instead of per-tuple fields.  An RLE
+          attribute must be the only attribute of its partition; point
+          reads are modeled as binary searches over the run list, while
+          scans touch one run entry per run. *)
+  | For_bp of int
+      (** frame-of-reference with bit(byte)-packed deltas for [Int]/[Date]
+          attributes: values are stored as [w]-byte zigzag offsets from a
+          per-column base ([w] is 1, 2 or 4); values outside the
+          representable window spill to an exception list (the all-ones
+          code is the escape marker). *)
 
 val code_width : int
 (** Stored width of a dictionary code (4 bytes). *)
+
+val valid_for_width : int -> bool
+(** Whether [w] is a legal [For_bp] code width (1, 2 or 4 bytes). *)
 
 val stored_width : Schema.attr -> t -> int
 (** Width of the attribute's field under the encoding (including the null

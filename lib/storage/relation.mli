@@ -102,6 +102,59 @@ val dict_info : t -> int -> (int * int) option
 val sparse_info : t -> int -> (int * int) option
 (** For a sparse attribute: (non-null entries, pair entry width). *)
 
+val rle_info : t -> int -> (int * int) option
+(** For an RLE attribute: (runs so far, run entry width). *)
+
+val for_info : t -> int -> (int * int) option
+(** For a for_bp attribute: (exception count, code width in bytes). *)
+
+val for_bounds : t -> int -> (int * int) option
+(** Widen-only (min, max) bounds over every value ever stored in a for_bp
+    attribute — a superset of the live values, so range pruning against them
+    is sound in both the prune-empty and the prune-all direction.  [None]
+    until a first non-null value is stored. *)
+
+val rle_readable : t -> int -> bool
+
+val iter_rle_runs :
+  t -> lo:int -> count:int -> int -> (lo:int -> len:int -> Value.t -> unit) ->
+  unit
+(** [iter_rle_runs t ~lo ~count a f] calls [f ~lo ~len v] for each maximal
+    run of attribute [a] intersected with rows [lo .. lo+count-1] (run
+    bounds relative to this view), in ascending order.  Traces one binary
+    search to locate the first run plus one run-entry touch per run —
+    run-granular instead of tuple-granular. *)
+
+val code_run_readable : t -> int -> bool
+(** The attribute is non-nullable and stored as fixed-width codes (Dict or
+    For_bp), so a range of tuples is one narrow-field code run. *)
+
+val read_code_run : t -> lo:int -> count:int -> int -> int array -> unit
+(** [read_code_run t ~lo ~count a dst] reads the stored codes of attribute
+    [a] for tuples [lo .. lo+count-1], tracing the whole narrow-field run
+    with one simulator call.  Requires {!code_run_readable}. *)
+
+val read_code : t -> int -> int -> int
+(** [read_code t tid a]: one traced code read (no decode). *)
+
+val dict_size : t -> int -> int
+
+val dict_values : t -> int -> Value.t array
+(** The dictionary contents in code order, traced as one sequential pass
+    over the dictionary region — predicate pushdown evaluates once per
+    distinct value instead of once per tuple. *)
+
+val for_escape : t -> int -> int option
+(** The reserved exception marker code of a for_bp attribute. *)
+
+val decode_for_code : t -> int -> int -> int
+(** [decode_for_code t a z] reconstructs the value behind non-escape code
+    [z] — pure arithmetic (one cpu cycle), no memory traffic. *)
+
+val for_exception_value : t -> int -> int -> int
+(** [for_exception_value t a tid] resolves an escape marker through the
+    traced exception list. *)
+
 val storage_bytes : t -> int
 (** Bytes occupied by the relation's partitions, dictionaries and sparse
     pair lists — the storage-footprint metric of the compression and
@@ -116,7 +169,15 @@ val attr_offset : t -> int -> int
 (** Byte offset of the attribute inside its partition's tuple. *)
 
 val repartition : t -> Layout.t -> t
-(** Copy into a new layout (untraced — layout changes are setup work). *)
+(** Copy into a new layout (untraced — layout changes are setup work).
+    Sparse/RLE attributes that are no longer alone in their partition fall
+    back to plain storage deterministically. *)
+
+val recompress : t -> ?layout:Layout.t -> (int * Encoding.t) list -> t
+(** Copy into new per-attribute encodings (and optionally a new layout) —
+    untraced, like {!repartition}.  Encodings incompatible with the target
+    layout (a Sparse/RLE attribute not alone in its partition) fall back to
+    plain deterministically. *)
 
 val load :
   t -> n:int -> (row:int -> Value.t array) -> unit

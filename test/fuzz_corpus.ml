@@ -41,6 +41,9 @@ let regression_seeds =
     58 (* two-table episode with a join and an update *);
     123 (* zipf-skewed group-by with NULL-heavy aggregate input *);
     1000 (* first seed of the wide overnight hunt *);
+    442 (* anchors the compressed-layout axis: the advisor picks non-plain
+           schemes for this seed's generated data, so replay exercises
+           direct execution on compressed partitions in every engine *);
   ]
 
 let test_seed_replays () =
@@ -105,6 +108,98 @@ let boundary_case =
 let test_boundary_case () =
   check_ok "pinned boundary case" (Harness.replay_case boundary_case)
 
+(* ------------------------------------------------------------------ *)
+(* Pinned compressed case                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-written case whose data is compression-friendly by construction:
+   c0 is sorted with long runs (RLE), c1 clusters in a narrow window
+   (frame of reference).  The [Comp] layout mode therefore runs every
+   engine directly on compressed partitions — run-granular selection,
+   range-pruned FOR scans, and run-granular grouped aggregation — and the
+   update in the episode exercises writes through the compressed stores. *)
+let compressed_case =
+  let rows =
+    List.init 48 (fun i -> [| V.VInt (i / 8); V.VInt (100_000 + (i mod 9)) |])
+  in
+  {
+    Case.seed = 0;
+    tables =
+      [
+        {
+          Case.tname = "t0";
+          cols =
+            [
+              { Case.cname = "c0"; ty = V.Int; nullable = false };
+              { Case.cname = "c1"; ty = V.Int; nullable = false };
+            ];
+          groups = [ [ 0; 1 ] ];
+          rows;
+        };
+      ];
+    episode =
+      [
+        Case.Query
+          (Plan.Select
+             (Plan.Scan "t0",
+              Expr.Cmp (Expr.Ge, Expr.Col 0, Expr.Const (V.VInt 2))));
+        Case.Query
+          (Plan.Select
+             (Plan.Scan "t0",
+              Expr.Cmp (Expr.Lt, Expr.Col 1, Expr.Const (V.VInt 100_004))));
+        Case.Query
+          (Plan.Group_by
+             {
+               child = Plan.Scan "t0";
+               keys = [ (Expr.Col 0, "k") ];
+               aggs =
+                 [
+                   Relalg.Aggregate.(make Count_star "n");
+                   Relalg.Aggregate.(make Sum ~expr:(Expr.Col 1) "s");
+                 ];
+             });
+        Case.Exec
+          (Plan.Update
+             {
+               table = "t0";
+               pred =
+                 Some (Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Const (V.VInt 3)));
+               assignments = [ (1, Expr.Const (V.VInt 987_654_321)) ];
+             });
+        Case.Query
+          (Plan.Group_by
+             {
+               child = Plan.Scan "t0";
+               keys = [ (Expr.Col 0, "k") ];
+               aggs = [ Relalg.Aggregate.(make Max ~expr:(Expr.Col 1) "m") ];
+             });
+      ];
+    params = [| V.VInt 0; V.VInt 0 |];
+  }
+
+let test_compressed_case () =
+  (* the advisor must actually compress this data, otherwise the pinned
+     case stops covering the compressed axis *)
+  let tab = List.hd compressed_case.Case.tables in
+  let plan =
+    Storage.Compress.plan_rows
+      (Case.schema_of_table tab)
+      (Array.of_list tab.Case.rows)
+  in
+  Alcotest.(check bool) "advisor compresses the pinned data" true (plan <> []);
+  check_ok "pinned compressed case" (Harness.replay_case compressed_case)
+
+let compressed_per_engine engine () =
+  let oracle = Fuzz.Driver.oracle_results compressed_case in
+  let out =
+    Fuzz.Driver.run_combo ~engine ~mode:Case.Comp ~fastpath:true
+      compressed_case ~oracle
+  in
+  match out.Fuzz.Driver.divergences with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "compressed case diverged: %a" Fuzz.Driver.pp_divergence d
+
 (* The new-corpus-on-shared-runner entry: the pinned case, one Alcotest case
    per engine via [Helpers.across_engines], each engine checked directly
    against the oracle on NSM with the fast path on. *)
@@ -151,6 +246,8 @@ let suite =
   Alcotest.test_case "regression seeds replay clean" `Slow test_seed_replays
   :: Alcotest.test_case "fresh seed sweep" `Slow test_fresh_sweep
   :: Alcotest.test_case "pinned boundary case" `Quick test_boundary_case
+  :: Alcotest.test_case "pinned compressed case" `Quick test_compressed_case
   :: Alcotest.test_case "Lt->Le mutation caught and shrunk" `Quick
        test_mutation_caught
   :: Helpers.across_engines "boundary case vs oracle" boundary_per_engine
+  @ Helpers.across_engines "compressed case vs oracle" compressed_per_engine

@@ -1,0 +1,427 @@
+(* Tests for the compression subsystem added on top of the original
+   dictionary/sparse encodings: run-length encoding, frame-of-reference with
+   narrow codes, the advisor that chooses schemes from column statistics,
+   direct execution on compressed partitions, and the optimizer's joint
+   layout x compression search. *)
+
+module V = Storage.Value
+module Encoding = Storage.Encoding
+module Relation = Storage.Relation
+module Compress = Storage.Compress
+module Engine = Engines.Engine
+
+(* A table whose four data columns are each tailor-made for one scheme:
+   [grp] is sorted with long runs (RLE), [tag] is a low-cardinality string
+   (dictionary), [base] clusters around 100_000 (frame of reference), and
+   [note] is mostly NULL (sparse). *)
+let schema =
+  Storage.Schema.make_nullable "cmp"
+    [
+      ("id", V.Int, false);
+      ("grp", V.Int, false);
+      ("tag", V.Varchar 12, false);
+      ("base", V.Int, false);
+      ("note", V.Varchar 8, true);
+    ]
+
+let row_of i =
+  [|
+    V.VInt i;
+    V.VInt (i / 50);
+    V.VStr (Printf.sprintf "t%02d" (i mod 7));
+    V.VInt (100_000 + (i mod 90));
+    (if i mod 20 = 0 then V.VStr (Printf.sprintf "n%d" (i mod 5)) else V.Null);
+  |]
+
+let build ?(layout = Storage.Layout.column schema) ~encodings n =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Storage.Catalog.create ~hier () in
+  let layout = Compress.singleton_layout schema layout encodings in
+  let rel = Storage.Catalog.add ~encodings cat schema layout in
+  Relation.load rel ~n (fun ~row -> row_of row);
+  (cat, rel)
+
+let all_schemes = [ (1, Encoding.Rle); (2, Encoding.Dict); (3, Encoding.For_bp 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Advisor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_advisor_chooses_schemes () =
+  let rows = Array.init 400 row_of in
+  let plan = Compress.plan_rows schema rows in
+  let enc a = List.assoc_opt a plan in
+  Alcotest.(check bool) "grp gets RLE" true (enc 1 = Some Encoding.Rle);
+  Alcotest.(check bool) "tag gets a dictionary" true (enc 2 = Some Encoding.Dict);
+  (match enc 3 with
+  | Some (Encoding.For_bp w) ->
+      Alcotest.(check bool) "narrow FOR code" true (w <= 2)
+  | e ->
+      Alcotest.failf "base not frame-of-reference encoded (%s)"
+        (match e with
+        | None -> "plain"
+        | Some e -> Format.asprintf "%a" Encoding.pp e));
+  Alcotest.(check bool) "note goes sparse" true (enc 4 = Some Encoding.Sparse);
+  (* dense unique ints still fit a narrow frame-of-reference window *)
+  Alcotest.(check bool) "id gets FOR, never RLE" true
+    (match enc 0 with
+    | Some (Encoding.For_bp _) | None -> true
+    | _ -> false)
+
+let test_advisor_deterministic () =
+  let rows = Array.init 300 row_of in
+  Alcotest.(check bool) "same plan twice" true
+    (Compress.plan_rows schema rows = Compress.plan_rows schema rows)
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_roundtrip label rel n =
+  for row = 0 to n - 1 do
+    Alcotest.(check Helpers.row_testable)
+      (Printf.sprintf "%s tuple %d" label row)
+      (row_of row) (Relation.get_tuple rel row)
+  done
+
+let test_rle_roundtrip () =
+  let _, rel = build ~encodings:[ (1, Encoding.Rle) ] 230 in
+  check_roundtrip "rle" rel 230;
+  match Relation.rle_info rel 1 with
+  | Some (runs, _) -> Alcotest.(check int) "5 runs" 5 runs
+  | None -> Alcotest.fail "no run list"
+
+let test_for_roundtrip () =
+  let _, rel = build ~encodings:[ (3, Encoding.For_bp 1) ] 210 in
+  check_roundtrip "for" rel 210;
+  match Relation.for_bounds rel 3 with
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "bounds cover data" true
+        (lo <= 100_000 && hi >= 100_089)
+  | None -> Alcotest.fail "no FOR bounds"
+
+let test_for_exceptions_roundtrip () =
+  (* values outside the zigzag window of a 1-byte code must escape to the
+     exception list and still read back exactly, including extremes *)
+  let schema = Storage.Schema.make "esc" [ ("v", V.Int) ] in
+  let spikes =
+    [| 1000; 1001; max_int; 999; min_int; 1002; 1003; -5000; 1004; 0 |]
+  in
+  let cat = Storage.Catalog.create () in
+  let rel =
+    Storage.Catalog.add ~encodings:[ (0, Encoding.For_bp 1) ] cat schema
+      (Storage.Layout.column schema)
+  in
+  Relation.load rel ~n:(Array.length spikes) (fun ~row -> [| V.VInt spikes.(row) |]);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check Helpers.value_testable)
+        (Printf.sprintf "spike %d" i)
+        (V.VInt v) (Relation.get rel i 0))
+    spikes;
+  match Relation.for_info rel 0 with
+  | Some (exc, _) -> Alcotest.(check bool) "has exceptions" true (exc >= 3)
+  | None -> Alcotest.fail "no FOR store"
+
+let test_updates_roundtrip () =
+  let _, rel = build ~encodings:all_schemes 120 in
+  (* overwrite values on every compressed column, including a FOR exception *)
+  Relation.set rel 7 1 (V.VInt 999);
+  Relation.set rel 8 2 (V.VStr "fresh");
+  Relation.set rel 9 3 (V.VInt max_int);
+  Relation.set rel 10 4 (V.VStr "now");
+  Alcotest.(check Helpers.value_testable) "rle set" (V.VInt 999)
+    (Relation.get rel 7 1);
+  Alcotest.(check Helpers.value_testable) "dict set" (V.VStr "fresh")
+    (Relation.get rel 8 2);
+  Alcotest.(check Helpers.value_testable) "for escape set" (V.VInt max_int)
+    (Relation.get rel 9 3);
+  Alcotest.(check Helpers.value_testable) "sparse set" (V.VStr "now")
+    (Relation.get rel 10 4);
+  (* neighbours are untouched *)
+  Alcotest.(check Helpers.row_testable) "row 11 intact" (row_of 11)
+    (Relation.get_tuple rel 11)
+
+let test_append_roundtrip () =
+  let _, rel = build ~encodings:all_schemes 60 in
+  for i = 60 to 99 do
+    ignore (Relation.append rel (row_of i))
+  done;
+  check_roundtrip "appended" rel 100
+
+(* QCheck: random int columns survive a recompress round-trip under every
+   int scheme, covering NULL-heavy, constant, and overflow-adjacent data. *)
+let qcheck_roundtrips =
+  let open QCheck in
+  let value_gen =
+    Gen.frequency
+      [
+        (4, Gen.map (fun i -> Some i) Gen.small_signed_int);
+        (2, Gen.return (Some 42));
+        (2, Gen.return None);
+        (1, Gen.oneofl [ Some max_int; Some min_int; Some 0 ]);
+      ]
+  in
+  let arb =
+    make
+      ~print:(fun l ->
+        String.concat ";"
+          (List.map (function Some i -> string_of_int i | None -> "_") l))
+      (Gen.list_size (Gen.int_range 1 80) value_gen)
+  in
+  QCheck.Test.make ~count:60 ~name:"random columns survive every scheme" arb
+    (fun vals ->
+      let schema = Storage.Schema.make_nullable "q" [ ("v", V.Int, true) ] in
+      let boxed =
+        Array.of_list
+          (List.map (function Some i -> V.VInt i | None -> V.Null) vals)
+      in
+      let n = Array.length boxed in
+      List.for_all
+        (fun enc ->
+          let cat = Storage.Catalog.create () in
+          let rel =
+            Storage.Catalog.add ~encodings:[ (0, enc) ] cat schema
+              (Storage.Layout.column schema)
+          in
+          Relation.load rel ~n (fun ~row -> [| boxed.(row) |]);
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if Relation.get rel i 0 <> boxed.(i) then ok := false
+          done;
+          !ok)
+        [ Encoding.Rle; Encoding.Sparse; Encoding.For_bp 1; Encoding.For_bp 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Direct execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let queries =
+  [
+    (* RLE pushdown: run-granular range scan *)
+    "select id from cmp where grp >= 2 and grp < 4";
+    (* dictionary pushdown: bitmap over distinct values *)
+    "select count(*) c from cmp where tag = 't03'";
+    (* FOR pushdown: range pruning plus decode *)
+    "select count(*) c from cmp where base < 100010";
+    "select sum(base) s from cmp where base >= 100085";
+    (* run-granular grouped aggregation *)
+    "select grp, count(*) c, sum(base) s from cmp group by grp";
+    (* sparse + compressed mix under a join-free pipeline *)
+    "select id, note from cmp where note is not null";
+    (* predicate with no survivors: prune verdict `None *)
+    "select count(*) c from cmp where base > 200000";
+  ]
+
+let test_engines_match_plain () =
+  let cat_plain, _ = build ~encodings:[] 500 in
+  let encodings = all_schemes @ [ (4, Encoding.Sparse) ] in
+  let cat_comp, _ = build ~encodings 500 in
+  List.iter
+    (fun sql ->
+      let reference =
+        Helpers.sorted_rows (Helpers.run_sql ~engine:Engine.Jit cat_plain sql)
+      in
+      List.iter
+        (fun engine ->
+          Helpers.check_rows
+            (Printf.sprintf "%s: %s" (Engine.name engine) sql)
+            reference
+            (Helpers.sorted_rows (Helpers.run_sql ~engine cat_comp sql)))
+        Engine.all)
+    queries
+
+let test_fastpath_counter_identity () =
+  (* the compressed execution paths must trace the identical access stream
+     under the optimized and the reference per-word tracer *)
+  let run fastpath sql =
+    let cat, _ = build ~encodings:all_schemes 400 in
+    let hier = Option.get (Storage.Catalog.hier cat) in
+    Memsim.Hierarchy.set_fastpath hier fastpath;
+    Memsim.Hierarchy.reset hier;
+    ignore (Helpers.run_sql ~engine:Engine.Jit cat sql);
+    Memsim.Hierarchy.stats hier
+  in
+  List.iter
+    (fun sql ->
+      let fast = run true sql and slow = run false sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "counters identical: %s" sql)
+        true (fast = slow))
+    [
+      "select id from cmp where grp = 3";
+      "select grp, sum(base) s from cmp group by grp";
+      "select count(*) c from cmp where base < 100020";
+    ]
+
+let test_compressed_scan_cheaper () =
+  (* acceptance: on the RLE/FOR-friendly table both simulated cycles and L2
+     misses drop against plain storage *)
+  let measure engine encodings sql =
+    let cat, _ = build ~encodings 20_000 in
+    let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+    let _, st = Engine.run_measured engine cat plan ~params:[||] in
+    st
+  in
+  List.iter
+    (fun (engine, sql) ->
+      let plain = measure engine [] sql in
+      let comp = measure engine all_schemes sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "fewer cycles: %s" sql)
+        true
+        (Memsim.Stats.total_cycles comp < Memsim.Stats.total_cycles plain);
+      Alcotest.(check bool)
+        (Printf.sprintf "fewer L2 misses: %s" sql)
+        true
+        (comp.Memsim.Stats.l2_misses < plain.Memsim.Stats.l2_misses))
+    [
+      (* run-granular grouped aggregation is the bulk engine's path *)
+      (Engine.Bulk, "select grp, count(*) c from cmp group by grp");
+      (Engine.Jit, "select count(*) c from cmp where grp = 100");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost model and optimizer                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_predicts_compression_benefit () =
+  let est encodings =
+    let cat, _ = build ~encodings 5_000 in
+    let plan =
+      Relalg.Planner.plan cat
+        (Relalg.Sql.parse cat "select grp, count(*) c from cmp group by grp")
+    in
+    Costmodel.Model.query_cost cat plan
+  in
+  Alcotest.(check bool) "model predicts RLE benefit" true
+    (est [ (1, Encoding.Rle) ] < est [])
+
+let test_hint_costing_matches_live_encoding () =
+  (* costing a plain table under encoding hints must agree with costing the
+     actually-encoded table (same stats, same atoms) *)
+  let cat_plain, rel = build ~encodings:[ (1, Encoding.Rle) ] 2_000 in
+  ignore rel;
+  let sql = "select grp, count(*) c from cmp group by grp" in
+  let plan = Relalg.Planner.plan cat_plain (Relalg.Sql.parse cat_plain sql) in
+  let live = Costmodel.Model.query_cost cat_plain plan in
+  let cat0, rel0 = build ~encodings:[] 2_000 in
+  let st = (Compress.analyze rel0).(1) in
+  let hint =
+    {
+      Costmodel.Emit.enc = Encoding.Rle;
+      distinct = st.Compress.distinct;
+      runs = st.Compress.runs;
+      filled = st.Compress.non_null;
+      exceptions = 0;
+    }
+  in
+  let plan0 = Relalg.Planner.plan cat0 (Relalg.Sql.parse cat0 sql) in
+  let hinted =
+    Costmodel.Model.query_cost ~encodings:[ ("cmp", [ (1, hint) ]) ] cat0 plan0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hinted %.3g within 1%% of live %.3g" hinted live)
+    true
+    (abs_float (hinted -. live) /. live < 0.01)
+
+let test_optimizer_picks_compression () =
+  let cat, _ = build ~encodings:[] 4_000 in
+  let wl =
+    List.map
+      (fun sql -> (Relalg.Planner.plan cat (Relalg.Sql.parse cat sql), 1.0))
+      [
+        "select grp, count(*) c from cmp group by grp";
+        "select count(*) c from cmp where tag = 't03'";
+        "select sum(base) s from cmp where grp = 10";
+      ]
+  in
+  let r = Layoutopt.Optimizer.optimize_table ~compress:true cat "cmp" wl in
+  Alcotest.(check bool) "selects at least one encoding" true
+    (r.Layoutopt.Optimizer.encodings <> []);
+  Alcotest.(check bool) "compressed design is the cheaper one" true
+    (r.Layoutopt.Optimizer.estimated_cost
+    <= r.Layoutopt.Optimizer.row_cost +. 1e-6);
+  (* applying the result must preserve the data and install the encodings *)
+  Layoutopt.Optimizer.apply cat [ r ];
+  let rel = Storage.Catalog.find cat "cmp" in
+  Alcotest.(check bool) "encodings installed" true
+    (Relation.encodings rel <> []);
+  Alcotest.(check Helpers.row_testable) "data intact" (row_of 123)
+    (Relation.get_tuple rel 123)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_account_compression () =
+  let cat, _ = build ~encodings:[] 1_000 in
+  let before_bytes =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter "mrdb_compress_rle_bytes_before_total")
+  in
+  let after_bytes =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter "mrdb_compress_rle_bytes_after_total")
+  in
+  Compress.apply cat "cmp" [ (1, Encoding.Rle) ];
+  let d_before =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter "mrdb_compress_rle_bytes_before_total")
+    - before_bytes
+  and d_after =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter "mrdb_compress_rle_bytes_after_total")
+    - after_bytes
+  in
+  Alcotest.(check bool) "bytes accounted" true (d_before > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "rle shrinks bytes (%d -> %d)" d_before d_after)
+    true
+    (d_after < d_before);
+  let ratio =
+    Obs.Metrics.gauge_value (Obs.Metrics.gauge "mrdb_compress_ratio_cmp")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio gauge below 1 (%.3f)" ratio)
+    true
+    (ratio > 0. && ratio < 1.)
+
+let test_decode_counter_ticks () =
+  let cat, rel = build ~encodings:[ (3, Encoding.For_bp 1) ] 100 in
+  ignore cat;
+  let decodes () =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter "mrdb_compress_decodes_total")
+  in
+  let before = decodes () in
+  ignore (Relation.get rel 5 3);
+  Alcotest.(check bool) "decode counted" true (decodes () > before)
+
+let suite =
+  [
+    Alcotest.test_case "advisor chooses schemes" `Quick
+      test_advisor_chooses_schemes;
+    Alcotest.test_case "advisor deterministic" `Quick test_advisor_deterministic;
+    Alcotest.test_case "rle roundtrip" `Quick test_rle_roundtrip;
+    Alcotest.test_case "for roundtrip" `Quick test_for_roundtrip;
+    Alcotest.test_case "for exceptions roundtrip" `Quick
+      test_for_exceptions_roundtrip;
+    Alcotest.test_case "updates roundtrip" `Quick test_updates_roundtrip;
+    Alcotest.test_case "append roundtrip" `Quick test_append_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_roundtrips;
+    Alcotest.test_case "engines match plain" `Quick test_engines_match_plain;
+    Alcotest.test_case "fastpath counter identity" `Quick
+      test_fastpath_counter_identity;
+    Alcotest.test_case "compressed scan cheaper" `Slow
+      test_compressed_scan_cheaper;
+    Alcotest.test_case "model predicts benefit" `Quick
+      test_model_predicts_compression_benefit;
+    Alcotest.test_case "hinted cost matches live" `Quick
+      test_hint_costing_matches_live_encoding;
+    Alcotest.test_case "optimizer picks compression" `Quick
+      test_optimizer_picks_compression;
+    Alcotest.test_case "metrics account compression" `Quick
+      test_metrics_account_compression;
+    Alcotest.test_case "decode counter ticks" `Quick test_decode_counter_ticks;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("storage", Test_storage.suite);
       ("indexes", Test_indexes.suite);
       ("encodings", Test_encodings.suite);
+      ("compress", Test_compress.suite);
       ("csv", Test_csv.suite);
       ("relalg", Test_relalg.suite);
       ("sampling", Test_sampling.suite);
