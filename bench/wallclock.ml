@@ -1,7 +1,17 @@
-(* Real wall-clock validation with Bechamel: the CPU-efficiency ordering of
-   the processing models must also hold for actual OCaml execution (no
-   simulator attached).  One Test.make per engine on the example query, plus
-   one per benchmark table family. *)
+(* Real wall-clock validation, no simulator attached.
+
+   Two parts.  First the historical Bechamel comparison: the
+   CPU-efficiency ordering of the processing models must also hold for
+   actual OCaml execution, plus the layout sensitivity of the JiT engine.
+
+   Second, the raw-speed sweep this PR's scaling work is gated on: a
+   hand-timed best-of-N grid over (engine x domains x morsel size), one
+   trajectory point per cell, plus the autotuned cell and the compiled
+   engine.  On a multi-core host the 2-domain best cell should beat
+   serial; on a single-CPU container (CI) the physical ceiling is parity,
+   so the gate asserts the parallel path costs at most ~10% over serial
+   (MRDB_WALLCLOCK_ASSERT overrides the threshold; unset skips the hard
+   assert and only the gates file judges the trajectory). *)
 
 open Bechamel
 open Toolkit
@@ -21,7 +31,12 @@ let engine_tests () =
         ~name:(Printf.sprintf "example-query/%s" (Engines.Engine.name engine))
         (Staged.stage (fun () ->
              ignore (Engines.Engine.run engine cat plan ~params))))
-    [ Engines.Engine.Volcano; Engines.Engine.Bulk; Engines.Engine.Jit ]
+    [
+      Engines.Engine.Volcano;
+      Engines.Engine.Bulk;
+      Engines.Engine.Jit;
+      Engines.Engine.Compiled;
+    ]
 
 let layout_tests () =
   let cat = make_catalog () in
@@ -84,6 +99,136 @@ let metric_of_test_name name =
   in
   String.map (function '/' -> '.' | c -> c) name
 
+(* ------------------------------------------------------------------ *)
+(* Multicore scaling sweep                                             *)
+(* ------------------------------------------------------------------ *)
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let nproc () =
+  let ic = Unix.open_process_in "nproc 2>/dev/null" in
+  let n =
+    try int_of_string (String.trim (input_line ic)) with _ -> 1
+  in
+  ignore (Unix.close_process_in ic);
+  n
+
+let sweep_points () =
+  let rows = int_of_float (Common.scale_env "MRDB_WALLCLOCK_ROWS" 2e6) in
+  let reps =
+    int_of_float (Common.scale_env "MRDB_WALLCLOCK_REPS" 5.0)
+  in
+  let cat = Workloads.Microbench.build ~n:rows () in
+  let plan = Workloads.Microbench.plan cat ~sel:0.5 in
+  let params = Workloads.Microbench.params ~sel:0.5 in
+  let cores = nproc () in
+  Common.note "scaling sweep: %d rows, best of %d, %d CPU(s) available"
+    rows reps cores;
+  let points = ref [] in
+  let add metric ?unit_ v =
+    points := Common.pt ~bench:"wallclock" ~metric ?unit_ v :: !points
+  in
+  let engines =
+    [ (Engines.Engine.Jit, "jit"); (Engines.Engine.Compiled, "compiled") ]
+  in
+  let serial_of = Hashtbl.create 4 in
+  List.iter
+    (fun (engine, ename) ->
+      let serial =
+        best_of reps (fun () -> Engines.Engine.run engine cat plan ~params)
+      in
+      Hashtbl.add serial_of ename serial;
+      Common.note "%-9s serial         %8.4f s" ename serial;
+      add (Printf.sprintf "%s.d1.seconds" ename) ~unit_:"s" serial;
+      List.iter
+        (fun domains ->
+          let best_speedup = ref 0.0 in
+          List.iter
+            (fun morsel_size ->
+              let t =
+                best_of reps (fun () ->
+                    Engines.Engine.run ~domains ~morsel_size engine cat plan
+                      ~params)
+              in
+              let speedup = serial /. t in
+              if speedup > !best_speedup then best_speedup := speedup;
+              Common.note "%-9s d%d m%-8d     %8.4f s  %5.2fx" ename domains
+                morsel_size t speedup;
+              add
+                (Printf.sprintf "%s.d%d.m%d.seconds" ename domains
+                   morsel_size)
+                ~unit_:"s" t;
+              add
+                (Printf.sprintf "%s.d%d.m%d.speedup" ename domains
+                   morsel_size)
+                speedup)
+            [ 4096; 65536; 262144 ];
+          (* the autotuned cell: morsel size picked from a measured probe *)
+          let t =
+            best_of reps (fun () ->
+                Engines.Engine.run ~domains ~autotune:true engine cat plan
+                  ~params)
+          in
+          let speedup = serial /. t in
+          if speedup > !best_speedup then best_speedup := speedup;
+          let chosen =
+            int_of_float
+              (Obs.Metrics.gauge_value
+                 (Obs.Metrics.gauge "parallel_morsel_size"))
+          in
+          Common.note "%-9s d%d autotune(%d) %8.4f s  %5.2fx" ename domains
+            chosen t speedup;
+          add (Printf.sprintf "%s.d%d.auto.seconds" ename domains) ~unit_:"s"
+            t;
+          add (Printf.sprintf "%s.d%d.auto.speedup" ename domains) speedup;
+          add
+            (Printf.sprintf "%s.d%d.best.speedup" ename domains)
+            !best_speedup)
+        [ 2; 4 ])
+    engines;
+  (* compiled vs interpreted: the raw-speed payoff of native pipelines *)
+  (match
+     ( Hashtbl.find_opt serial_of "jit",
+       Hashtbl.find_opt serial_of "compiled" )
+   with
+  | Some j, Some c when c > 0.0 ->
+      Common.note "compiled vs jit serial: %.2fx" (j /. c);
+      add "compiled.vs_jit.speedup" (j /. c)
+  | _ -> ());
+  (* CI hard assertion: the parallel path must not fall off a cliff.  On a
+     single CPU a true speedup is impossible, so the default floor checks
+     near-parity rather than scaling. *)
+  (match Sys.getenv_opt "MRDB_WALLCLOCK_ASSERT" with
+  | None | Some "" -> ()
+  | Some floor_s ->
+      let floor = float_of_string floor_s in
+      let best2 =
+        List.fold_left
+          (fun acc p ->
+            if p.Obs.Trajectory.metric = "jit.d2.best.speedup" then
+              p.Obs.Trajectory.value
+            else acc)
+          0.0 !points
+      in
+      if best2 < floor then begin
+        Printf.eprintf
+          "wallclock: FAIL 2-domain best speedup %.3fx < floor %sx\n" best2
+          floor_s;
+        exit 1
+      end
+      else
+        Common.note "assert ok: 2-domain best speedup %.3fx >= %sx" best2
+          floor_s);
+  List.rev !points
+
 let run () =
   Common.header "Wall-clock (Bechamel) — real execution, no simulator";
   let tests = engine_tests () @ layout_tests () in
@@ -93,10 +238,13 @@ let run () =
      execution — per-tuple closure indirection is a genuine overhead, not \
      only a simulated one.  (The HYRISE engine is omitted here: it differs \
      from bulk only in the CPU cycles charged to the simulator.)";
+  Common.header "Wall-clock scaling — domains x morsel size";
+  let sweep = sweep_points () in
   Common.write_bench "BENCH_wallclock.json"
     (List.map
        (fun (name, est) ->
          Common.pt ~bench:"wallclock"
            ~metric:(metric_of_test_name name ^ ".ns_per_run")
            ~unit_:"ns" est)
-       estimates)
+       estimates
+    @ sweep)

@@ -41,11 +41,16 @@ let scale_arg =
 
 let engine_arg =
   let engines =
-    List.map (fun e -> (Engines.Engine.name e, e)) Engines.Engine.all
+    List.map
+      (fun e -> (Engines.Engine.name e, e))
+      Engines.Engine.all_with_compiled
   in
   Arg.(value & opt (enum engines) Engines.Engine.Jit
        & info [ "e"; "engine" ] ~docv:"ENGINE"
-           ~doc:"Execution engine (volcano, bulk, vectorized, hyrise, jit).")
+           ~doc:"Execution engine (volcano, bulk, vectorized, hyrise, jit, \
+                 compiled).  'compiled' emits C, builds it with the system \
+                 cc and runs native code; plans outside its subset fall \
+                 back to jit.")
 
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"SQL text.")
@@ -77,6 +82,14 @@ let domains_arg =
            ~doc:"Worker domains for morsel-parallel execution (1 = \
                  sequential).  Parallelizable plans report merged per-domain \
                  stats: summed misses, slowest-domain cycles.")
+
+let autotune_flag =
+  Arg.(value & flag
+       & info [ "autotune" ]
+           ~doc:"Pick the morsel size from a measured probe of the prepared \
+                 pipeline (see the parallel_morsel_size metric).  Implies \
+                 untraced wall-clock execution: the run reports elapsed \
+                 time instead of simulated cycles.")
 
 let sample_flag =
   Arg.(value & flag
@@ -171,25 +184,41 @@ let export_metrics = function
       else Obs.Json.write_file path (Obs.Metrics.to_json ())
 
 let run_cmd =
-  let run db scale engine domains sql params sample wal snapshot recover
-      metrics =
+  let run db scale engine domains autotune sql params sample wal snapshot
+      recover metrics =
     (with_catalog db scale ~wal ~snapshot ~recover @@ fun cat _hier ->
      let plan = plan_of ~sample cat sql (parse_params params) in
-     let result, st =
-       Engines.Engine.run_measured ~domains engine cat plan
-         ~params:(parse_params params)
-     in
-     Format.printf "%a" Engines.Runtime.pp_result result;
-     Printf.printf "-- %d rows\n" (List.length result.Engines.Runtime.rows);
-     print_stats st);
+     if autotune then begin
+       let t0 = Unix.gettimeofday () in
+       let result =
+         Engines.Engine.run ~domains ~autotune:true engine cat plan
+           ~params:(parse_params params)
+       in
+       let dt = Unix.gettimeofday () -. t0 in
+       Format.printf "%a" Engines.Runtime.pp_result result;
+       Printf.printf "-- %d rows\n" (List.length result.Engines.Runtime.rows);
+       Printf.printf "-- %.6fs wall (untraced; morsel size %d)\n" dt
+         (int_of_float
+            (Obs.Metrics.gauge_value
+               (Obs.Metrics.gauge "parallel_morsel_size")))
+     end
+     else begin
+       let result, st =
+         Engines.Engine.run_measured ~domains engine cat plan
+           ~params:(parse_params params)
+       in
+       Format.printf "%a" Engines.Runtime.pp_result result;
+       Printf.printf "-- %d rows\n" (List.length result.Engines.Runtime.rows);
+       print_stats st
+     end);
     export_metrics metrics
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a SQL statement and report simulated cycles.")
     Term.(
-      const run $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
-      $ param_arg $ sample_flag $ wal_arg $ snapshot_arg $ recover_flag
-      $ metrics_arg)
+      const run $ db_arg $ scale_arg $ engine_arg $ domains_arg
+      $ autotune_flag $ sql_arg $ param_arg $ sample_flag $ wal_arg
+      $ snapshot_arg $ recover_flag $ metrics_arg)
 
 let checkpoint_cmd =
   let checkpoint wal snapshot =

@@ -341,3 +341,792 @@ let emit cat plan =
   ctx.indent <- 0;
   line ctx "}";
   Buffer.contents ctx.buf
+
+(* ================================================================== *)
+(* Real backend: self-contained C99 translation units                  *)
+(* ================================================================== *)
+
+(* The pretty-printer above documents the closure compiler; from here down
+   is the executable backend behind {!Compiled}: a restricted plan subset
+   (single-table full-scan pipelines of select/project/group-by/limit over
+   plain-encoded Int/Float/Bool/Date columns) is emitted as one
+   self-contained C99 translation unit whose [mrdb_query] entry point
+   reproduces the OCaml engines' value semantics exactly — 63-bit wrapping
+   integer arithmetic, total-order float comparison, SQL null propagation,
+   structural group-key equality and insertion-order group emission. *)
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type unit_info = {
+  source : string;
+  table : string;
+  n_parts : int;
+  out_arity : int;
+}
+
+(* Static expression types.  [CNull] is the type of expressions that are
+   always null; [CStr] values carry no payload in generated code and may
+   only feed null tests (anything else falls back to the interpreter). *)
+type cty = CInt | CFloat | CBool | CDate | CNull | CStr
+
+(* How a column is available in generated code: a C expression for its
+   null flag (an int, 1 = null) and one for its payload. *)
+type cslot = { ty : cty; null_c : string; val_c : string }
+
+let rank_of = function
+  | CNull -> 0
+  | CBool -> 1
+  | CInt -> 2
+  | CFloat -> 3
+  | CDate -> 4
+  | CStr -> 5
+
+(* Output/aggregate tag bytes, shared with the OCaml-side decoder. *)
+let tag_of = function
+  | CNull -> 0
+  | CInt -> 1
+  | CFloat -> 2
+  | CBool -> 3
+  | CDate -> 4
+  | CStr -> unsupported "string in a compiled value position"
+
+type cc_ctx = {
+  ccat : Catalog.t;
+  decls : Buffer.t; (* struct and helper definitions, one set per group-by *)
+  body : Buffer.t; (* statements inside mrdb_query *)
+  mutable cindent : int;
+  mutable ctmp : int;
+  mutable groups : int; (* group-by instances, for unique naming *)
+  mutable frees : string list; (* cleanup statements for the done label *)
+  mutable uses_oom : bool;
+}
+
+let bline ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.body (String.make (2 * ctx.cindent) ' ');
+      Buffer.add_string ctx.body s;
+      Buffer.add_char ctx.body '\n')
+    fmt
+
+let dline ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.decls s;
+      Buffer.add_char ctx.decls '\n')
+    fmt
+
+let ctmp ctx prefix =
+  ctx.ctmp <- ctx.ctmp + 1;
+  Printf.sprintf "%s%d" prefix ctx.ctmp
+
+(* The fixed prelude: value representation and the arithmetic/comparison
+   helpers that pin down OCaml semantics.  Integer add/sub/mul go through
+   unsigned arithmetic then re-truncate to 63 bits ([w63]), exactly the
+   native-int wrap of the interpreter; division guards 0 and -1 divisors
+   the way {!Relalg.Expr.apply_arith} and OCaml [Div]/[Mod] behave; [fcmp]
+   is [Stdlib.compare] on floats (total order, nan below everything,
+   -0. = 0.). *)
+let prelude =
+  {|/* generated by mrdb — compiled query pipeline; do not edit */
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+
+typedef struct { uint8_t tag; int64_t bits; } mv;
+typedef struct { int64_t count; int64_t sum_i; double sum_f; mv best; } agg_st;
+
+static inline int64_t w63(int64_t x) { return (int64_t)((uint64_t)x << 1) >> 1; }
+static inline int64_t iadd(int64_t a, int64_t b) { return w63((int64_t)((uint64_t)a + (uint64_t)b)); }
+static inline int64_t isub(int64_t a, int64_t b) { return w63((int64_t)((uint64_t)a - (uint64_t)b)); }
+static inline int64_t imul(int64_t a, int64_t b) { return w63((int64_t)((uint64_t)a * (uint64_t)b)); }
+static inline int64_t idiv63(int64_t a, int64_t b) {
+  if (b == 0) return 0;
+  if (b == -1) return w63(-a);
+  return a / b;
+}
+static inline int64_t imod63(int64_t a, int64_t b) {
+  if (b == 0 || b == -1) return 0;
+  return a % b;
+}
+static inline int64_t ld64(const unsigned char *p) { int64_t v; memcpy(&v, p, 8); return v; }
+static inline double ldf(const unsigned char *p) { double v; memcpy(&v, p, 8); return v; }
+static inline int64_t dbits(double d) { int64_t v; memcpy(&v, &d, 8); return v; }
+static inline double bitsd(int64_t b) { double v; memcpy(&v, &b, 8); return v; }
+static inline int fcmp(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  if (a == b) return 0;
+  { int na = (a != a), nb = (b != b);
+    if (na && nb) return 0;
+    return na ? -1 : 1; }
+}
+
+/* Group keys reproduce the interpreter's equivalence exactly.  Its hash
+   table buckets by a 63-bit fold of raw value bits (floats by IEEE bit
+   pattern) and resolves within a bucket by OCaml polymorphic compare, a
+   total order where nan = nan and -0. = 0..  Two keys join the same
+   group iff both their 63-bit hashes and their total-order comparison
+   agree — so same-bit nans merge while +0./-0. (equal, different bits)
+   stay separate, exactly like the interpreter. */
+static int64_t kv63(const mv *v) {
+  switch (v->tag) {
+  case 0: return (int64_t)(-1) << 61; /* Null: OCaml min_int / 2 */
+  case 2: return w63(v->bits);        /* float: truncated IEEE bits */
+  default: return v->bits;            /* int/date/bool payloads */
+  }
+}
+
+static uint64_t mv_hash(const mv *key, int nk) {
+  int64_t h = 0;
+  for (int i = 0; i < nk; i++)
+    h = w63((int64_t)((uint64_t)h * 1000003u)) ^ kv63(&key[i]);
+  return (uint64_t)h;
+}
+
+static int mv_eq(const mv *a, const mv *b, int nk) {
+  for (int i = 0; i < nk; i++) {
+    if (a[i].tag != b[i].tag) return 0;
+    if (a[i].tag == 2) {
+      if (fcmp(bitsd(a[i].bits), bitsd(b[i].bits)) != 0) return 0;
+    } else if (a[i].bits != b[i].bits) return 0;
+  }
+  return mv_hash(a, nk) == mv_hash(b, nk);
+}
+
+/* append one row of (tag, payload) fields; returns the new offset.  When
+   the buffer is too small the offset keeps advancing so the caller learns
+   the needed size. */
+static int64_t put_row(unsigned char *out, int64_t cap, int64_t off, const mv *vals, int n) {
+  int64_t need = (int64_t)n * 9;
+  if (off + need <= cap) {
+    unsigned char *p = out + off;
+    for (int i = 0; i < n; i++) {
+      p[0] = vals[i].tag;
+      memcpy(p + 1, &vals[i].bits, 8);
+      p += 9;
+    }
+  }
+  return off + need;
+}
+|}
+
+(* ---------------- expression compilation ---------------- *)
+
+let truthy_c (s : cslot) =
+  match s.ty with
+  | CBool -> Printf.sprintf "(!(%s) && (%s))" s.null_c s.val_c
+  | _ -> "0"
+
+let const_slot (v : Value.t) =
+  match v with
+  | Value.Null -> { ty = CNull; null_c = "1"; val_c = "0" }
+  | Value.VInt x -> { ty = CInt; null_c = "0"; val_c = Printf.sprintf "INT64_C(%d)" x }
+  | Value.VDate d -> { ty = CDate; null_c = "0"; val_c = Printf.sprintf "INT64_C(%d)" d }
+  | Value.VBool b -> { ty = CBool; null_c = "0"; val_c = (if b then "1" else "0") }
+  | Value.VFloat f ->
+      {
+        ty = CFloat;
+        null_c = "0";
+        val_c = Printf.sprintf "bitsd(INT64_C(%Ld))" (Int64.bits_of_float f);
+      }
+  | Value.VStr _ -> { ty = CStr; null_c = "0"; val_c = "0" }
+
+let as_double (s : cslot) =
+  match s.ty with
+  | CFloat -> s.val_c
+  | CInt | CDate -> Printf.sprintf "(double)(%s)" s.val_c
+  | CBool -> Printf.sprintf "((%s) ? 1.0 : 0.0)" s.val_c
+  | CNull | CStr -> unsupported "float conversion of non-numeric"
+
+let as_int63 (s : cslot) =
+  match s.ty with
+  | CInt | CDate -> s.val_c
+  | CBool -> Printf.sprintf "((int64_t)(%s))" s.val_c
+  | CFloat | CNull | CStr -> unsupported "int conversion of non-int"
+
+let cmp_sym = function
+  | Expr.Eq -> "=="
+  | Expr.Ne -> "!="
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+
+let cmp_holds op c =
+  match (op : Expr.cmp) with
+  | Expr.Eq -> c = 0
+  | Expr.Ne -> c <> 0
+  | Expr.Lt -> c < 0
+  | Expr.Le -> c <= 0
+  | Expr.Gt -> c > 0
+  | Expr.Ge -> c >= 0
+
+let rec cexpr ctx (slots : cslot array) (e : Expr.t) : cslot =
+  match e with
+  | Expr.Col i ->
+      if i < 0 || i >= Array.length slots then unsupported "column out of range";
+      slots.(i)
+  | Expr.Const v -> const_slot v
+  | Expr.Param _ -> unsupported "unbound parameter"
+  | Expr.Like _ -> unsupported "like"
+  | Expr.IsNull a ->
+      let s = cexpr ctx slots a in
+      { ty = CBool; null_c = "0"; val_c = Printf.sprintf "(%s)" s.null_c }
+  | Expr.Not a ->
+      let s = cexpr ctx slots a in
+      { ty = CBool; null_c = "0"; val_c = Printf.sprintf "(!%s)" (truthy_c s) }
+  | Expr.And es ->
+      let parts = List.map (fun e -> truthy_c (cexpr ctx slots e)) es in
+      let v = if parts = [] then "1" else String.concat " && " parts in
+      { ty = CBool; null_c = "0"; val_c = Printf.sprintf "(%s)" v }
+  | Expr.Or es ->
+      let parts = List.map (fun e -> truthy_c (cexpr ctx slots e)) es in
+      let v = if parts = [] then "0" else String.concat " || " parts in
+      { ty = CBool; null_c = "0"; val_c = Printf.sprintf "(%s)" v }
+  | Expr.Cmp (op, a, b) ->
+      let sa = cexpr ctx slots a and sb = cexpr ctx slots b in
+      let bind cmp_c =
+        let v = ctmp ctx "c" in
+        bline ctx "int %s = (!(%s) && !(%s) && (%s));" v sa.null_c sb.null_c
+          cmp_c;
+        { ty = CBool; null_c = "0"; val_c = v }
+      in
+      (match (sa.ty, sb.ty) with
+      | CNull, _ | _, CNull ->
+          (* a null operand compares to false, and a CNull expression is
+             always null *)
+          { ty = CBool; null_c = "0"; val_c = "0" }
+      | (CInt, CInt | CDate, CDate | CInt, CDate | CDate, CInt | CBool, CBool)
+        ->
+          bind
+            (Printf.sprintf "(%s) %s (%s)" (as_int63 sa) (cmp_sym op)
+               (as_int63 sb))
+      | CFloat, (CFloat | CInt) | CInt, CFloat ->
+          bind
+            (Printf.sprintf "fcmp(%s, %s) %s 0" (as_double sa) (as_double sb)
+               (cmp_sym op))
+      | CStr, CStr -> unsupported "string comparison"
+      | ta, tb ->
+          (* mixed constructor ranks compare as compile-time constants *)
+          let c = compare (rank_of ta) (rank_of tb) in
+          let const = if cmp_holds op c then "1" else "0" in
+          bind const)
+  | Expr.Arith (op, a, b) ->
+      let sa = cexpr ctx slots a and sb = cexpr ctx slots b in
+      if sa.ty = CNull || sb.ty = CNull then
+        { ty = CNull; null_c = "1"; val_c = "0" }
+      else if sa.ty = CStr || sb.ty = CStr then
+        unsupported "string arithmetic"
+      else begin
+        let n = ctmp ctx "u" in
+        bline ctx "int %s = (%s) || (%s);" n sa.null_c sb.null_c;
+        if sa.ty = CFloat || sb.ty = CFloat then begin
+          let v = ctmp ctx "x" in
+          let fa = as_double sa and fb = as_double sb in
+          let expr =
+            match op with
+            | Expr.Add -> Printf.sprintf "(%s) + (%s)" fa fb
+            | Expr.Sub -> Printf.sprintf "(%s) - (%s)" fa fb
+            | Expr.Mul -> Printf.sprintf "(%s) * (%s)" fa fb
+            | Expr.Div -> Printf.sprintf "(%s) / (%s)" fa fb
+            | Expr.Mod -> Printf.sprintf "fmod(%s, %s)" fa fb
+          in
+          bline ctx "double %s = %s;" v expr;
+          { ty = CFloat; null_c = n; val_c = v }
+        end
+        else begin
+          let v = ctmp ctx "x" in
+          let ia = as_int63 sa and ib = as_int63 sb in
+          let expr =
+            match op with
+            | Expr.Add -> Printf.sprintf "iadd(%s, %s)" ia ib
+            | Expr.Sub -> Printf.sprintf "isub(%s, %s)" ia ib
+            | Expr.Mul -> Printf.sprintf "imul(%s, %s)" ia ib
+            | Expr.Div -> Printf.sprintf "idiv63(%s, %s)" ia ib
+            | Expr.Mod -> Printf.sprintf "imod63(%s, %s)" ia ib
+          in
+          bline ctx "int64_t %s = %s;" v expr;
+          { ty = CInt; null_c = n; val_c = v }
+        end
+      end
+
+(* Pack a slot into an [mv] variable (one statement).  Null payloads are
+   forced to 0 so equal keys are bit-equal. *)
+let pack_mv ctx (s : cslot) dst =
+  let tag = tag_of s.ty in
+  let bits =
+    match s.ty with
+    | CInt | CDate -> s.val_c
+    | CBool -> Printf.sprintf "((%s) ? 1 : 0)" s.val_c
+    | CFloat -> Printf.sprintf "dbits(%s)" s.val_c
+    | CNull -> "0"
+    | CStr -> unsupported "string in a compiled value position"
+  in
+  if s.ty = CNull then
+    bline ctx "%s.tag = 0; %s.bits = 0;" dst dst
+  else begin
+    bline ctx "if (%s) { %s.tag = 0; %s.bits = 0; }" s.null_c dst dst;
+    bline ctx "else { %s.tag = %d; %s.bits = %s; }" dst tag dst bits
+  end
+
+(* A slot reading back from a packed [mv] expression of known static type. *)
+let mv_slot ty mv_c =
+  let null_c = Printf.sprintf "(%s.tag == 0)" mv_c in
+  let val_c =
+    match ty with
+    | CInt | CDate -> Printf.sprintf "%s.bits" mv_c
+    | CFloat -> Printf.sprintf "bitsd(%s.bits)" mv_c
+    | CBool -> Printf.sprintf "(%s.bits != 0)" mv_c
+    | CNull -> "0"
+    | CStr -> unsupported "string in a compiled value position"
+  in
+  { ty; null_c; val_c }
+
+(* ---------------- aggregates ---------------- *)
+
+(* Emit the accumulation statements for aggregate [j] with state
+   [st] (an agg_st lvalue prefix like "ge->st[2]") and input slot [s]. *)
+let emit_agg_step ctx st (a : Aggregate.t) (s : cslot option) =
+  match (a.Aggregate.func, s) with
+  | Aggregate.Count_star, _ -> bline ctx "%s.count++;" st
+  | Aggregate.Count, Some s ->
+      if s.ty = CNull then ()
+      else bline ctx "if (!(%s)) %s.count++;" s.null_c st
+  | (Aggregate.Sum | Aggregate.Avg), Some s -> (
+      match s.ty with
+      | CNull -> ()
+      | CFloat ->
+          bline ctx "if (!(%s)) { %s.count++; %s.sum_f += %s; }" s.null_c st
+            st s.val_c
+      | CInt | CDate | CBool ->
+          bline ctx "if (!(%s)) { %s.count++; %s.sum_i = iadd(%s.sum_i, %s); }"
+            s.null_c st st st (as_int63 s)
+      | CStr -> unsupported "sum over strings")
+  | (Aggregate.Min | Aggregate.Max), Some s -> (
+      let dir = if a.Aggregate.func = Aggregate.Min then "<" else ">" in
+      match s.ty with
+      | CNull -> ()
+      | CFloat ->
+          bline ctx
+            "if (!(%s) && (%s.best.tag == 0 || fcmp(%s, bitsd(%s.best.bits)) \
+             %s 0)) { %s.best.tag = 2; %s.best.bits = dbits(%s); }"
+            s.null_c st s.val_c st dir st st s.val_c
+      | CInt | CDate | CBool ->
+          let tag = tag_of s.ty in
+          let v = as_int63 s in
+          bline ctx
+            "if (!(%s) && (%s.best.tag == 0 || (%s) %s %s.best.bits)) { \
+             %s.best.tag = %d; %s.best.bits = %s; }"
+            s.null_c st v dir st st tag st v
+      | CStr -> unsupported "min/max over strings")
+  | _, None -> unsupported "aggregate without input"
+
+(* Emit finish code: write the finished value of aggregate [a] into mv
+   variable [dst]; returns the static result type for downstream slots. *)
+let emit_agg_finish ctx st (a : Aggregate.t) ~input_ty dst =
+  match a.Aggregate.func with
+  | Aggregate.Count_star | Aggregate.Count ->
+      bline ctx "%s.tag = 1; %s.bits = %s.count;" dst dst st;
+      CInt
+  | Aggregate.Sum ->
+      if input_ty = CFloat then begin
+        bline ctx
+          "if (%s.count == 0) { %s.tag = 0; %s.bits = 0; } else { %s.tag = \
+           2; %s.bits = dbits(%s.sum_f); }"
+          st dst dst dst dst st;
+        CFloat
+      end
+      else begin
+        bline ctx
+          "if (%s.count == 0) { %s.tag = 0; %s.bits = 0; } else { %s.tag = \
+           1; %s.bits = %s.sum_i; }"
+          st dst dst dst dst st;
+        CInt
+      end
+  | Aggregate.Avg ->
+      bline ctx
+        "if (%s.count == 0) { %s.tag = 0; %s.bits = 0; } else { %s.tag = 2; \
+         %s.bits = dbits((%s.sum_f + (double)%s.sum_i) / (double)%s.count); }"
+        st dst dst dst dst st st st;
+      CFloat
+  | Aggregate.Min | Aggregate.Max ->
+      bline ctx "%s = %s.best;" dst st;
+      input_ty
+
+(* ---------------- operators ---------------- *)
+
+let scan_slots ctx rel =
+  let schema = Relation.schema rel in
+  let n = Schema.arity schema in
+  Array.init n (fun a ->
+      let attr = Schema.attr schema a in
+      let p = Relation.part_of_attr rel a in
+      let w = Relation.part_width rel p in
+      let off = Relation.attr_offset rel a in
+      let nullable = attr.Schema.nullable in
+      let field off = Printf.sprintf "parts[%d] + t * %d + %d" p w off in
+      let null_c =
+        if nullable then Printf.sprintf "((%s)[0] == 0)" (field off) else "0"
+      in
+      let data_off = if nullable then off + 1 else off in
+      match attr.Schema.ty with
+      | Value.Int -> { ty = CInt; null_c; val_c = Printf.sprintf "ld64(%s)" (field data_off) }
+      | Value.Date -> { ty = CDate; null_c; val_c = Printf.sprintf "ld64(%s)" (field data_off) }
+      | Value.Float -> { ty = CFloat; null_c; val_c = Printf.sprintf "ldf(%s)" (field data_off) }
+      | Value.Bool ->
+          { ty = CBool; null_c; val_c = Printf.sprintf "((%s)[0] != 0)" (field data_off) }
+      | Value.Varchar _ -> { ty = CStr; null_c; val_c = "0" })
+  |> fun slots -> ignore ctx; slots
+
+let rec cproduce ctx (plan : Physical.t) ~(consume : cslot array -> unit) :
+    unit =
+  match plan with
+  | Physical.Scan { table; access = Physical.Full_scan; post; _ } ->
+      let rel = Catalog.find ctx.ccat table in
+      if Relation.encodings rel <> [] then
+        unsupported "compressed encodings";
+      let slots = scan_slots ctx rel in
+      bline ctx "for (int64_t t = 0; t < nrows; t++) {";
+      ctx.cindent <- ctx.cindent + 1;
+      (match post with
+      | None -> consume slots
+      | Some pred ->
+          let p = cexpr ctx slots pred in
+          bline ctx "if (%s) {" (truthy_c p);
+          ctx.cindent <- ctx.cindent + 1;
+          consume slots;
+          ctx.cindent <- ctx.cindent - 1;
+          bline ctx "}");
+      ctx.cindent <- ctx.cindent - 1;
+      bline ctx "}"
+  | Physical.Scan _ -> unsupported "index access"
+  | Physical.Select { child; pred; _ } ->
+      cproduce ctx child ~consume:(fun slots ->
+          let p = cexpr ctx slots pred in
+          bline ctx "if (%s) {" (truthy_c p);
+          ctx.cindent <- ctx.cindent + 1;
+          consume slots;
+          ctx.cindent <- ctx.cindent - 1;
+          bline ctx "}")
+  | Physical.Project { child; exprs } ->
+      cproduce ctx child ~consume:(fun slots ->
+          let out =
+            List.map (fun (e, _) -> cexpr ctx slots e) exprs |> Array.of_list
+          in
+          consume out)
+  | Physical.Limit { child; n } ->
+      let lim = ctmp ctx "lim" in
+      bline ctx "int64_t %s = 0;" lim;
+      cproduce ctx child ~consume:(fun slots ->
+          bline ctx "if (%s < %d) {" lim n;
+          ctx.cindent <- ctx.cindent + 1;
+          bline ctx "%s++;" lim;
+          consume slots;
+          ctx.cindent <- ctx.cindent - 1;
+          bline ctx "}")
+  | Physical.Group_by { child; keys; aggs; _ } ->
+      cgroup ctx ~child ~keys ~aggs ~consume
+  | Physical.Hash_join _ -> unsupported "hash join"
+  | Physical.Sort _ -> unsupported "sort"
+  | Physical.Insert _ | Physical.Update _ -> unsupported "dml"
+
+and cgroup ctx ~child ~keys ~aggs ~consume =
+  let g = ctx.groups in
+  ctx.groups <- g + 1;
+  let nk = List.length keys in
+  let na = List.length aggs in
+  let key_tys = ref [||] in
+  let agg_tys = ref [||] in
+  if nk = 0 then begin
+    (* global aggregate: a bare state vector, no table; emits exactly one
+       row, matching the interpreter's init-state row on empty input *)
+    bline ctx "agg_st g%d_st[%d];" g (max 1 na);
+    bline ctx
+      "for (int i = 0; i < %d; i++) { g%d_st[i].count = 0; \
+       g%d_st[i].sum_i = 0; g%d_st[i].sum_f = 0.0; g%d_st[i].best.tag = 0; \
+       g%d_st[i].best.bits = 0; }"
+      (max 1 na) g g g g g;
+    cproduce ctx child ~consume:(fun slots ->
+        let tys =
+          List.mapi
+            (fun j (a : Aggregate.t) ->
+              let s =
+                Option.map (fun e -> cexpr ctx slots e) a.Aggregate.expr
+              in
+              emit_agg_step ctx (Printf.sprintf "g%d_st[%d]" g j) a s;
+              match s with Some s -> s.ty | None -> CNull)
+            aggs
+        in
+        agg_tys := Array.of_list tys);
+    (* finish: one row *)
+    bline ctx "{";
+    ctx.cindent <- ctx.cindent + 1;
+    let out =
+      List.mapi
+        (fun j (a : Aggregate.t) ->
+          let dst = Printf.sprintf "g%d_f%d" g j in
+          bline ctx "mv %s;" dst;
+          let ty =
+            emit_agg_finish ctx
+              (Printf.sprintf "g%d_st[%d]" g j)
+              a ~input_ty:(!agg_tys).(j) dst
+          in
+          mv_slot ty dst)
+        aggs
+    in
+    consume (Array.of_list out);
+    ctx.cindent <- ctx.cindent - 1;
+    bline ctx "}"
+  end
+  else begin
+    (* keyed group-by: insertion-ordered entries array plus an
+       open-addressed index, all local to this query invocation so
+       concurrent morsels in different domains cannot interfere *)
+    ctx.uses_oom <- true;
+    dline ctx "typedef struct { mv key[%d]; agg_st st[%d]; } g%d_ent;" nk
+      (max 1 na) g;
+    dline ctx
+      "typedef struct { g%d_ent *ents; int64_t n, cap; int64_t *idx; \
+       int64_t mask; } g%d_tab;"
+      g g;
+    dline ctx "static int g%d_rehash(g%d_tab *tb) {" g g;
+    dline ctx "  int64_t m = tb->mask * 2 + 1;";
+    dline ctx "  int64_t *idx = malloc((size_t)(m + 1) * sizeof *idx);";
+    dline ctx "  if (!idx) return 0;";
+    dline ctx "  for (int64_t i = 0; i <= m; i++) idx[i] = -1;";
+    dline ctx "  for (int64_t e = 0; e < tb->n; e++) {";
+    dline ctx
+      "    uint64_t h = mv_hash(tb->ents[e].key, %d) & (uint64_t)m;" nk;
+    dline ctx "    while (idx[h] >= 0) h = (h + 1) & (uint64_t)m;";
+    dline ctx "    idx[h] = e;";
+    dline ctx "  }";
+    dline ctx "  free(tb->idx); tb->idx = idx; tb->mask = m;";
+    dline ctx "  return 1;";
+    dline ctx "}";
+    dline ctx "static int64_t g%d_find(g%d_tab *tb, const mv *key) {" g g;
+    dline ctx
+      "  if (2 * (tb->n + 1) > tb->mask) { if (!g%d_rehash(tb)) return -1; }"
+      g;
+    dline ctx "  uint64_t h = mv_hash(key, %d) & (uint64_t)tb->mask;" nk;
+    dline ctx "  for (;;) {";
+    dline ctx "    int64_t e = tb->idx[h];";
+    dline ctx "    if (e < 0) break;";
+    dline ctx "    if (mv_eq(tb->ents[e].key, key, %d)) return e;" nk;
+    dline ctx "    h = (h + 1) & (uint64_t)tb->mask;";
+    dline ctx "  }";
+    dline ctx "  if (tb->n == tb->cap) {";
+    dline ctx "    int64_t ncap = tb->cap ? tb->cap * 2 : 64;";
+    dline ctx
+      "    g%d_ent *ne = realloc(tb->ents, (size_t)ncap * sizeof *ne);" g;
+    dline ctx "    if (!ne) return -1;";
+    dline ctx "    tb->ents = ne; tb->cap = ncap;";
+    dline ctx "  }";
+    dline ctx "  g%d_ent *e = &tb->ents[tb->n];" g;
+    dline ctx "  for (int i = 0; i < %d; i++) e->key[i] = key[i];" nk;
+    dline ctx
+      "  for (int j = 0; j < %d; j++) { e->st[j].count = 0; e->st[j].sum_i \
+       = 0; e->st[j].sum_f = 0.0; e->st[j].best.tag = 0; e->st[j].best.bits \
+       = 0; }"
+      (max 1 na);
+    dline ctx "  tb->idx[h] = tb->n;";
+    dline ctx "  return tb->n++;";
+    dline ctx "}";
+    bline ctx
+      "g%d_tab g%d; g%d.n = 0; g%d.cap = 0; g%d.ents = NULL; g%d.mask = \
+       1023;"
+      g g g g g g;
+    bline ctx "g%d.idx = malloc(1024 * sizeof(int64_t));" g;
+    bline ctx "if (!g%d.idx) goto mrdb_oom;" g;
+    bline ctx "for (int64_t i = 0; i < 1024; i++) g%d.idx[i] = -1;" g;
+    ctx.frees <- Printf.sprintf "free(g%d.ents); free(g%d.idx);" g g
+                 :: ctx.frees;
+    cproduce ctx child ~consume:(fun slots ->
+        let ks = List.map (fun (e, _) -> cexpr ctx slots e) keys in
+        key_tys := Array.of_list (List.map (fun s -> s.ty) ks);
+        let karr = Printf.sprintf "g%d_k" g in
+        bline ctx "mv %s[%d];" karr nk;
+        List.iteri
+          (fun i s -> pack_mv ctx s (Printf.sprintf "%s[%d]" karr i))
+          ks;
+        bline ctx "int64_t g%d_e = g%d_find(&g%d, %s);" g g g karr;
+        bline ctx "if (g%d_e < 0) goto mrdb_oom;" g;
+        bline ctx "g%d_ent *g%d_ge = &g%d.ents[g%d_e];" g g g g;
+        let tys =
+          List.mapi
+            (fun j (a : Aggregate.t) ->
+              let s =
+                Option.map (fun e -> cexpr ctx slots e) a.Aggregate.expr
+              in
+              emit_agg_step ctx (Printf.sprintf "g%d_ge->st[%d]" g j) a s;
+              match s with Some s -> s.ty | None -> CNull)
+            aggs
+        in
+        agg_tys := Array.of_list tys);
+    (* emit groups in insertion order *)
+    bline ctx "for (int64_t g%d_i = 0; g%d_i < g%d.n; g%d_i++) {" g g g g;
+    ctx.cindent <- ctx.cindent + 1;
+    bline ctx "g%d_ent *g%d_ge = &g%d.ents[g%d_i];" g g g g;
+    let key_slots =
+      Array.to_list
+        (Array.mapi
+           (fun i ty ->
+             mv_slot ty (Printf.sprintf "g%d_ge->key[%d]" g i))
+           !key_tys)
+    in
+    let agg_slots =
+      List.mapi
+        (fun j (a : Aggregate.t) ->
+          let dst = Printf.sprintf "g%d_f%d" g j in
+          bline ctx "mv %s;" dst;
+          let ty =
+            emit_agg_finish ctx
+              (Printf.sprintf "g%d_ge->st[%d]" g j)
+              a ~input_ty:(!agg_tys).(j) dst
+          in
+          mv_slot ty dst)
+        aggs
+    in
+    consume (Array.of_list (key_slots @ agg_slots));
+    ctx.cindent <- ctx.cindent - 1;
+    bline ctx "}"
+  end
+
+(* ---------------- the translation unit ---------------- *)
+
+(* Substitute bound parameters as constants: the compiled unit is
+   specialized per parameter vector (the cache key hashes the emitted
+   source, so equal parameter vectors share an object). *)
+let rec subst_expr params (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Param n ->
+      if n < 1 || n > Array.length params then
+        unsupported "parameter $%d not bound" n
+      else Expr.Const params.(n - 1)
+  | Expr.Col _ | Expr.Const _ -> e
+  | Expr.Cmp (op, a, b) ->
+      Expr.Cmp (op, subst_expr params a, subst_expr params b)
+  | Expr.Like (a, b) -> Expr.Like (subst_expr params a, subst_expr params b)
+  | Expr.And es -> Expr.And (List.map (subst_expr params) es)
+  | Expr.Or es -> Expr.Or (List.map (subst_expr params) es)
+  | Expr.Not a -> Expr.Not (subst_expr params a)
+  | Expr.IsNull a -> Expr.IsNull (subst_expr params a)
+  | Expr.Arith (op, a, b) ->
+      Expr.Arith (op, subst_expr params a, subst_expr params b)
+
+let rec subst_plan params (plan : Physical.t) : Physical.t =
+  match plan with
+  | Physical.Scan ({ post; _ } as s) ->
+      Physical.Scan
+        { s with post = Option.map (subst_expr params) post }
+  | Physical.Select s ->
+      Physical.Select
+        {
+          s with
+          child = subst_plan params s.child;
+          pred = subst_expr params s.pred;
+        }
+  | Physical.Project { child; exprs } ->
+      Physical.Project
+        {
+          child = subst_plan params child;
+          exprs = List.map (fun (e, n) -> (subst_expr params e, n)) exprs;
+        }
+  | Physical.Group_by gb ->
+      Physical.Group_by
+        {
+          gb with
+          child = subst_plan params gb.child;
+          keys = List.map (fun (e, n) -> (subst_expr params e, n)) gb.keys;
+          aggs =
+            List.map
+              (fun (a : Aggregate.t) ->
+                { a with Aggregate.expr = Option.map (subst_expr params) a.Aggregate.expr })
+              gb.aggs;
+        }
+  | Physical.Limit { child; n } ->
+      Physical.Limit { child = subst_plan params child; n }
+  | Physical.Hash_join _ | Physical.Sort _ | Physical.Insert _
+  | Physical.Update _ ->
+      plan (* rejected in cproduce; no need to substitute *)
+
+let rec driver_table (plan : Physical.t) =
+  match plan with
+  | Physical.Scan { table; _ } -> table
+  | Physical.Select { child; _ }
+  | Physical.Project { child; _ }
+  | Physical.Group_by { child; _ }
+  | Physical.Limit { child; _ } ->
+      driver_table child
+  | Physical.Sort _ | Physical.Hash_join _ | Physical.Insert _
+  | Physical.Update _ ->
+      unsupported "plan shape"
+
+let emit_unit cat (plan : Physical.t) ~params =
+  try
+    let plan = subst_plan params plan in
+    let schema = Physical.schema cat plan in
+    let out_arity = Array.length schema in
+    if out_arity = 0 then unsupported "empty output schema";
+    if out_arity > 4096 then unsupported "output arity";
+    Array.iter
+      (fun (a : Schema.attr) ->
+        match a.Schema.ty with
+        | Value.Varchar _ -> unsupported "varchar output column"
+        | _ -> ())
+      schema;
+    let table = driver_table plan in
+    let rel = Catalog.find cat table in
+    let n_parts = Relation.n_parts rel in
+    if n_parts > 64 then unsupported "too many partitions";
+    let ctx =
+      {
+        ccat = cat;
+        decls = Buffer.create 1024;
+        body = Buffer.create 4096;
+        cindent = 1;
+        ctmp = 0;
+        groups = 0;
+        frees = [];
+        uses_oom = false;
+      }
+    in
+    cproduce ctx plan ~consume:(fun slots ->
+        if Array.length slots <> out_arity then
+          unsupported "arity mismatch in codegen";
+        bline ctx "{";
+        ctx.cindent <- ctx.cindent + 1;
+        bline ctx "mv r[%d];" out_arity;
+        Array.iteri
+          (fun i s -> pack_mv ctx s (Printf.sprintf "r[%d]" i))
+          slots;
+        bline ctx "off = put_row(out, out_cap, off, r, %d);" out_arity;
+        bline ctx "rowcount++;";
+        ctx.cindent <- ctx.cindent - 1;
+        bline ctx "}");
+    let b = Buffer.create 8192 in
+    Buffer.add_string b prelude;
+    Buffer.add_char b '\n';
+    Buffer.add_buffer b ctx.decls;
+    Buffer.add_string b
+      "\nint64_t mrdb_query(const unsigned char *const *parts, int64_t \
+       nrows, unsigned char *out, int64_t out_cap) {\n";
+    Buffer.add_string b "  int64_t off = 8, rowcount = 0, ret = -1;\n";
+    Buffer.add_string b "  (void)parts; (void)nrows;\n";
+    Buffer.add_buffer b ctx.body;
+    Buffer.add_string b "  ret = off;\n";
+    Buffer.add_string b
+      "  if (out_cap >= 8) memcpy(out, &rowcount, 8);\n";
+    if ctx.uses_oom then begin
+      Buffer.add_string b "  goto mrdb_done;\n";
+      Buffer.add_string b "mrdb_oom:\n  ret = -1;\nmrdb_done:\n"
+    end;
+    List.iter
+      (fun f -> Buffer.add_string b ("  " ^ f ^ "\n"))
+      ctx.frees;
+    Buffer.add_string b "  return ret;\n}\n";
+    Ok { source = Buffer.contents b; table; n_parts; out_arity }
+  with Unsupported msg -> Error msg

@@ -5,6 +5,32 @@
     correspond to: one struct per stored partition (PDSM-aware), operators
     fused into loops, values kept in locals until no longer needed.  The
     output is documentation, not compiled — the executable semantics live in
-    {!Jit}. *)
+    {!Jit}.
+
+    {!emit_unit} below is the real backend behind {!Compiled}: it turns a
+    restricted plan subset into a self-contained C99 translation unit whose
+    [mrdb_query] entry point reproduces the interpreted engines' semantics
+    exactly (63-bit wrapping integer arithmetic, total-order float
+    comparison, SQL null propagation, structural group-key equality,
+    insertion-order group emission). *)
 
 val emit : Storage.Catalog.t -> Relalg.Physical.t -> string
+
+type unit_info = {
+  source : string;  (** complete C99 translation unit *)
+  table : string;  (** driver relation scanned by the pipeline *)
+  n_parts : int;  (** partitions of the driver relation at emission time *)
+  out_arity : int;  (** columns per output row *)
+}
+
+val emit_unit :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  (unit_info, string) result
+(** [emit_unit cat plan ~params] compiles [plan] (with parameters
+    substituted as constants) to a C99 translation unit, or returns
+    [Error reason] when the plan uses features outside the compiled subset
+    — joins, sorts, DML, index access, [LIKE], varchar values outside null
+    tests, compressed relation encodings, or unbound parameters.  Callers
+    fall back to an interpreted engine on [Error]. *)

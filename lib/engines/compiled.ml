@@ -1,0 +1,255 @@
+(* Compiled query pipelines: emit a C99 translation unit per plan
+   (C_emitter.emit_unit), build it with the system cc into a shared
+   object, dlopen it and run the [mrdb_query] entry point directly over
+   the relation's partition bytes.
+
+   Objects are cached twice: a process-local table maps source digests to
+   resolved function pointers, and the object files themselves live in a
+   digest-named cache directory so repeated processes skip the cc run.
+   Anything outside the compiled subset — or any emission, compile or
+   load failure — falls back to the interpreted {!Jit} engine, so the
+   engine is always total. *)
+
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Value = Storage.Value
+module Physical = Relalg.Physical
+
+external dlopen_stub : string -> nativeint = "mrdb_dlopen_stub"
+external dlsym_stub : nativeint -> string -> nativeint = "mrdb_dlsym_stub"
+external dlclose_stub : nativeint -> unit = "mrdb_dlclose_stub"
+
+external call_query :
+  nativeint -> Bytes.t array -> int array -> int -> Bytes.t -> int
+  = "mrdb_call_query_stub"
+
+(* ---------------- metrics ---------------- *)
+
+let cache_hits =
+  lazy
+    (Obs.Metrics.counter "mrdb_compiled_cache_hits_total"
+       ~help:"Compiled pipeline runs served from the object cache")
+
+let cache_misses =
+  lazy
+    (Obs.Metrics.counter "mrdb_compiled_cache_misses_total"
+       ~help:"Compiled pipeline runs that invoked the C compiler")
+
+let fallbacks =
+  lazy
+    (Obs.Metrics.counter "mrdb_compiled_fallbacks_total"
+       ~help:"Compiled-engine runs served by the interpreted fallback")
+
+let compile_seconds =
+  lazy
+    (Obs.Metrics.histogram "mrdb_compiled_compile_seconds"
+       ~help:"Wall time of cc invocations for compiled pipelines")
+
+(* ---------------- compiler availability ---------------- *)
+
+let cc_name () =
+  match Sys.getenv_opt "MRDB_CC" with
+  | Some c when c <> "" -> c
+  | _ -> "cc"
+
+(* One probe per process (per compiler name): does the compiler run at
+   all?  [MRDB_NO_CC] is consulted on every call so tests can force the
+   fallback path without restarting. *)
+let probed : (string, bool) Hashtbl.t = Hashtbl.create 4
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let cc_available () =
+  match Sys.getenv_opt "MRDB_NO_CC" with
+  | Some ("" | "0") | None ->
+      let cc = cc_name () in
+      with_lock (fun () ->
+          match Hashtbl.find_opt probed cc with
+          | Some ok -> ok
+          | None ->
+              let ok =
+                Sys.command
+                  (Printf.sprintf "%s --version >/dev/null 2>&1"
+                     (Filename.quote cc))
+                = 0
+              in
+              Hashtbl.add probed cc ok;
+              ok)
+  | Some _ -> false
+
+(* ---------------- object cache ---------------- *)
+
+let cache_dir () =
+  match Sys.getenv_opt "MRDB_COMPILE_CACHE" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "mrdb-compiled"
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+(* digest -> resolved [mrdb_query] pointer; [None] records a plan whose
+   compile or load failed, so we do not retry it every run. *)
+let fns : (string, nativeint option) Hashtbl.t = Hashtbl.create 16
+
+let reset_cache () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ fn ->
+          ignore fn (* handles stay open; objects are process-lifetime *))
+        fns;
+      Hashtbl.reset fns;
+      Hashtbl.reset probed)
+
+let compile_object ~cc ~src_path ~obj_path =
+  let tmp = Printf.sprintf "%s.%d.tmp" obj_path (Unix.getpid ()) in
+  let cmd =
+    Printf.sprintf "%s -O2 -fPIC -shared -o %s %s >/dev/null 2>&1"
+      (Filename.quote cc) (Filename.quote tmp) (Filename.quote src_path)
+  in
+  let t0 = Unix.gettimeofday () in
+  let rc = Sys.command cmd in
+  Obs.Metrics.observe (Lazy.force compile_seconds) (Unix.gettimeofday () -. t0);
+  if rc = 0 then begin
+    Sys.rename tmp obj_path;
+    true
+  end
+  else begin
+    (try Sys.remove tmp with Sys_error _ -> ());
+    false
+  end
+
+let write_source path source =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  output_string oc source;
+  close_out oc;
+  Sys.rename tmp path
+
+(* Resolve the entry point for [source], compiling at most once per
+   digest per process.  Returns [None] when no compiler is available or
+   the compile/load failed (recorded, so the cost is paid once). *)
+let lookup_fn source =
+  if not (cc_available ()) then None
+  else
+    let digest = Digest.to_hex (Digest.string source) in
+    with_lock (fun () ->
+        match Hashtbl.find_opt fns digest with
+        | Some fn -> fn
+        | None ->
+            let fn =
+              try
+                let dir = cache_dir () in
+                ensure_dir dir;
+                let obj = Filename.concat dir (digest ^ ".so") in
+                let ok =
+                  if Sys.file_exists obj then begin
+                    Obs.Metrics.incr (Lazy.force cache_hits);
+                    true
+                  end
+                  else begin
+                    Obs.Metrics.incr (Lazy.force cache_misses);
+                    let src = Filename.concat dir (digest ^ ".c") in
+                    write_source src source;
+                    compile_object ~cc:(cc_name ()) ~src_path:src
+                      ~obj_path:obj
+                  end
+                in
+                if not ok then None
+                else
+                  let h = dlopen_stub obj in
+                  if h = 0n then None
+                  else
+                    let fn = dlsym_stub h "mrdb_query" in
+                    if fn = 0n then begin
+                      dlclose_stub h;
+                      None
+                    end
+                    else Some fn
+              with Sys_error _ | Unix.Unix_error _ -> None
+            in
+            Hashtbl.add fns digest fn;
+            fn)
+
+(* ---------------- execution ---------------- *)
+
+let decode_rows out ~rowcount ~out_arity =
+  let rows = ref [] in
+  for r = rowcount - 1 downto 0 do
+    let base = 8 + (r * out_arity * 9) in
+    let row =
+      Array.init out_arity (fun i ->
+          let off = base + (i * 9) in
+          let tag = Char.code (Bytes.get out off) in
+          let bits = Bytes.get_int64_le out (off + 1) in
+          match tag with
+          | 0 -> Value.Null
+          | 1 -> Value.VInt (Int64.to_int bits)
+          | 2 -> Value.VFloat (Int64.float_of_bits bits)
+          | 3 -> Value.VBool (bits <> 0L)
+          | 4 -> Value.VDate (Int64.to_int bits)
+          | _ -> invalid_arg "Compiled: bad tag in result buffer")
+    in
+    rows := row :: !rows
+  done;
+  !rows
+
+exception Fallback_needed
+
+let execute_fn fn cat ~(info : C_emitter.unit_info) ~columns =
+  let rel = Catalog.find cat info.C_emitter.table in
+  let np = Relation.n_parts rel in
+  if np <> info.C_emitter.n_parts then raise Fallback_needed;
+  let parts =
+    Array.init np (fun p ->
+        Storage.Buffer.unsafe_bytes (Relation.part_buffer rel p))
+  in
+  let offs = Array.init np (fun p -> Relation.part_row_offset rel p) in
+  let nrows = Relation.nrows rel in
+  let out = ref (Bytes.create 65536) in
+  let need = ref (call_query fn parts offs nrows !out) in
+  if !need < 0 then raise Fallback_needed;
+  if !need > Bytes.length !out then begin
+    out := Bytes.create !need;
+    need := call_query fn parts offs nrows !out;
+    if !need < 0 || !need > Bytes.length !out then raise Fallback_needed
+  end;
+  let rowcount = Int64.to_int (Bytes.get_int64_le !out 0) in
+  {
+    Runtime.columns;
+    rows = decode_rows !out ~rowcount ~out_arity:info.C_emitter.out_arity;
+  }
+
+let fallback cat plan ~params () =
+  Obs.Metrics.incr (Lazy.force fallbacks);
+  Jit.run cat plan ~params
+
+(* Compile once, step many times: the returned thunk re-reads the
+   relation's row window on every call, so it serves as a {!Parallel}
+   preparer — morsel reslicing moves [row_base]/[nrows] between calls. *)
+let prepare cat plan ~params =
+  let path = Prof.child Prof.root 0 in
+  let emitted =
+    Prof.phase_at path "#compile" (fun () ->
+        match C_emitter.emit_unit cat plan ~params with
+        | Error _ -> None
+        | Ok info -> (
+            match lookup_fn info.C_emitter.source with
+            | None -> None
+            | Some fn -> Some (fn, info)))
+  in
+  match emitted with
+  | None -> fun () -> fallback cat plan ~params ()
+  | Some (fn, info) ->
+      let schema = Physical.schema cat plan in
+      let columns =
+        Array.map (fun (a : Storage.Schema.attr) -> a.Storage.Schema.name)
+          schema
+      in
+      fun () ->
+        Prof.op_id path ~label:"compiled pipeline" (fun () ->
+            try execute_fn fn cat ~info ~columns
+            with Fallback_needed -> fallback cat plan ~params ())
+
+let run cat plan ~params = prepare cat plan ~params ()

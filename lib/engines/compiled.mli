@@ -1,0 +1,40 @@
+(** Compiled query pipelines: C99 emission + system cc + dlopen.
+
+    The paper's data-centric compilation made concrete: the plan subset
+    {!C_emitter.emit_unit} accepts is lowered to one C translation unit,
+    built into a shared object by the system C compiler, and entered
+    through a hand-written FFI stub that passes the relation's partition
+    bytes directly — no OCaml allocation on the scan path.
+
+    Objects are cached by source digest, in-process (function pointers)
+    and on disk (under [MRDB_COMPILE_CACHE] or the system temp dir), so a
+    repeated plan never recompiles.  Everything else — unsupported plan
+    shapes, a missing compiler ([MRDB_NO_CC] forces this), compile or
+    load failures — falls back to the interpreted {!Jit} engine, counted
+    by the [mrdb_compiled_fallbacks_total] metric. *)
+
+val run :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  Runtime.result
+
+val prepare :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  unit ->
+  Runtime.result
+(** Compile once, step many times.  The thunk re-reads the driver
+    relation's row window on each call, so it can serve as a morsel
+    stepper under {!Parallel} (reslicing mutates the shadow relation
+    between calls). *)
+
+val cc_available : unit -> bool
+(** Is a working C compiler reachable?  Consults [MRDB_NO_CC] (any value
+    other than ["0"] or [""] disables compilation) and probes
+    [MRDB_CC]/[cc] once per process. *)
+
+val reset_cache : unit -> unit
+(** Drop the in-process function cache and the compiler probe result (the
+    on-disk object cache is untouched).  For tests. *)

@@ -1,6 +1,7 @@
-type kind = Volcano | Bulk | Vectorized | Hyrise | Jit
+type kind = Volcano | Bulk | Vectorized | Hyrise | Jit | Compiled
 
 let all = [ Volcano; Bulk; Vectorized; Hyrise; Jit ]
+let all_with_compiled = all @ [ Compiled ]
 
 let name = function
   | Volcano -> "volcano"
@@ -8,6 +9,7 @@ let name = function
   | Vectorized -> "vectorized"
   | Hyrise -> "hyrise"
   | Jit -> "jit"
+  | Compiled -> "compiled"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -16,6 +18,7 @@ let of_name s =
   | "vectorized" -> Some Vectorized
   | "hyrise" -> Some Hyrise
   | "jit" -> Some Jit
+  | "compiled" -> Some Compiled
   | _ -> None
 
 let run_sequential kind cat plan ~params =
@@ -25,20 +28,33 @@ let run_sequential kind cat plan ~params =
   | Vectorized -> Vectorized.run cat plan ~params
   | Hyrise -> Hyrise.run cat plan ~params
   | Jit -> Jit.run cat plan ~params
+  | Compiled -> Compiled.run cat plan ~params
 
 let runner kind ~params cat plan = run_sequential kind cat plan ~params
 
-let run ?(domains = 1) ?morsel_size kind cat plan ~params =
+(* Compile-once, run-many morsel stepping where the engine supports it;
+   other engines recompile per morsel as before. *)
+let preparer kind ~params =
+  match kind with
+  | Jit -> Some (fun cat plan -> Jit.prepare cat plan ~params)
+  | Compiled -> Some (fun cat plan -> Compiled.prepare cat plan ~params)
+  | _ -> None
+
+let run ?(domains = 1) ?morsel_size ?autotune kind cat plan ~params =
   if domains <= 1 then run_sequential kind cat plan ~params
   else
-    Parallel.run ~domains ?morsel_size ~runner:(runner kind ~params) ~params
-      cat plan
+    Parallel.run ~domains ?morsel_size ?autotune
+      ~runner:(runner kind ~params)
+      ?prepare:(preparer kind ~params)
+      ~params cat plan
 
 let run_measured ?(cold = true) ?(domains = 1) ?morsel_size kind cat plan
     ~params =
   if domains > 1 then
     Parallel.run_measured ~cold ~domains ?morsel_size
-      ~runner:(runner kind ~params) ~params cat plan
+      ~runner:(runner kind ~params)
+      ?prepare:(preparer kind ~params)
+      ~params cat plan
   else
     match Storage.Catalog.hier cat with
     | None ->

@@ -4,17 +4,28 @@
     bulk (column-at-a-time), vectorized (X100-style, cache-resident
     vectors), HYRISE-style (bulk with per-value call costs) and JiT
     (fused compiled pipelines).  Each can additionally run morsel-parallel
-    on OCaml 5 domains via [?domains] — see {!Parallel}. *)
+    on OCaml 5 domains via [?domains] — see {!Parallel}.
 
-type kind = Volcano | Bulk | Vectorized | Hyrise | Jit
+    A sixth kind, [Compiled], lowers supported plans to native code via
+    the system C compiler ({!Compiled}); it is excluded from {!all}
+    because its traced/simulated behaviour is that of its {!Jit} fallback
+    — use {!all_with_compiled} where parity with it matters. *)
+
+type kind = Volcano | Bulk | Vectorized | Hyrise | Jit | Compiled
 
 val all : kind list
+(** The five simulated processing models (excludes [Compiled]). *)
+
+val all_with_compiled : kind list
+(** {!all} plus [Compiled], for parity tests and the CLI. *)
+
 val name : kind -> string
 val of_name : string -> kind option
 
 val run :
   ?domains:int ->
   ?morsel_size:int ->
+  ?autotune:bool ->
   kind ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->

@@ -99,11 +99,13 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
                   | Value.Date -> fun v -> Value.VDate v
                   | _ -> fun v -> Value.VInt v
                 in
+                let block = 1024 in
+                (* shared across executions: a prepared pipeline re-runs
+                   this thunk per morsel and must not allocate per run *)
+                let vals = Array.make block 0 in
                 Some
                   (fun () ->
                     let n = Relation.nrows rel in
-                    let block = 1024 in
-                    let vals = Array.make (min block (max 1 n)) 0 in
                     let lo = ref 0 in
                     while !lo < n do
                       let m = min block (n - !lo) in
@@ -148,6 +150,11 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
         | _ -> None
       in
       Prof.thunk path plan (fun () ->
+          (* a prepared pipeline re-runs this thunk per morsel over a
+             resliced view: tids restart at 0, so the lazy column cache
+             must forget the previous morsel's entries *)
+          cur_tid := -1;
+          Array.fill gen 0 n_attrs (-1);
           match (fast_scan, access) with
           | Some fast, _ -> fast ()
           | None, Physical.Full_scan ->
@@ -221,6 +228,7 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
                    (Runtime.Sim_hash.find_all ht ~key)))
       in
       fun () ->
+        Runtime.Sim_hash.clear ht;
         run_build ();
         run_probe ()
   | Physical.Group_by { child; keys; aggs; _ } ->
@@ -271,6 +279,7 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
       in
       let n_keys = List.length keys in
       fun () ->
+        Runtime.Agg_table.clear table;
         run_child ();
         Prof.phase_at path "emit" (fun () ->
             Runtime.Agg_table.emit table (fun key finished ->
@@ -299,6 +308,7 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
                  rows := Array.init out_arity row :: !rows))
       in
       fun () ->
+        rows := [];
         run_child ();
         let sorted =
           Prof.phase_at path "sort" (fun () ->
@@ -308,13 +318,18 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
         List.iter (fun r -> consume (fun i -> r.(i))) sorted
   | Physical.Limit { child; n } ->
       let seen = ref 0 in
-      compile ctx (Prof.child path 0) child
-        ~consume:
-          (Prof.consume path plan (fun row ->
-               if !seen < n then begin
-                 incr seen;
-                 consume row
-               end))
+      let exec =
+        compile ctx (Prof.child path 0) child
+          ~consume:
+            (Prof.consume path plan (fun row ->
+                 if !seen < n then begin
+                   incr seen;
+                   consume row
+                 end))
+      in
+      fun () ->
+        seen := 0;
+        exec ()
   | Physical.Update { table; access; post; assignments; _ } ->
       Prof.thunk path plan (fun () ->
           let n =
@@ -339,7 +354,7 @@ let rec compile ctx path (plan : Physical.t) ~(consume : row -> unit) :
           Catalog.notify_insert ctx.cat table ~tid;
           consume (fun _ -> Value.VInt tid))
 
-let run cat plan ~params =
+let prepare cat plan ~params =
   let hier = Catalog.hier cat in
   let ctx = { cat; params; hier; arena = Catalog.arena cat } in
   let schema = Physical.schema cat plan in
@@ -354,5 +369,9 @@ let run cat plan ~params =
   in
   let consume = if out_arity = 0 then fun _ -> () else consume in
   let execute = compile ctx (Prof.child Prof.root 0) plan ~consume in
-  execute ();
-  { Runtime.columns; rows = List.rev !rows }
+  fun () ->
+    rows := [];
+    execute ();
+    { Runtime.columns; rows = List.rev !rows }
+
+let run cat plan ~params = prepare cat plan ~params ()

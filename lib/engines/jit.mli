@@ -13,3 +13,16 @@ val run :
   Relalg.Physical.t ->
   params:Storage.Value.t array ->
   Runtime.result
+
+val prepare :
+  Storage.Catalog.t ->
+  Relalg.Physical.t ->
+  params:Storage.Value.t array ->
+  unit ->
+  Runtime.result
+(** Compile the plan once and return a re-runnable executor.  Each call of
+    the returned thunk is equivalent to a fresh {!run} against the
+    catalog's current contents: operator state (lazy column caches, hash
+    and aggregation tables, sort buffers, limit counters) is reset per
+    execution, so the morsel loop can reslice the driver view and re-step
+    without paying closure compilation per morsel. *)

@@ -1,0 +1,79 @@
+/* FFI for compiled query pipelines.
+ *
+ * A pipeline is emitted as a self-contained C99 translation unit, built
+ * with the system cc into a shared object, and entered through
+ *
+ *   int64_t mrdb_query(const unsigned char *const *parts, int64_t nrows,
+ *                      unsigned char *out, int64_t out_cap);
+ *
+ * [parts] are the driver relation's partition payloads offset to the
+ * view's first row, [out] receives an 8-byte row count followed by rows of
+ * 9-byte (tag, payload) fields, and the return value is the byte size the
+ * result needs — the caller grows [out] and re-runs if it exceeds
+ * [out_cap].
+ *
+ * The call stub builds the partition pointer array on the C stack from the
+ * Bytes payloads without allocating on the OCaml heap, so nothing can move
+ * during the call.  The generated code runs without releasing the domain
+ * lock: pipelines are morsel-sized, and keeping the lock keeps the Bytes
+ * pointers stable without pinning.
+ */
+
+#include <dlfcn.h>
+#include <stdint.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+#define MRDB_MAX_PARTS 64
+
+CAMLprim value mrdb_dlopen_stub(value path)
+{
+  CAMLparam1(path);
+  void *h = dlopen(String_val(path), RTLD_NOW | RTLD_LOCAL);
+  CAMLreturn(caml_copy_nativeint((intnat)h));
+}
+
+CAMLprim value mrdb_dlsym_stub(value handle, value name)
+{
+  CAMLparam2(handle, name);
+  void *h = (void *)Nativeint_val(handle);
+  void *fn = h ? dlsym(h, String_val(name)) : NULL;
+  CAMLreturn(caml_copy_nativeint((intnat)fn));
+}
+
+CAMLprim value mrdb_dlclose_stub(value handle)
+{
+  CAMLparam1(handle);
+  void *h = (void *)Nativeint_val(handle);
+  if (h) dlclose(h);
+  CAMLreturn(Val_unit);
+}
+
+CAMLprim value mrdb_dlerror_stub(value unit)
+{
+  CAMLparam1(unit);
+  const char *e = dlerror();
+  CAMLreturn(caml_copy_string(e ? e : "unknown dl error"));
+}
+
+typedef int64_t (*mrdb_query_fn)(const unsigned char *const *parts,
+                                 int64_t nrows, unsigned char *out,
+                                 int64_t out_cap);
+
+CAMLprim value mrdb_call_query_stub(value fn, value parts, value offs,
+                                    value nrows, value out)
+{
+  CAMLparam5(fn, parts, offs, nrows, out);
+  const unsigned char *ptrs[MRDB_MAX_PARTS];
+  mrdb_query_fn f = (mrdb_query_fn)Nativeint_val(fn);
+  mlsize_t np = Wosize_val(parts);
+  if (np > MRDB_MAX_PARTS) caml_invalid_argument("mrdb_call_query: too many partitions");
+  for (mlsize_t i = 0; i < np; i++)
+    ptrs[i] = Bytes_val(Field(parts, i)) + Long_val(Field(offs, i));
+  int64_t need = f(ptrs, (int64_t)Long_val(nrows), Bytes_val(out),
+                   (int64_t)caml_string_length(out));
+  CAMLreturn(Val_long((intnat)need));
+}

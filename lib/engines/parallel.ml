@@ -21,6 +21,14 @@ let domain_arena_stride = 1 lsl 36
 
 type runner = Storage.Catalog.t -> Relalg.Physical.t -> Runtime.result
 
+type preparer =
+  Storage.Catalog.t -> Relalg.Physical.t -> unit -> Runtime.result
+
+(* Engines without a prepared (compile-once, run-many) entry point fall
+   back to full recompilation per morsel. *)
+let preparer_of_runner (runner : runner) : preparer =
+ fun cat plan () -> runner cat plan
+
 (* The shapes the morsel executor accepts.  Everything else falls back to a
    plain sequential run of the base engine. *)
 type strategy =
@@ -154,13 +162,79 @@ let merge_group_rows ~n_keys ~aggs (partials : Runtime.result array) =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Chunked morsel claiming with stealing                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain owns a contiguous range of morsel indices, packed as
+   (next, hi) into one atomic word so a claim is a single CAS on a
+   domain-private cache line instead of every worker hammering one shared
+   counter.  An exhausted domain steals the upper half of the richest
+   victim's remaining range; morsels stay the unit of work, so result
+   ordering and per-domain measured-traffic invariants are unchanged. *)
+let range_bits = 30
+let range_mask = (1 lsl range_bits) - 1
+let pack next hi = (hi lsl range_bits) lor next
+let next_of x = x land range_mask
+let hi_of x = x asr range_bits
+
+let make_ranges ~domains n_morsels =
+  Array.init domains (fun d ->
+      let lo = d * n_morsels / domains in
+      let hi = (d + 1) * n_morsels / domains in
+      Atomic.make (pack lo hi))
+
+let rec claim ranges d =
+  let r = ranges.(d) in
+  let x = Atomic.get r in
+  let nx = next_of x and hi = hi_of x in
+  if nx < hi then
+    if Atomic.compare_and_set r x (pack (nx + 1) hi) then Some nx
+    else claim ranges d
+  else steal ranges d
+
+and steal ranges d =
+  let domains = Array.length ranges in
+  let best = ref (-1) and best_rem = ref 0 in
+  for v = 0 to domains - 1 do
+    if v <> d then begin
+      let x = Atomic.get ranges.(v) in
+      let rem = hi_of x - next_of x in
+      if rem > !best_rem then begin
+        best := v;
+        best_rem := rem
+      end
+    end
+  done;
+  if !best < 0 then None
+  else
+    let v = !best in
+    let x = Atomic.get ranges.(v) in
+    let nx = next_of x and hi = hi_of x in
+    if hi - nx <= 0 then steal ranges d
+    else if hi - nx = 1 then
+      if Atomic.compare_and_set ranges.(v) x (pack hi hi) then Some nx
+      else steal ranges d
+    else
+      let mid = (nx + hi + 1) / 2 in
+      if Atomic.compare_and_set ranges.(v) x (pack nx mid) then begin
+        (* our own range is empty (that is why we are stealing) and no one
+           else ever refills it, so a plain store cannot lose work *)
+        Atomic.set ranges.(d) (pack mid hi);
+        claim ranges d
+      end
+      else steal ranges d
+
+(* ------------------------------------------------------------------ *)
 (* The morsel loop                                                     *)
 (* ------------------------------------------------------------------ *)
 
 (* Run [morsel_plan] over every morsel of [driver], fanned out to [domains]
-   worker domains through an atomic work-stealing counter, and return the
-   per-morsel results in morsel order plus each domain's hierarchy. *)
-let run_morsels ~domains ~morsel_size ~(runner : runner) ~measured cat
+   pool workers through per-domain chunked ranges with stealing, and return
+   the per-morsel results in morsel order plus each domain's hierarchy.
+   Each worker builds its shadow catalog and compiles the pipeline once
+   ([prepare]); the claim loop itself only reslices the driver view and
+   re-steps the prepared pipeline. *)
+let run_morsels ~domains ~morsel_size ~(prepare : preparer) ~measured cat
     ~driver morsel_plan =
   let n = Relation.nrows (Catalog.find cat driver) in
   let n_morsels = max 1 ((n + morsel_size - 1) / morsel_size) in
@@ -183,16 +257,17 @@ let run_morsels ~domains ~morsel_size ~(runner : runner) ~measured cat
         })
   in
   let results : Runtime.result option array = Array.make n_morsels None in
-  let next = Atomic.make 0 in
+  let ranges = make_ranges ~domains n_morsels in
   (* decided on the parent domain: workers run on domains with no session
      installed, so they can't consult Profile.on themselves *)
   let prof = Obs.Profile.on () in
   let profiles : Obs.Span.profile option array = Array.make domains None in
-  let worker d () =
+  let worker d =
     let st = states.(d) in
     (* each worker profiles against its private hierarchy; worker 0 runs
        on the parent domain, where start/stop save and restore the
-       parent's session *)
+       parent's session.  Session and pipeline setup are hoisted out of
+       the claim loop: per morsel only the reslice and the step remain. *)
     let session =
       if prof then
         Some
@@ -207,22 +282,20 @@ let run_morsels ~domains ~morsel_size ~(runner : runner) ~measured cat
         | None -> ())
       (fun () ->
         let vcat, drv = domain_catalog cat st ~driver in
+        let step = prepare vcat morsel_plan in
         let rec loop () =
-          let m = Atomic.fetch_and_add next 1 in
-          if m < n_morsels then begin
-            let lo = m * morsel_size in
-            let len = min morsel_size (n - lo) in
-            Relation.reslice drv ~lo ~len;
-            results.(m) <- Some (runner vcat morsel_plan);
-            loop ()
-          end
+          match claim ranges d with
+          | None -> ()
+          | Some m ->
+              let lo = m * morsel_size in
+              let len = min morsel_size (n - lo) in
+              Relation.reslice drv ~lo ~len;
+              results.(m) <- Some (step ());
+              loop ()
         in
         loop ())
   in
-  let helpers = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
-  Fun.protect
-    ~finally:(fun () -> List.iter Domain.join helpers)
-    (worker 0);
+  Pool.parallel_run ~domains worker;
   if prof then
     Obs.Profile.add_domains
       (List.filter_map Fun.id (Array.to_list profiles));
@@ -257,43 +330,111 @@ let apply_projections ~params post rows =
         rows)
     rows post
 
+(* ------------------------------------------------------------------ *)
+(* Morsel-size autotuning                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Target wall time per morsel: long enough that claim/reslice overhead is
+   noise, short enough that stealing still balances skew. *)
+let autotune_target_seconds = 0.001
+let morsel_size_gauge = lazy (Obs.Metrics.gauge "parallel_morsel_size")
+
+(* Pick the morsel size from one measured probe morsel instead of the
+   fixed default: prepare the pipeline over an untraced shadow catalog,
+   time [default_morsel_size] rows, and size morsels to
+   [autotune_target_seconds] of work — rounded to a multiple of 4096 (the
+   line/page-alignment quantum) and clamped so every domain still gets at
+   least two morsels to balance with. *)
+let autotune_morsel_size ~domains ~(prepare : preparer) cat ~driver
+    morsel_plan =
+  let n = Relation.nrows (Catalog.find cat driver) in
+  let chosen =
+    if n <= default_morsel_size then default_morsel_size
+    else begin
+      let st =
+        {
+          d_hier = None;
+          d_arena =
+            Arena.create
+              ~start:
+                (Arena.mark (Catalog.arena cat)
+                + ((domains + 1) * domain_arena_stride))
+              ();
+        }
+      in
+      let vcat, drv = domain_catalog cat st ~driver in
+      let step = prepare vcat morsel_plan in
+      Relation.reslice drv ~lo:0 ~len:default_morsel_size;
+      let t0 = Unix.gettimeofday () in
+      ignore (step ());
+      let dt = Unix.gettimeofday () -. t0 in
+      let per_row = dt /. float_of_int default_morsel_size in
+      let upper =
+        max default_morsel_size
+          (n / (2 * max 1 domains) / default_morsel_size * default_morsel_size)
+      in
+      if per_row <= 0. then upper
+      else
+        let want = autotune_target_seconds /. per_row in
+        let quantized =
+          int_of_float (want /. float_of_int default_morsel_size)
+          * default_morsel_size
+        in
+        min upper (max default_morsel_size quantized)
+    end
+  in
+  Obs.Metrics.set (Lazy.force morsel_size_gauge) (float_of_int chosen);
+  chosen
+
 (* Execute [plan] morsel-parallel; [None] if the plan shape is sequential-
    only and the caller should fall back. *)
-let exec ~domains ~morsel_size ~runner ~params ~measured cat plan =
+let exec ~domains ~morsel_size ~autotune ~prepare ~params ~measured cat plan =
+  let morsels ~driver morsel_plan =
+    let morsel_size =
+      if autotune && not measured then
+        autotune_morsel_size ~domains ~prepare cat ~driver morsel_plan
+      else morsel_size
+    in
+    run_morsels ~domains ~morsel_size ~prepare ~measured cat ~driver
+      morsel_plan
+  in
   match strategy plan with
   | Sequential -> None
   | Concat { driver } ->
-      let partials, states =
-        run_morsels ~domains ~morsel_size ~runner ~measured cat ~driver plan
-      in
+      let partials, states = morsels ~driver plan in
       Some
         (Runtime.concat_results (Array.to_list partials), merged_stats states)
   | Group { driver; morsel_plan; n_keys; aggs; post } ->
-      let partials, states =
-        run_morsels ~domains ~morsel_size ~runner ~measured cat ~driver
-          morsel_plan
-      in
+      let partials, states = morsels ~driver morsel_plan in
       let merged = merge_group_rows ~n_keys ~aggs partials in
       let rows = apply_projections ~params post merged in
       Some
         ( { Runtime.columns = result_columns cat plan; rows },
           merged_stats states )
 
-let run ~domains ?(morsel_size = default_morsel_size) ~(runner : runner)
-    ?(params = [||]) cat plan =
+let run ~domains ?(morsel_size = default_morsel_size) ?(autotune = false)
+    ~(runner : runner) ?prepare ?(params = [||]) cat plan =
   if morsel_size <= 0 then invalid_arg "Parallel.run: morsel_size must be > 0";
+  let prepare =
+    match prepare with Some p -> p | None -> preparer_of_runner runner
+  in
   if domains <= 1 then runner cat plan
   else
     match
-      exec ~domains ~morsel_size ~runner ~params ~measured:false cat plan
+      exec ~domains ~morsel_size ~autotune ~prepare ~params ~measured:false
+        cat plan
     with
     | Some (result, _) -> result
     | None -> runner cat plan
 
-let run_measured ?(cold = true) ~domains ?(morsel_size = default_morsel_size)
-    ~(runner : runner) ?(params = [||]) cat plan =
+let run_measured ?(cold = true) ~domains
+    ?(morsel_size = default_morsel_size) ~(runner : runner) ?prepare
+    ?(params = [||]) cat plan =
   if morsel_size <= 0 then
     invalid_arg "Parallel.run_measured: morsel_size must be > 0";
+  let prepare =
+    match prepare with Some p -> p | None -> preparer_of_runner runner
+  in
   let sequential () =
     match Catalog.hier cat with
     | None -> (runner cat plan, Memsim.Stats.create ())
@@ -307,7 +448,8 @@ let run_measured ?(cold = true) ~domains ?(morsel_size = default_morsel_size)
   if domains <= 1 || Option.is_none (Catalog.hier cat) then sequential ()
   else
     match
-      exec ~domains ~morsel_size ~runner ~params ~measured:true cat plan
+      exec ~domains ~morsel_size ~autotune:false ~prepare ~params
+        ~measured:true cat plan
     with
     | Some rs -> rs
     | None -> sequential ()

@@ -30,6 +30,13 @@
 type runner = Storage.Catalog.t -> Relalg.Physical.t -> Runtime.result
 (** One sequential engine run; {!Engine} supplies [Engine.run kind]. *)
 
+type preparer =
+  Storage.Catalog.t -> Relalg.Physical.t -> unit -> Runtime.result
+(** Compile-once, run-many entry point ({!Jit.prepare}): the morsel loop
+    calls the returned thunk per morsel over the resliced driver view
+    instead of recompiling the pipeline.  Engines without one fall back to
+    wrapping [runner]. *)
+
 val default_morsel_size : int
 (** 4096 rows.  Any positive morsel size gives correct results; multiples of
     4096 additionally start every morsel on a cache-line and TLB-page
@@ -43,7 +50,9 @@ val parallelizable : Relalg.Physical.t -> bool
 val run :
   domains:int ->
   ?morsel_size:int ->
+  ?autotune:bool ->
   runner:runner ->
+  ?prepare:preparer ->
   ?params:Storage.Value.t array ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->
@@ -53,13 +62,20 @@ val run :
     sequential run).  [params] are needed only to evaluate projections the
     planner placed above a group-by (applied once to the merged groups).
     Worker catalogs are untraced views, so a hierarchy attached to [cat]
-    records nothing during a parallel run. *)
+    records nothing during a parallel run.
+
+    With [autotune] the morsel size is picked from one measured probe
+    morsel (sized to ~1ms of work, rounded to the 4096-row alignment
+    quantum, clamped so each domain keeps at least two morsels) and
+    exported through the [parallel_morsel_size] gauge; an explicit
+    [morsel_size] is only used when [autotune] is off. *)
 
 val run_measured :
   ?cold:bool ->
   domains:int ->
   ?morsel_size:int ->
   runner:runner ->
+  ?prepare:preparer ->
   ?params:Storage.Value.t array ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->

@@ -116,7 +116,6 @@ let scan_block = 1024
    generic (decode-per-tuple) paths. *)
 let compressed_filter_range ?hier ~params ~per_value rel conj =
   let module Relation = Storage.Relation in
-  let n = Relation.nrows rel in
   match single_col_pred ~params conj with
   | None -> None
   | Some (c, vtest) ->
@@ -124,7 +123,10 @@ let compressed_filter_range ?hier ~params ~per_value rel conj =
         Some
           ( c,
             fun emit ->
-              (* one boxed predicate evaluation per maximal run *)
+              (* one boxed predicate evaluation per maximal run.  The row
+                 count is read per invocation: a prepared pipeline re-runs
+                 this scan over a resliced morsel view. *)
+              let n = Relation.nrows rel in
               if n > 0 then
                 Relation.iter_rle_runs rel ~lo:0 ~count:n c
                   (fun ~lo ~len v ->
@@ -135,6 +137,7 @@ let compressed_filter_range ?hier ~params ~per_value rel conj =
         Some
           ( c,
             fun emit ->
+              let n = Relation.nrows rel in
               (* predicate once per distinct value, then a narrow code scan *)
               let pass =
                 Array.map
@@ -143,7 +146,7 @@ let compressed_filter_range ?hier ~params ~per_value rel conj =
                     vtest v)
                   (Relation.dict_values rel c)
               in
-              let codes = Array.make (min scan_block (max 1 n)) 0 in
+              let codes = Array.make scan_block 0 in
               let rs = ref (-1) in
               let flush hi =
                 if !rs >= 0 then begin
@@ -180,12 +183,13 @@ let compressed_filter_range ?hier ~params ~per_value rel conj =
             Some
               ( c,
                 fun emit ->
+                  let n = Relation.nrows rel in
                   charge hier per_value;
                   match verdict with
                   | `All -> if n > 0 then emit ~lo:0 ~len:n None
                   | `None -> ()
                   | `Scan ->
-                      let codes = Array.make (min scan_block (max 1 n)) 0 in
+                      let codes = Array.make scan_block 0 in
                       let rs = ref (-1) in
                       let flush hi =
                         if !rs >= 0 then begin
@@ -289,6 +293,12 @@ module Sim_hash = struct
         else Memsim.Hierarchy.read hier ~addr ~width
     | None -> ()
 
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.order <- [];
+    t.count <- 0;
+    t.slots <- initial_slots
+
   let maybe_grow t =
     if 2 * t.count > t.slots then begin
       t.slots <- t.slots * 2;
@@ -389,6 +399,11 @@ module Agg_table = struct
       saw_row = false;
       gstates = None;
     }
+
+  let clear t =
+    Sim_hash.clear t.table;
+    t.saw_row <- false;
+    t.gstates <- None
 
   let step_all t states inputs =
     for i = 0 to Array.length t.agg_arr - 1 do

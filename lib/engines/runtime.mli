@@ -84,6 +84,11 @@ module Sim_hash : sig
   (** Iterate entries in insertion order of their keys (deterministic). *)
 
   val length : 'v t -> int
+
+  val clear : 'v t -> unit
+  (** Drop all entries (untraced, like {!create}) so a prepared pipeline can
+      reuse the table across executions.  The simulated base address is
+      kept; capacity returns to the initial slot count. *)
 end
 
 (** Aggregation table: one {!Aggregate.state} vector per key. *)
@@ -100,6 +105,9 @@ module Agg_table : sig
     t
   (** [global] marks a group-by without keys: on empty input it emits one
       all-initial group (SQL semantics for global aggregates). *)
+
+  val clear : t -> unit
+  (** Reset to the freshly-created state (untraced); see {!Sim_hash.clear}. *)
 
   val update : t -> key:Value.t list -> inputs:Value.t array -> unit
   (** [inputs] holds, positionally per aggregate, the evaluated argument

@@ -502,7 +502,23 @@ let run_case ?(mutate = false) ?(recovery = true) (c : Case.t) =
         run_combo ~domains:2 ~morsel_size:16 ~engine:Engine.Jit ~mode
           ~fastpath:true c ~oracle
       in
-      add par.divergences)
+      add par.divergences;
+      (* compiled pipelines against the same oracle on a bounded mode
+         subset: Nsm runs real native code, Comp (encoded relations) and
+         every unsupported shape exercise the in-engine Jit fallback *)
+      if mode = Case.Nsm || mode = Case.Comp then begin
+        let comp =
+          run_combo ~engine:Engine.Compiled ~mode ~fastpath:true c ~oracle
+        in
+        add comp.divergences
+      end;
+      if mode = Case.Nsm then begin
+        let comp_par =
+          run_combo ~domains:2 ~morsel_size:16 ~engine:Engine.Compiled ~mode
+            ~fastpath:true c ~oracle
+        in
+        add comp_par.divergences
+      end)
     modes;
   add (run_metamorphic c);
   if recovery then add (run_recovery c);

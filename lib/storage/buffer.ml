@@ -135,6 +135,7 @@ let write_value t off ~ty ~nullable v =
     | Bool -> write_byte t data_off (if Value.to_int v <> 0 then 1 else 0)
     | Varchar n -> write_string t data_off ~len:n (Value.to_string_exn v)
 
+let unsafe_bytes t = t.bytes
 let untraced_read_int t off = Int64.to_int (Bytes.get_int64_le t.bytes off)
 let untraced_write_int t off v = Bytes.set_int64_le t.bytes off (Int64.of_int v)
 

@@ -64,6 +64,12 @@ val write_string : t -> int -> len:int -> string -> unit
 val read_value : t -> int -> ty:Value.ty -> nullable:bool -> Value.t
 val write_value : t -> int -> ty:Value.ty -> nullable:bool -> Value.t -> unit
 
+val unsafe_bytes : t -> Bytes.t
+(** The backing byte store.  Read-only use only: accesses through it are
+    untraced, and {!grow} replaces the backing store, invalidating the
+    returned value.  The compiled-pipeline FFI passes these bytes to
+    generated C code. *)
+
 val untraced_read_int : t -> int -> int
 (** Read without touching the simulator (used by assertions and tests). *)
 

@@ -860,6 +860,8 @@ let field_width t a =
   Encoding.stored_width (Schema.attr t.schema a) t.encodings.(a)
 
 let part_of_attr t a = fst t.loc.(a)
+let n_parts t = Array.length t.parts
+let part_row_offset t pi = t.row_base * t.parts.(pi).width
 let part_width t pi = t.parts.(pi).width
 let part_buffer t pi = t.parts.(pi).buf
 let attr_offset t a = snd t.loc.(a)

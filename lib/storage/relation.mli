@@ -164,6 +164,14 @@ val part_of_attr : t -> int -> int
 val part_width : t -> int -> int
 (** Tuple width of the given partition. *)
 
+val n_parts : t -> int
+(** Number of stored partitions. *)
+
+val part_row_offset : t -> int -> int
+(** Byte offset of this view's first row inside the given partition's
+    buffer ([row_base * part_width]) — where a compiled pipeline must start
+    reading to cover exactly the rows this (possibly sliced) view exposes. *)
+
 val part_buffer : t -> int -> Buffer.t
 val attr_offset : t -> int -> int
 (** Byte offset of the attribute inside its partition's tuple. *)

@@ -1,0 +1,212 @@
+(* The compiled engine: C-emitted pipelines must be indistinguishable
+   from the interpreted engines — same rows in the same order, NULL and
+   overflow semantics included — and must fall back to Jit whenever the
+   plan (or the machine) is outside its reach. *)
+
+module V = Storage.Value
+module Runtime = Engines.Runtime
+module Engine = Engines.Engine
+module Compiled = Engines.Compiled
+module Metrics = Obs.Metrics
+
+let check_result name (a : Runtime.result) (b : Runtime.result) =
+  Alcotest.(check (array string)) (name ^ " columns") a.columns b.columns;
+  Helpers.check_rows (name ^ " rows") a.rows b.rows
+
+let counter_value name = Metrics.counter_value (Metrics.counter name)
+
+(* With the compiler forced unavailable, run [f]; restores the env. *)
+let without_cc f =
+  Unix.putenv "MRDB_NO_CC" "1";
+  Compiled.reset_cache ();
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "MRDB_NO_CC" "";
+      Compiled.reset_cache ())
+    f
+
+(* A nullable mixed-type table exercising every compiled value type. *)
+let mixed_catalog ?(n = 321) () =
+  let cat = Storage.Catalog.create () in
+  let schema =
+    Storage.Schema.make_nullable "m"
+      [
+        ("id", V.Int, false);
+        ("grp", V.Int, false);
+        ("amount", V.Int, true);
+        ("score", V.Float, true);
+        ("flag", V.Bool, false);
+        ("d", V.Date, false);
+      ]
+  in
+  let rel = Storage.Catalog.add cat schema (Storage.Layout.row schema) in
+  Storage.Relation.load rel ~n (fun ~row ->
+      [|
+        V.VInt row;
+        V.VInt (row mod 5);
+        (if row mod 11 = 0 then V.Null else V.VInt ((row * 7 mod 113) - 50));
+        (if row mod 13 = 0 then V.Null
+         else if row mod 17 = 0 then V.VFloat (0.0 /. 0.0)
+         else if row mod 19 = 0 then V.VFloat (-0.0)
+         else V.VFloat (float_of_int (row mod 29) /. 8.0));
+        V.VBool (row mod 3 = 0);
+        V.VDate (738000 + (row mod 31));
+      |]);
+  cat
+
+let parity_queries =
+  [
+    ("select id, grp, amount from m where id < 30", [||]);
+    ("select id + amount s, amount * grp p from m where grp = 2", [||]);
+    ("select count(*) c, count(amount) ca, sum(amount) s, avg(amount) a, \
+      min(amount) mn, max(amount) mx from m", [||]);
+    ("select grp, count(*) c, sum(score) s, min(score) mn, max(score) mx \
+      from m group by grp", [||]);
+    ("select score, count(*) c from m group by score", [||]);
+    ("select flag, d, count(*) c from m group by flag, d limit 23", [||]);
+    ("select id from m where score > $1 limit 9", [| V.VInt 1 |]);
+    ("select count(*) c from m where amount is null or score is null", [||]);
+    ("select grp, avg(d) a from m where not (flag) group by grp", [||]);
+    ("select id, amount % 7 r, amount / (id - id) z from m where id < 12",
+     [||]);
+  ]
+
+let test_parity_vs engine () =
+  let cat = mixed_catalog () in
+  List.iter
+    (fun (sql, params) ->
+      let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+      let reference = Engine.run engine cat plan ~params in
+      let compiled = Engine.run Engine.Compiled cat plan ~params in
+      check_result (Printf.sprintf "[%s] %s" (Engine.name engine) sql)
+        reference compiled)
+    parity_queries
+
+(* Sums that wrap OCaml's 63-bit native int must wrap the same way in C. *)
+let test_overflow_wrap () =
+  let cat = Storage.Catalog.create () in
+  let schema = Storage.Schema.make "big" [ ("x", V.Int) ] in
+  let rel = Storage.Catalog.add cat schema (Storage.Layout.row schema) in
+  let near = (max_int / 2) - 3 in
+  Storage.Relation.load rel ~n:4 (fun ~row -> [| V.VInt (near + row) |]);
+  List.iter
+    (fun sql ->
+      let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+      let jit = Engines.Jit.run cat plan ~params:[||] in
+      let compiled = Compiled.run cat plan ~params:[||] in
+      check_result sql jit compiled)
+    [
+      "select sum(x) s from big";
+      "select x + x a, x * x m from big";
+      "select sum(x) s from big group by x";
+    ]
+
+(* Compressed (encoded) relations are outside the compiled subset: the
+   engine must route them through the interpreted fallback and still be
+   correct. *)
+let test_compressed_fallback () =
+  let cat = Storage.Catalog.create () in
+  let schema =
+    Storage.Schema.make "c" [ ("k", V.Int); ("v", V.Int) ]
+  in
+  let rows =
+    Array.init 200 (fun i -> [| V.VInt (i mod 4); V.VInt (i mod 50) |])
+  in
+  let encodings = Storage.Compress.plan_rows schema rows in
+  Alcotest.(check bool) "table actually encoded" true (encodings <> []);
+  let layout =
+    Storage.Compress.singleton_layout schema
+      (Storage.Layout.row schema)
+      encodings
+  in
+  let rel = Storage.Catalog.add cat ~encodings schema layout in
+  Array.iter (fun r -> ignore (Storage.Relation.append rel r)) rows;
+  let sql = "select k, count(*) c, sum(v) s from c group by k" in
+  let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+  let before = counter_value "mrdb_compiled_fallbacks_total" in
+  let jit = Engines.Jit.run cat plan ~params:[||] in
+  let compiled = Compiled.run cat plan ~params:[||] in
+  check_result sql jit compiled;
+  Alcotest.(check bool) "fallback counted" true
+    (counter_value "mrdb_compiled_fallbacks_total" > before)
+
+(* MRDB_NO_CC forces the no-compiler path: the engine must degrade to the
+   interpreter transparently. *)
+let test_no_cc_fallback () =
+  let cat = mixed_catalog ~n:77 () in
+  let sql = "select grp, count(*) c from m group by grp" in
+  let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+  without_cc (fun () ->
+      Alcotest.(check bool) "cc reported unavailable" false
+        (Compiled.cc_available ());
+      let before = counter_value "mrdb_compiled_fallbacks_total" in
+      let jit = Engines.Jit.run cat plan ~params:[||] in
+      let compiled = Compiled.run cat plan ~params:[||] in
+      check_result sql jit compiled;
+      Alcotest.(check bool) "fallback counted" true
+        (counter_value "mrdb_compiled_fallbacks_total" > before))
+
+(* Re-running the same plan must reuse the object: at most one cc
+   invocation per distinct source, and a process-cache hit never touches
+   the counters again. *)
+let test_cache_hit_counting () =
+  if not (Compiled.cc_available ()) then ()
+  else begin
+    let cat = mixed_catalog ~n:50 () in
+    let sql = "select count(*) c from m where id < 49" in
+    let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+    Compiled.reset_cache ();
+    let h0 = counter_value "mrdb_compiled_cache_hits_total" in
+    let m0 = counter_value "mrdb_compiled_cache_misses_total" in
+    ignore (Compiled.run cat plan ~params:[||]);
+    let h1 = counter_value "mrdb_compiled_cache_hits_total" in
+    let m1 = counter_value "mrdb_compiled_cache_misses_total" in
+    Alcotest.(check bool) "first run consulted the cache" true
+      (h1 + m1 = h0 + m0 + 1);
+    ignore (Compiled.run cat plan ~params:[||]);
+    Alcotest.(check int) "second run hit the process cache"
+      (h1 + m1)
+      (counter_value "mrdb_compiled_cache_hits_total"
+      + counter_value "mrdb_compiled_cache_misses_total");
+    (* dropping the process cache but keeping the objects on disk must
+       count a disk hit, not a recompile *)
+    Compiled.reset_cache ();
+    ignore (Compiled.run cat plan ~params:[||]);
+    Alcotest.(check int) "third run hit the disk cache" (h1 + 1)
+      (counter_value "mrdb_compiled_cache_hits_total");
+    Alcotest.(check int) "no recompile" m1
+      (counter_value "mrdb_compiled_cache_misses_total")
+  end
+
+(* Morsel-parallel compiled execution goes through Compiled.prepare and
+   must agree with the sequential run. *)
+let test_parallel_compiled () =
+  let cat = mixed_catalog ~n:500 () in
+  List.iter
+    (fun (sql, params) ->
+      let plan = Relalg.Planner.plan cat (Relalg.Sql.parse cat sql) in
+      let seq = Engine.run Engine.Compiled cat plan ~params in
+      let par =
+        Engine.run ~domains:2 ~morsel_size:64 Engine.Compiled cat plan
+          ~params
+      in
+      check_result ("parallel " ^ sql) seq par)
+    [
+      ("select id, amount from m where grp = 1", [||]);
+      ("select id from m where score > 0.5 and flag", [||]);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "parity vs jit" `Quick (test_parity_vs Engine.Jit);
+    Alcotest.test_case "parity vs bulk" `Quick (test_parity_vs Engine.Bulk);
+    Alcotest.test_case "overflow-wrap sums" `Quick test_overflow_wrap;
+    Alcotest.test_case "compressed layout falls back" `Quick
+      test_compressed_fallback;
+    Alcotest.test_case "MRDB_NO_CC forces fallback" `Quick
+      test_no_cc_fallback;
+    Alcotest.test_case "object cache hit/miss counters" `Quick
+      test_cache_hit_counting;
+    Alcotest.test_case "morsel-parallel compiled" `Quick
+      test_parallel_compiled;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("engines", Test_engines.suite);
       ("parallel", Test_parallel.suite);
       ("c_emitter", Test_c_emitter.suite);
+      ("compiled", Test_compiled.suite);
       ("update", Test_update.suite);
       ("costmodel", Test_costmodel.suite);
       ("model_validation", Test_model_validation.suite);
