@@ -27,6 +27,7 @@ let experiments =
     ("parallel", Parallel.run);
     ("tracefast", Tracefast.run);
     ("durability", Durability_bench.run);
+    ("oltp", Oltp.run);
   ]
 
 let () =

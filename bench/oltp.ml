@@ -1,0 +1,140 @@
+(* OLTP front-door benchmark: concurrent bank transfers through the MVCC
+   manager at 1/2/4 client domains.
+
+   Each client runs a fixed number of committed transfer transactions
+   (read two balances, write them back shifted) against a shared account
+   table, retrying conflicts with its own seeded backoff.  Reported per
+   client count:
+
+     committed txns/sec   total committed transfers / wall time
+     abort rate           conflicts / (commits + conflicts)
+     p50 / p99 latency    per-transaction wall time, first begin to
+                          successful commit (retries included), estimated
+                          from a pooled latency histogram
+
+   The container may have a single CPU, so no gate assumes multi-client
+   scaling — throughput floors and abort-rate ceilings only. *)
+
+module V = Storage.Value
+module Catalog = Storage.Catalog
+module Schema = Storage.Schema
+module Layout = Storage.Layout
+module Relation = Storage.Relation
+module Rng = Mrdb_util.Rng
+module Errors = Mrdb_util.Errors
+module Mvcc = Txn.Mvcc
+
+let accounts = 64
+let init_balance = 100
+
+let build_bank () =
+  let cat = Catalog.create () in
+  let schema = Schema.make "acct" [ ("id", V.Int); ("bal", V.Int) ] in
+  let rel = Catalog.add cat schema (Layout.row schema) in
+  for i = 0 to accounts - 1 do
+    ignore (Relation.append rel [| V.VInt i; V.VInt init_balance |])
+  done;
+  cat
+
+let vint = function
+  | V.VInt n -> n
+  | v -> failwith ("oltp: expected int, got " ^ V.to_display v)
+
+(* One transfer attempt inside an open transaction. *)
+let transfer txn rng =
+  let src = Rng.int rng accounts in
+  let dst = (src + 1 + Rng.int rng (accounts - 1)) mod accounts in
+  let amount = 1 + Rng.int rng 10 in
+  let sb = vint (Mvcc.read txn "acct" src 1) in
+  let db = vint (Mvcc.read txn "acct" dst 1) in
+  Mvcc.update txn "acct" src 1 (V.VInt (sb - amount));
+  Mvcc.update txn "acct" dst 1 (V.VInt (db + amount))
+
+type client_stats = { mutable commits : int; mutable conflicts : int }
+
+(* Run [n_clients] domains for [per_client] committed transfers each.
+   Returns (wall seconds, commits, conflicts, latency histogram name). *)
+let run_round ~n_clients ~per_client =
+  let cat = build_bank () in
+  let mgr = Mvcc.create cat in
+  let hist_name = Printf.sprintf "mrdb_oltp_latency_%dc_seconds" n_clients in
+  let hist =
+    Obs.Metrics.histogram hist_name
+      ~help:"Per-transaction latency, begin to successful commit"
+  in
+  let client ci =
+    let rng = Rng.create (0xB41 + (1000 * n_clients) + ci) in
+    let backoff = Txn.Backoff.create ~seed:(0xACE + ci) () in
+    let st = { commits = 0; conflicts = 0 } in
+    while st.commits < per_client do
+      let t0 = Unix.gettimeofday () in
+      let committed = ref false in
+      while not !committed do
+        match
+          Mvcc.run ~retries:0 mgr (fun txn -> transfer txn rng)
+        with
+        | () -> committed := true
+        | exception Errors.Txn_conflict _ ->
+            st.conflicts <- st.conflicts + 1;
+            ignore (Txn.Backoff.sleep backoff)
+      done;
+      st.commits <- st.commits + 1;
+      Obs.Metrics.observe hist (Unix.gettimeofday () -. t0)
+    done;
+    st
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    if n_clients = 1 then [| client 0 |]
+    else
+      Array.map Domain.join
+        (Array.init n_clients (fun ci -> Domain.spawn (fun () -> client ci)))
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let commits = Array.fold_left (fun a s -> a + s.commits) 0 stats in
+  let conflicts = Array.fold_left (fun a s -> a + s.conflicts) 0 stats in
+  (* sanity: money is conserved under any interleaving *)
+  let total =
+    Mvcc.snapshot mgr (fun txn ->
+        Array.fold_left
+          (fun a row -> a + vint row.(1))
+          0 (Mvcc.scan txn "acct"))
+  in
+  assert (total = accounts * init_balance);
+  (wall, commits, conflicts, hist)
+
+let run () =
+  Common.header "OLTP: concurrent transfers through the MVCC front door";
+  let scale = Common.scale_env "MRDB_BENCH_SCALE" 1.0 in
+  let per_client = max 50 (int_of_float (1000. *. scale)) in
+  let points = ref [] in
+  let pt ~n metric ?unit_ v =
+    points :=
+      Common.pt ~bench:"oltp"
+        ~metric:(Printf.sprintf "clients.%d.%s" n metric)
+        ?unit_ v
+      :: !points
+  in
+  List.iter
+    (fun n ->
+      let wall, commits, conflicts, hist =
+        run_round ~n_clients:n ~per_client
+      in
+      let tps = float_of_int commits /. wall in
+      let abort_rate =
+        float_of_int conflicts /. float_of_int (commits + conflicts)
+      in
+      let p50 = Obs.Metrics.percentile hist 50. in
+      let p99 = Obs.Metrics.percentile hist 99. in
+      Common.note
+        "%d client(s): %d commits, %d conflicts in %.3fs — %s txn/s, \
+         abort rate %.3f, p50 %.0fus, p99 %.0fus"
+        n commits conflicts wall
+        (Common.pow10_label tps)
+        abort_rate (p50 *. 1e6) (p99 *. 1e6);
+      pt ~n "txns_per_sec" ~unit_:"txn/s" tps;
+      pt ~n "abort_rate" abort_rate;
+      pt ~n "p50_seconds" ~unit_:"s" p50;
+      pt ~n "p99_seconds" ~unit_:"s" p99)
+    [ 1; 2; 4 ];
+  Common.write_bench "BENCH_oltp.json" (List.rev !points)

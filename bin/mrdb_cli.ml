@@ -435,25 +435,48 @@ let import_cmd =
     Term.(const import $ path_arg $ name_arg $ sql_opt)
 
 let fuzz_cmd =
-  let fuzz seed cases max_rows mutate no_recovery quiet metrics =
+  let fuzz seed cases max_rows mutate no_recovery txn clients quiet metrics =
     let log msg = if not quiet then Printf.eprintf "mrdb fuzz: %s\n%!" msg in
-    let failures =
-      Fuzz.Harness.fuzz ~mutate ~recovery:(not no_recovery) ~max_rows ~log
-        ~seed ~cases ()
-    in
-    export_metrics metrics;
-    if failures = [] then
-      Printf.printf
-        "fuzz: %d case(s) from seed %d: no divergences across all engine x \
-         layout x fastpath combinations\n"
-        cases seed
+    if txn then begin
+      (* the transaction axis: interleaved multi-client histories against
+         the MVCC manager, checked against a serial oracle *)
+      let failures =
+        Fuzz.Txn_fuzz.fuzz ~max_clients:clients ~log ~seed ~cases ()
+      in
+      export_metrics metrics;
+      if failures = [] then
+        Printf.printf
+          "fuzz: %d interleaved histories from seed %d: no divergences from \
+           the serial oracle (snapshot isolation holds)\n"
+          cases seed
+      else begin
+        List.iter
+          (fun r -> Format.printf "%a@." Fuzz.Txn_fuzz.pp_report r)
+          failures;
+        Printf.printf "fuzz: %d of %d histories FAILED (seed %d)\n"
+          (List.length failures) cases seed;
+        exit 1
+      end
+    end
     else begin
-      List.iter
-        (fun r -> Format.printf "%a@." Fuzz.Harness.pp_report r)
-        failures;
-      Printf.printf "fuzz: %d of %d case(s) FAILED (seed %d)\n"
-        (List.length failures) cases seed;
-      exit 1
+      let failures =
+        Fuzz.Harness.fuzz ~mutate ~recovery:(not no_recovery) ~max_rows ~log
+          ~seed ~cases ()
+      in
+      export_metrics metrics;
+      if failures = [] then
+        Printf.printf
+          "fuzz: %d case(s) from seed %d: no divergences across all engine x \
+           layout x fastpath combinations\n"
+          cases seed
+      else begin
+        List.iter
+          (fun r -> Format.printf "%a@." Fuzz.Harness.pp_report r)
+          failures;
+        Printf.printf "fuzz: %d of %d case(s) FAILED (seed %d)\n"
+          (List.length failures) cases seed;
+        exit 1
+      end
     end
   in
   let seed_arg =
@@ -486,6 +509,19 @@ let fuzz_cmd =
   let quiet_flag =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
   in
+  let txn_flag =
+    Arg.(value & flag
+         & info [ "txn" ]
+             ~doc:"Fuzz the transaction layer instead: interleaved \
+                   multi-client histories against the MVCC manager, \
+                   differentially checked against a serial oracle \
+                   (SI-admissible equivalence).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 3
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"With $(b,--txn): maximum concurrent clients per history.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -493,10 +529,12 @@ let fuzz_cmd =
           through every engine x layout x tracer-fastpath combination (plus \
           morsel-parallel execution, metamorphic predicate rewrites and \
           crash recovery) and must match a reference oracle.  Failures are \
-          shrunk to a minimal OCaml repro.")
+          shrunk to a minimal OCaml repro.  With $(b,--txn), fuzzes \
+          interleaved multi-client transaction histories against a serial \
+          oracle instead.")
     Term.(
       const fuzz $ seed_arg $ cases_arg $ max_rows_arg $ mutate_flag
-      $ no_recovery_flag $ quiet_flag $ metrics_arg)
+      $ no_recovery_flag $ txn_flag $ clients_arg $ quiet_flag $ metrics_arg)
 
 let calibrate_cmd =
   let calibrate () =
@@ -531,7 +569,8 @@ let main_cmd =
 
 (* User mistakes (malformed SQL, unknown tables, bad arguments) become a
    one-line diagnostic and a nonzero exit; anything else keeps its
-   backtrace. *)
+   backtrace.  Taxonomy exceptions exit with their distinct codes
+   (conflict 3, timeout 4, busy 5) so scripts can branch on the outcome. *)
 let () =
   try exit (Cmd.eval ~catch:false main_cmd) with
   | Relalg.Sql.Parse_error msg ->
@@ -541,5 +580,5 @@ let () =
       match Mrdb_util.Errors.to_diagnostic e with
       | Some msg ->
           Printf.eprintf "mrdb: %s\n" msg;
-          exit 1
+          exit (match Mrdb_util.Errors.exit_code_of e with Some c -> c | None -> 1)
       | None -> raise e)

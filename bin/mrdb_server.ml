@@ -1,0 +1,344 @@
+(* mrdb_server — the concurrent OLTP front door.
+
+   A thin CLI over Txn.Server: one listening socket (unix-domain by
+   default, TCP with --port), a domain-per-client accept loop, and the
+   line protocol of Txn.Wire.  Commit points are durable when --wal is
+   given: each MVCC commit is one transaction-framed, flushed WAL unit, so
+   a crash recovers to a committed prefix via `mrdb_cli run --recover`.
+
+   --smoke runs the whole stack in-process: N update clients (bank
+   transfers with bounded retry + seeded exponential backoff) and M
+   analytics clients (snapshot SUM/ROWS reads) hammer the server over real
+   sockets; the invariants — conserved balance total on *every* snapshot
+   read, transfer log length equal to committed transfers — are the
+   divergence check CI asserts. *)
+
+open Cmdliner
+module Value = Storage.Value
+module Server = Txn.Server
+
+(* ------------------------------------------------------------------ *)
+(* Database setup                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The bank schema of the smoke workload: conserved total balance is the
+   cross-client invariant every analytics snapshot asserts. *)
+let bank_schema =
+  Storage.Schema.make "acct" [ ("id", Value.Int); ("bal", Value.Int) ]
+
+let xfer_schema =
+  Storage.Schema.make "xfer"
+    [ ("src", Value.Int); ("dst", Value.Int); ("amount", Value.Int) ]
+
+let initial_balance = 100
+
+let build_bank ~accounts () =
+  let cat = Storage.Catalog.create () in
+  let acct =
+    Storage.Catalog.add cat bank_schema (Storage.Layout.row bank_schema)
+  in
+  for i = 0 to accounts - 1 do
+    ignore
+      (Storage.Relation.append acct [| Value.VInt i; Value.VInt initial_balance |])
+  done;
+  ignore (Storage.Catalog.add cat xfer_schema (Storage.Layout.row xfer_schema));
+  cat
+
+let load_db name scale ~accounts =
+  match name with
+  | "bank" -> build_bank ~accounts ()
+  | "micro" ->
+      Workloads.Microbench.build ~n:(int_of_float (200_000.0 *. scale)) ()
+  | "sd" -> (Workloads.Sap_sd.build ~scale ()).Workloads.Sap_sd.cat
+  | "ch" -> (Workloads.Ch.build ~scale ()).Workloads.Ch.cat
+  | other -> failwith (Printf.sprintf "unknown database %S" other)
+
+let attach_wal cat = function
+  | None -> None
+  | Some wal ->
+      let env =
+        Durability.Faultio.files () ~path:(fun store ->
+            if store = Durability.Wal.store_name then wal
+            else if store = Durability.Snapshot.store_name then wal ^ ".snapshot"
+            else if store = Durability.Snapshot.tmp_name then
+              wal ^ ".snapshot.tmp"
+            else wal ^ "." ^ store)
+      in
+      Some (Durability.Durable.attach env cat)
+
+let export_metrics = function
+  | Some path -> Obs.Json.write_file path (Obs.Metrics.to_json ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Smoke mode: concurrent clients over real sockets, checked invariants *)
+(* ------------------------------------------------------------------ *)
+
+type client_stats = { client : int; committed : int; conflicts : int;
+                      divergences : int }
+
+let smoke_update_client ~addr ~transfers ~accounts ~seed i =
+  let rng = Mrdb_util.Rng.create (seed + (1000 * i)) in
+  let backoff = Txn.Backoff.create ~seed:(seed + i) () in
+  let c = Txn.Client.connect ~id:(Printf.sprintf "upd%d" i) addr in
+  let committed = ref 0 and conflicts = ref 0 in
+  for _ = 1 to transfers do
+    let src = Mrdb_util.Rng.int rng accounts in
+    let dst = (src + 1 + Mrdb_util.Rng.int rng (accounts - 1)) mod accounts in
+    let amount = 1 + Mrdb_util.Rng.int rng 5 in
+    (* bounded retry with seeded exponential backoff at the client layer *)
+    let rec attempt n =
+      Txn.Client.begin_ c;
+      match
+        let bs = Value.to_int (Txn.Client.get c ~table:"acct" ~tid:src ~attr:1) in
+        let bd = Value.to_int (Txn.Client.get c ~table:"acct" ~tid:dst ~attr:1) in
+        Txn.Client.set c ~table:"acct" ~tid:src ~attr:1 (Value.VInt (bs - amount));
+        Txn.Client.set c ~table:"acct" ~tid:dst ~attr:1 (Value.VInt (bd + amount));
+        Txn.Client.insert c ~table:"xfer"
+          [| Value.VInt src; Value.VInt dst; Value.VInt amount |];
+        Txn.Client.commit c
+      with
+      | _ts -> incr committed
+      | exception Mrdb_util.Errors.Txn_conflict _ ->
+          incr conflicts;
+          if n < 25 then begin
+            ignore (Txn.Backoff.sleep backoff);
+            attempt (n + 1)
+          end
+    in
+    attempt 0
+  done;
+  Txn.Client.close c;
+  { client = i; committed = !committed; conflicts = !conflicts; divergences = 0 }
+
+let smoke_analytics_client ~addr ~reads ~accounts i =
+  let c = Txn.Client.connect ~id:(Printf.sprintf "ana%d" i) addr in
+  let divergences = ref 0 in
+  let expected_total = accounts * initial_balance in
+  for _ = 1 to reads do
+    Txn.Client.begin_ c;
+    (* one snapshot: the balance total must be conserved on every read,
+       no matter how many transfers are in flight *)
+    let total = Value.to_int (Txn.Client.sum c ~table:"acct" ~attr:1) in
+    let rows = Txn.Client.rows c "acct" in
+    if total <> expected_total then incr divergences;
+    if rows <> accounts then incr divergences;
+    Txn.Client.abort c
+  done;
+  Txn.Client.close c;
+  { client = i; committed = 0; conflicts = 0; divergences = !divergences }
+
+let run_smoke ~clients ~transfers ~accounts ~seed ~max_clients ~txn_timeout
+    ~wal ~metrics =
+  let cat = build_bank ~accounts () in
+  let durable = attach_wal cat wal in
+  let srv = Server.create ~max_clients ?txn_timeout (Txn.Mvcc.create cat) in
+  let sock_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mrdb-smoke-%d.sock" (Unix.getpid ()))
+  in
+  let listen_fd = Server.listen_unix sock_path in
+  let server_domain = Domain.spawn (fun () -> Server.accept_loop srv listen_fd) in
+  let addr = Txn.Client.Unix_sock sock_path in
+  let analytics = max 1 (clients / 2) in
+  let updaters = max 1 (clients - analytics) in
+  Printf.printf
+    "smoke: %d updater(s) x %d transfers, %d analytics reader(s), %d \
+     accounts, seed %d\n%!"
+    updaters transfers analytics accounts seed;
+  let upd_domains =
+    List.init updaters (fun i ->
+        Domain.spawn (fun () ->
+            smoke_update_client ~addr ~transfers ~accounts ~seed i))
+  in
+  let ana_domains =
+    List.init analytics (fun i ->
+        Domain.spawn (fun () ->
+            smoke_analytics_client ~addr ~reads:((transfers / 2) + 5) ~accounts i))
+  in
+  let upd = List.map Domain.join upd_domains in
+  let ana = List.map Domain.join ana_domains in
+  Server.stop srv;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Server.poke sock_path;
+  Domain.join server_domain;
+  (try Unix.unlink sock_path with Unix.Unix_error _ -> ());
+  (* final divergence audit on the quiesced state *)
+  let mgr = Server.mgr srv in
+  let final_total =
+    Txn.Mvcc.snapshot mgr (fun txn ->
+        Array.fold_left
+          (fun acc row -> acc + Value.to_int row.(1))
+          0
+          (Txn.Mvcc.scan txn "acct"))
+  in
+  let xfer_rows =
+    Txn.Mvcc.snapshot mgr (fun txn -> Txn.Mvcc.visible_rows txn "xfer")
+  in
+  let committed_total = List.fold_left (fun a s -> a + s.committed) 0 upd in
+  let conflict_total = List.fold_left (fun a s -> a + s.conflicts) 0 upd in
+  let snapshot_divergences =
+    List.fold_left (fun a s -> a + s.divergences) 0 ana
+  in
+  let audit_divergences =
+    (if final_total <> accounts * initial_balance then 1 else 0)
+    + if xfer_rows <> committed_total then 1 else 0
+  in
+  let divergences = snapshot_divergences + audit_divergences in
+  List.iter
+    (fun s ->
+      Printf.printf "  upd%d: %d committed, %d conflict(s)\n" s.client
+        s.committed s.conflicts)
+    upd;
+  List.iter
+    (fun s ->
+      Printf.printf "  ana%d: %d divergence(s)\n" s.client s.divergences)
+    ana;
+  Printf.printf
+    "smoke: %d committed, %d conflicts, balance total %d (expected %d), \
+     %d transfer rows, %d divergence(s)\n"
+    committed_total conflict_total final_total
+    (accounts * initial_balance)
+    xfer_rows divergences;
+  (match durable with Some d -> Durability.Durable.detach d | None -> ());
+  export_metrics metrics;
+  if divergences > 0 then begin
+    Printf.eprintf "mrdb_server: smoke FAILED with %d divergence(s)\n"
+      divergences;
+    exit 1
+  end;
+  Printf.printf "smoke: clean shutdown, zero divergences\n"
+
+(* ------------------------------------------------------------------ *)
+(* Serve mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve ~db ~scale ~accounts ~socket ~port ~max_clients ~txn_timeout
+    ~wal ~metrics =
+  let cat = load_db db scale ~accounts in
+  let durable = attach_wal cat wal in
+  let srv = Server.create ~max_clients ?txn_timeout (Txn.Mvcc.create cat) in
+  let listen_fd, where =
+    match port with
+    | Some p -> (Server.listen_tcp p, Printf.sprintf "127.0.0.1:%d" p)
+    | None -> (Server.listen_unix socket, socket)
+  in
+  let shutdown _ =
+    Server.stop srv;
+    try Unix.close listen_fd with Unix.Unix_error _ -> ()
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+  Printf.printf "mrdb_server: serving %s on %s (max %d clients%s%s)\n%!" db
+    where max_clients
+    (match txn_timeout with
+    | Some t -> Printf.sprintf ", txn timeout %gs" t
+    | None -> "")
+    (match wal with Some w -> ", wal " ^ w | None -> "");
+  Server.accept_loop srv listen_fd;
+  (match durable with Some d -> Durability.Durable.detach d | None -> ());
+  export_metrics metrics;
+  Printf.printf "mrdb_server: clean shutdown\n"
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let main db scale accounts socket port max_clients txn_timeout wal metrics
+    smoke clients transfers seed =
+  if smoke then
+    run_smoke ~clients ~transfers ~accounts ~seed ~max_clients ~txn_timeout
+      ~wal ~metrics
+  else
+    run_serve ~db ~scale ~accounts ~socket ~port ~max_clients ~txn_timeout
+      ~wal ~metrics
+
+let cmd =
+  let db =
+    Arg.(value & opt string "bank"
+         & info [ "d"; "db" ] ~docv:"DB"
+             ~doc:"Database to serve: bank (synthetic accounts), micro, sd, ch.")
+  in
+  let scale =
+    Arg.(value & opt float 0.2
+         & info [ "s"; "scale" ] ~docv:"SCALE"
+             ~doc:"Demo-database scale factor.")
+  in
+  let accounts =
+    Arg.(value & opt int 32
+         & info [ "accounts" ] ~docv:"N" ~doc:"Rows in the bank table.")
+  in
+  let socket =
+    Arg.(value & opt string "/tmp/mrdb.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on.")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Listen on 127.0.0.1:$(docv) instead of the unix socket.")
+  in
+  let max_clients =
+    Arg.(value & opt int 8
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Admission gate: connections past $(docv) concurrent \
+                   clients are shed with ERR BUSY.")
+  in
+  let txn_timeout =
+    Arg.(value & opt (some float) (Some 5.0)
+         & info [ "txn-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-transaction deadline; an expired transaction aborts \
+                   with ERR TIMEOUT at its next operation.")
+  in
+  let wal =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE"
+             ~doc:"Write-ahead-log commits to $(docv); every MVCC commit is \
+                   one flushed WAL transaction.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Export the metrics registry (per-client latency \
+                   histograms included) on shutdown.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Self-test: run the server in-process and hammer it with \
+                   concurrent update + analytics clients over real sockets; \
+                   exit nonzero on any divergence.")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Smoke mode: total concurrent clients (half analytics).")
+  in
+  let transfers =
+    Arg.(value & opt int 50
+         & info [ "transfers" ] ~docv:"N"
+             ~doc:"Smoke mode: committed transfers per update client.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Smoke mode: workload and backoff seed.")
+  in
+  Cmd.v
+    (Cmd.info "mrdb_server" ~version:Core.version
+       ~doc:"Concurrent MVCC transaction server for mrdb")
+    Term.(
+      const main $ db $ scale $ accounts $ socket $ port $ max_clients
+      $ txn_timeout $ wal $ metrics $ smoke $ clients $ transfers $ seed)
+
+let () =
+  try exit (Cmd.eval ~catch:false cmd) with
+  | e -> (
+      match Mrdb_util.Errors.exit_code_of e with
+      | Some code ->
+          Printf.eprintf "mrdb_server: %s\n"
+            (match Mrdb_util.Errors.to_diagnostic e with
+            | Some m -> m
+            | None -> Printexc.to_string e);
+          exit code
+      | None -> raise e)

@@ -92,9 +92,15 @@ let handle t ev =
         | None -> ()
         | Some txid ->
             t.open_txid <- None;
+            (* named commit-path crash points: before the Commit record
+               exists (txn must be discarded by recovery) and after the
+               flush (txn must survive).  These are logical boundaries the
+               chaos tests pin by name. *)
+            Faultio.point t.env "txn.pre_commit";
             Wal.write t.w (Wal.Commit txid);
             Wal.flush t.w;
-            t.committed <- t.committed + 1
+            t.committed <- t.committed + 1;
+            Faultio.point t.env "txn.post_commit"
       end
   | Catalog.Obs_abort ->
       t.depth <- t.depth - 1;

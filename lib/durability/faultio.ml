@@ -7,7 +7,14 @@
    write/flush/rename boundary — each such boundary is one numbered *crash
    point* — optionally letting a prefix of the un-flushed bytes survive (a
    torn write / partial flush).  Everything is deterministic: the same plan
-   over the same workload crashes at the same byte. *)
+   over the same workload crashes at the same byte.
+
+   Crash points carry *names* as well as positions: each boundary is the
+   k-th occurrence of a stable name like "flush:wal" or "txn.pre_commit".
+   Positional [Crash_at] indices shift whenever a new boundary is inserted
+   upstream of them; [At_point] pins (name, occurrence) instead, so pinned
+   recovery seeds and corpus cases keep replaying the same boundary when
+   the commit path grows new points. *)
 
 exception Crash of string
 (** The simulated process death.  Whoever drives the workload catches it,
@@ -21,6 +28,9 @@ type plan =
           fraction of the un-flushed tail that becomes durable anyway
           (0.0 = all buffered bytes lost, 1.0 = the op fully hit the medium
           before the crash). *)
+  | At_point of { name : string; nth : int; torn : float }
+      (** die at the [nth]-th occurrence (1-based) of the named crash
+          point.  Stable under insertion of differently-named points. *)
   | Seeded of { seed : int; mean_period : int }
       (** crash at a pseudo-random boundary roughly every [mean_period]
           crash points, with a pseudo-random torn fraction — deterministic
@@ -36,14 +46,16 @@ type t = {
   backend : backend;
   mutable plan : plan;
   mutable ops : int;
+  counts : (string, int) Hashtbl.t;  (* occurrences passed, per point name *)
   mutable rng : int64;
 }
 
 let memory ?(plan = Reliable) () =
-  { backend = Mem (Hashtbl.create 4); plan; ops = 0; rng = 0L }
+  { backend = Mem (Hashtbl.create 4); plan; ops = 0;
+    counts = Hashtbl.create 8; rng = 0L }
 
 let files ?(plan = Reliable) ~path () =
-  { backend = Dir path; plan; ops = 0; rng = 0L }
+  { backend = Dir path; plan; ops = 0; counts = Hashtbl.create 8; rng = 0L }
 
 let in_dir ?plan dir =
   files ?plan ~path:(fun name -> Filename.concat dir name) ()
@@ -53,7 +65,14 @@ let set_plan t plan =
   t.rng <- (match plan with Seeded { seed; _ } -> Int64.of_int seed | _ -> 0L)
 
 let points t = t.ops
-let reset_points t = t.ops <- 0
+
+let named_points t =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.counts []
+  |> List.sort compare
+
+let reset_points t =
+  t.ops <- 0;
+  Hashtbl.reset t.counts
 
 (* ------------------------------------------------------------------ *)
 (* Durable stores                                                     *)
@@ -177,13 +196,20 @@ let splitmix st =
             0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(* Advance the crash-point counter for one op; returns [Some torn] if the
-   plan says the process dies here. *)
-let crash_here t =
+(* Advance the crash-point counters for one named op; returns [Some torn]
+   if the plan says the process dies here. *)
+let crash_here t ~name =
   t.ops <- t.ops + 1;
+  let occurrence =
+    let n = (match Hashtbl.find_opt t.counts name with Some n -> n | None -> 0) + 1 in
+    Hashtbl.replace t.counts name n;
+    n
+  in
   match t.plan with
   | Reliable -> None
   | Crash_at { point; torn } -> if t.ops = point then Some torn else None
+  | At_point { name = pname; nth; torn } ->
+      if String.equal pname name && occurrence = nth then Some torn else None
   | Seeded { mean_period; _ } ->
       let st = ref t.rng in
       let draw = splitmix st in
@@ -213,7 +239,7 @@ type sink = {
 }
 
 let create t name =
-  (match crash_here t with
+  (match crash_here t ~name:("create:" ^ name) with
   | Some torn when torn < 1.0 -> raise (Crash "before truncate")
   | Some _ ->
       durable_truncate t name;
@@ -230,7 +256,7 @@ let check_alive s what =
 let write s chunk =
   check_alive s "write";
   Stdlib.Buffer.add_string s.pending chunk;
-  match crash_here s.env with
+  match crash_here s.env ~name:("write:" ^ s.name) with
   | Some torn ->
       s.dead <- true;
       let b = Stdlib.Buffer.to_bytes s.pending in
@@ -240,7 +266,7 @@ let write s chunk =
 
 let flush s =
   check_alive s "flush";
-  match crash_here s.env with
+  match crash_here s.env ~name:("flush:" ^ s.name) with
   | Some torn ->
       s.dead <- true;
       let b = Stdlib.Buffer.to_bytes s.pending in
@@ -258,9 +284,17 @@ let close s =
   end
 
 let rename t ~src ~dst =
-  match crash_here t with
+  match crash_here t ~name:("rename:" ^ dst) with
   | Some torn when torn < 1.0 -> raise (Crash "before rename")
   | Some _ ->
       durable_rename t ~src ~dst;
       raise (Crash "after rename")
   | None -> durable_rename t ~src ~dst
+
+(* An explicit logical crash point with no bytes of its own — the commit
+   path inserts these at boundaries worth pinning (pre/post commit frame).
+   The torn fraction is irrelevant: nothing is buffered here. *)
+let point t name =
+  match crash_here t ~name with
+  | Some _ -> raise (Crash ("at point " ^ name))
+  | None -> ()

@@ -6,7 +6,13 @@
     process crash at any write/flush/truncate/rename boundary (each is one
     numbered {e crash point}), optionally letting a prefix of the un-flushed
     tail survive — torn writes and partial flushes.  Deterministic: the same
-    plan over the same workload crashes at the same byte. *)
+    plan over the same workload crashes at the same byte.
+
+    Every boundary also has a stable {e name} ("write:wal", "flush:wal",
+    "rename:snapshot", "txn.pre_commit", ...).  {!At_point} pins a crash to
+    the k-th occurrence of a name, which — unlike positional {!Crash_at}
+    indices — stays valid when new commit-path points are inserted, so
+    pinned recovery seeds keep replaying the same boundary. *)
 
 exception Crash of string
 (** Simulated process death.  The workload driver catches it, drops all live
@@ -17,6 +23,9 @@ type plan =
   | Crash_at of { point : int; torn : float }
       (** die at the [point]-th crash point (1-based); [torn] ∈ [0,1] is the
           fraction of the un-flushed tail that becomes durable anyway. *)
+  | At_point of { name : string; nth : int; torn : float }
+      (** die at the [nth]-th occurrence (1-based) of the named point;
+          insertion-stable (see above). *)
   | Seeded of { seed : int; mean_period : int }
       (** crash roughly every [mean_period] points with pseudo-random torn
           fraction; deterministic for a fixed seed. *)
@@ -35,6 +44,16 @@ val points : t -> int
 (** Crash points passed so far (for enumerating them exhaustively). *)
 
 val reset_points : t -> unit
+(** Zero both the positional counter and every per-name occurrence count. *)
+
+val named_points : t -> (string * int) list
+(** Occurrences passed so far per point name, sorted by name — the stable
+    enumeration a crash-matrix test iterates instead of raw indices. *)
+
+val point : t -> string -> unit
+(** An explicit logical crash point (no bytes of its own): counts as one
+    boundary under the given name and raises {!Crash} if the plan says so.
+    The commit path inserts these at its pre/post-commit boundaries. *)
 
 (** {2 Durable reads and store management} *)
 

@@ -94,6 +94,41 @@ let observe h v =
       h.sum <- h.sum +. v;
       h.count <- h.count + 1)
 
+(* Prometheus-style quantile estimate: find the bucket holding the rank
+   and interpolate linearly inside it.  The open +Inf bucket extrapolates
+   one more exponential step past the last finite bound. *)
+let percentile h p =
+  with_lock (fun () ->
+      if h.count = 0 then 0.0
+      else begin
+        let rank = p /. 100.0 *. float_of_int h.count in
+        let nb = Array.length h.bounds in
+        let acc = ref 0.0 in
+        let res = ref None in
+        Array.iteri
+          (fun i c ->
+            if !res = None then begin
+              let next = !acc +. float_of_int c in
+              if next >= rank && c > 0 then begin
+                let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+                let hi =
+                  if i < nb then h.bounds.(i)
+                  else if nb = 0 then 0.0
+                  else h.bounds.(nb - 1) *. 4.0
+                in
+                let frac = (rank -. !acc) /. float_of_int c in
+                res := Some (lo +. (frac *. (hi -. lo)))
+              end;
+              acc := next
+            end)
+          h.counts;
+        match !res with
+        | Some v -> v
+        | None -> if nb = 0 then 0.0 else h.bounds.(nb - 1)
+      end)
+
+let histogram_count h = with_lock (fun () -> h.count)
+
 let metrics_in_order () = with_lock (fun () -> List.rev !registry)
 
 let to_prometheus () =

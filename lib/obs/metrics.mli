@@ -28,6 +28,13 @@ val histogram : ?help:string -> ?buckets:float list -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+val percentile : histogram -> float -> float
+(** [percentile h p] estimates the [p]-th percentile ([0..100]) from the
+    bucket counts, Prometheus-style: linear interpolation inside the
+    bucket that holds the rank.  0 for an empty histogram. *)
+
+val histogram_count : histogram -> int
+
 val to_prometheus : unit -> string
 (** Prometheus text exposition format, metrics in registration order. *)
 

@@ -1,0 +1,35 @@
+(* Seeded exponential backoff with full jitter.
+
+   Retrying a conflicted transaction immediately just re-collides; retrying
+   after a fixed delay synchronizes the colliders.  The standard cure is
+   exponential backoff with "full jitter": attempt [k] sleeps a uniform
+   draw from [0, min(cap, base * 2^k)].  The draw comes from the repo's
+   deterministic SplitMix generator, so a fixed seed replays the exact same
+   delay schedule — tests assert the schedule, not just its shape. *)
+
+type t = {
+  rng : Mrdb_util.Rng.t;
+  base : float;
+  cap : float;
+  mutable attempt : int;
+}
+
+let create ?(base = 0.0002) ?(cap = 0.05) ~seed () =
+  if base <= 0.0 then invalid_arg "Backoff.create: base must be positive";
+  if cap < base then invalid_arg "Backoff.create: cap below base";
+  { rng = Mrdb_util.Rng.create seed; base; cap; attempt = 0 }
+
+let attempts t = t.attempt
+
+let reset t = t.attempt <- 0
+
+(* The delay for the next retry; advances the attempt counter. *)
+let next_delay t =
+  let ceiling = min t.cap (t.base *. (2.0 ** float_of_int t.attempt)) in
+  t.attempt <- t.attempt + 1;
+  Mrdb_util.Rng.float t.rng *. ceiling
+
+let sleep t =
+  let d = next_delay t in
+  if d > 0.0 then Unix.sleepf d;
+  d

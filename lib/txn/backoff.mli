@@ -1,0 +1,22 @@
+(** Seeded exponential backoff with full jitter for transaction retry.
+
+    Attempt [k] draws a uniform delay from [0, min(cap, base * 2^k)] using
+    the repo's deterministic SplitMix generator — a fixed seed replays the
+    exact delay schedule. *)
+
+type t
+
+val create : ?base:float -> ?cap:float -> seed:int -> unit -> t
+(** [base] is the first attempt's ceiling in seconds (default 200µs),
+    [cap] the overall ceiling (default 50ms). *)
+
+val next_delay : t -> float
+(** Draw the next delay (seconds) and advance the attempt counter. *)
+
+val sleep : t -> float
+(** {!next_delay}, then actually sleep it; returns the delay. *)
+
+val attempts : t -> int
+(** Retries drawn so far. *)
+
+val reset : t -> unit

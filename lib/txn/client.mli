@@ -1,0 +1,30 @@
+(** Socket client for mrdb_server (see {!Wire} for the protocol).
+
+    ERR replies raise their typed {!Mrdb_util.Errors} exceptions.  The
+    client reconnects transparently on dead connections; commits are
+    idempotent across reconnects via per-commit tokens, so a commit whose
+    reply was lost is never double-applied. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type t
+
+val connect : ?id:string -> addr -> t
+(** [id] is the stable client identity used for idempotent reconnect
+    (default derived from the pid). *)
+
+val close : t -> unit
+
+val begin_ : t -> unit
+val get : t -> table:string -> tid:int -> attr:int -> Storage.Value.t
+val set : t -> table:string -> tid:int -> attr:int -> Storage.Value.t -> unit
+val insert : t -> table:string -> Storage.Value.t array -> unit
+val rows : t -> string -> int
+val sum : t -> table:string -> attr:int -> Storage.Value.t
+
+val commit : t -> int
+(** Returns the commit timestamp.
+    @raise Mrdb_util.Errors.Txn_conflict on first-committer-wins refusal. *)
+
+val abort : t -> unit
+val ping : t -> unit

@@ -1,0 +1,96 @@
+(** Snapshot-isolation MVCC over {!Storage.Catalog}.
+
+    In-place base relations plus undo chains: the stored state is the
+    latest committed one; a transaction reads at its begin timestamp by
+    resolving undo versions newer than its snapshot.  Writes buffer in the
+    transaction and apply at commit under first-committer-wins — a commit
+    whose write set overlaps a commit after its begin raises
+    {!Mrdb_util.Errors.Txn_conflict} and applies nothing.  Reads are never
+    validated: write skew is permitted (the SI anomaly boundary, see
+    DESIGN.md §5h).
+
+    Commit applies run inside [Catalog.in_txn], so with a durability
+    manager attached each commit is one transaction-framed, flushed WAL
+    unit — the WAL and MVCC commit points coincide.
+
+    All operations are thread-safe: one manager mutex guards each
+    operation's critical section (logical MVCC over coarse physical
+    latching — readers never block for a whole writer transaction, only
+    for single ops). *)
+
+type t
+(** The manager: version store, commit clock, active-snapshot registry. *)
+
+type txn
+
+type status = Active | Committed of int | Aborted of string
+
+val create : Storage.Catalog.t -> t
+(** Manage transactions over [cat].  Once attached, all mutations of the
+    catalog's relations must go through transactions of this manager
+    (host-side loads or repartitions would bypass versioning). *)
+
+val catalog : t -> Storage.Catalog.t
+
+val clock : t -> int
+(** Last assigned commit timestamp. *)
+
+val begin_ : ?timeout:float -> t -> txn
+(** Open a transaction reading at the current commit timestamp.  With
+    [timeout] (seconds), any operation past the deadline aborts the
+    transaction and raises {!Mrdb_util.Errors.Txn_timeout}. *)
+
+val begin_ts : txn -> int
+val status : txn -> status
+
+val read : txn -> string -> int -> int -> Storage.Value.t
+(** [read txn table tid attr] at the transaction's snapshot, serving the
+    transaction's own buffered writes first.
+    @raise Invalid_argument if the row is not visible at the snapshot. *)
+
+val read_row : txn -> string -> int -> Storage.Value.t array
+
+val visible_rows : txn -> string -> int
+(** Rows visible at the snapshot (inserts are append-only, so a snapshot
+    sees a prefix).  The transaction's own uncommitted inserts are not
+    addressable until commit. *)
+
+val scan : txn -> string -> Storage.Value.t array array
+(** Snapshot-consistent materialization of the visible rows — the
+    analytics read path (one critical section per scan, not per row). *)
+
+val update : txn -> string -> int -> int -> Storage.Value.t -> unit
+(** Buffer an overwrite of [table[tid].attr]; applied at commit. *)
+
+val insert : txn -> string -> Storage.Value.t array -> unit
+(** Buffer an append (full tuple, schema order); tuple ids are assigned at
+    commit in write order. *)
+
+val commit : txn -> int
+(** Validate (first-committer-wins), apply, and return the commit
+    timestamp.
+    @raise Mrdb_util.Errors.Txn_conflict on write-write conflict (nothing
+    applied, transaction aborted). *)
+
+val abort : txn -> unit
+(** Discard buffered writes.  Idempotent on aborted transactions. *)
+
+val run :
+  ?retries:int ->
+  ?timeout:float ->
+  ?backoff:Backoff.t ->
+  t ->
+  (txn -> 'a) ->
+  'a
+(** Run [f] in a transaction and commit it, retrying conflicts up to
+    [retries] times (default 8) with seeded exponential backoff (default
+    seed 1; pass your own {!Backoff.t} for a per-client schedule).
+    Timeouts are never retried.  If [f] aborts its transaction, the result
+    is returned without committing. *)
+
+val snapshot : t -> (txn -> 'a) -> 'a
+(** Read-only snapshot: begin, run [f], abort — never conflicts, writes
+    nothing to the WAL. *)
+
+val retained_versions : t -> int
+(** Undo versions currently held (post-GC) — observability for tests. *)

@@ -1,0 +1,39 @@
+(** The multi-client server core: a domain-per-client accept loop over the
+    {!Wire} line protocol, executing against an {!Mvcc} manager.
+
+    Graceful degradation: connections past [max_clients] are shed with
+    [ERR BUSY] (never queued); per-transaction timeouts abort with
+    [ERR TIMEOUT]; commits carry client tokens and the server caches each
+    client's last committed one, so a reconnecting client re-sending a
+    COMMIT whose reply was lost gets the original timestamp instead of a
+    double-apply. *)
+
+type t
+
+val create : ?max_clients:int -> ?txn_timeout:float -> Mvcc.t -> t
+(** [max_clients] defaults to 8; [txn_timeout] (seconds) is handed to
+    every BEGIN. *)
+
+val mgr : t -> Mvcc.t
+
+val stop : t -> unit
+(** Ask the accept loop to exit; it notices at the next accepted
+    connection (see {!poke}) or request boundary. *)
+
+val stopped : t -> bool
+
+val accept_loop : t -> Unix.file_descr -> unit
+(** Accept clients until {!stop}; each client runs in its own domain, all
+    joined before returning.  Closing the listening socket also ends the
+    loop. *)
+
+val handle_client : t -> Unix.file_descr -> unit
+(** Serve one connection on the calling thread (the accept loop uses this;
+    exposed for direct socketpair-style tests). *)
+
+val listen_unix : string -> Unix.file_descr
+val listen_tcp : int -> Unix.file_descr
+
+val poke : string -> unit
+(** Connect-and-close to a unix socket so a stopped accept loop blocked in
+    accept(2) wakes up. *)

@@ -1,0 +1,192 @@
+(* The server's line protocol: one request or reply per newline-terminated
+   line, ASCII, space-separated fields.  Values carry a one-letter type tag
+   so the client round-trips types exactly; strings are percent-escaped so
+   embedded spaces, pipes, newlines and non-ASCII survive.
+
+     request:  HELLO id | BEGIN | GET t tid attr | SET t tid attr v
+             | INSERT t v1|v2|... | ROWS t | SUM t attr | COMMIT [token]
+             | ABORT | PING | QUIT
+     reply:    OK [detail] | VAL v | ERR TAG message
+
+   ERR tags are the wire form of the Mrdb_util.Errors taxonomy
+   (CONFLICT, TIMEOUT, BUSY, UNKNOWN_TABLE, ...), so a client can rebuild
+   the typed exception a reply stands for. *)
+
+module Value = Storage.Value
+
+(* ------------------------------------------------------------------ *)
+(* Escaping                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let must_escape c =
+  c <= ' ' || c > '~' || c = '%' || c = '|'
+
+let escape s =
+  if String.exists must_escape s then begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
+let unescape s =
+  if not (String.contains s '%') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '%' && !i + 2 < n then begin
+        (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+        | Some code ->
+            Buffer.add_char b (Char.chr code);
+            i := !i + 3
+        | None ->
+            Buffer.add_char b s.[!i];
+            incr i)
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode_value = function
+  | Value.Null -> "null"
+  | Value.VInt i -> Printf.sprintf "i:%d" i
+  | Value.VFloat f -> Printf.sprintf "f:%h" f
+  | Value.VBool b -> Printf.sprintf "b:%b" b
+  | Value.VDate d -> Printf.sprintf "d:%d" d
+  | Value.VStr s -> "s:" ^ escape s
+
+let decode_value s =
+  let payload () = String.sub s 2 (String.length s - 2) in
+  if s = "null" then Value.Null
+  else if String.length s < 2 || s.[1] <> ':' then
+    failwith (Printf.sprintf "wire: bad value %S" s)
+  else
+    match s.[0] with
+    | 'i' -> (
+        match int_of_string_opt (payload ()) with
+        | Some i -> Value.VInt i
+        | None -> failwith (Printf.sprintf "wire: bad int %S" s))
+    | 'f' -> (
+        match float_of_string_opt (payload ()) with
+        | Some f -> Value.VFloat f
+        | None -> failwith (Printf.sprintf "wire: bad float %S" s))
+    | 'b' -> (
+        match payload () with
+        | "true" -> Value.VBool true
+        | "false" -> Value.VBool false
+        | _ -> failwith (Printf.sprintf "wire: bad bool %S" s))
+    | 'd' -> (
+        match int_of_string_opt (payload ()) with
+        | Some d -> Value.VDate d
+        | None -> failwith (Printf.sprintf "wire: bad date %S" s))
+    | 's' -> Value.VStr (unescape (payload ()))
+    | _ -> failwith (Printf.sprintf "wire: bad value tag %S" s)
+
+let encode_values vs =
+  String.concat "|" (Array.to_list (Array.map encode_value vs))
+
+let decode_values s =
+  Array.of_list (List.map decode_value (String.split_on_char '|' s))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Hello of string  (** client id, for idempotent reconnect *)
+  | Begin
+  | Get of { table : string; tid : int; attr : int }
+  | Set of { table : string; tid : int; attr : int; value : Value.t }
+  | Insert of { table : string; values : Value.t array }
+  | Rows of string
+  | Sum of { table : string; attr : int }
+  | Commit of string option  (** idempotency token *)
+  | Abort
+  | Ping
+  | Quit
+
+let encode_request = function
+  | Hello id -> "HELLO " ^ escape id
+  | Begin -> "BEGIN"
+  | Get { table; tid; attr } -> Printf.sprintf "GET %s %d %d" (escape table) tid attr
+  | Set { table; tid; attr; value } ->
+      Printf.sprintf "SET %s %d %d %s" (escape table) tid attr (encode_value value)
+  | Insert { table; values } ->
+      Printf.sprintf "INSERT %s %s" (escape table) (encode_values values)
+  | Rows table -> "ROWS " ^ escape table
+  | Sum { table; attr } -> Printf.sprintf "SUM %s %d" (escape table) attr
+  | Commit None -> "COMMIT"
+  | Commit (Some token) -> "COMMIT " ^ escape token
+  | Abort -> "ABORT"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "wire: bad %s %S" what s)
+
+let parse_request line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "HELLO"; id ] -> Hello (unescape id)
+  | [ "BEGIN" ] -> Begin
+  | [ "GET"; t; tid; attr ] ->
+      Get { table = unescape t; tid = int_field "tid" tid;
+            attr = int_field "attr" attr }
+  | [ "SET"; t; tid; attr; v ] ->
+      Set { table = unescape t; tid = int_field "tid" tid;
+            attr = int_field "attr" attr; value = decode_value v }
+  | [ "INSERT"; t; vs ] -> Insert { table = unescape t; values = decode_values vs }
+  | [ "ROWS"; t ] -> Rows (unescape t)
+  | [ "SUM"; t; attr ] -> Sum { table = unescape t; attr = int_field "attr" attr }
+  | [ "COMMIT" ] -> Commit None
+  | [ "COMMIT"; token ] -> Commit (Some (unescape token))
+  | [ "ABORT" ] -> Abort
+  | [ "PING" ] -> Ping
+  | [ "QUIT" ] -> Quit
+  | _ -> failwith (Printf.sprintf "wire: bad request %S" line)
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type reply =
+  | Ok_ of string  (** detail, possibly empty *)
+  | Val of Value.t
+  | Err of { tag : string; msg : string }
+
+let encode_reply = function
+  | Ok_ "" -> "OK"
+  | Ok_ detail -> "OK " ^ escape detail
+  | Val v -> "VAL " ^ encode_value v
+  | Err { tag; msg } -> Printf.sprintf "ERR %s %s" tag (escape msg)
+
+let parse_reply line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "OK" ] -> Ok_ ""
+  | [ "OK"; detail ] -> Ok_ (unescape detail)
+  | [ "VAL"; v ] -> Val (decode_value v)
+  | "ERR" :: tag :: rest -> Err { tag; msg = unescape (String.concat " " rest) }
+  | _ -> failwith (Printf.sprintf "wire: bad reply %S" line)
+
+(* The typed exception an ERR reply stands for. *)
+let exn_of_reply = function
+  | Err { tag; msg } -> (
+      match Mrdb_util.Errors.of_wire_tag tag msg with
+      | Some e -> Some e
+      | None -> Some (Failure (Printf.sprintf "server error %s: %s" tag msg)))
+  | Ok_ _ | Val _ -> None

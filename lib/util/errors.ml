@@ -3,7 +3,13 @@
    Storage raises these instead of bare [Not_found]-style exceptions so that
    front ends (the CLI in particular) can turn user mistakes into one-line
    diagnostics instead of backtraces.  Internal invariant violations keep
-   using [Invalid_argument]/[assert]. *)
+   using [Invalid_argument]/[assert].
+
+   The transaction/server members each map to a distinct process exit code
+   (see [exit_code_of]) so scripts driving mrdb_cli or mrdb_server can
+   distinguish "retry later" (conflict, busy) from "give up" failures
+   without parsing diagnostics.  Code 1 stays the generic user-error code
+   and 2 belongs to cmdliner usage errors. *)
 
 exception Unknown_table of string
 (** A catalog lookup named a table that does not exist. *)
@@ -12,9 +18,50 @@ exception Corrupt_log of string
 (** A durability file (WAL or snapshot) failed structural validation beyond
     what recovery can tolerate. *)
 
+exception Txn_conflict of string
+(** First-committer-wins write-write conflict under snapshot isolation: a
+    transaction tried to commit a write to a cell another transaction
+    committed after this one's begin timestamp. *)
+
+exception Txn_timeout of string
+(** The transaction exceeded its per-transaction deadline and was aborted. *)
+
+exception Server_busy of string
+(** The server's admission gate shed this connection or request instead of
+    letting the queue collapse. *)
+
 let to_diagnostic = function
   | Unknown_table t -> Some (Printf.sprintf "unknown table %S" t)
   | Corrupt_log msg -> Some (Printf.sprintf "corrupt durability file: %s" msg)
+  | Txn_conflict msg -> Some (Printf.sprintf "transaction conflict: %s" msg)
+  | Txn_timeout msg -> Some (Printf.sprintf "transaction timeout: %s" msg)
+  | Server_busy msg -> Some (Printf.sprintf "server busy: %s" msg)
   | Invalid_argument msg -> Some msg
   | Failure msg -> Some msg
+  | _ -> None
+
+let exit_code_of = function
+  | Unknown_table _ | Corrupt_log _ | Invalid_argument _ | Failure _ -> Some 1
+  | Txn_conflict _ -> Some 3
+  | Txn_timeout _ -> Some 4
+  | Server_busy _ -> Some 5
+  | _ -> None
+
+(* Wire tags used by the server protocol; one per taxonomy member so a
+   client can map ERR replies back to the same exceptions. *)
+let wire_tag_of = function
+  | Unknown_table _ -> Some "UNKNOWN_TABLE"
+  | Corrupt_log _ -> Some "CORRUPT_LOG"
+  | Txn_conflict _ -> Some "CONFLICT"
+  | Txn_timeout _ -> Some "TIMEOUT"
+  | Server_busy _ -> Some "BUSY"
+  | _ -> None
+
+let of_wire_tag tag msg =
+  match tag with
+  | "UNKNOWN_TABLE" -> Some (Unknown_table msg)
+  | "CORRUPT_LOG" -> Some (Corrupt_log msg)
+  | "CONFLICT" -> Some (Txn_conflict msg)
+  | "TIMEOUT" -> Some (Txn_timeout msg)
+  | "BUSY" -> Some (Server_busy msg)
   | _ -> None

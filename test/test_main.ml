@@ -24,6 +24,7 @@ let () =
       ("edge_cases", Test_edge_cases.suite);
       ("robustness", Test_robustness.suite);
       ("recovery", Test_recovery.suite);
+      ("txn", Test_txn.suite);
       ("fuzz_corpus", Fuzz_corpus.suite);
       ("db", Test_db.suite);
       ("obs", Test_obs.suite);

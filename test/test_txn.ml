@@ -1,0 +1,650 @@
+(* The transaction layer: snapshot-isolation MVCC semantics, the client
+   retry machinery, the wire protocol, the multi-client server over real
+   sockets, and — the centerpiece — an exhaustive crash-point ×
+   interleaving matrix: two clients' transactions interleaved under a set
+   of schedules, crashed at every injected fault point, and recovered; the
+   recovered catalog must be value-identical (Snapshot.digest) to a
+   committed prefix of that schedule's history, at least as recent as the
+   last commit that was fully durable. *)
+
+module V = Storage.Value
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Layout = Storage.Layout
+module Schema = Storage.Schema
+module F = Durability.Faultio
+module D = Durability.Durable
+module Snapshot = Durability.Snapshot
+module Recover = Durability.Recover
+module Errors = Mrdb_util.Errors
+module M = Txn.Mvcc
+module S = Txn.Server
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let schema_b = Schema.make "b" [ ("id", V.Int); ("v", V.Int) ]
+
+let small_cat ?(rows = 4) () =
+  let cat = Catalog.create () in
+  let rel = Catalog.add cat schema_b (Layout.row schema_b) in
+  for i = 0 to rows - 1 do
+    ignore (Relation.append rel [| V.VInt i; V.VInt (10 * i) |])
+  done;
+  cat
+
+let vint = function
+  | V.VInt i -> i
+  | v -> Alcotest.failf "expected VInt, got %s" (V.to_display v)
+
+(* ------------------------------------------------------------------ *)
+(* MVCC semantics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_isolation () =
+  let mgr = M.create (small_cat ()) in
+  let t1 = M.begin_ mgr in
+  let t2 = M.begin_ mgr in
+  M.update t2 "b" 0 1 (V.VInt 42);
+  ignore (M.commit t2);
+  (* t1's snapshot predates t2's commit *)
+  Alcotest.(check int) "t1 reads pre-commit value" 0 (vint (M.read t1 "b" 0 1));
+  let t3 = M.begin_ mgr in
+  Alcotest.(check int) "t3 reads committed value" 42 (vint (M.read t3 "b" 0 1));
+  M.abort t1;
+  M.abort t3
+
+let test_read_own_writes () =
+  let mgr = M.create (small_cat ()) in
+  let t = M.begin_ mgr in
+  M.update t "b" 1 1 (V.VInt 7);
+  Alcotest.(check int) "own write served" 7 (vint (M.read t "b" 1 1));
+  M.abort t;
+  (* aborted: nothing visible *)
+  M.snapshot mgr (fun s ->
+      Alcotest.(check int) "abort discarded" 10 (vint (M.read s "b" 1 1)))
+
+let test_first_committer_wins () =
+  let mgr = M.create (small_cat ()) in
+  let t1 = M.begin_ mgr in
+  let t2 = M.begin_ mgr in
+  M.update t1 "b" 2 1 (V.VInt 100);
+  M.update t2 "b" 2 1 (V.VInt 200);
+  ignore (M.commit t1);
+  (match M.commit t2 with
+  | _ -> Alcotest.fail "second committer must conflict"
+  | exception Errors.Txn_conflict _ -> ());
+  (match M.status t2 with
+  | M.Aborted _ -> ()
+  | _ -> Alcotest.fail "loser must be aborted");
+  M.snapshot mgr (fun s ->
+      Alcotest.(check int) "first committer's value survives" 100
+        (vint (M.read s "b" 2 1)))
+
+let test_write_skew_permitted () =
+  (* the canonical SI anomaly: both read x+y, each writes a different
+     cell — disjoint write sets, so FCW lets both commit (DESIGN.md §5h) *)
+  let mgr = M.create (small_cat ()) in
+  let t1 = M.begin_ mgr in
+  let t2 = M.begin_ mgr in
+  let sum1 = vint (M.read t1 "b" 0 1) + vint (M.read t1 "b" 1 1) in
+  let sum2 = vint (M.read t2 "b" 0 1) + vint (M.read t2 "b" 1 1) in
+  M.update t1 "b" 0 1 (V.VInt (sum1 - 60));
+  M.update t2 "b" 1 1 (V.VInt (sum2 - 60));
+  ignore (M.commit t1);
+  (* under serializability this would conflict; under SI it must not *)
+  ignore (M.commit t2)
+
+let test_insert_visibility () =
+  let mgr = M.create (small_cat ()) in
+  let t1 = M.begin_ mgr in
+  let t2 = M.begin_ mgr in
+  M.insert t2 "b" [| V.VInt 4; V.VInt 40 |];
+  ignore (M.commit t2);
+  Alcotest.(check int) "old snapshot sees the prefix" 4 (M.visible_rows t1 "b");
+  M.abort t1;
+  M.snapshot mgr (fun s ->
+      Alcotest.(check int) "new snapshot sees the insert" 5
+        (M.visible_rows s "b");
+      Alcotest.(check int) "inserted row readable" 40 (vint (M.read s "b" 4 1)))
+
+let test_timeout_not_retried () =
+  let mgr = M.create (small_cat ()) in
+  let t = M.begin_ ~timeout:0.01 mgr in
+  Unix.sleepf 0.03;
+  (match M.read t "b" 0 1 with
+  | _ -> Alcotest.fail "expired transaction must refuse"
+  | exception Errors.Txn_timeout _ -> ());
+  (match M.status t with
+  | M.Aborted _ -> ()
+  | _ -> Alcotest.fail "timeout must abort");
+  (* the retry loop never retries a timeout: the deadline is a promise *)
+  let attempts = ref 0 in
+  (match
+     M.run ~timeout:0.01 mgr (fun txn ->
+         incr attempts;
+         Unix.sleepf 0.03;
+         ignore (M.read txn "b" 0 1))
+   with
+  | _ -> Alcotest.fail "expected the timeout to propagate"
+  | exception Errors.Txn_timeout _ -> ());
+  Alcotest.(check int) "one attempt only" 1 !attempts
+
+let test_run_retries_conflicts () =
+  let mgr = M.create (small_cat ()) in
+  let attempts = ref 0 in
+  let final =
+    M.run mgr (fun txn ->
+        incr attempts;
+        let v = vint (M.read txn "b" 3 1) in
+        if !attempts = 1 then begin
+          (* sabotage the first attempt with an overlapping committer *)
+          let rival = M.begin_ mgr in
+          M.update rival "b" 3 1 (V.VInt 1000);
+          ignore (M.commit rival)
+        end;
+        M.update txn "b" 3 1 (V.VInt (v + 1));
+        v + 1)
+  in
+  Alcotest.(check int) "retried once" 2 !attempts;
+  Alcotest.(check int) "second attempt saw the rival's commit" 1001 final;
+  M.snapshot mgr (fun s ->
+      Alcotest.(check int) "committed" 1001 (vint (M.read s "b" 3 1)))
+
+let test_gc_prunes_versions () =
+  let mgr = M.create (small_cat ()) in
+  let reader = M.begin_ mgr in
+  M.run mgr (fun txn -> M.update txn "b" 0 1 (V.VInt 1));
+  M.run mgr (fun txn -> M.update txn "b" 0 1 (V.VInt 2));
+  Alcotest.(check bool) "versions pinned by the open reader" true
+    (M.retained_versions mgr > 0);
+  Alcotest.(check int) "pinned reader still reads its snapshot" 0
+    (vint (M.read reader "b" 0 1));
+  M.abort reader;
+  (* GC runs at commit; the next commit prunes everything below the clock *)
+  M.run mgr (fun txn -> M.update txn "b" 1 1 (V.VInt 3));
+  Alcotest.(check int) "all versions pruned once no snapshot needs them" 0
+    (M.retained_versions mgr)
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy, wire protocol, backoff                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_taxonomy () =
+  Alcotest.(check (option int)) "conflict exit code" (Some 3)
+    (Errors.exit_code_of (Errors.Txn_conflict "x"));
+  Alcotest.(check (option int)) "timeout exit code" (Some 4)
+    (Errors.exit_code_of (Errors.Txn_timeout "x"));
+  Alcotest.(check (option int)) "busy exit code" (Some 5)
+    (Errors.exit_code_of (Errors.Server_busy "x"));
+  List.iter
+    (fun e ->
+      match Errors.wire_tag_of e with
+      | None -> Alcotest.failf "no wire tag for %s" (Printexc.to_string e)
+      | Some tag -> (
+          match Errors.of_wire_tag tag "m" with
+          | Some e' ->
+              Alcotest.(check string) ("tag " ^ tag) (Printexc.exn_slot_name e)
+                (Printexc.exn_slot_name e')
+          | None -> Alcotest.failf "tag %s does not round-trip" tag))
+    [ Errors.Txn_conflict "m"; Errors.Txn_timeout "m"; Errors.Server_busy "m" ];
+  List.iter
+    (fun e ->
+      match Errors.to_diagnostic e with
+      | Some d -> Alcotest.(check bool) "one-line diagnostic" false
+                    (String.contains d '\n')
+      | None -> Alcotest.failf "no diagnostic for %s" (Printexc.to_string e))
+    [ Errors.Txn_conflict "m"; Errors.Txn_timeout "m"; Errors.Server_busy "m" ]
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Txn.Wire.Hello "client with spaces %|";
+      Txn.Wire.Begin;
+      Txn.Wire.Get { table = "acct"; tid = 3; attr = 1 };
+      Txn.Wire.Set { table = "t x"; tid = 0; attr = 2; value = V.VStr "a b|c%" };
+      Txn.Wire.Insert
+        { table = "t"; values = [| V.VInt (-5); V.Null; V.VFloat 1.5;
+                                   V.VBool true; V.VDate 7; V.VStr "" |] };
+      Txn.Wire.Rows "t";
+      Txn.Wire.Sum { table = "t"; attr = 0 };
+      Txn.Wire.Commit None;
+      Txn.Wire.Commit (Some "cli#12");
+      Txn.Wire.Abort;
+      Txn.Wire.Ping;
+      Txn.Wire.Quit;
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Txn.Wire.encode_request r in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %S round-trips" line)
+        true
+        (Txn.Wire.parse_request line = r))
+    reqs;
+  let reps =
+    [
+      Txn.Wire.Ok_ "";
+      Txn.Wire.Ok_ "17";
+      Txn.Wire.Val (V.VStr "x y\nz");
+      Txn.Wire.Val V.Null;
+      Txn.Wire.Err { tag = "CONFLICT"; msg = "write-write on b[0].1" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Txn.Wire.encode_reply r in
+      Alcotest.(check bool)
+        (Printf.sprintf "reply %S round-trips" line)
+        true
+        (Txn.Wire.parse_reply line = r))
+    reps;
+  match Txn.Wire.exn_of_reply (Txn.Wire.Err { tag = "CONFLICT"; msg = "m" }) with
+  | Some (Errors.Txn_conflict _) -> ()
+  | _ -> Alcotest.fail "CONFLICT reply must map to Txn_conflict"
+
+let test_backoff_deterministic () =
+  let b1 = Txn.Backoff.create ~seed:9 () in
+  let b2 = Txn.Backoff.create ~seed:9 () in
+  let d1 = List.init 8 (fun _ -> Txn.Backoff.next_delay b1) in
+  let d2 = List.init 8 (fun _ -> Txn.Backoff.next_delay b2) in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" d1 d2;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "within [0, cap]" true (d >= 0.0 && d <= 0.05))
+    d1;
+  Alcotest.(check int) "attempts counted" 8 (Txn.Backoff.attempts b1);
+  Txn.Backoff.reset b1;
+  Alcotest.(check int) "reset zeroes attempts" 0 (Txn.Backoff.attempts b1)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned fuzz corpus                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The minimal write-write conflict: two clients increment the same cell
+   concurrently; first-committer-wins must abort exactly one of them, and
+   the serial oracle must agree with the surviving history.  Pinned so the
+   conflict path of the fuzz axis never silently stops being exercised. *)
+let pinned_ww_conflict : Fuzz.Txn_fuzz.case =
+  {
+    Fuzz.Txn_fuzz.seed = -1;
+    cols = 1;
+    init = [| [| 0 |] |];
+    clients =
+      [|
+        [| { Fuzz.Txn_fuzz.ops = [ Fuzz.Txn_fuzz.Add { tid = 0; attr = 0; delta = 1 } ];
+             commits = true } |];
+        [| { Fuzz.Txn_fuzz.ops = [ Fuzz.Txn_fuzz.Add { tid = 0; attr = 0; delta = 1 } ];
+             commits = true } |];
+      |];
+    (* both begin before either commits: a conflict is forced *)
+    schedule = [| 0; 1; 0; 1 |];
+  }
+
+let test_pinned_conflict_case () =
+  let conflicts_before =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "mrdb_txn_conflicts_total")
+  in
+  let divs = Fuzz.Txn_fuzz.run_case pinned_ww_conflict in
+  Alcotest.(check int) "no divergences" 0 (List.length divs);
+  let conflicts_after =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "mrdb_txn_conflicts_total")
+  in
+  Alcotest.(check bool) "the conflict actually happened" true
+    (conflicts_after = conflicts_before + 1)
+
+let test_fuzz_seed_42 () =
+  (* the acceptance seed's first case, as a fast regression canary *)
+  let divs = Fuzz.Txn_fuzz.run_case (Fuzz.Txn_fuzz.gen_case 42) in
+  Alcotest.(check int) "seed 42 clean" 0 (List.length divs)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: crash-point × interleaving recovery matrix                  *)
+(* ------------------------------------------------------------------ *)
+
+type cop = CGet of int * int | CAdd of int * int * int | CPut of int * int * int
+         | CIns of int array
+
+(* Two clients, two transactions each.  Client 1's first transaction
+   writes the same cell as client 0's first, so interleavings where both
+   are in flight produce a real conflict-abort inside the matrix. *)
+let chaos_progs =
+  [|
+    [| [ CGet (0, 1); CAdd (0, 1, 5); CIns [| 4; 40 |] ]; [ CPut (2, 1, 7) ] |];
+    [| [ CPut (0, 1, 99) ]; [ CGet (1, 1); CAdd (1, 1, 1) ] |];
+  |]
+
+(* micro-steps: client 0 = (3+1)+(1+1) = 6, client 1 = (1+1)+(2+1) = 5 *)
+let chaos_schedules =
+  [
+    ("serial-01", [| 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 1 |]);
+    ("serial-10", [| 1; 1; 1; 1; 1; 0; 0; 0; 0; 0; 0 |]);
+    ("alternate-0", [| 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0 |]);
+    ("alternate-1", [| 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 0 |]);
+    ("burst-mix", [| 0; 0; 1; 0; 0; 1; 1; 0; 0; 1; 1 |]);
+    ("late-start", [| 1; 0; 0; 0; 1; 0; 0; 1; 1; 0; 1 |]);
+  ]
+
+(* Run the two-client script against [env] under [schedule], recording
+   (step, digest, points-passed) after every durable boundary.  Raises
+   [F.Crash] mid-way when the env's plan says so. *)
+let run_chaos env schedule =
+  let cat = Catalog.create () in
+  let marks = ref [ ("empty", Snapshot.digest cat, 0) ] in
+  let mark step =
+    marks := (step, Snapshot.digest cat, F.points env) :: !marks
+  in
+  let d = D.attach env cat in
+  Catalog.in_txn cat (fun () ->
+      let rel = Catalog.add cat schema_b (Layout.row schema_b) in
+      Relation.load rel ~n:4 (fun ~row -> [| V.VInt row; V.VInt (10 * row) |]);
+      Catalog.notify_load cat "b" ~row_lo:0 ~rows:4);
+  mark "load";
+  let mgr = M.create cat in
+  let cur = Array.make 2 None in
+  let ops = Array.make 2 [] in
+  let idx = Array.make 2 0 in
+  Array.iter
+    (fun ci ->
+      if idx.(ci) < Array.length chaos_progs.(ci) then begin
+        (match cur.(ci) with
+        | None ->
+            cur.(ci) <- Some (M.begin_ mgr);
+            ops.(ci) <- chaos_progs.(ci).(idx.(ci))
+        | Some _ -> ());
+        let txn = Option.get cur.(ci) in
+        match ops.(ci) with
+        | op :: rest -> (
+            ops.(ci) <- rest;
+            match op with
+            | CGet (tid, attr) -> ignore (M.read txn "b" tid attr)
+            | CAdd (tid, attr, d) ->
+                let v = vint (M.read txn "b" tid attr) in
+                M.update txn "b" tid attr (V.VInt (v + d))
+            | CPut (tid, attr, v) -> M.update txn "b" tid attr (V.VInt v)
+            | CIns row ->
+                M.insert txn "b" (Array.map (fun v -> V.VInt v) row))
+        | [] ->
+            (match M.commit txn with
+            | _ -> mark (Printf.sprintf "c%dt%d" ci idx.(ci))
+            | exception Errors.Txn_conflict _ -> ());
+            cur.(ci) <- None;
+            idx.(ci) <- idx.(ci) + 1
+      end)
+    schedule;
+  D.detach d;
+  List.rev !marks
+
+let digest_index marks dg =
+  let best = ref (-1) in
+  List.iteri (fun i (_, d, _) -> if d = dg then best := i) marks;
+  !best
+
+let recover_digest env =
+  F.set_plan env F.Reliable;
+  let r = Recover.run env in
+  (Snapshot.digest r.Recover.cat, r)
+
+let test_chaos_matrix () =
+  List.iter
+    (fun (sname, schedule) ->
+      let dry = F.memory () in
+      let marks = run_chaos dry schedule in
+      let total = F.points dry in
+      Alcotest.(check bool)
+        (sname ^ ": commits pass crash points")
+        true (total > 15);
+      List.iter
+        (fun torn ->
+          for point = 1 to total do
+            let env = F.memory ~plan:(F.Crash_at { point; torn }) () in
+            (match run_chaos env schedule with
+            | _ ->
+                Alcotest.failf "%s point %d torn %.1f: expected a crash" sname
+                  point torn
+            | exception F.Crash _ -> ());
+            let dg, r = recover_digest env in
+            let i = digest_index marks dg in
+            if i < 0 then
+              Alcotest.failf
+                "%s point %d torn %.1f: recovered state matches no committed \
+                 prefix (warnings: %s)"
+                sname point torn
+                (String.concat " | " r.Recover.warnings);
+            (* commits whose crash points all predate this crash were fully
+               flushed — recovery must be at least that recent *)
+            let floor = ref 0 in
+            List.iteri
+              (fun j (_, _, pts) -> if pts < point && j > !floor then floor := j)
+              marks;
+            if i < !floor then
+              Alcotest.failf
+                "%s point %d torn %.1f: recovered %S but %S was already \
+                 durable"
+                sname point torn
+                (let s, _, _ = List.nth marks i in
+                 s)
+                (let s, _, _ = List.nth marks !floor in
+                 s)
+          done)
+        [ 0.0; 1.0 ])
+    chaos_schedules
+
+(* Satellite: the commit path's crash points are named, so pinned seeds
+   survive insertion of new points elsewhere.  Pin the exact name set and
+   the pre/post pairing. *)
+let test_named_points_stable () =
+  let env = F.memory () in
+  let marks = run_chaos env (List.assoc "serial-01" chaos_schedules) in
+  let named = F.named_points env in
+  let names = List.map fst named in
+  Alcotest.(check (list string)) "stable point names"
+    [ "create:snapshot.tmp"; "create:wal"; "flush:snapshot.tmp"; "flush:wal";
+      "rename:snapshot"; "txn.post_commit"; "txn.pre_commit";
+      "write:snapshot.tmp"; "write:wal" ]
+    names;
+  let count n = List.assoc n named in
+  Alcotest.(check int) "pre/post commit pair up"
+    (count "txn.pre_commit") (count "txn.post_commit");
+  (* every mark after "empty" is exactly one framed, flushed WAL unit:
+     the initial load plus each scheduled transaction that committed *)
+  Alcotest.(check int) "one pre-commit per durable commit"
+    (List.length marks - 1)
+    (count "txn.pre_commit");
+  Alcotest.(check int) "wal created once" 1 (count "create:wal");
+  Alcotest.(check int) "one flush per framed txn" (count "txn.pre_commit")
+    (count "flush:wal")
+
+let test_commit_boundary_recovery () =
+  let serial = List.assoc "serial-01" chaos_schedules in
+  let dry = F.memory () in
+  let marks = run_chaos dry serial in
+  let digest_of step =
+    let _, dg, _ = List.find (fun (s, _, _) -> s = step) marks in
+    dg
+  in
+  (* crash before the first MVCC commit's WAL commit record: only the load
+     is durable *)
+  let env = F.memory ~plan:(F.At_point { name = "txn.pre_commit"; nth = 2; torn = 0.0 }) () in
+  (match run_chaos env serial with
+  | _ -> Alcotest.fail "expected crash at txn.pre_commit#2"
+  | exception F.Crash _ -> ());
+  let dg, _ = recover_digest env in
+  Alcotest.(check string) "pre-commit crash loses the in-flight txn"
+    (digest_of "load") dg;
+  (* crash right after the flush: the same commit must now survive *)
+  let env = F.memory ~plan:(F.At_point { name = "txn.post_commit"; nth = 2; torn = 0.0 }) () in
+  (match run_chaos env serial with
+  | _ -> Alcotest.fail "expected crash at txn.post_commit#2"
+  | exception F.Crash _ -> ());
+  let dg, _ = recover_digest env in
+  Alcotest.(check string) "post-commit crash keeps the committed txn"
+    (digest_of "c0t0") dg
+
+(* ------------------------------------------------------------------ *)
+(* The server over real sockets                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sock_ctr = ref 0
+
+let with_server ?(max_clients = 4) ?txn_timeout cat f =
+  let mgr = M.create cat in
+  let srv = S.create ~max_clients ?txn_timeout mgr in
+  incr sock_ctr;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mrdb-test-%d-%d.sock" (Unix.getpid ()) !sock_ctr)
+  in
+  let fd = S.listen_unix path in
+  let dom = Domain.spawn (fun () -> S.accept_loop srv fd) in
+  Fun.protect
+    ~finally:(fun () ->
+      S.stop srv;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      S.poke path;
+      Domain.join dom;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f mgr (Txn.Client.Unix_sock path))
+
+let str_schema =
+  Schema.make "s" [ ("id", V.Int); ("name", V.Varchar 12) ]
+
+let test_server_roundtrip () =
+  let cat = small_cat () in
+  let rel = Catalog.add cat str_schema (Layout.row str_schema) in
+  ignore (Relation.append rel [| V.VInt 0; V.VStr "plain" |]);
+  with_server cat (fun _mgr addr ->
+      let c = Txn.Client.connect ~id:"rt" addr in
+      Txn.Client.begin_ c;
+      Alcotest.(check int) "GET" 20
+        (vint (Txn.Client.get c ~table:"b" ~tid:2 ~attr:1));
+      Txn.Client.set c ~table:"b" ~tid:2 ~attr:1 (V.VInt 21);
+      Txn.Client.set c ~table:"s" ~tid:0 ~attr:1 (V.VStr "a b|c% \xc3\xa9");
+      Txn.Client.insert c ~table:"b" [| V.VInt 4; V.VInt 40 |];
+      let ts = Txn.Client.commit c in
+      Alcotest.(check bool) "commit ts assigned" true (ts > 0);
+      Txn.Client.begin_ c;
+      Alcotest.(check int) "committed SET visible" 21
+        (vint (Txn.Client.get c ~table:"b" ~tid:2 ~attr:1));
+      (match Txn.Client.get c ~table:"s" ~tid:0 ~attr:1 with
+      | V.VStr s ->
+          Alcotest.(check string) "string survives the wire" "a b|c% \xc3\xa9" s
+      | v -> Alcotest.failf "expected VStr, got %s" (V.to_display v));
+      Alcotest.(check int) "ROWS sees the insert" 5 (Txn.Client.rows c "b");
+      Alcotest.(check int) "SUM over the snapshot" (0 + 10 + 21 + 30 + 40)
+        (vint (Txn.Client.sum c ~table:"b" ~attr:1));
+      Txn.Client.abort c;
+      Txn.Client.ping c;
+      Txn.Client.close c)
+
+let test_server_conflict () =
+  with_server (small_cat ()) (fun _mgr addr ->
+      let c1 = Txn.Client.connect ~id:"w1" addr in
+      let c2 = Txn.Client.connect ~id:"w2" addr in
+      Txn.Client.begin_ c1;
+      Txn.Client.begin_ c2;
+      Txn.Client.set c1 ~table:"b" ~tid:0 ~attr:1 (V.VInt 1);
+      Txn.Client.set c2 ~table:"b" ~tid:0 ~attr:1 (V.VInt 2);
+      ignore (Txn.Client.commit c1);
+      (match Txn.Client.commit c2 with
+      | _ -> Alcotest.fail "second committer must get CONFLICT"
+      | exception Errors.Txn_conflict _ -> ());
+      Txn.Client.close c1;
+      Txn.Client.close c2)
+
+let test_server_busy () =
+  with_server ~max_clients:1 (small_cat ()) (fun _mgr addr ->
+      let c1 = Txn.Client.connect ~id:"only" addr in
+      (match Txn.Client.connect ~id:"extra" addr with
+      | c ->
+          Txn.Client.close c;
+          Alcotest.fail "admission gate must shed the second client"
+      | exception Errors.Server_busy _ -> ());
+      Txn.Client.close c1;
+      (* shedding replies BUSY and closes; it must not count as active, so
+         after the first client leaves a new one gets in *)
+      Unix.sleepf 0.05;
+      let c3 = Txn.Client.connect ~id:"after" addr in
+      Txn.Client.ping c3;
+      Txn.Client.close c3)
+
+let test_server_timeout () =
+  with_server ~txn_timeout:0.02 (small_cat ()) (fun _mgr addr ->
+      let c = Txn.Client.connect ~id:"slow" addr in
+      Txn.Client.begin_ c;
+      Unix.sleepf 0.06;
+      (match Txn.Client.get c ~table:"b" ~tid:0 ~attr:1 with
+      | _ -> Alcotest.fail "expired transaction must get TIMEOUT"
+      | exception Errors.Txn_timeout _ -> ());
+      Txn.Client.close c)
+
+let test_server_idempotent_commit () =
+  (* raw wire session: re-sending a committed token must replay the cached
+     reply, not re-apply the transaction *)
+  with_server (small_cat ()) (fun mgr addr ->
+      let path = match addr with Txn.Client.Unix_sock p -> p | _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let ask line =
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        input_line ic
+      in
+      ignore (ask "HELLO idem");
+      ignore (ask "BEGIN");
+      ignore (ask "SET b 0 1 i:5");
+      let r1 = ask "COMMIT idem#1" in
+      Alcotest.(check bool) "commit applied" true
+        (String.length r1 > 3 && String.sub r1 0 3 = "OK ");
+      let r2 = ask "COMMIT idem#1" in
+      Alcotest.(check string) "duplicate token replays the original reply" r1 r2;
+      close_out_noerr oc;
+      M.snapshot mgr (fun s ->
+          Alcotest.(check int) "applied exactly once" 5 (vint (M.read s "b" 0 1))))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot isolation across commits" `Quick
+      test_snapshot_isolation;
+    Alcotest.test_case "read own writes; abort discards" `Quick
+      test_read_own_writes;
+    Alcotest.test_case "first committer wins" `Quick test_first_committer_wins;
+    Alcotest.test_case "write skew permitted (SI boundary)" `Quick
+      test_write_skew_permitted;
+    Alcotest.test_case "insert visibility is a snapshot prefix" `Quick
+      test_insert_visibility;
+    Alcotest.test_case "timeout aborts and is never retried" `Quick
+      test_timeout_not_retried;
+    Alcotest.test_case "retry loop survives conflicts" `Quick
+      test_run_retries_conflicts;
+    Alcotest.test_case "gc prunes undo versions" `Quick test_gc_prunes_versions;
+    Alcotest.test_case "error taxonomy: exit codes, wire tags, diagnostics"
+      `Quick test_error_taxonomy;
+    Alcotest.test_case "wire protocol round-trips" `Quick test_wire_roundtrip;
+    Alcotest.test_case "backoff is deterministic and bounded" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "pinned corpus: write-write conflict" `Quick
+      test_pinned_conflict_case;
+    Alcotest.test_case "fuzz seed 42 replays clean" `Quick test_fuzz_seed_42;
+    Alcotest.test_case "crash-point x interleaving recovery matrix" `Slow
+      test_chaos_matrix;
+    Alcotest.test_case "commit crash points are named and stable" `Quick
+      test_named_points_stable;
+    Alcotest.test_case "pre/post commit boundary recovery" `Quick
+      test_commit_boundary_recovery;
+    Alcotest.test_case "server: socket round-trip" `Quick test_server_roundtrip;
+    Alcotest.test_case "server: conflict surfaces typed" `Quick
+      test_server_conflict;
+    Alcotest.test_case "server: admission gate sheds with BUSY" `Quick
+      test_server_busy;
+    Alcotest.test_case "server: per-txn timeout" `Quick test_server_timeout;
+    Alcotest.test_case "server: idempotent commit token" `Quick
+      test_server_idempotent_commit;
+  ]
