@@ -1,0 +1,123 @@
+(* Layout advisor v2: the online IP advisor against static extremes on a
+   two-phase shifting workload.
+
+   Phase 1 is OLTP-ish — indexed tuple fetches (~100 matching rows, all
+   columns), which favour the row store: under DSM every fetched tuple
+   pays one random access per partition, 16x the pointer chasing.  Phase 2
+   drifts to wide analytical scans — a selective aggregation over a few
+   columns, which favours decomposition.  A static layout is wrong in one
+   of the two phases; the advisor observes the drift through its sliding
+   window and repartitions when the projected saving beats the copy cost,
+   which it is charged for explicitly.
+
+   Gate: the online advisor must beat BOTH static NSM and static DSM
+   end-to-end (BENCH_advisor.json, advisor/* gates). *)
+
+module V = Storage.Value
+module Advisor = Layoutopt.Advisor
+
+let run () =
+  Common.header
+    "Extension — IP layout advisor vs static NSM/DSM on a shifting workload";
+  let n = int_of_float (100_000.0 *. Common.scale_env "MRDB_BENCH_SCALE" 1.0) in
+  let n = max 10_000 n in
+  let oltp_len = 1200 in
+  let scan_len = 200 in
+  let sel = 0.02 in
+  let build () =
+    let hier = Memsim.Hierarchy.create () in
+    let cat = Workloads.Microbench.build ~hier ~n () in
+    (* the OLTP phase is indexed: point reads are true point accesses *)
+    Storage.Catalog.create_index cat "R" ~name:"r_b" ~kind:Storage.Index.Hash
+      ~attrs:[ "B" ];
+    cat
+  in
+  (* B holds ~1000 distinct values: the indexed equality fetches ~n/1000
+     whole tuples through the index — point accesses, not a scan *)
+  let point_plan cat =
+    Relalg.Planner.plan
+      ~estimate:(fun _ -> Some 0.001)
+      cat
+      (Relalg.Sql.parse cat "select * from R where B = $1")
+  in
+  let scan_plan cat = Workloads.Microbench.plan cat ~sel in
+  let run_episode ~layout ~advisor =
+    let cat = build () in
+    (match layout with
+    | None -> ()
+    | Some mk ->
+        let schema =
+          Storage.Relation.schema (Storage.Catalog.find cat "R")
+        in
+        Storage.Catalog.set_layout cat "R" (mk schema));
+    let point = point_plan cat in
+    let scan = scan_plan cat in
+    let adv =
+      Advisor.create ~window:32 ~check_every:8 ~min_benefit:0.02 ~horizon:20.0
+        cat
+    in
+    let total = ref 0 in
+    let repartitions = ref 0 in
+    let execute plan params =
+      let _, st =
+        Engines.Engine.run_measured Engines.Engine.Jit cat plan ~params
+      in
+      total := !total + Memsim.Stats.total_cycles st;
+      if advisor then
+        List.iter
+          (fun (r : Advisor.recommendation) ->
+            (* reorganization runs untraced; charge its model cost *)
+            total := !total + int_of_float r.Advisor.copy_cost;
+            incr repartitions)
+          (Advisor.observe adv plan)
+    in
+    for i = 1 to oltp_len do
+      execute point [| V.VInt (i * 37 mod 1000) |]
+    done;
+    let oltp_cycles = !total in
+    for _ = 1 to scan_len do
+      execute scan (Workloads.Microbench.params ~sel)
+    done;
+    (oltp_cycles, !total, !repartitions, cat)
+  in
+  let phases label (oltp, total) =
+    Common.note "%-16s: %s cycles (oltp %s, scans %s)" label
+      (Common.pow10_label (float_of_int total))
+      (Common.pow10_label (float_of_int oltp))
+      (Common.pow10_label (float_of_int (total - oltp)))
+  in
+  let nsm_oltp, nsm_cycles, _, _ = run_episode ~layout:None ~advisor:false in
+  let dsm_oltp, dsm_cycles, _, _ =
+    run_episode ~layout:(Some Storage.Layout.column) ~advisor:false
+  in
+  let adv_oltp, adv_cycles, repartitions, cat =
+    run_episode ~layout:None ~advisor:true
+  in
+  let speedup_nsm = float_of_int nsm_cycles /. float_of_int adv_cycles in
+  let speedup_dsm = float_of_int dsm_cycles /. float_of_int adv_cycles in
+  phases "static NSM" (nsm_oltp, nsm_cycles);
+  phases "static DSM" (dsm_oltp, dsm_cycles);
+  phases "online advisor" (adv_oltp, adv_cycles);
+  Common.note "advisor repartitioned %d time(s), copy cost charged"
+    repartitions;
+  Common.note "advisor vs NSM  : %.2fx   advisor vs DSM: %.2fx" speedup_nsm
+    speedup_dsm;
+  let final_layout =
+    Storage.Relation.layout (Storage.Catalog.find cat "R")
+  in
+  Common.note "final layout    : %s (%d partitions)"
+    (Storage.Layout.kind_label final_layout)
+    (Storage.Layout.n_partitions final_layout);
+  Common.write_bench "BENCH_advisor.json"
+    [
+      Common.pt ~bench:"advisor" ~metric:"static_nsm.cycles"
+        (float_of_int nsm_cycles);
+      Common.pt ~bench:"advisor" ~metric:"static_dsm.cycles"
+        (float_of_int dsm_cycles);
+      Common.pt ~bench:"advisor" ~metric:"online.cycles"
+        (float_of_int adv_cycles);
+      Common.pt ~bench:"advisor" ~metric:"online.repartitions"
+        (float_of_int repartitions);
+      Common.pt ~bench:"advisor" ~metric:"online.speedup_vs_nsm" speedup_nsm;
+      Common.pt ~bench:"advisor" ~metric:"online.speedup_vs_dsm" speedup_dsm;
+    ]

@@ -22,6 +22,7 @@ let experiments =
     ("compress", Compress.run);
     ("sparse", Sparse.run);
     ("adaptive", Adaptive.run);
+    ("advisor", Advisor.run);
     ("ablations", Ablations.run);
     ("wallclock", Wallclock.run);
     ("parallel", Parallel.run);

@@ -265,24 +265,35 @@ let compress_all cat =
       if plan <> [] then Storage.Compress.apply cat name plan)
     (Storage.Catalog.names cat)
 
+let advisor_flag =
+  Arg.(value & flag
+       & info [ "advisor" ]
+           ~doc:"Append the layout advisor's section: the IP-optimal \
+                 partitioning of every touched table if this query were the \
+                 whole workload, with the projected saving, the copy cost \
+                 and the repartition-or-keep verdict.")
+
 let explain_cmd =
-  let explain db scale engine domains sql params sample analyze compress =
+  let explain db scale engine domains sql params sample analyze advisor
+      compress =
     let cat, _ = load_db db scale in
     if compress then compress_all cat;
     let params = parse_params params in
     let plan = plan_of ~sample cat sql params in
     print_string
-      (Obs_explain.render ~analyze ~engine ~domains ~params cat plan)
+      (Obs_explain.render ~analyze ~advisor ~engine ~domains ~params cat plan)
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Show the physical plan with per-operator predicted cost, its \
-          access-pattern program, and (with $(b,--analyze)) the \
-          memsim-measured per-operator cycles and relative error.")
+          access-pattern program, (with $(b,--analyze)) the memsim-measured \
+          per-operator cycles and relative error, and (with $(b,--advisor)) \
+          the layout advisor's verdict for every touched table.")
     Term.(
       const explain $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
-      $ param_arg $ sample_flag $ analyze_flag $ compress_db_flag)
+      $ param_arg $ sample_flag $ analyze_flag $ advisor_flag
+      $ compress_db_flag)
 
 let codegen_cmd =
   let codegen db scale sql =
@@ -312,28 +323,29 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Show the stored layout of every table.")
     Term.(const show $ db_arg $ scale_arg)
 
+(* build the workload together with its own catalog so queries and data
+   always match *)
+let load_workload ~cmd db scale =
+  let hier = Memsim.Hierarchy.create () in
+  match db with
+  | "sd" ->
+      let sd = Workloads.Sap_sd.build ~hier ~scale () in
+      (sd.Workloads.Sap_sd.cat, sd.Workloads.Sap_sd.queries)
+  | "ch" ->
+      let ch = Workloads.Ch.build ~hier ~scale () in
+      (ch.Workloads.Ch.cat, ch.Workloads.Ch.queries @ ch.Workloads.Ch.transactions)
+  | "cnet" ->
+      let cn =
+        Workloads.Cnet.build ~hier
+          ~n_products:(int_of_float (20_000.0 *. scale))
+          ()
+      in
+      (cn.Workloads.Cnet.cat, cn.Workloads.Cnet.queries)
+  | _ -> failwith (cmd ^ " supports --db sd, ch or cnet")
+
 let optimize_cmd =
   let optimize db scale threshold compress apply =
-    (* build the workload together with its own catalog so queries and data
-       always match *)
-    let hier = Memsim.Hierarchy.create () in
-    let cat, queries =
-      match db with
-      | "sd" ->
-          let sd = Workloads.Sap_sd.build ~hier ~scale () in
-          (sd.Workloads.Sap_sd.cat, sd.Workloads.Sap_sd.queries)
-      | "ch" ->
-          let ch = Workloads.Ch.build ~hier ~scale () in
-          (ch.Workloads.Ch.cat, ch.Workloads.Ch.queries @ ch.Workloads.Ch.transactions)
-      | "cnet" ->
-          let cn =
-            Workloads.Cnet.build ~hier
-              ~n_products:(int_of_float (20_000.0 *. scale))
-              ()
-          in
-          (cn.Workloads.Cnet.cat, cn.Workloads.Cnet.queries)
-      | _ -> failwith "optimize supports --db sd, ch or cnet"
-    in
+    let cat, queries = load_workload ~cmd:"optimize" db scale in
     let wl = Workloads.Workload.plans ~use_indexes:false queries in
     let results =
       Layoutopt.Optimizer.optimize ~compress
@@ -383,6 +395,113 @@ let optimize_cmd =
        ~doc:"Run the BPi layout optimizer over the demo workload.")
     Term.(const optimize $ db_arg $ scale_arg $ threshold_arg $ compress_arg
           $ apply_arg)
+
+let advise_cmd =
+  let module Advisor = Layoutopt.Advisor in
+  let print_recs cat recs =
+    List.iter
+      (fun (r : Advisor.recommendation) ->
+        let schema =
+          Storage.Relation.schema (Storage.Catalog.find cat r.Advisor.table)
+        in
+        Format.printf "%-12s %s  est %.3g -> %.3g  copy %.3g  net %.3g@."
+          r.Advisor.table
+          (if r.Advisor.profitable then "REPARTITION" else "keep")
+          r.Advisor.current_cost r.Advisor.proposed_cost r.Advisor.copy_cost
+          r.Advisor.net_saving;
+        Format.printf "  %a -> %a@."
+          (Storage.Layout.pp schema) r.Advisor.current_layout
+          (Storage.Layout.pp schema) r.Advisor.proposed_layout)
+      recs
+  in
+  let advise db scale bpi threshold apply watch metrics =
+    let cat, queries = load_workload ~cmd:"advise" db scale in
+    let wl = Workloads.Workload.plans ~use_indexes:false queries in
+    let algorithm =
+      if bpi then Layoutopt.Optimizer.Bpi threshold
+      else Layoutopt.Optimizer.Ip
+    in
+    (match watch with
+    | None ->
+        let recs = Advisor.recommend ~algorithm cat wl in
+        print_recs cat recs;
+        if apply then begin
+          let adv = Advisor.create ~algorithm cat in
+          let applied = Advisor.apply adv recs in
+          Format.printf "applied %d repartitions@." (List.length applied)
+        end
+    | Some rounds ->
+        (* replay the demo mix through the observation window: the advisor
+           repartitions online as its view of the workload fills in *)
+        let adv =
+          Advisor.create ~algorithm ~window:256 ~check_every:32 cat
+        in
+        for round = 1 to max 1 rounds do
+          List.iter
+            (fun (plan, freq) ->
+              let reps = min 8 (max 1 (int_of_float freq)) in
+              for _ = 1 to reps do
+                List.iter
+                  (fun (r : Advisor.recommendation) ->
+                    Format.printf
+                      "round %d: repartitioned %s (net saving %.3g)@." round
+                      r.Advisor.table r.Advisor.net_saving)
+                  (Advisor.observe adv plan)
+              done)
+            wl
+        done;
+        Format.printf "watched %d rounds: %d observations, %d repartitions@."
+          (max 1 rounds)
+          (Layoutopt.Workload.observed (Advisor.workload adv))
+          (List.length (Advisor.applied adv)));
+    export_metrics metrics
+  in
+  let bpi_flag =
+    Arg.(value & flag
+         & info [ "bpi" ]
+             ~doc:"Advise with the BPi heuristic instead of the exact \
+                   integer-programming solver.")
+  in
+  let ip_flag =
+    (* the default; accepted so scripts can be explicit *)
+    Arg.(value & flag
+         & info [ "ip" ]
+             ~doc:"Advise with the exact IP branch-and-bound solver \
+                   (default).")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.005
+         & info [ "t"; "threshold" ] ~docv:"T"
+             ~doc:"BPi relative improvement threshold (with $(b,--bpi)).")
+  in
+  let apply_arg =
+    Arg.(value & flag
+         & info [ "apply" ]
+             ~doc:"Repartition the stored tables to every profitable \
+                   recommendation before exiting.")
+  in
+  let watch_arg =
+    Arg.(value & opt ~vopt:(Some 8) (some int) None
+         & info [ "watch" ] ~docv:"ROUNDS"
+             ~doc:"Run the online advisor loop instead of one-shot advice: \
+                   replay the demo mix $(docv) times (default 8) through \
+                   the sliding observation window, repartitioning (and \
+                   reporting) whenever the projected saving beats the copy \
+                   cost.")
+  in
+  let advise_with_flags db scale bpi ip threshold apply watch metrics =
+    if bpi && ip then failwith "advise: pick one of --ip and --bpi";
+    advise db scale bpi threshold apply watch metrics
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Run the layout advisor over the demo workload: exact IP \
+          partitioning per touched table, with projected savings weighed \
+          against the reorganization copy cost.  One-shot by default; \
+          $(b,--watch) runs the online loop.")
+    Term.(const advise_with_flags $ db_arg $ scale_arg $ bpi_flag $ ip_flag
+          $ threshold_arg $ apply_arg $ watch_arg $ metrics_arg)
 
 let export_cmd =
   let table_arg =
@@ -435,9 +554,36 @@ let import_cmd =
     Term.(const import $ path_arg $ name_arg $ sql_opt)
 
 let fuzz_cmd =
-  let fuzz seed cases max_rows mutate no_recovery txn clients quiet metrics =
+  let fuzz seed cases max_rows mutate no_recovery txn advisor clients quiet
+      metrics =
     let log msg = if not quiet then Printf.eprintf "mrdb fuzz: %s\n%!" msg in
-    if txn then begin
+    if txn && advisor then begin
+      prerr_endline "fuzz: --txn and --advisor are mutually exclusive";
+      exit 2
+    end;
+    if advisor then begin
+      (* the advisor axis: the layout advisor repartitions mid-episode;
+         layout changes must never change answers *)
+      let failures, repartitions =
+        Fuzz.Harness.fuzz_advisor ~max_rows ~log ~seed ~cases ()
+      in
+      export_metrics metrics;
+      if failures = [] then
+        Printf.printf
+          "fuzz: %d case(s) from seed %d with the online advisor in the \
+           loop (%d mid-episode repartition(s)): all answers and final \
+           states match the oracle\n"
+          cases seed repartitions
+      else begin
+        List.iter
+          (fun r -> Format.printf "%a@." Fuzz.Harness.pp_report r)
+          failures;
+        Printf.printf "fuzz: %d of %d case(s) FAILED (seed %d)\n"
+          (List.length failures) cases seed;
+        exit 1
+      end
+    end
+    else if txn then begin
       (* the transaction axis: interleaved multi-client histories against
          the MVCC manager, checked against a serial oracle *)
       let failures =
@@ -517,6 +663,15 @@ let fuzz_cmd =
                    differentially checked against a serial oracle \
                    (SI-admissible equivalence).")
   in
+  let advisor_fuzz_flag =
+    Arg.(value & flag
+         & info [ "advisor" ]
+             ~doc:"Fuzz the layout advisor instead: replay each episode \
+                   with the online advisor repartitioning tables \
+                   mid-episode; results and final table contents must \
+                   still match the oracle (layout changes never change \
+                   answers).")
+  in
   let clients_arg =
     Arg.(value & opt int 3
          & info [ "clients" ] ~docv:"N"
@@ -531,10 +686,12 @@ let fuzz_cmd =
           crash recovery) and must match a reference oracle.  Failures are \
           shrunk to a minimal OCaml repro.  With $(b,--txn), fuzzes \
           interleaved multi-client transaction histories against a serial \
-          oracle instead.")
+          oracle instead; with $(b,--advisor), replays episodes with the \
+          online layout advisor repartitioning mid-episode.")
     Term.(
       const fuzz $ seed_arg $ cases_arg $ max_rows_arg $ mutate_flag
-      $ no_recovery_flag $ txn_flag $ clients_arg $ quiet_flag $ metrics_arg)
+      $ no_recovery_flag $ txn_flag $ advisor_fuzz_flag $ clients_arg
+      $ quiet_flag $ metrics_arg)
 
 let calibrate_cmd =
   let calibrate () =
@@ -564,7 +721,8 @@ let main_cmd =
     (Cmd.info "mrdb" ~version:Core.version ~doc)
     [
       run_cmd; explain_cmd; codegen_cmd; layout_cmd; optimize_cmd;
-      export_cmd; import_cmd; calibrate_cmd; checkpoint_cmd; fuzz_cmd;
+      advise_cmd; export_cmd; import_cmd; calibrate_cmd; checkpoint_cmd;
+      fuzz_cmd;
     ]
 
 (* User mistakes (malformed SQL, unknown tables, bad arguments) become a

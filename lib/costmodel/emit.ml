@@ -8,7 +8,12 @@ module Aggregate = Relalg.Aggregate
 
 type access_kind = Seq | Seq_cond of float | Rand
 
-type access_desc = { table : string; attrs : int list; kind : access_kind }
+type access_desc = {
+  table : string;
+  attrs : int list;
+  kind : access_kind;
+  touches : int;
+}
 
 type enc_hint = {
   enc : Storage.Encoding.t;
@@ -316,7 +321,7 @@ let predicate_accesses env pred =
           (c, s) :: acc)
     (List.rev accesses) []
 
-let descs_of_accesses table accesses =
+let descs_of_accesses table ~n accesses =
   (* group layout-independent descriptors by access probability *)
   let by_sel = Hashtbl.create 4 in
   List.iter
@@ -327,7 +332,11 @@ let descs_of_accesses table accesses =
   Hashtbl.fold
     (fun s attrs acc ->
       let kind = if s >= 1.0 then Seq else Seq_cond s in
-      { table; attrs = List.sort_uniq compare attrs; kind } :: acc)
+      let touches =
+        if s >= 1.0 then n
+        else max 1 (int_of_float (Float.ceil (s *. float_of_int n)))
+      in
+      { table; attrs = List.sort_uniq compare attrs; kind; touches } :: acc)
     by_sel []
 
 (* ------------------------------------------------------------------ *)
@@ -384,8 +393,13 @@ let emit_update env table access post assignments sel =
       parts
   in
   ( Pattern.par (locate @ writes),
-    { table; attrs = List.sort_uniq compare (assigned @ rhs_cols); kind = Rand }
-    :: descs_of_accesses table read_accesses )
+    {
+      table;
+      attrs = List.sort_uniq compare (assigned @ rhs_cols);
+      kind = Rand;
+      touches = matches;
+    }
+    :: descs_of_accesses table ~n read_accesses )
 
 let rec go env (plan : Physical.t) ~(needed : int list) :
     Pattern.t * access_desc list =
@@ -405,7 +419,7 @@ let rec go env (plan : Physical.t) ~(needed : int list) :
             pred_accesses @ List.map (fun c -> (c, payload_sel)) payload
           in
           let pats = scan_partition_patterns env table accesses in
-          (Pattern.par pats, descs_of_accesses table accesses)
+          (Pattern.par pats, descs_of_accesses table ~n:(nrows env table) accesses)
       | Physical.Index_eq _ | Physical.Index_range _ ->
           let matches =
             max 1 (int_of_float (sel *. float_of_int (nrows env table)))
@@ -438,9 +452,17 @@ let rec go env (plan : Physical.t) ~(needed : int list) :
             point_partition_patterns env table ~r:matches fetch_cols
           in
           ( Pattern.par (index_pat :: fetch),
-            { table; attrs = index_attrs; kind = Rand }
-            :: descs_of_accesses table
-                 (List.map (fun c -> (c, 1.0)) fetch_cols) ))
+            (* the index probe and the tuple fetches are both point
+               accesses: [matches] random touches each *)
+            [
+              { table; attrs = index_attrs; kind = Rand; touches = matches };
+              {
+                table;
+                attrs = List.sort_uniq compare fetch_cols;
+                kind = Rand;
+                touches = matches;
+              };
+            ] ))
   | Physical.Select { child; pred; _ } ->
       (* tuples are register-resident above the scan; only column fetches
          from the child matter *)
@@ -551,6 +573,7 @@ let rec go env (plan : Physical.t) ~(needed : int list) :
             table;
             attrs = List.init (Schema.arity schema) Fun.id;
             kind = Rand;
+            touches = 1;
           };
         ] )
   | Physical.Update { table; access; post; assignments; sel } ->

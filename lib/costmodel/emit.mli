@@ -19,7 +19,17 @@ type access_kind =
   | Seq_cond of float  (** conditional access at the given probability *)
   | Rand  (** point access (index lookups, updates) *)
 
-type access_desc = { table : string; attrs : int list; kind : access_kind }
+type access_desc = {
+  table : string;
+  attrs : int list;
+  kind : access_kind;
+  touches : int;
+      (** estimated number of item accesses behind the descriptor: the row
+          count for [Seq], the expected match count for [Seq_cond] and the
+          repetition count for [Rand] — what the layout advisor's integer
+          program needs to price a fragment touch without re-emitting the
+          plan *)
+}
 
 type enc_hint = {
   enc : Storage.Encoding.t;

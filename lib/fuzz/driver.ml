@@ -448,6 +448,81 @@ let run_recovery (c : Case.t) =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Online advisor axis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay the episode once with the layout advisor in the loop: every
+   statement is re-planned against the current catalog (the layout may have
+   just changed), executed on the Jit engine, observed by the advisor, and
+   checked against the oracle.  The advisor is deliberately trigger-happy
+   (tiny window, any positive projected saving repartitions), so layout
+   changes land mid-episode between checked statements — the property under
+   test is that reorganization never changes answers or final table
+   contents.  Returns the divergences plus how many repartitions actually
+   happened, so callers can report whether the axis was exercised. *)
+let run_advisor (c : Case.t) ~oracle:(per_stmt_oracle, dumps_oracle) =
+  let cat = build_catalog c Case.Pdsm in
+  let adv =
+    Layoutopt.Advisor.create ~window:8 ~check_every:2 ~min_benefit:0.0
+      ~horizon:1e9 cat
+  in
+  let divergences = ref [] in
+  let repartitions = ref 0 in
+  let diverge statement detail =
+    divergences := { combo = "advisor"; statement; detail } :: !divergences
+  in
+  let params = c.Case.params in
+  List.iteri
+    (fun i (stmt, oracle_r) ->
+      try
+        let logical =
+          match stmt with Case.Exec l | Case.Query l -> l
+        in
+        let phys = Relalg.Planner.plan cat logical in
+        (match stmt with
+        | Case.Exec _ -> ignore (Engine.run Engine.Jit cat phys ~params)
+        | Case.Query _ ->
+            let r = Engine.run Engine.Jit cat phys ~params in
+            let expected =
+              match oracle_r with Some o -> o | None -> assert false
+            in
+            (match
+               columns_mismatch ~expected:expected.Oracle.columns
+                 ~got:r.Runtime.columns
+             with
+            | Some d -> diverge i d
+            | None -> ());
+            (match
+               multiset_mismatch ~expected:expected.Oracle.rows
+                 ~got:r.Runtime.rows
+             with
+            | Some d -> diverge i d
+            | None -> ()));
+        repartitions :=
+          !repartitions + List.length (Layoutopt.Advisor.observe adv phys)
+      with e -> diverge i ("exception: " ^ Printexc.to_string e))
+    (List.combine c.Case.episode per_stmt_oracle);
+  List.iteri
+    (fun ti ((tab : Case.table), (dump : Oracle.result)) ->
+      try
+        let rel = Catalog.find cat tab.Case.tname in
+        let got = ref [] in
+        for tid = Relation.nrows rel - 1 downto 0 do
+          got := Relation.get_tuple rel tid :: !got
+        done;
+        match multiset_mismatch ~expected:dump.Oracle.rows ~got:!got with
+        | Some d ->
+            diverge (-1)
+              (Printf.sprintf "final state of %s: %s" tab.Case.tname d)
+        | None -> ()
+      with e ->
+        diverge (-1)
+          (Printf.sprintf "final state of table %d: exception: %s" ti
+             (Printexc.to_string e)))
+    (List.combine c.Case.tables dumps_oracle);
+  (List.rev !divergences, !repartitions)
+
+(* ------------------------------------------------------------------ *)
 (* The full matrix for one case                                        *)
 (* ------------------------------------------------------------------ *)
 

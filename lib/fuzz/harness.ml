@@ -101,3 +101,69 @@ let replay_case ?(mutate = false) ?(recovery = true) c =
 
 let replay_seed ?(max_rows = 120) seed =
   outcome_of (Gen.case ~max_rows seed)
+
+(* ------------------------------------------------------------------ *)
+(* The advisor axis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* `fuzz --advisor`: the episode replays once with the layout advisor
+   repartitioning mid-episode; answers and final state must still match the
+   oracle.  Shrinking preserves the failure kind exactly as above. *)
+
+let m_advisor_repartitions =
+  Obs.Metrics.counter "mrdb_fuzz_advisor_repartitions_total"
+    ~help:"Mid-episode repartitions performed across advisor fuzz cases"
+
+let outcome_of_advisor c =
+  let oracle = Driver.oracle_results c in
+  match Driver.run_advisor c ~oracle with
+  | [], reps -> (Ok, reps)
+  | ds, reps -> (Diverged ds, reps)
+  | exception e -> (Raised (Printexc.to_string e), 0)
+
+let advisor_failure_pred = function
+  | Ok -> fun _ -> false
+  | Diverged _ -> (
+      fun c ->
+        match Driver.run_advisor c ~oracle:(Driver.oracle_results c) with
+        | [], _ -> false
+        | _ :: _, _ -> true
+        | exception _ -> false)
+  | Raised _ -> (
+      fun c ->
+        match Driver.run_advisor c ~oracle:(Driver.oracle_results c) with
+        | _ -> false
+        | exception _ -> true)
+
+let replay_advisor c = outcome_of_advisor c
+
+(* Returns (failing reports, total mid-episode repartitions) — the count
+   proves the axis actually reorganized tables rather than vacuously
+   passing. *)
+let fuzz_advisor ?(max_rows = 120) ?(log = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let repartitions = ref 0 in
+  for i = 0 to cases - 1 do
+    let case = Gen.case ~max_rows (seed + i) in
+    let outcome, reps = outcome_of_advisor case in
+    Obs.Metrics.incr m_cases;
+    Obs.Metrics.add m_advisor_repartitions reps;
+    repartitions := !repartitions + reps;
+    (match outcome with
+    | Ok -> ()
+    | Diverged ds -> Obs.Metrics.add m_divergences (List.length ds)
+    | Raised _ -> Obs.Metrics.incr m_raised);
+    (match outcome with
+    | Ok -> ()
+    | _ ->
+        let minimized =
+          Shrink.minimize ~failing:(advisor_failure_pred outcome) case
+        in
+        failures := { seed = seed + i; case; outcome; minimized } :: !failures);
+    if (i + 1) mod 50 = 0 || i = cases - 1 then
+      log
+        (Printf.sprintf "%d/%d cases, %d repartition(s), %d failure(s)"
+           (i + 1) cases !repartitions
+           (List.length !failures))
+  done;
+  (List.rev !failures, !repartitions)

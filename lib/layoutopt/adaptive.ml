@@ -39,21 +39,25 @@ let observed t = t.count
 
 let reorganizations t = List.rev t.events
 
-(* sequential read + sequential write of every partition *)
+(* sequential read + sequential write of every partition; an empty table
+   costs nothing to reorganize *)
 let copy_cost cat table =
   let rel = Catalog.find cat table in
   let n = Relation.nrows rel in
-  let layout = Relation.layout rel in
-  let cost = ref 0.0 in
-  for p = 0 to Layout.n_partitions layout - 1 do
-    let w = max 1 (Relation.part_width rel p) in
-    cost :=
-      !cost
-      +. (2.0
-         *. Costmodel.Cost_function.cost Memsim.Params.nehalem
-              (Pattern.s_trav ~n:(max 1 n) ~w ()))
-  done;
-  !cost
+  if n = 0 then 0.0
+  else begin
+    let layout = Relation.layout rel in
+    let cost = ref 0.0 in
+    for p = 0 to Layout.n_partitions layout - 1 do
+      let w = max 1 (Relation.part_width rel p) in
+      cost :=
+        !cost
+        +. (2.0
+           *. Costmodel.Cost_function.cost Memsim.Params.nehalem
+                (Pattern.s_trav ~n ~w ()))
+    done;
+    !cost
+  end
 
 (* collapse the observed window into (plan, frequency) pairs; identical
    plan structures are merged by their printed form *)

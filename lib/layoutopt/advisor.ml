@@ -1,0 +1,133 @@
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Layout = Storage.Layout
+module Model = Costmodel.Model
+
+type recommendation = {
+  table : string;
+  current_layout : Storage.Layout.t;
+  proposed_layout : Storage.Layout.t;
+  current_cost : float;
+  proposed_cost : float;
+  copy_cost : float;
+  net_saving : float;
+  profitable : bool;
+  search : Bpi.stats;
+}
+
+type t = {
+  cat : Catalog.t;
+  algorithm : Optimizer.algorithm;
+  check_every : int;
+  min_benefit : float;
+  horizon : float;
+  window : Workload.t;
+  mutable applied : recommendation list; (* newest first *)
+}
+
+let m_checks =
+  Obs.Metrics.counter "mrdb_advisor_checks_total"
+    ~help:"Advisor re-optimization passes over the observed window"
+
+let m_repartitions =
+  Obs.Metrics.counter "mrdb_advisor_repartitions_total"
+    ~help:"Tables repartitioned by the layout advisor"
+
+let m_last_saving =
+  Obs.Metrics.gauge "mrdb_advisor_last_net_saving"
+    ~help:"Projected net cycle saving of the most recent advisor repartition"
+
+let create ?(algorithm = Optimizer.Ip) ?(window = 256) ?(check_every = 64)
+    ?(min_benefit = 0.05) ?(horizon = 10.0) cat =
+  {
+    cat;
+    algorithm;
+    check_every;
+    min_benefit;
+    horizon;
+    window = Workload.create ~window ();
+    applied = [];
+  }
+
+let workload t = t.window
+
+let recommend_table ~algorithm ~min_benefit ~horizon cat mix table =
+  let rel = Catalog.find cat table in
+  let current_layout = Relation.layout rel in
+  let current_cost =
+    Model.workload_cost ~layouts:[ (table, current_layout) ] cat mix
+  in
+  let result = Optimizer.optimize_table ~algorithm cat table mix in
+  let proposed_layout = result.Optimizer.layout in
+  let proposed_cost = result.Optimizer.estimated_cost in
+  let copy_cost = Adaptive.copy_cost cat table in
+  let saving = current_cost -. proposed_cost in
+  let net_saving = (saving *. horizon) -. copy_cost in
+  let profitable =
+    (not (Layout.equal proposed_layout current_layout))
+    && net_saving > 0.0
+    && saving > min_benefit *. Float.max 1.0 current_cost
+  in
+  {
+    table;
+    current_layout;
+    proposed_layout;
+    current_cost;
+    proposed_cost;
+    copy_cost;
+    net_saving;
+    profitable;
+    search = result.Optimizer.search;
+  }
+
+let recommend ?(algorithm = Optimizer.Ip) ?(min_benefit = 0.05)
+    ?(horizon = 10.0) cat mix =
+  let tables =
+    List.concat_map
+      (fun (plan, _) ->
+        List.map
+          (fun d -> d.Costmodel.Emit.table)
+          (snd (Costmodel.Emit.emit cat plan)))
+      mix
+    |> List.sort_uniq compare
+  in
+  List.map (recommend_table ~algorithm ~min_benefit ~horizon cat mix) tables
+
+let advise t =
+  Obs.Metrics.incr m_checks;
+  recommend ~algorithm:t.algorithm ~min_benefit:t.min_benefit
+    ~horizon:t.horizon t.cat (Workload.mix t.window)
+
+let apply t recs =
+  List.filter
+    (fun r ->
+      if not r.profitable then false
+      else begin
+        let rel = Catalog.find t.cat r.table in
+        (* the catalog may have moved since the recommendation was computed
+           (another advisor pass, an explicit optimize): only apply advice
+           that still describes reality *)
+        if not (Layout.equal (Relation.layout rel) r.current_layout) then
+          false
+        else begin
+          (* one transaction per repartition: the WAL frames the layout
+             change and the index rebuilds it implies, so a crash either
+             keeps the old layout or recovers the new one — never a
+             half-copied hybrid *)
+          Catalog.in_txn t.cat (fun () ->
+              Catalog.set_layout t.cat r.table r.proposed_layout);
+          Obs.Metrics.incr m_repartitions;
+          Obs.Metrics.set m_last_saving r.net_saving;
+          t.applied <- r :: t.applied;
+          true
+        end
+      end)
+    recs
+
+let observe t plan =
+  Workload.observe t.window plan;
+  if Workload.observed t.window mod t.check_every = 0 then
+    apply t (advise t)
+  else []
+
+let applied t = List.rev t.applied

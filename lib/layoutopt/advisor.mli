@@ -1,0 +1,70 @@
+(** The online layout advisor: the hybrid-store advisor loop of Rösch et
+    al. on top of the exact {!Ip} solver.
+
+    A {!Workload.t} window captures the live query mix; every
+    [check_every] observations the advisor re-solves the partitioning
+    problem for every touched table against the *observed* mix and
+    repartitions when the projected cycles saved over [horizon] windows
+    beat {!Adaptive.copy_cost} (and the relative saving clears
+    [min_benefit]).  Repartitions run inside {!Storage.Catalog.in_txn}, so
+    the WAL frames the layout change (crash recovery replays or drops it
+    atomically) and logical row ids are preserved (MVCC snapshots built
+    before the repartition stay readable). *)
+
+type recommendation = {
+  table : string;
+  current_layout : Storage.Layout.t;
+  proposed_layout : Storage.Layout.t;
+  current_cost : float;  (** workload cost under the stored layout *)
+  proposed_cost : float;  (** workload cost under the proposed layout *)
+  copy_cost : float;  (** one-off reorganization cost ({!Adaptive.copy_cost}) *)
+  net_saving : float;
+      (** (current - proposed) × horizon − copy_cost, in model cycles *)
+  profitable : bool;
+      (** true when the advisor would (or did) repartition this table *)
+  search : Bpi.stats;
+}
+
+type t
+
+val create :
+  ?algorithm:Optimizer.algorithm ->
+  ?window:int ->
+  ?check_every:int ->
+  ?min_benefit:float ->
+  ?horizon:float ->
+  Storage.Catalog.t ->
+  t
+(** Defaults: [algorithm = Ip], [window = 256], [check_every = 64],
+    [min_benefit = 0.05], [horizon = 10.0] — the same profitability knobs
+    as {!Adaptive}. *)
+
+val workload : t -> Workload.t
+(** The advisor's observation window (e.g. to inspect {!Workload.descs}). *)
+
+val recommend :
+  ?algorithm:Optimizer.algorithm ->
+  ?min_benefit:float ->
+  ?horizon:float ->
+  Storage.Catalog.t ->
+  (Relalg.Physical.t * float) list ->
+  recommendation list
+(** One-shot advice for a static frequency-weighted mix (the [advise] CLI
+    path): one recommendation per touched table, profitable or not.  Never
+    mutates the catalog. *)
+
+val advise : t -> recommendation list
+(** {!recommend} against the currently observed window. *)
+
+val apply : t -> recommendation list -> recommendation list
+(** Repartition every profitable recommendation, each inside its own
+    catalog transaction; returns the ones actually applied (layout still
+    as the recommendation expected). *)
+
+val observe : t -> Relalg.Physical.t -> recommendation list
+(** Record one executed plan; every [check_every] observations run
+    {!advise} and {!apply}, returning the repartitions performed (usually
+    []). *)
+
+val applied : t -> recommendation list
+(** Every repartition this advisor has performed, oldest first. *)

@@ -5,7 +5,7 @@ module Schema = Storage.Schema
 module Compress = Storage.Compress
 module Encoding = Storage.Encoding
 
-type algorithm = Bpi of float | Obp
+type algorithm = Bpi of float | Obp | Ip
 
 type table_result = {
   table : string;
@@ -84,6 +84,33 @@ let optimize_table ?(algorithm = Bpi 0.005) ?(extended = true)
     match algorithm with
     | Bpi threshold -> Bpi.optimize ~cost ~n_attrs ~cuts ~threshold
     | Obp -> Bpi.optimize_exhaustive ~cost ~n_attrs ~cuts
+    | Ip ->
+        (* exact IP frontier re-costed under the full (prefetch-aware,
+           concurrently-composed) model, with a BPi run as the floor: the
+           IP objective is separable per fragment, so the frontier is where
+           the two models can disagree — taking the min keeps Ip never
+           worse than Bpi on the model's own estimate *)
+        let problem = Ip.problem_of_workload ?estimate ?params cat table workload in
+        let frontier, ip_stats = Ip.solve ~top_k:8 problem in
+        let bpi_p, bpi_c, bpi_stats =
+          Bpi.optimize ~cost ~n_attrs ~cuts ~threshold:0.005
+        in
+        let best_p, best_c =
+          List.fold_left
+            (fun (bp, bc) (p, _ip_cost) ->
+              let c = cost p in
+              if c < bc then (p, c) else (bp, bc))
+            (bpi_p, bpi_c) frontier
+        in
+        ( best_p,
+          best_c,
+          {
+            Bpi.cost_evaluations =
+              bpi_stats.Bpi.cost_evaluations + ip_stats.Ip.evaluations
+              + List.length frontier;
+            nodes_visited =
+              bpi_stats.Bpi.nodes_visited + ip_stats.Ip.nodes_visited;
+          } )
   in
   let plain_search = search_with [] in
   let partitioning, estimated_cost, search, encodings =

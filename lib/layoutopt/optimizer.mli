@@ -4,6 +4,11 @@
 type algorithm =
   | Bpi of float  (** branch and bound with the given relative threshold *)
   | Obp  (** exhaustive (exponential in the number of cuts) *)
+  | Ip
+      (** Amossen's integer program ({!Ip}): exact branch and bound over the
+          full set-partition lattice, its candidate frontier re-costed under
+          the full model and guarded by a BPi run — never worse than
+          [Bpi 0.005] on the model's own estimate *)
 
 type table_result = {
   table : string;

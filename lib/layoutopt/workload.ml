@@ -1,0 +1,77 @@
+module Emit = Costmodel.Emit
+
+type t = {
+  window : int;
+  mutable recent : Relalg.Physical.t list; (* newest first, bounded *)
+  mutable size : int;
+  mutable count : int;
+}
+
+let m_observed =
+  Obs.Metrics.counter "mrdb_advisor_observed_total"
+    ~help:"Plans recorded into the advisor's workload window"
+
+let m_window =
+  Obs.Metrics.gauge "mrdb_advisor_window_size"
+    ~help:"Plans currently retained in the advisor's workload window"
+
+let create ?(window = 256) () = { window; recent = []; size = 0; count = 0 }
+
+let observe t plan =
+  t.count <- t.count + 1;
+  t.recent <- plan :: t.recent;
+  t.size <- t.size + 1;
+  if t.size > t.window then begin
+    t.recent <- List.filteri (fun i _ -> i < t.window) t.recent;
+    t.size <- t.window
+  end;
+  Obs.Metrics.incr m_observed;
+  Obs.Metrics.set m_window (float_of_int t.size)
+
+let observed t = t.count
+let size t = t.size
+
+let clear t =
+  t.recent <- [];
+  t.size <- 0;
+  Obs.Metrics.set m_window 0.0
+
+(* structurally identical plans merge by their printed form *)
+let mix t =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun plan ->
+      let key = Format.asprintf "%a" Relalg.Physical.pp plan in
+      match Hashtbl.find_opt tbl key with
+      | Some (p, f) -> Hashtbl.replace tbl key (p, f +. 1.0)
+      | None ->
+          Hashtbl.add tbl key (plan, 1.0);
+          order := key :: !order)
+    t.recent;
+  (* deterministic order: most recently observed distinct plan first *)
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
+
+let tables cat t =
+  List.concat_map
+    (fun (plan, _) ->
+      let _, descs = Emit.emit cat plan in
+      List.map (fun d -> d.Emit.table) descs)
+    (mix t)
+  |> List.sort_uniq compare
+
+let descs cat t =
+  let by_table = Hashtbl.create 8 in
+  List.iter
+    (fun (plan, freq) ->
+      let _, ds = Emit.emit cat plan in
+      List.iter
+        (fun d ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt by_table d.Emit.table)
+          in
+          Hashtbl.replace by_table d.Emit.table ((d, freq) :: prev))
+        ds)
+    (mix t);
+  Hashtbl.fold (fun table ds acc -> (table, List.rev ds) :: acc) by_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,38 @@
+(** Sliding-window workload capture for the layout advisor.
+
+    Executed plans are recorded into a bounded window (newest first); the
+    advisor reads the window back as a frequency-weighted mix and as
+    per-table access descriptors.  Observations also feed the
+    {!Obs.Metrics} registry ([mrdb_advisor_observed_total],
+    [mrdb_advisor_window_size]), so the live query mix the advisor acts on
+    is visible through the same metrics stream as everything else. *)
+
+type t
+
+val create : ?window:int -> unit -> t
+(** [window] bounds the number of retained plans (default 256). *)
+
+val observe : t -> Relalg.Physical.t -> unit
+(** Record one executed plan (newest first, oldest evicted). *)
+
+val observed : t -> int
+(** Total observations ever recorded (not bounded by the window). *)
+
+val size : t -> int
+(** Plans currently retained. *)
+
+val clear : t -> unit
+
+val mix : t -> (Relalg.Physical.t * float) list
+(** The window collapsed to (plan, frequency) pairs — structurally
+    identical plans merged by their printed form.  The shape
+    {!Costmodel.Model.workload_cost} and {!Optimizer.optimize} expect. *)
+
+val tables : Storage.Catalog.t -> t -> string list
+(** Tables touched by the retained mix, sorted, deduplicated. *)
+
+val descs :
+  Storage.Catalog.t -> t -> (string * (Costmodel.Emit.access_desc * float) list) list
+(** Per-table access descriptors of the retained mix, each carrying the
+    frequency of the plan that emitted it — the advisor's view of "what
+    does the live workload do to this table". *)

@@ -48,8 +48,8 @@ let counters_line st =
     st.Stats.l1_misses st.Stats.l2_misses st.Stats.llc_seq_misses
     st.Stats.llc_rand_misses st.Stats.tlb_misses st.Stats.prefetches
 
-let render ?(analyze = false) ?(engine = Engine.Jit) ?(domains = 1)
-    ?(params = [||]) cat plan =
+let render ?(analyze = false) ?(advisor = false) ?(engine = Engine.Jit)
+    ?(domains = 1) ?(params = [||]) cat plan =
   let buf = Buffer.create 1024 in
   let ops = operators plan in
   let predicted =
@@ -155,6 +155,35 @@ let render ?(analyze = false) ?(engine = Engine.Jit) ?(domains = 1)
                  (String.concat "," cells)))
           groups)
       tables
+  end;
+  (* what the IP layout advisor would do if this query were the whole
+     workload: proposed partitioning, projected saving, copy cost, verdict *)
+  if advisor then begin
+    let recs = Layoutopt.Advisor.recommend cat [ (plan, 1.0) ] in
+    if recs <> [] then begin
+      Buffer.add_string buf "advisor (IP, this query as the workload):\n";
+      List.iter
+        (fun (r : Layoutopt.Advisor.recommendation) ->
+          let schema =
+            Storage.Relation.schema (Catalog.find cat r.Layoutopt.Advisor.table)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: %s -> %s\n" r.Layoutopt.Advisor.table
+               (Format.asprintf "%a" (Storage.Layout.pp schema)
+                  r.Layoutopt.Advisor.current_layout)
+               (Format.asprintf "%a" (Storage.Layout.pp schema)
+                  r.Layoutopt.Advisor.proposed_layout));
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    est %.3g -> %.3g cycles/query, copy %.3g, net %.3g over \
+                horizon: %s\n"
+               r.Layoutopt.Advisor.current_cost
+               r.Layoutopt.Advisor.proposed_cost r.Layoutopt.Advisor.copy_cost
+               r.Layoutopt.Advisor.net_saving
+               (if r.Layoutopt.Advisor.profitable then "repartition"
+                else "keep")))
+        recs
+    end
   end;
   let total_pred = Costmodel.Model.query_cost cat plan in
   Buffer.add_string buf

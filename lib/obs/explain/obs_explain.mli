@@ -16,12 +16,16 @@
 
 val render :
   ?analyze:bool ->
+  ?advisor:bool ->
   ?engine:Engines.Engine.kind ->
   ?domains:int ->
   ?params:Storage.Value.t array ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->
   string
-(** Defaults: [analyze = false], [engine = Jit], [domains = 1],
-    [params = [||]].  [analyze] on a catalog without a simulated
-    hierarchy raises [Invalid_argument]. *)
+(** Defaults: [analyze = false], [advisor = false], [engine = Jit],
+    [domains = 1], [params = [||]].  [analyze] on a catalog without a
+    simulated hierarchy raises [Invalid_argument].  [advisor] appends the
+    layout advisor's view of every touched table — the IP-optimal
+    partitioning if this query were the whole workload, with the projected
+    saving, copy cost and repartition-or-keep verdict. *)

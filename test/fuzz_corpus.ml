@@ -215,6 +215,89 @@ let boundary_per_engine engine () =
       Alcotest.failf "boundary case diverged: %a" Fuzz.Driver.pp_divergence d
 
 (* ------------------------------------------------------------------ *)
+(* Pinned advisor case                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-written case for the `fuzz --advisor` axis: a six-column table
+   stored row-wise, hammered with a one-column aggregate — the IP advisor
+   splits the hot column out mid-episode.  The wide query and the update
+   that follow must still agree with the oracle, and so must the final
+   table contents: reorganization never changes answers.  The suite also
+   asserts the repartition actually happened, otherwise the pinned case
+   would stop covering the axis. *)
+let advisor_case =
+  let rows =
+    List.init 64 (fun i ->
+        [|
+          V.VInt i; V.VInt (i * 7 mod 13); V.VInt (i mod 5);
+          V.VInt (1000 + i); V.VInt (i * i mod 97); V.VInt (i mod 2);
+        |])
+  in
+  let narrow =
+    Plan.Group_by
+      {
+        child = Plan.Scan "t0";
+        keys = [];
+        aggs = [ Relalg.Aggregate.(make Sum ~expr:(Expr.Col 0) "s") ];
+      }
+  in
+  {
+    Case.seed = 0;
+    tables =
+      [
+        {
+          Case.tname = "t0";
+          cols =
+            List.init 6 (fun i ->
+                {
+                  Case.cname = Printf.sprintf "c%d" i;
+                  ty = V.Int;
+                  nullable = false;
+                });
+          groups = [ [ 0; 1; 2; 3; 4; 5 ] ] (* starts as a row store *);
+          rows;
+        };
+      ];
+    episode =
+      [
+        Case.Query narrow;
+        Case.Query narrow;
+        Case.Query narrow;
+        Case.Query narrow;
+        Case.Query (Plan.Scan "t0");
+        Case.Exec
+          (Plan.Update
+             {
+               table = "t0";
+               pred =
+                 Some (Expr.Cmp (Expr.Lt, Expr.Col 0, Expr.Const (V.VInt 8)));
+               assignments = [ (3, Expr.Const (V.VInt 424_242)) ];
+             });
+        Case.Query (Plan.Scan "t0");
+        Case.Query narrow;
+      ];
+    params = [| V.VInt 0; V.VInt 0 |];
+  }
+
+let test_advisor_case () =
+  let outcome, repartitions = Harness.replay_advisor advisor_case in
+  check_ok "pinned advisor case" outcome;
+  Alcotest.(check bool)
+    (Printf.sprintf "advisor repartitioned mid-episode (got %d)" repartitions)
+    true (repartitions > 0)
+
+(* A short fresh advisor sweep so runtest always exercises the axis on
+   generated cases too. *)
+let test_advisor_sweep () =
+  let failures, _ = Harness.fuzz_advisor ~seed:9100 ~cases:6 ~max_rows:60 () in
+  List.iter
+    (fun (r : Harness.report) ->
+      Alcotest.failf "advisor seed %d failed: %s@.%s" r.Harness.seed
+        (outcome_label r.Harness.outcome)
+        (Case.to_ocaml r.Harness.minimized))
+    failures
+
+(* ------------------------------------------------------------------ *)
 (* Mutation self-check                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -247,6 +330,9 @@ let suite =
   :: Alcotest.test_case "fresh seed sweep" `Slow test_fresh_sweep
   :: Alcotest.test_case "pinned boundary case" `Quick test_boundary_case
   :: Alcotest.test_case "pinned compressed case" `Quick test_compressed_case
+  :: Alcotest.test_case "pinned advisor case repartitions and stays correct"
+       `Quick test_advisor_case
+  :: Alcotest.test_case "fresh advisor sweep" `Slow test_advisor_sweep
   :: Alcotest.test_case "Lt->Le mutation caught and shrunk" `Quick
        test_mutation_caught
   :: Helpers.across_engines "boundary case vs oracle" boundary_per_engine

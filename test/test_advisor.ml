@@ -1,0 +1,328 @@
+(* Tests for the IP-exact partitioner and the online layout advisor. *)
+
+module V = Storage.Value
+module Schema = Storage.Schema
+module Layout = Storage.Layout
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Emit = Costmodel.Emit
+module Ip = Layoutopt.Ip
+module Advisor = Layoutopt.Advisor
+module Wl = Layoutopt.Workload
+module Optimizer = Layoutopt.Optimizer
+module Rng = Mrdb_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Random synthetic IP problems (no catalog needed)                    *)
+(* ------------------------------------------------------------------ *)
+
+let problem_of_seed ~max_attrs seed =
+  let rng = Rng.create (0x1b_0000 + seed) in
+  let n_attrs = 1 + Rng.int rng max_attrs in
+  let widths = Array.init n_attrs (fun _ -> 1 + Rng.int rng 16) in
+  let rows = 1_000 + Rng.int rng 100_000 in
+  let n_terms = 1 + Rng.int rng 5 in
+  let terms =
+    List.init n_terms (fun _ ->
+        let n_a = 1 + Rng.int rng n_attrs in
+        let attrs =
+          List.sort_uniq compare (List.init n_a (fun _ -> Rng.int rng n_attrs))
+        in
+        let kind =
+          match Rng.int rng 3 with
+          | 0 -> Emit.Seq
+          | 1 -> Emit.Seq_cond (0.01 +. (0.98 *. Rng.float rng))
+          | _ -> Emit.Rand
+        in
+        let touches =
+          match kind with
+          | Emit.Seq -> rows
+          | Emit.Seq_cond s -> max 1 (int_of_float (s *. float_of_int rows))
+          | Emit.Rand -> 1 + Rng.int rng 1024
+        in
+        let weight = float_of_int (1 + Rng.int rng 20) in
+        { Ip.attrs; weight; kind; touches })
+    |> Array.of_list
+  in
+  { Ip.n_attrs; widths; rows; terms; params = Memsim.Params.nehalem }
+
+(* the acceptance property: on <=6 attributes the branch-and-bound result
+   is exactly the brute-force optimum over all set partitions *)
+let qcheck_ip_matches_brute_force =
+  QCheck.Test.make ~count:200
+    ~name:"IP solve = brute force over all partitions (<=6 attrs, 200 cases)"
+    QCheck.small_nat
+    (fun seed ->
+      let p = problem_of_seed ~max_attrs:6 seed in
+      let frontier, _stats = Ip.solve p in
+      let _, oracle_cost = Ip.brute_force p in
+      match frontier with
+      | [] -> false
+      | (best_p, best_c) :: rest ->
+          (* head is the optimum, restated by the public objective *)
+          Float.abs (best_c -. oracle_cost)
+            <= 1e-6 *. Float.max 1.0 oracle_cost
+          && Float.abs (Ip.objective p best_p -. best_c)
+               <= 1e-9 *. Float.max 1.0 best_c
+          (* frontier is sorted ascending *)
+          && fst
+               (List.fold_left
+                  (fun (ok, prev) (_, c) -> (ok && prev <= c, c))
+                  (true, best_c) rest))
+
+(* partitions produced by the solver are genuine partitions of 0..n-1 *)
+let qcheck_ip_solutions_are_partitions =
+  QCheck.Test.make ~count:100 ~name:"IP frontier holds valid partitions"
+    QCheck.small_nat
+    (fun seed ->
+      let p = problem_of_seed ~max_attrs:6 seed in
+      let frontier, _ = Ip.solve p in
+      List.for_all
+        (fun (parts, _) ->
+          List.concat parts |> List.sort compare
+          = List.init p.Ip.n_attrs Fun.id
+          && List.for_all (fun g -> g <> []) parts)
+        frontier)
+
+(* ------------------------------------------------------------------ *)
+(* Random real schemas: Ip is never worse than Bpi on the model cost   *)
+(* ------------------------------------------------------------------ *)
+
+let random_catalog_and_mix seed =
+  let rng = Rng.create (0xad_0000 + seed) in
+  let n_cols = 6 + Rng.int rng 4 in
+  let names = List.init n_cols (fun i -> Printf.sprintf "C%d" i) in
+  let schema = Schema.make "T" (List.map (fun n -> (n, V.Int)) names) in
+  let cat = Catalog.create () in
+  let rel = Catalog.add cat schema (Layout.row schema) in
+  let n = 2_000 + Rng.int rng 8_000 in
+  Relation.load_int_rows rel ~n (fun ~row dst ->
+      ignore row;
+      for i = 0 to n_cols - 1 do
+        dst.(i) <- Rng.int rng 1000
+      done);
+  let random_cols () =
+    let k = 1 + Rng.int rng (n_cols - 1) in
+    List.sort_uniq compare (List.init k (fun _ -> Rng.int rng n_cols))
+  in
+  let query () =
+    let sel = 0.002 +. (Rng.float rng *. 0.5) in
+    let pred_col = Rng.int rng n_cols in
+    let pred =
+      Relalg.Expr.Cmp
+        (Relalg.Expr.Lt, Relalg.Expr.Col pred_col, Relalg.Expr.Param 1)
+    in
+    let cols = random_cols () in
+    let logical =
+      Relalg.Plan.Project
+        ( Relalg.Plan.Select (Relalg.Plan.Scan "T", pred),
+          List.map
+            (fun c -> (Relalg.Expr.Col c, Printf.sprintf "C%d" c))
+            cols )
+    in
+    let plan =
+      Relalg.Planner.plan
+        ~estimate:(fun e -> if e = pred then Some sel else None)
+        cat logical
+    in
+    (plan, float_of_int (1 + Rng.int rng 10))
+  in
+  let mix = List.init (1 + Rng.int rng 3) (fun _ -> query ()) in
+  (cat, mix)
+
+let qcheck_ip_never_worse_than_bpi =
+  QCheck.Test.make ~count:12
+    ~name:"Ip never worse than Bpi on random schemas/workloads"
+    QCheck.small_nat
+    (fun seed ->
+      let cat, mix = random_catalog_and_mix seed in
+      let ip = Optimizer.optimize_table ~algorithm:Optimizer.Ip cat "T" mix in
+      let bpi =
+        Optimizer.optimize_table ~algorithm:(Optimizer.Bpi 0.005) cat "T" mix
+      in
+      ip.Optimizer.estimated_cost <= bpi.Optimizer.estimated_cost +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Empty-input edge cases                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentile_empty_histogram () =
+  let h = Obs.Metrics.histogram "test_advisor_empty_hist" in
+  Alcotest.(check (float 1e-9)) "p50 of empty histogram" 0.0
+    (Obs.Metrics.percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p99 of empty histogram" 0.0
+    (Obs.Metrics.percentile h 99.0);
+  Alcotest.(check int) "still empty" 0 (Obs.Metrics.histogram_count h)
+
+let test_copy_cost_empty_table () =
+  let cat = Catalog.create () in
+  let schema = Schema.make "E" [ ("A", V.Int); ("B", V.Int) ] in
+  let _ = Catalog.add cat schema (Layout.row schema) in
+  Alcotest.(check (float 1e-9)) "zero-row table reorganizes for free" 0.0
+    (Layoutopt.Adaptive.copy_cost cat "E")
+
+let test_ip_empty_table_and_schema () =
+  (* zero rows: every partitioning costs 0 and solve still terminates *)
+  let cat = Catalog.create () in
+  let schema = Schema.make "E" [ ("A", V.Int); ("B", V.Int) ] in
+  let _ = Catalog.add cat schema (Layout.row schema) in
+  let p = Ip.problem_of_workload cat "E" [] in
+  Alcotest.(check int) "no terms from an empty mix" 0 (Array.length p.Ip.terms);
+  let frontier, _ = Ip.solve p in
+  Alcotest.(check bool) "solver returns candidates" true (frontier <> []);
+  List.iter
+    (fun (parts, c) ->
+      Alcotest.(check (float 1e-9)) "all zero cost" 0.0 c;
+      Alcotest.(check (float 1e-9)) "objective agrees" 0.0 (Ip.objective p parts))
+    frontier
+
+(* ------------------------------------------------------------------ *)
+(* Workload window                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_window_merging_and_eviction () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n:1_000 () in
+  let scan1 = Workloads.Microbench.plan cat ~sel:0.01 in
+  let scan2 = Workloads.Microbench.plan cat ~sel:0.5 in
+  let w = Wl.create ~window:4 () in
+  Alcotest.(check int) "empty" 0 (Wl.size w);
+  Wl.observe w scan1;
+  Wl.observe w scan1;
+  Wl.observe w scan2;
+  let freqs =
+    Wl.mix w |> List.map snd |> List.sort compare
+  in
+  Alcotest.(check (list (float 1e-9))) "merged frequencies" [ 1.0; 2.0 ] freqs;
+  Alcotest.(check (list string)) "touched tables" [ "R" ] (Wl.tables cat w);
+  (* eviction keeps the newest [window] plans *)
+  for _ = 1 to 10 do
+    Wl.observe w scan2
+  done;
+  Alcotest.(check int) "bounded" 4 (Wl.size w);
+  Alcotest.(check int) "total observations keep counting" 13 (Wl.observed w);
+  Alcotest.(check int) "old plans evicted" 1 (List.length (Wl.mix w));
+  Wl.clear w;
+  Alcotest.(check int) "cleared" 0 (Wl.size w)
+
+let test_workload_descs_surface () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n:1_000 () in
+  let w = Wl.create () in
+  Wl.observe w (Workloads.Microbench.plan cat ~sel:0.01);
+  match Wl.descs cat w with
+  | [ (table, ds) ] ->
+      Alcotest.(check string) "table" "R" table;
+      Alcotest.(check bool) "has descriptors" true (ds <> []);
+      List.iter
+        (fun ((d : Emit.access_desc), freq) ->
+          Alcotest.(check bool) "positive touches" true (d.Emit.touches >= 1);
+          Alcotest.(check bool) "positive freq" true (freq >= 1.0))
+        ds
+  | other ->
+      Alcotest.failf "expected one table, got %d" (List.length other)
+
+(* ------------------------------------------------------------------ *)
+(* Advisor loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_recommend_scan_mix_profitable () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n:50_000 () in
+  let mix = [ (Workloads.Microbench.plan cat ~sel:0.01, 64.0) ] in
+  let recs = Advisor.recommend ~min_benefit:0.01 ~horizon:50.0 cat mix in
+  match recs with
+  | [ r ] ->
+      Alcotest.(check string) "table" "R" r.Advisor.table;
+      Alcotest.(check bool) "proposes decomposition" false
+        (Layout.is_row r.Advisor.proposed_layout);
+      Alcotest.(check bool) "profitable" true r.Advisor.profitable;
+      Alcotest.(check bool) "cheaper than current" true
+        (r.Advisor.proposed_cost < r.Advisor.current_cost);
+      Alcotest.(check bool) "copy cost accounted" true (r.Advisor.copy_cost > 0.0);
+      (* recommend never mutates *)
+      Alcotest.(check bool) "catalog untouched" true
+        (Layout.is_row (Relation.layout (Catalog.find cat "R")))
+  | other -> Alcotest.failf "expected one recommendation, got %d" (List.length other)
+
+let test_apply_then_stable () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n:50_000 () in
+  let adv = Advisor.create ~min_benefit:0.01 ~horizon:50.0 cat in
+  let scan = Workloads.Microbench.plan cat ~sel:0.01 in
+  for _ = 1 to 16 do
+    Wl.observe (Advisor.workload adv) scan
+  done;
+  let applied = Advisor.apply adv (Advisor.advise adv) in
+  Alcotest.(check bool) "repartitioned" true (applied <> []);
+  Alcotest.(check bool) "layout changed" false
+    (Layout.is_row (Relation.layout (Catalog.find cat "R")));
+  (* second pass: nothing left to do *)
+  let again = Advisor.apply adv (Advisor.advise adv) in
+  Alcotest.(check int) "stable after apply" 0 (List.length again);
+  Alcotest.(check int) "history kept" 1 (List.length (Advisor.applied adv));
+  (* data unharmed: the query still answers *)
+  let r =
+    Engines.Engine.run Engines.Engine.Jit cat
+      (Workloads.Microbench.plan cat ~sel:0.01)
+      ~params:(Workloads.Microbench.params ~sel:0.01)
+  in
+  Alcotest.(check int) "aggregate row present" 1
+    (List.length r.Engines.Runtime.rows)
+
+let test_observe_repartitions_on_drift () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n:50_000 () in
+  let adv =
+    Advisor.create ~window:64 ~check_every:16 ~min_benefit:0.01 ~horizon:50.0
+      cat
+  in
+  let scan = Workloads.Microbench.plan cat ~sel:0.01 in
+  let events = ref [] in
+  for _ = 1 to 64 do
+    events := !events @ Advisor.observe adv scan
+  done;
+  Alcotest.(check bool) "repartitioned on drift" true (!events <> []);
+  Alcotest.(check bool) "no longer a pure row store" false
+    (Layout.is_row (Relation.layout (Catalog.find cat "R")))
+
+let test_stale_recommendation_not_applied () =
+  let hier = Memsim.Hierarchy.create () in
+  let cat = Workloads.Microbench.build ~hier ~n:50_000 () in
+  let adv = Advisor.create ~min_benefit:0.01 ~horizon:50.0 cat in
+  let scan = Workloads.Microbench.plan cat ~sel:0.01 in
+  for _ = 1 to 16 do
+    Wl.observe (Advisor.workload adv) scan
+  done;
+  let recs = Advisor.advise adv in
+  (* the catalog moves underneath the advisor before it applies *)
+  Catalog.set_layout cat "R" Workloads.Microbench.pdsm_layout;
+  let applied = Advisor.apply adv recs in
+  Alcotest.(check int) "stale advice dropped" 0 (List.length applied);
+  Alcotest.(check bool) "layout is the concurrent writer's" true
+    (Layout.equal Workloads.Microbench.pdsm_layout
+       (Relation.layout (Catalog.find cat "R")))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_ip_matches_brute_force;
+    QCheck_alcotest.to_alcotest qcheck_ip_solutions_are_partitions;
+    QCheck_alcotest.to_alcotest qcheck_ip_never_worse_than_bpi;
+    Alcotest.test_case "percentile of empty histogram is 0" `Quick
+      test_percentile_empty_histogram;
+    Alcotest.test_case "copy cost of empty table is 0" `Quick
+      test_copy_cost_empty_table;
+    Alcotest.test_case "IP handles empty tables" `Quick
+      test_ip_empty_table_and_schema;
+    Alcotest.test_case "workload window merges and evicts" `Quick
+      test_workload_window_merging_and_eviction;
+    Alcotest.test_case "workload descriptors surface" `Quick
+      test_workload_descs_surface;
+    Alcotest.test_case "recommend: scan mix is profitable" `Quick
+      test_recommend_scan_mix_profitable;
+    Alcotest.test_case "apply then stable" `Quick test_apply_then_stable;
+    Alcotest.test_case "observe repartitions on drift" `Quick
+      test_observe_repartitions_on_drift;
+    Alcotest.test_case "stale recommendation not applied" `Quick
+      test_stale_recommendation_not_applied;
+  ]

@@ -37,9 +37,14 @@ let descs_q1 =
   (* shaped like the ADRC Q1 access: one scanned column, one conditional,
      payload at a lower probability *)
   [
-    { Emit.table = "x"; attrs = [ 0 ]; kind = Emit.Seq };
-    { Emit.table = "x"; attrs = [ 1 ]; kind = Emit.Seq_cond 0.9 };
-    { Emit.table = "x"; attrs = [ 2; 3 ]; kind = Emit.Seq_cond 0.02 };
+    { Emit.table = "x"; attrs = [ 0 ]; kind = Emit.Seq; touches = 1000 };
+    { Emit.table = "x"; attrs = [ 1 ]; kind = Emit.Seq_cond 0.9; touches = 900 };
+    {
+      Emit.table = "x";
+      attrs = [ 2; 3 ];
+      kind = Emit.Seq_cond 0.02;
+      touches = 20;
+    };
   ]
 
 let test_classic_cuts () =

@@ -181,6 +181,96 @@ let test_missing_everything () =
     (Catalog.names r.Recover.cat)
 
 (* ------------------------------------------------------------------ *)
+(* Crash points inside an advisor-triggered reorganization            *)
+(* ------------------------------------------------------------------ *)
+
+(* The online layout advisor — not a scripted [set_layout] — performs the
+   repartition against a durability-attached catalog, and the run is
+   crashed at every injected WAL fault point.  The advisor's reorganization
+   runs inside [Catalog.in_txn], so recovery must land on a committed
+   mark's digest: either the repartition replayed whole or it vanished
+   whole, never a half-moved table. *)
+let run_advisor_script env =
+  let cat = Catalog.create () in
+  let marks = ref [ ("empty", Snapshot.digest cat, 0) ] in
+  let mark step = marks := (step, Snapshot.digest cat, F.points env) :: !marks in
+  let d = D.attach env cat in
+  mark "attach";
+  Catalog.in_txn cat (fun () ->
+      let rel = Catalog.add cat schema (Layout.row schema) in
+      Relation.load rel ~n:24 (fun ~row -> initial_row row);
+      Catalog.notify_load cat "t" ~row_lo:0 ~rows:24);
+  mark "load";
+  (* a narrow aggregate mix: decomposing [amount] out is profitable, so a
+     trigger-happy advisor reorganizes on the first check *)
+  let narrow =
+    Relalg.Planner.plan cat
+      (Relalg.Plan.Group_by
+         {
+           child = Relalg.Plan.Scan "t";
+           keys = [];
+           aggs =
+             [ Relalg.Aggregate.(make Sum ~expr:(Relalg.Expr.Col 2) "s") ];
+         })
+  in
+  let adv =
+    Layoutopt.Advisor.create ~window:4 ~check_every:1 ~min_benefit:0.0
+      ~horizon:1e9 cat
+  in
+  let repartitions = ref 0 in
+  for _ = 1 to 4 do
+    repartitions :=
+      !repartitions + List.length (Layoutopt.Advisor.observe adv narrow)
+  done;
+  mark "advisor-repartition";
+  run_update cat "update t set amount = 5 where grp = 1";
+  mark "update";
+  D.detach d;
+  let nparts =
+    Storage.Layout.n_partitions (Relation.layout (Catalog.find cat "t"))
+  in
+  (List.rev !marks, !repartitions, nparts)
+
+let test_advisor_repartition_crash_points () =
+  (* dry run: the advisor must actually reorganize *)
+  let env = F.memory () in
+  let marks, repartitions, nparts = run_advisor_script env in
+  let total = F.points env in
+  Alcotest.(check bool) "advisor repartitioned" true (repartitions > 0);
+  Alcotest.(check bool) "table decomposed" true (nparts > 1);
+  Alcotest.(check bool) "workload passes crash points" true (total > 5);
+  List.iter
+    (fun torn ->
+      for point = 1 to total do
+        let env = F.memory ~plan:(F.Crash_at { point; torn }) () in
+        (match run_advisor_script env with
+        | _ ->
+            Alcotest.failf "point %d torn %.1f: expected a crash" point torn
+        | exception F.Crash _ -> ());
+        let dg, r = recover_digest env in
+        let idx = digest_index marks dg in
+        if idx < 0 then
+          Alcotest.failf
+            "point %d torn %.1f: recovered state matches no committed state \
+             (warnings: %s)"
+            point torn
+            (String.concat " | " r.Recover.warnings);
+        let floor = ref 0 in
+        List.iteri
+          (fun i (_, _, pts) -> if pts < point && i > !floor then floor := i)
+          marks;
+        if idx < !floor then
+          Alcotest.failf
+            "point %d torn %.1f: recovered %S but %S was already durable"
+            point torn
+            (let s, _, _ = List.nth marks idx in
+             s)
+            (let s, _, _ = List.nth marks !floor in
+             s)
+      done)
+    [ 0.0; 1.0 ]
+
+(* ------------------------------------------------------------------ *)
 (* Seeded soak                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,6 +508,8 @@ let suite =
     Alcotest.test_case "corrupt snapshot tolerated" `Quick
       test_corrupt_snapshot;
     Alcotest.test_case "recovery from nothing" `Quick test_missing_everything;
+    Alcotest.test_case "crash points inside advisor reorganization" `Slow
+      test_advisor_repartition_crash_points;
     Alcotest.test_case "seeded crash soak" `Quick test_seeded_soak;
     Alcotest.test_case "durability leaves counters untouched" `Quick
       test_counters_unchanged;

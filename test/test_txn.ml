@@ -608,6 +608,71 @@ let test_server_idempotent_commit () =
           Alcotest.(check int) "applied exactly once" 5 (vint (M.read s "b" 0 1))))
 
 (* ------------------------------------------------------------------ *)
+(* Advisor repartition racing live transactions                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The layout advisor physically moves a table while a transaction is
+   mid-flight with an uncommitted write and a pre-repartition snapshot.
+   MVCC is logical (cells are table/tid/attr), so the move must be
+   invisible: the snapshot still reads old values, own writes survive, the
+   commit lands in the new layout, and the catalog digest is unchanged by
+   the reorganization itself. *)
+let test_advisor_repartition_races_mvcc () =
+  let cat = small_cat ~rows:16 () in
+  let mgr = M.create cat in
+  let t1 = M.begin_ mgr in
+  M.update t1 "b" 0 1 (V.VInt 777);
+  (* uncommitted write and live snapshot; now the advisor repartitions,
+     driven by a sum-over-v mix that makes splitting v out profitable *)
+  let dump () =
+    let rel = Catalog.find cat "b" in
+    List.init (Relation.nrows rel) (fun tid -> Relation.get_tuple rel tid)
+  in
+  let before = dump () in
+  let narrow =
+    Relalg.Planner.plan cat
+      (Relalg.Plan.Group_by
+         {
+           child = Relalg.Plan.Scan "b";
+           keys = [];
+           aggs = [ Relalg.Aggregate.(make Sum ~expr:(Relalg.Expr.Col 1) "s") ];
+         })
+  in
+  let adv =
+    Layoutopt.Advisor.create ~window:4 ~check_every:1 ~min_benefit:0.0
+      ~horizon:1e9 cat
+  in
+  let repartitions = ref 0 in
+  for _ = 1 to 4 do
+    repartitions :=
+      !repartitions + List.length (Layoutopt.Advisor.observe adv narrow)
+  done;
+  Alcotest.(check bool) "advisor repartitioned mid-transaction" true
+    (!repartitions > 0);
+  Alcotest.(check bool) "layout actually decomposed" true
+    (Storage.Layout.n_partitions (Relation.layout (Catalog.find cat "b")) > 1);
+  Alcotest.(check bool) "repartition preserves committed contents" true
+    (dump () = before);
+  (* the in-flight transaction is oblivious to the physical move *)
+  Alcotest.(check int) "own write survives the move" 777
+    (vint (M.read t1 "b" 0 1));
+  Alcotest.(check int) "snapshot read through the new layout" 10
+    (vint (M.read t1 "b" 1 1));
+  ignore (M.commit t1);
+  M.snapshot mgr (fun s ->
+      Alcotest.(check int) "commit applied through the new layout" 777
+        (vint (M.read s "b" 0 1)));
+  (* and a transaction that began before the move conflicts normally *)
+  let t2 = M.begin_ mgr in
+  let t3 = M.begin_ mgr in
+  M.update t2 "b" 2 1 (V.VInt 1);
+  M.update t3 "b" 2 1 (V.VInt 2);
+  ignore (M.commit t2);
+  match M.commit t3 with
+  | _ -> Alcotest.fail "second committer must still conflict after the move"
+  | exception Errors.Txn_conflict _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -647,4 +712,6 @@ let suite =
     Alcotest.test_case "server: per-txn timeout" `Quick test_server_timeout;
     Alcotest.test_case "server: idempotent commit token" `Quick
       test_server_idempotent_commit;
+    Alcotest.test_case "advisor repartition races live transactions" `Quick
+      test_advisor_repartition_races_mvcc;
   ]
