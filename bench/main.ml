@@ -29,6 +29,7 @@ let experiments =
     ("tracefast", Tracefast.run);
     ("durability", Durability_bench.run);
     ("oltp", Oltp.run);
+    ("shard", Shard_bench.run);
   ]
 
 let () =

@@ -1,0 +1,165 @@
+(* Scale-out benchmark: network traffic and simulated cycles of the
+   distributed executor at 1/2/4/8 shards.
+
+   Two query shapes over a synthetic star schema:
+
+     agg   a grouped aggregation over the fact table — partial
+           aggregation ships one decomposed group row per shard-group
+           instead of every input row; the reported [bytes_reduction] is
+           naive-row-shuffle bytes over measured bytes and must stay > 1;
+     join  a small dimension joined to the fat fact table — the cost
+           model prices shuffle and broadcast in the same simulated-cycle
+           currency as local cache traffic and must pick the cheaper
+           ([chosen_optimal]); [exchange_bytes_reduction] compares the
+           naive both-sides-shuffle estimate against the chosen exchange's
+           estimate (measured [net_bytes] also includes shipping the join
+           RESULT to the coordinator, which no exchange choice can avoid,
+           so the exchange saving is reported on the model's own terms).
+
+   Simulated cycles ([Exec.total_cycles]: slowest shard plus the
+   interconnect) are reported per shard count so the trajectory shows how
+   the cluster trades network traffic for per-node cache locality. *)
+
+module V = Storage.Value
+module Catalog = Storage.Catalog
+module Schema = Storage.Schema
+module Layout = Storage.Layout
+module Relation = Storage.Relation
+module Expr = Relalg.Expr
+module Plan = Relalg.Plan
+module Cluster = Shard.Cluster
+module Exec = Shard.Exec
+module Cost = Shard.Cost
+
+let fact_rows = 6_000
+let dim_rows = 40
+
+let build () =
+  let cat = Catalog.create () in
+  let fact_schema =
+    Schema.make "fact"
+      [ ("id", V.Int); ("dim_id", V.Int); ("grp", V.Int); ("amount", V.Int) ]
+  in
+  let dim_schema = Schema.make "dim" [ ("id", V.Int); ("weight", V.Int) ] in
+  let fact = Catalog.add cat fact_schema (Layout.row fact_schema) in
+  let dim = Catalog.add cat dim_schema (Layout.row dim_schema) in
+  Relation.load fact ~n:fact_rows (fun ~row ->
+      [|
+        V.VInt row; V.VInt (row mod dim_rows); V.VInt (row mod 24);
+        V.VInt (row * 7 mod 1009);
+      |]);
+  Relation.load dim ~n:dim_rows (fun ~row ->
+      [| V.VInt row; V.VInt (row * 11) |]);
+  cat
+
+let agg_plan cat =
+  Relalg.Planner.plan cat
+    (Plan.Group_by
+       {
+         child = Plan.Scan "fact";
+         keys = [ (Expr.Col 2, "grp") ];
+         aggs =
+           [
+             Relalg.Aggregate.(make Sum ~expr:(Expr.Col 3) "s");
+             Relalg.Aggregate.(make Count_star "n");
+           ];
+       })
+
+let join_plan cat =
+  Relalg.Planner.plan cat
+    (Plan.Join
+       {
+         left = Plan.Scan "dim";
+         right = Plan.Scan "fact";
+         left_keys = [ 0 ];
+         right_keys = [ 1 ];
+       })
+
+let run () =
+  Common.header "Scale-out: exchange traffic and simulated cycles per shard count";
+  let cat = build () in
+  let points = ref [] in
+  let pt ~shards shape metric ?unit_ v =
+    points :=
+      Common.pt ~bench:"shard"
+        ~metric:(Printf.sprintf "%s.x%d.%s" shape shards metric)
+        ?unit_ v
+      :: !points
+  in
+  List.iter
+    (fun shards ->
+      let cl = Cluster.create ~shards cat in
+      Fun.protect
+        ~finally:(fun () -> Cluster.close cl)
+        (fun () ->
+          (* grouped aggregation: partial vs naive row shuffle *)
+          let gb = agg_plan cat in
+          let child =
+            match gb with
+            | Relalg.Physical.Group_by { child; _ } -> child
+            | _ -> assert false
+          in
+          let est = Cost.agg_costing cl ~child ~gb in
+          let _, m = Exec.run_measured cl gb in
+          pt ~shards "agg" "net_bytes" ~unit_:"B" (float_of_int m.Exec.net_bytes);
+          pt ~shards "agg" "net_messages" (float_of_int m.Exec.net_messages);
+          pt ~shards "agg" "sim_cycles" ~unit_:"cyc"
+            (float_of_int (Exec.total_cycles m));
+          if shards > 1 then begin
+            let reduction =
+              float_of_int est.Cost.naive_bytes /. float_of_int (max 1 m.Exec.net_bytes)
+            in
+            pt ~shards "agg" "naive_bytes" ~unit_:"B"
+              (float_of_int est.Cost.naive_bytes);
+            pt ~shards "agg" "bytes_reduction" reduction;
+            Common.note
+              "agg  x%d: %7d B on the wire (naive %8d B, %5.1fx less), %7d sim cycles"
+              shards m.Exec.net_bytes est.Cost.naive_bytes reduction
+              (Exec.total_cycles m)
+          end
+          else
+            Common.note "agg  x1: %7d B on the wire, %7d sim cycles"
+              m.Exec.net_bytes (Exec.total_cycles m);
+          (* dimension join: cost-chosen exchange vs naive both-sides shuffle *)
+          let jp = join_plan cat in
+          let build_p, probe_p =
+            match jp with
+            | Relalg.Physical.Hash_join { build; probe; _ } -> (build, probe)
+            | _ -> assert false
+          in
+          let jc = Cost.join_costing cl ~build:build_p ~probe:probe_p in
+          let _, m = Exec.run_measured cl jp in
+          pt ~shards "join" "net_bytes" ~unit_:"B" (float_of_int m.Exec.net_bytes);
+          pt ~shards "join" "sim_cycles" ~unit_:"cyc"
+            (float_of_int (Exec.total_cycles m));
+          if shards > 1 then begin
+            let chosen_cycles, chosen_bytes =
+              match jc.Cost.chosen with
+              | Cost.Broadcast -> (jc.Cost.broadcast_cycles, jc.Cost.broadcast_bytes)
+              | Cost.Shuffle -> (jc.Cost.shuffle_cycles, jc.Cost.shuffle_bytes)
+            in
+            let optimal =
+              chosen_cycles <= min jc.Cost.broadcast_cycles jc.Cost.shuffle_cycles
+            in
+            let reduction =
+              float_of_int jc.Cost.shuffle_bytes /. float_of_int (max 1 chosen_bytes)
+            in
+            pt ~shards "join" "shuffle_bytes_est" ~unit_:"B"
+              (float_of_int jc.Cost.shuffle_bytes);
+            pt ~shards "join" "broadcast_bytes_est" ~unit_:"B"
+              (float_of_int jc.Cost.broadcast_bytes);
+            pt ~shards "join" "chosen_optimal" (if optimal then 1. else 0.);
+            pt ~shards "join" "exchange_bytes_reduction" reduction;
+            Common.note
+              "join x%d: %s chosen, exchange %7d B (row shuffle %8d B, \
+               %5.1fx less); %7d B total on the wire, %7d sim cycles"
+              shards
+              (Cost.method_name jc.Cost.chosen)
+              chosen_bytes jc.Cost.shuffle_bytes reduction m.Exec.net_bytes
+              (Exec.total_cycles m)
+          end
+          else
+            Common.note "join x1: %7d B on the wire, %7d sim cycles"
+              m.Exec.net_bytes (Exec.total_cycles m)))
+    [ 1; 2; 4; 8 ];
+  Common.write_bench "BENCH_shard.json" (List.rev !points)

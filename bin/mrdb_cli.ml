@@ -83,6 +83,22 @@ let domains_arg =
                  sequential).  Parallelizable plans report merged per-domain \
                  stats: summed misses, slowest-domain cycles.")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Execute over a simulated $(docv)-shard cluster: every table \
+                 is horizontally scattered over per-node catalogs (each with \
+                 its own simulated memory hierarchy and WAL), queries run \
+                 through the distributed executor (gather, partial \
+                 aggregation, cost-chosen shuffle/broadcast joins), DML \
+                 commits with two-phase commit, and the interconnect is \
+                 charged per message and per byte (1 = single-node).")
+
+let make_cluster ~shards cat =
+  if shards < 1 then failwith "--shards must be >= 1"
+  else if shards = 1 then None
+  else Some (Shard.Cluster.create ~durable:true ~shards cat)
+
 let autotune_flag =
   Arg.(value & flag
        & info [ "autotune" ]
@@ -184,10 +200,31 @@ let export_metrics = function
       else Obs.Json.write_file path (Obs.Metrics.to_json ())
 
 let run_cmd =
-  let run db scale engine domains autotune sql params sample wal snapshot
-      recover metrics =
+  let run db scale engine domains autotune shards sql params sample wal
+      snapshot recover metrics =
     (with_catalog db scale ~wal ~snapshot ~recover @@ fun cat _hier ->
      let plan = plan_of ~sample cat sql (parse_params params) in
+     match make_cluster ~shards cat with
+     | Some cl ->
+         Fun.protect
+           ~finally:(fun () -> Shard.Cluster.close cl)
+           (fun () ->
+             let result, m =
+               Shard.Exec.run_measured ~engine
+                 ~params:(parse_params params) ~coord:cat cl plan
+             in
+             Format.printf "%a" Engines.Runtime.pp_result result;
+             Printf.printf "-- %d rows (%d shards)\n"
+               (List.length result.Engines.Runtime.rows)
+               shards;
+             print_stats m.Shard.Exec.stats;
+             Printf.printf
+               "-- net: %d message(s), %d byte(s), %d cycles; total with \
+                interconnect: %d cycles\n"
+               m.Shard.Exec.net_messages m.Shard.Exec.net_bytes
+               m.Shard.Exec.net_cycles
+               (Shard.Exec.total_cycles m))
+     | None ->
      if autotune then begin
        let t0 = Unix.gettimeofday () in
        let result =
@@ -217,8 +254,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a SQL statement and report simulated cycles.")
     Term.(
       const run $ db_arg $ scale_arg $ engine_arg $ domains_arg
-      $ autotune_flag $ sql_arg $ param_arg $ sample_flag $ wal_arg
-      $ snapshot_arg $ recover_flag $ metrics_arg)
+      $ autotune_flag $ shards_arg $ sql_arg $ param_arg $ sample_flag
+      $ wal_arg $ snapshot_arg $ recover_flag $ metrics_arg)
 
 let checkpoint_cmd =
   let checkpoint wal snapshot =
@@ -274,14 +311,19 @@ let advisor_flag =
                  and the repartition-or-keep verdict.")
 
 let explain_cmd =
-  let explain db scale engine domains sql params sample analyze advisor
-      compress =
+  let explain db scale engine domains shards sql params sample analyze
+      advisor compress =
     let cat, _ = load_db db scale in
     if compress then compress_all cat;
     let params = parse_params params in
     let plan = plan_of ~sample cat sql params in
-    print_string
-      (Obs_explain.render ~analyze ~advisor ~engine ~domains ~params cat plan)
+    let cluster = make_cluster ~shards cat in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Shard.Cluster.close cluster)
+      (fun () ->
+        print_string
+          (Obs_explain.render ~analyze ~advisor ~engine ~domains ~params
+             ?cluster cat plan))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -291,9 +333,9 @@ let explain_cmd =
           per-operator cycles and relative error, and (with $(b,--advisor)) \
           the layout advisor's verdict for every touched table.")
     Term.(
-      const explain $ db_arg $ scale_arg $ engine_arg $ domains_arg $ sql_arg
-      $ param_arg $ sample_flag $ analyze_flag $ advisor_flag
-      $ compress_db_flag)
+      const explain $ db_arg $ scale_arg $ engine_arg $ domains_arg
+      $ shards_arg $ sql_arg $ param_arg $ sample_flag $ analyze_flag
+      $ advisor_flag $ compress_db_flag)
 
 let codegen_cmd =
   let codegen db scale sql =
@@ -554,14 +596,40 @@ let import_cmd =
     Term.(const import $ path_arg $ name_arg $ sql_opt)
 
 let fuzz_cmd =
-  let fuzz seed cases max_rows mutate no_recovery txn advisor clients quiet
-      metrics =
+  let fuzz seed cases max_rows mutate no_recovery txn advisor shards clients
+      quiet metrics =
     let log msg = if not quiet then Printf.eprintf "mrdb fuzz: %s\n%!" msg in
-    if txn && advisor then begin
-      prerr_endline "fuzz: --txn and --advisor are mutually exclusive";
+    if (if txn then 1 else 0) + (if advisor then 1 else 0)
+       + (if shards > 1 then 1 else 0)
+       > 1
+    then begin
+      prerr_endline
+        "fuzz: --txn, --advisor and --shards are mutually exclusive";
       exit 2
     end;
-    if advisor then begin
+    if shards > 1 then begin
+      (* the sharded axis: every episode replays over an N-shard durable
+         cluster; answers, final shard unions, and post-recovery digests
+         must all match *)
+      let failures =
+        Fuzz.Harness.fuzz_shard ~max_rows ~log ~shards ~seed ~cases ()
+      in
+      export_metrics metrics;
+      if failures = [] then
+        Printf.printf
+          "fuzz: %d case(s) from seed %d over %d shards: all answers, \
+           shard unions and post-recovery digests match the oracle\n"
+          cases seed shards
+      else begin
+        List.iter
+          (fun r -> Format.printf "%a@." Fuzz.Harness.pp_report r)
+          failures;
+        Printf.printf "fuzz: %d of %d case(s) FAILED (seed %d)\n"
+          (List.length failures) cases seed;
+        exit 1
+      end
+    end
+    else if advisor then begin
       (* the advisor axis: the layout advisor repartitions mid-episode;
          layout changes must never change answers *)
       let failures, repartitions =
@@ -677,6 +745,14 @@ let fuzz_cmd =
          & info [ "clients" ] ~docv:"N"
              ~doc:"With $(b,--txn): maximum concurrent clients per history.")
   in
+  let shards_fuzz_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Fuzz the sharded executor instead: replay each episode \
+                   over an $(docv)-shard durable cluster (distributed \
+                   plans, two-phase commit); answers, final shard unions \
+                   and post-recovery digests must match the oracle.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -687,11 +763,13 @@ let fuzz_cmd =
           shrunk to a minimal OCaml repro.  With $(b,--txn), fuzzes \
           interleaved multi-client transaction histories against a serial \
           oracle instead; with $(b,--advisor), replays episodes with the \
-          online layout advisor repartitioning mid-episode.")
+          online layout advisor repartitioning mid-episode; with \
+          $(b,--shards) N, replays episodes over a simulated N-shard \
+          cluster with two-phase commit.")
     Term.(
       const fuzz $ seed_arg $ cases_arg $ max_rows_arg $ mutate_flag
-      $ no_recovery_flag $ txn_flag $ advisor_fuzz_flag $ clients_arg
-      $ quiet_flag $ metrics_arg)
+      $ no_recovery_flag $ txn_flag $ advisor_fuzz_flag $ shards_fuzz_arg
+      $ clients_arg $ quiet_flag $ metrics_arg)
 
 let calibrate_cmd =
   let calibrate () =

@@ -107,10 +107,15 @@ let run ?hier env =
             | Some ops -> Hashtbl.replace pending txid (op :: ops)
             | None -> Hashtbl.replace pending txid [ op ])
         | Wal.Commit txid -> commit txid
-        | Wal.Abort txid -> Hashtbl.remove pending txid);
+        | Wal.Abort txid -> Hashtbl.remove pending txid
+        | Wal.Prepare _ ->
+            (* presumed abort: a prepared transaction with no Commit in this
+               log is discarded here; sharded recovery resolves it against
+               the coordinator's decision log before replaying. *)
+            ());
         match record with
         | Wal.Begin txid | Wal.Op { txid; _ } | Wal.Commit txid
-        | Wal.Abort txid ->
+        | Wal.Abort txid | Wal.Prepare txid ->
             if txid > !last_txid then last_txid := txid
       end)
     scanned.Wal.records;

@@ -49,6 +49,9 @@ type record =
   | Commit of int
   | Abort of int
   | Op of { txid : int; op : op }
+  | Prepare of int
+      (** Two-phase commit vote: the transaction's operations are durable on
+          this participant and it may no longer abort unilaterally. *)
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                           *)
@@ -148,7 +151,10 @@ let encode record =
   | Op { txid; op } ->
       Codec.u8 w 4;
       Codec.i64 w txid;
-      encode_op w op);
+      encode_op w op
+  | Prepare txid ->
+      Codec.u8 w 5;
+      Codec.i64 w txid);
   Codec.contents w
 
 let decode r =
@@ -160,6 +166,7 @@ let decode r =
       let txid = Codec.ri64 r in
       let op = decode_op r in
       Op { txid; op }
+  | 5 -> Prepare (Codec.ri64 r)
   | t -> raise (Codec.Truncated (Printf.sprintf "record: unknown tag %d" t))
 
 let decode_string s = decode (Codec.reader (Bytes.unsafe_of_string s))
@@ -216,6 +223,11 @@ type scanned = {
   clean : int;
       (** records before the first corruption; replay must not commit
           anything at or beyond this index *)
+  clean_bytes : int;
+      (** byte length of the clean prefix — appending past this offset is
+          unreachable by replay when the log ends in a torn or corrupt
+          tail, so writers that settle in-doubt transactions truncate
+          here first *)
   warnings : string list;
 }
 
@@ -223,22 +235,29 @@ let max_record = 1 lsl 26
 
 let scan env =
   match Faultio.read_all env store_name with
-  | None -> { records = []; clean = 0; warnings = [] }
+  | None -> { records = []; clean = 0; clean_bytes = 0; warnings = [] }
   | Some buf ->
       let n = Bytes.length buf in
       let records = ref [] in
       let count = ref 0 in
       let clean = ref None in
+      let clean_bytes = ref None in
       let warnings = ref [] in
       let warn fmt =
         Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt
       in
-      let taint () = if !clean = None then clean := Some !count in
       let pos = ref 0 in
+      let taint () =
+        if !clean = None then begin
+          clean := Some !count;
+          clean_bytes := Some !pos
+        end
+      in
       (try
          while !pos < n do
            if n - !pos < 8 then begin
              warn "wal: torn tail (%d trailing bytes discarded)" (n - !pos);
+             taint ();
              raise Exit
            end;
            let hdr = Codec.reader ~pos:!pos ~len:8 buf in
@@ -250,6 +269,7 @@ let scan env =
                 remain)"
                !pos len
                (n - !pos - 8);
+             taint ();
              raise Exit
            end;
            if Checksum.bytes buf ~pos:(!pos + 8) ~len <> crc then begin
@@ -272,5 +292,6 @@ let scan env =
       {
         records = List.rev !records;
         clean = (match !clean with Some c -> c | None -> !count);
+        clean_bytes = (match !clean_bytes with Some b -> b | None -> !pos);
         warnings = List.rev !warnings;
       }

@@ -39,6 +39,12 @@ type record =
   | Commit of int
   | Abort of int
   | Op of { txid : int; op : op }
+  | Prepare of int
+      (** Two-phase commit vote: the transaction's operations are durable on
+          this participant and it may no longer abort unilaterally.
+          Single-node recovery treats a prepared-but-undecided transaction
+          as aborted (presumed abort); sharded recovery resolves it against
+          the coordinator's decision log. *)
 
 val encode : record -> string
 (** Payload bytes (unframed). *)
@@ -74,6 +80,10 @@ type scanned = {
   clean : int;
       (** number of leading records before the first corruption; replay
           must not commit anything at or beyond this index *)
+  clean_bytes : int;
+      (** byte length of the clean prefix; a writer that needs appended
+          records to be reachable by replay (in-doubt settlement) must
+          truncate a torn or corrupt log here before appending *)
   warnings : string list;
 }
 

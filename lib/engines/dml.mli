@@ -5,6 +5,16 @@
     place, rebuild affected indexes) is identical across processing models —
     only the per-value instruction costs differ, which callers pass in. *)
 
+val index_tids :
+  Storage.Catalog.t ->
+  Storage.Value.t array ->
+  string ->
+  Relalg.Physical.access ->
+  int list option
+(** Tuple ids an index access path selects ([None] for a full scan) — the
+    locate step of {!update}, shared with the sharded executor so both
+    compute identical per-shard match sets. *)
+
 val update :
   per_value:int ->
   call_cost:int ->

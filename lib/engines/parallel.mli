@@ -47,6 +47,43 @@ val parallelizable : Relalg.Physical.t -> bool
 (** Whether the plan has a morsel-parallel execution shape (a full-scan
     scan/select/project pipeline, optionally under one group-by). *)
 
+(** {2 Partial-result merge building blocks}
+
+    The sharded executor ({!Shard.Exec}) distributes the same plan shapes
+    over cluster nodes instead of morsels and reuses these pieces, so both
+    parallel tiers share one merge semantics. *)
+
+val pipeline_driver : Relalg.Physical.t -> string option
+(** The base table a pure full-scan scan/select/project pipeline drives
+    over, if any. *)
+
+val peel_projections :
+  (Relalg.Expr.t * string) list list ->
+  Relalg.Physical.t ->
+  (Relalg.Expr.t * string) list list * Relalg.Physical.t
+(** Strip the projections the planner leaves above a group-by, innermost
+    first (pass [[]] as the accumulator). *)
+
+val merge_group_rows :
+  n_keys:int ->
+  aggs:Relalg.Aggregate.t list ->
+  Runtime.result array ->
+  Storage.Value.t array list
+(** Merge partial group-by outputs (computed with
+    {!Relalg.Aggregate.decompose}d aggregates) in partial order, keeping
+    global first-occurrence group order and recombining each original
+    aggregate from its merged partials. *)
+
+val apply_projections :
+  params:Storage.Value.t array ->
+  (Relalg.Expr.t * string) list list ->
+  Storage.Value.t array list ->
+  Storage.Value.t array list
+(** Apply peeled root projections, innermost first, to merged group rows. *)
+
+val result_columns : Storage.Catalog.t -> Relalg.Physical.t -> string array
+(** Output column names of a plan (from {!Relalg.Physical.schema}). *)
+
 val run :
   domains:int ->
   ?morsel_size:int ->

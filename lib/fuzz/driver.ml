@@ -598,3 +598,109 @@ let run_case ?(mutate = false) ?(recovery = true) (c : Case.t) =
   add (run_metamorphic c);
   if recovery then add (run_recovery c);
   !divergences
+
+(* ------------------------------------------------------------------ *)
+(* The sharded axis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* `fuzz --shards N`: the episode replays over an N-shard durable cluster —
+   every query through the distributed executor (gather, partial
+   aggregation, cost-chosen shuffle/broadcast joins), every DML statement
+   through two-phase commit.  Answers and the per-table shard unions must
+   match the oracle, and recovering every node from its durable state must
+   reproduce the live per-shard digests.
+
+   Plans are made against a shadow single-node catalog that replays the
+   same episode, so the sharded run executes exactly the plans a
+   single-node run would. *)
+
+let run_shard ?(shards = 2) ?(engine = Engine.Jit) ~mode (c : Case.t)
+    ~oracle:(per_stmt_oracle, dumps_oracle) =
+  let combo =
+    Printf.sprintf "shard(x%d)/%s/%s" shards (Engine.name engine)
+      (Case.layout_mode_name mode)
+  in
+  let pcat = build_catalog c mode in
+  let cl = Shard.Cluster.create ~durable:true ~shards pcat in
+  let divergences = ref [] in
+  let diverge statement detail =
+    divergences := { combo; statement; detail } :: !divergences
+  in
+  let params = c.Case.params in
+  List.iteri
+    (fun i (stmt, oracle_r) ->
+      try
+        match stmt with
+        | Case.Exec logical ->
+            let phys = Relalg.Planner.plan pcat logical in
+            ignore (Shard.Exec.run ~engine ~params cl phys);
+            (* keep the planning catalog current *)
+            ignore (Engine.run engine pcat phys ~params)
+        | Case.Query logical ->
+            let phys = Relalg.Planner.plan pcat logical in
+            let r = Shard.Exec.run ~engine ~params cl phys in
+            let expected =
+              match oracle_r with Some o -> o | None -> assert false
+            in
+            (match
+               columns_mismatch ~expected:expected.Oracle.columns
+                 ~got:r.Runtime.columns
+             with
+            | Some d -> diverge i d
+            | None -> ());
+            (match
+               multiset_mismatch ~expected:expected.Oracle.rows
+                 ~got:r.Runtime.rows
+             with
+            | Some d -> diverge i d
+            | None -> ())
+      with e -> diverge i ("exception: " ^ Printexc.to_string e))
+    (List.combine c.Case.episode per_stmt_oracle);
+  (* end-of-episode state: the shard union of every table must match *)
+  List.iter
+    (fun ((tab : Case.table), (dump : Oracle.result)) ->
+      try
+        match
+          multiset_mismatch ~expected:dump.Oracle.rows
+            ~got:(Shard.Cluster.table_rows cl tab.Case.tname)
+        with
+        | Some d ->
+            diverge (-1)
+              (Printf.sprintf "final shard union of %s: %s" tab.Case.tname d)
+        | None -> ()
+      with e ->
+        diverge (-1)
+          (Printf.sprintf "final shard union of %s: exception: %s"
+             tab.Case.tname (Printexc.to_string e)))
+    (List.combine c.Case.tables dumps_oracle);
+  (* durability: recover every node from its durable state; the recovered
+     digests must equal the live ones *)
+  (try
+     let live = Shard.Cluster.digests cl in
+     let envs =
+       Array.map
+         (fun (nd : Shard.Cluster.node) -> nd.Shard.Cluster.env)
+         (Shard.Cluster.nodes cl)
+     in
+     let rc =
+       Shard.Recovery.recover_cluster envs (Shard.Cluster.coord_env cl)
+     in
+     Array.iteri
+       (fun k (res : Durability.Recover.result) ->
+         let rec_digest = Durability.Snapshot.digest res.Durability.Recover.cat in
+         if List.nth live k <> rec_digest then
+           diverge (-1)
+             (Printf.sprintf "shard %d: digest after recovery differs" k))
+       rc.Shard.Recovery.results
+   with e ->
+     diverge (-1) ("recovery: exception: " ^ Printexc.to_string e));
+  Shard.Cluster.close cl;
+  List.rev !divergences
+
+(* All shard combos of one case: both layout extremes and two engines keep
+   the axis cheap enough to run inside the main loop. *)
+let run_case_shard ?(shards = 2) (c : Case.t) =
+  let oracle = oracle_results c in
+  List.concat_map
+    (fun (engine, mode) -> run_shard ~shards ~engine ~mode c ~oracle)
+    [ (Engine.Jit, Case.Nsm); (Engine.Bulk, Case.Dsm) ]

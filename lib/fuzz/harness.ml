@@ -167,3 +167,58 @@ let fuzz_advisor ?(max_rows = 120) ?(log = fun _ -> ()) ~seed ~cases () =
            (List.length !failures))
   done;
   (List.rev !failures, !repartitions)
+
+(* ------------------------------------------------------------------ *)
+(* The sharded axis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* `fuzz --shards N`: the episode replays over an N-shard durable cluster;
+   answers, final shard unions, and post-recovery digests must all hold.
+   Shrinking preserves the failure kind exactly as above. *)
+
+let outcome_of_shard ~shards c =
+  match Driver.run_case_shard ~shards c with
+  | [] -> Ok
+  | ds -> Diverged ds
+  | exception e -> Raised (Printexc.to_string e)
+
+let shard_failure_pred ~shards = function
+  | Ok -> fun _ -> false
+  | Diverged _ -> (
+      fun c ->
+        match Driver.run_case_shard ~shards c with
+        | [] -> false
+        | _ :: _ -> true
+        | exception _ -> false)
+  | Raised _ -> (
+      fun c ->
+        match Driver.run_case_shard ~shards c with
+        | _ -> false
+        | exception _ -> true)
+
+let replay_shard ~shards c = outcome_of_shard ~shards c
+
+let fuzz_shard ?(max_rows = 120) ?(log = fun _ -> ()) ~shards ~seed ~cases ()
+    =
+  let failures = ref [] in
+  for i = 0 to cases - 1 do
+    let case = Gen.case ~max_rows (seed + i) in
+    let outcome = outcome_of_shard ~shards case in
+    Obs.Metrics.incr m_cases;
+    (match outcome with
+    | Ok -> ()
+    | Diverged ds -> Obs.Metrics.add m_divergences (List.length ds)
+    | Raised _ -> Obs.Metrics.incr m_raised);
+    (match outcome with
+    | Ok -> ()
+    | _ ->
+        let minimized =
+          Shrink.minimize ~failing:(shard_failure_pred ~shards outcome) case
+        in
+        failures := { seed = seed + i; case; outcome; minimized } :: !failures);
+    if (i + 1) mod 50 = 0 || i = cases - 1 then
+      log
+        (Printf.sprintf "%d/%d cases, %d failure(s)" (i + 1) cases
+           (List.length !failures))
+  done;
+  List.rev !failures

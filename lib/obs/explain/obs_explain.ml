@@ -49,7 +49,7 @@ let counters_line st =
     st.Stats.llc_rand_misses st.Stats.tlb_misses st.Stats.prefetches
 
 let render ?(analyze = false) ?(advisor = false) ?(engine = Engine.Jit)
-    ?(domains = 1) ?(params = [||]) cat plan =
+    ?(domains = 1) ?(params = [||]) ?cluster cat plan =
   let buf = Buffer.create 1024 in
   let ops = operators plan in
   let predicted =
@@ -57,6 +57,7 @@ let render ?(analyze = false) ?(advisor = false) ?(engine = Engine.Jit)
       (fun (path, _, sub) -> (path, Costmodel.Model.query_cost cat sub))
       ops
   in
+  let shard_meas = ref None in
   let measurement =
     if not analyze then None
     else begin
@@ -68,16 +69,29 @@ let render ?(analyze = false) ?(advisor = false) ?(engine = Engine.Jit)
       let session =
         Obs.Profile.start ?hier:(Catalog.hier cat) ~label:"query" ()
       in
-      match Engine.run_measured ~domains engine cat plan ~params with
+      let execute () =
+        match cluster with
+        | None -> Engine.run_measured ~domains engine cat plan ~params
+        | Some cl ->
+            let result, m = Shard.Exec.run_measured ~engine ~params ~coord:cat cl plan in
+            shard_meas := Some m;
+            (result, m.Shard.Exec.stats)
+      in
+      match execute () with
       | result, st -> Some (result, st, Obs.Profile.stop session)
       | exception e ->
           ignore (Obs.Profile.stop session);
           raise e
     end
   in
+  (* per-operator measured cycles only make sense when the session's
+     hierarchy saw the work — sharded execution traces into per-node
+     hierarchies, so the table stays predicted-only and the footer carries
+     the merged shard counters instead *)
+  let per_op_measured = analyze && cluster = None in
   let headers =
     [ "path"; "operator"; "est.rows"; "predicted cyc" ]
-    @ if analyze then [ "measured cyc"; "rel.err" ] else []
+    @ if per_op_measured then [ "measured cyc"; "rel.err" ] else []
   in
   let tab = Mrdb_util.Texttab.create headers in
   List.iter
@@ -96,6 +110,7 @@ let render ?(analyze = false) ?(advisor = false) ?(engine = Engine.Jit)
       in
       let extra =
         match measurement with
+        | _ when not per_op_measured -> []
         | None -> []
         | Some (_, _, profile) ->
             let meas =
@@ -185,6 +200,10 @@ let render ?(analyze = false) ?(advisor = false) ?(engine = Engine.Jit)
         recs
     end
   end;
+  (* the distributed strategy with the network cost model's estimates *)
+  (match cluster with
+  | Some cl -> Buffer.add_string buf (Shard.Exec.describe cl plan)
+  | None -> ());
   let total_pred = Costmodel.Model.query_cost cat plan in
   Buffer.add_string buf
     (Printf.sprintf "predicted cost: %.3g cycles\n" total_pred);
@@ -193,9 +212,22 @@ let render ?(analyze = false) ?(advisor = false) ?(engine = Engine.Jit)
   | Some (result, st, profile) ->
       Buffer.add_char buf '\n';
       Buffer.add_string buf
-        (Printf.sprintf "measured (%s%s): %s\n" (Engine.name engine)
+        (Printf.sprintf "measured (%s%s%s): %s\n" (Engine.name engine)
            (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
+           (match cluster with
+           | Some cl -> Printf.sprintf ", %d shards" (Shard.Cluster.shards cl)
+           | None -> "")
            (counters_line st));
+      (match !shard_meas with
+      | Some m ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "#net: %d message(s), %d byte(s), %d cycles; total with \
+                interconnect: %d cycles\n"
+               m.Shard.Exec.net_messages m.Shard.Exec.net_bytes
+               m.Shard.Exec.net_cycles
+               (Shard.Exec.total_cycles m))
+      | None -> ());
       Buffer.add_string buf
         (Printf.sprintf "rows: %d\n" (List.length result.Engines.Runtime.rows));
       let meas_total = float_of_int (Stats.total_cycles st) in

@@ -20,6 +20,7 @@ val render :
   ?engine:Engines.Engine.kind ->
   ?domains:int ->
   ?params:Storage.Value.t array ->
+  ?cluster:Shard.Cluster.t ->
   Storage.Catalog.t ->
   Relalg.Physical.t ->
   string
@@ -28,4 +29,13 @@ val render :
     simulated hierarchy raises [Invalid_argument].  [advisor] appends the
     layout advisor's view of every touched table — the IP-optimal
     partitioning if this query were the whole workload, with the projected
-    saving, copy cost and repartition-or-keep verdict. *)
+    saving, copy cost and repartition-or-keep verdict.
+
+    [cluster] appends the distributed strategy section
+    ([Shard.Exec.describe]: gather / partial aggregation /
+    shuffle-vs-broadcast with the network cost model's estimates); with
+    [analyze] the plan executes through the distributed executor instead,
+    the footer reports merged per-shard counters plus a [#net] line, and
+    the span profile gains a [#net] phase.  Per-operator measured cycles
+    are omitted in that mode (the work is traced in per-node
+    hierarchies). *)

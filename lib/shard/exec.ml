@@ -1,0 +1,552 @@
+(* The distributed executor: runs physical plans over a [Cluster], shipping
+   as little as possible over the simulated interconnect.
+
+   Plan shapes, in decreasing order of preference:
+
+   - scan/select/project pipelines (any access path) run unchanged on every
+     shard — per-shard indexes cover index access — and the coordinator
+     unions the partial results in shard order;
+   - group-bys over a distributable child run with [Aggregate.decompose]d
+     aggregates per shard and merge at the coordinator with the exact
+     machinery the morsel-parallel executor uses
+     ([Parallel.merge_group_rows]), so only one group row per shard-group
+     crosses the wire instead of every input row;
+   - hash joins of two base-table pipelines are exchanged by whichever of
+     shuffle (hash-repartition both sides) and broadcast (replicate the
+     build side, probe in place) the [Cost] model prices cheaper, then the
+     join itself — including any select/project layers above it — runs
+     through the unmodified local engine over a shadow catalog in which the
+     exchanged inputs are temp tables;
+   - sorts and limits apply at the coordinator, above the distributed
+     subtree;
+   - DML routes through two-phase commit: inserts hash-route to one shard,
+     updates compute their per-shard operation lists against the live shard
+     data (the same read path as [Dml.update]) and commit atomically across
+     every shard that matched;
+   - anything else falls back to shipping every base table to the
+     coordinator and running single-node — always correct, charged in full
+     to the interconnect.
+
+   Exchanged temp tables live only in per-query shadow catalogs (the
+   [Parallel] domain-catalog pattern), so shard catalogs — and their
+   durability digests — never see them. *)
+
+module Catalog = Storage.Catalog
+module Relation = Storage.Relation
+module Schema = Storage.Schema
+module Value = Storage.Value
+module Arena = Storage.Arena
+module Layout = Storage.Layout
+module Physical = Relalg.Physical
+module Expr = Relalg.Expr
+module Aggregate = Relalg.Aggregate
+module Engine = Engines.Engine
+module Runtime = Engines.Runtime
+module Parallel = Engines.Parallel
+module Dml = Engines.Dml
+module Wal = Durability.Wal
+
+type ctx = {
+  cl : Cluster.t;
+  engine : Engine.kind;
+  params : Value.t array;
+  coord_hier : Memsim.Hierarchy.t option;
+  coord_arena : Arena.t;
+}
+
+(* Shadow-catalog arenas start far above the node's own, so simulated
+   addresses never alias (the parallel executor's domain-arena idiom). *)
+let exec_arena_stride = 1 lsl 36
+
+let node0 ctx = (Cluster.nodes ctx.cl).(0)
+
+(* Every shard, through the down-check. *)
+let live_nodes ctx =
+  Array.init (Cluster.shards ctx.cl) (fun k -> Cluster.node ctx.cl k)
+
+(* {2 Shape recognition} *)
+
+let rec scan_pipe = function
+  | Physical.Scan { table; _ } -> Some table
+  | Physical.Select { child; _ } | Physical.Project { child; _ } ->
+      scan_pipe child
+  | _ -> None
+
+(* A hash join of two base-table pipelines, possibly under select/project
+   layers. *)
+let rec join_parts = function
+  | Physical.Hash_join { build; probe; build_keys; probe_keys; _ } ->
+      if scan_pipe build <> None && scan_pipe probe <> None then
+        Some (build, probe, build_keys, probe_keys)
+      else None
+  | Physical.Select { child; _ } | Physical.Project { child; _ } ->
+      join_parts child
+  | _ -> None
+
+(* Rebuild the select/project spine above the join core with the core
+   replaced. *)
+let rec map_join plan f =
+  match plan with
+  | Physical.Hash_join { build; probe; build_keys; probe_keys; match_sel } ->
+      Some (f ~build ~probe ~build_keys ~probe_keys ~match_sel)
+  | Physical.Select { child; pred; sel } -> (
+      match map_join child f with
+      | Some c -> Some (Physical.Select { child = c; pred; sel })
+      | None -> None)
+  | Physical.Project { child; exprs } -> (
+      match map_join child f with
+      | Some c -> Some (Physical.Project { child = c; exprs })
+      | None -> None)
+  | _ -> None
+
+(* Tables the plan reads through an index — the only indexes a shadow
+   catalog needs rebuilt. *)
+let rec index_tables acc = function
+  | Physical.Scan
+      { table; access = Physical.Index_eq _ | Physical.Index_range _; _ } ->
+      table :: acc
+  | Physical.Scan _ | Physical.Insert _ -> acc
+  | Physical.Select { child; _ }
+  | Physical.Project { child; _ }
+  | Physical.Group_by { child; _ }
+  | Physical.Sort { child; _ }
+  | Physical.Limit { child; _ } -> index_tables acc child
+  | Physical.Hash_join { build; probe; _ } ->
+      index_tables (index_tables acc build) probe
+  | Physical.Update
+      { table; access = Physical.Index_eq _ | Physical.Index_range _; _ } ->
+      table :: acc
+  | Physical.Update _ -> acc
+
+(* {2 Shadow catalogs and exchange temp tables} *)
+
+let add_temp vcat name attrs rows =
+  let schema =
+    (* every column nullable: exchanged rows are pipeline output, which the
+       planner's schema may type tighter than the values in flight *)
+    Schema.make_nullable name
+      (Array.to_list attrs
+      |> List.map (fun (a : Schema.attr) -> (a.Schema.name, a.Schema.ty, true)))
+  in
+  let rel = Catalog.add vcat schema (Layout.row schema) in
+  match rows with
+  | [] -> ()
+  | _ ->
+      let arr = Array.of_list rows in
+      Relation.load rel ~n:(Array.length arr) (fun ~row -> arr.(row))
+
+(* A per-query shadow catalog over [node]'s relations plus exchange temp
+   tables; only indexes [for_plan] actually reads are rebuilt.  Setup work,
+   untraced. *)
+let localize (node : Cluster.node) ~for_plan temps =
+  Memsim.Hierarchy.without_tracing node.hier (fun () ->
+      let arena =
+        Arena.create
+          ~start:(Arena.mark (Catalog.arena node.cat) + exec_arena_stride)
+          ()
+      in
+      let vcat = Catalog.create ~hier:node.hier ~arena () in
+      List.iter
+        (fun nm -> Catalog.add_relation vcat (Catalog.find node.cat nm))
+        (Catalog.names node.cat);
+      List.iter
+        (fun nm ->
+          if Catalog.mem vcat nm then
+            List.iter
+              (fun (iname, kind, attrs) ->
+                Catalog.create_index vcat nm ~name:iname ~kind ~attrs)
+              (Catalog.index_defs node.cat nm))
+        (List.sort_uniq compare (index_tables [] for_plan));
+      List.iter (fun (name, attrs, rows) -> add_temp vcat name attrs rows) temps;
+      vcat)
+
+let tmp_scan table =
+  Physical.Scan { table; access = Physical.Full_scan; post = None; sel = 1.0 }
+
+(* Hash partitioning: structural hash of the key values, which agrees with
+   the hashtable equality the join runtimes key on. *)
+let bucket_of ~keys n row =
+  Hashtbl.hash (List.map (fun i -> row.(i)) keys) mod n
+
+(* {2 Distributed execution} *)
+
+(* Run [wrap subtree'] on every shard, where [subtree'] is the per-shard
+   localization of [subtree] — unchanged for pipelines, exchange-localized
+   for joins.  Returns per-shard results in shard order. *)
+let per_shard ctx subtree ~wrap =
+  let nodes = live_nodes ctx in
+  match join_parts subtree with
+  | None ->
+      Array.map
+        (fun (nd : Cluster.node) ->
+          Engine.run ctx.engine nd.cat (wrap subtree) ~params:ctx.params)
+        nodes
+  | Some (build, probe, _, probe_keys) ->
+      let net = Cluster.net ctx.cl in
+      let n = Array.length nodes in
+      let costing = Cost.join_costing ctx.cl ~build ~probe in
+      let build_attrs = Physical.schema nodes.(0).cat build in
+      let run_rows side =
+        Array.map
+          (fun (nd : Cluster.node) ->
+            (Engine.run ctx.engine nd.cat side ~params:ctx.params).Runtime.rows)
+          nodes
+      in
+      (match costing.Cost.chosen with
+      | Cost.Broadcast ->
+          let bparts = run_rows build in
+          Array.iteri
+            (fun src rows ->
+              for dst = 0 to n - 1 do
+                if dst <> src then Exchange.send_rows net ~src ~dst rows
+              done)
+            bparts;
+          (* shard-order concatenation = global build order, so per-probe
+             match order is identical to a single-node run *)
+          let all_build = List.concat (Array.to_list bparts) in
+          let tmpb = Cluster.temp_name ctx.cl in
+          Array.map
+            (fun (nd : Cluster.node) ->
+              let plan' =
+                Option.get
+                  (map_join subtree
+                     (fun ~build:_ ~probe ~build_keys ~probe_keys ~match_sel ->
+                       Physical.Hash_join
+                         {
+                           build = tmp_scan tmpb;
+                           probe;
+                           build_keys;
+                           probe_keys;
+                           match_sel;
+                         }))
+              in
+              let vcat =
+                localize nd ~for_plan:plan' [ (tmpb, build_attrs, all_build) ]
+              in
+              Engine.run ctx.engine vcat (wrap plan') ~params:ctx.params)
+            nodes
+      | Cost.Shuffle ->
+          let probe_attrs = Physical.schema nodes.(0).cat probe in
+          let build_keys =
+            match join_parts subtree with
+            | Some (_, _, bk, _) -> bk
+            | None -> assert false
+          in
+          let partition keys parts =
+            let mat = Array.make_matrix n n [] in
+            Array.iteri
+              (fun src rows ->
+                List.iter
+                  (fun row ->
+                    let dst = bucket_of ~keys n row in
+                    mat.(src).(dst) <- row :: mat.(src).(dst))
+                  rows)
+              parts;
+            (* concatenating in src order keeps each bucket in global row
+               order *)
+            Array.init n (fun dst ->
+                List.concat
+                  (List.init n (fun src ->
+                       let rows = List.rev mat.(src).(dst) in
+                       if dst <> src then Exchange.send_rows net ~src ~dst rows;
+                       rows)))
+          in
+          let bbuckets = partition build_keys (run_rows build) in
+          let pbuckets = partition probe_keys (run_rows probe) in
+          let tmpb = Cluster.temp_name ctx.cl in
+          let tmpp = Cluster.temp_name ctx.cl in
+          Array.mapi
+            (fun k (nd : Cluster.node) ->
+              let plan' =
+                Option.get
+                  (map_join subtree
+                     (fun ~build:_ ~probe:_ ~build_keys ~probe_keys ~match_sel
+                     ->
+                       Physical.Hash_join
+                         {
+                           build = tmp_scan tmpb;
+                           probe = tmp_scan tmpp;
+                           build_keys;
+                           probe_keys;
+                           match_sel;
+                         }))
+              in
+              let vcat =
+                localize nd ~for_plan:plan'
+                  [
+                    (tmpb, build_attrs, bbuckets.(k));
+                    (tmpp, probe_attrs, pbuckets.(k));
+                  ]
+              in
+              Engine.run ctx.engine vcat (wrap plan') ~params:ctx.params)
+            nodes)
+
+let ship_to_coordinator ctx (partials : Runtime.result array) =
+  let net = Cluster.net ctx.cl in
+  Array.iteri
+    (fun src (r : Runtime.result) ->
+      Exchange.send_rows net ~src ~dst:Netsim.coordinator r.Runtime.rows)
+    partials
+
+let gather ctx plan =
+  let partials = per_shard ctx plan ~wrap:Fun.id in
+  ship_to_coordinator ctx partials;
+  Runtime.concat_results (Array.to_list partials)
+
+let partial_agg ctx ~post ~keys ~aggs ~n_groups ~child plan =
+  let decomposed = List.concat_map Aggregate.decompose aggs in
+  let wrap c =
+    Physical.Group_by { child = c; keys; aggs = decomposed; n_groups }
+  in
+  let partials = per_shard ctx child ~wrap in
+  ship_to_coordinator ctx partials;
+  let merged =
+    Parallel.merge_group_rows ~n_keys:(List.length keys) ~aggs partials
+  in
+  let rows = Parallel.apply_projections ~params:ctx.params post merged in
+  { Runtime.columns = Parallel.result_columns (node0 ctx).cat plan; rows }
+
+(* No distributable shape: ship every base table to the coordinator and run
+   the plan single-node there.  Always correct, charged in full to the
+   interconnect. *)
+let pull_all ctx plan =
+  let net = Cluster.net ctx.cl in
+  let nodes = live_nodes ctx in
+  let ccat = Catalog.create ?hier:ctx.coord_hier ~arena:ctx.coord_arena () in
+  List.iter
+    (fun name ->
+      let rel0 = Catalog.find nodes.(0).cat name in
+      let crel =
+        Catalog.add
+          ~encodings:(Relation.encodings rel0)
+          ccat (Relation.schema rel0) (Relation.layout rel0)
+      in
+      let rows =
+        Array.to_list nodes
+        |> List.concat_map (fun (nd : Cluster.node) ->
+               let rel = Relation.with_hier (Catalog.find nd.cat name) None in
+               let rows =
+                 List.init (Relation.nrows rel) (Relation.get_tuple rel)
+               in
+               Exchange.send_rows net ~src:nd.id ~dst:Netsim.coordinator rows;
+               rows)
+      in
+      (match rows with
+      | [] -> ()
+      | _ ->
+          let arr = Array.of_list rows in
+          Relation.load crel ~n:(Array.length arr) (fun ~row -> arr.(row)));
+      List.iter
+        (fun (iname, kind, attrs) ->
+          Catalog.create_index ccat name ~name:iname ~kind ~attrs)
+        (Catalog.index_defs nodes.(0).cat name))
+    (Cluster.table_names ctx.cl);
+  Engine.run ctx.engine ccat plan ~params:ctx.params
+
+(* {2 DML through two-phase commit} *)
+
+(* The per-shard operation list of an UPDATE: the same visit order, index
+   usage, and evaluate-all-right-hand-sides-against-the-old-tuple rule as
+   [Dml.update], but recorded instead of applied. *)
+let update_ops (nd : Cluster.node) ~params ~table ~access ~post ~assignments =
+  let cat = nd.cat in
+  let rel = Catalog.find cat table in
+  let ops = ref [] in
+  let visit tid =
+    let col i = Relation.get rel tid i in
+    let matches =
+      match post with
+      | None -> true
+      | Some pred -> Expr.truthy (Expr.eval pred ~params col)
+    in
+    if matches then
+      List.iter
+        (fun (a, e) ->
+          let v = Expr.eval e ~params col in
+          ops := Wal.Update { table; tid; attr = a; value = v } :: !ops)
+        assignments
+  in
+  (match Dml.index_tids cat params table access with
+  | Some tids -> List.iter visit tids
+  | None ->
+      for tid = 0 to Relation.nrows rel - 1 do
+        visit tid
+      done);
+  List.rev !ops
+
+let exec_dml ctx plan =
+  let columns =
+    try Parallel.result_columns (node0 ctx).cat plan with _ -> [||]
+  in
+  match plan with
+  | Physical.Insert { table; values } ->
+      let vals =
+        Array.of_list
+          (List.map
+             (fun e ->
+               Expr.eval e ~params:ctx.params (fun _ ->
+                   invalid_arg "INSERT values cannot reference columns"))
+             values)
+      in
+      let dst = Hashtbl.hash (Array.to_list vals) mod Cluster.shards ctx.cl in
+      let outcome =
+        Twopc.execute ctx.cl [ (dst, [ Wal.Append { table; values = vals } ]) ]
+      in
+      ignore outcome;
+      { Runtime.columns; rows = [] }
+  | Physical.Update { table; access; post; assignments; _ } ->
+      let shard_ops =
+        Array.to_list (live_nodes ctx)
+        |> List.map (fun (nd : Cluster.node) ->
+               ( nd.Cluster.id,
+                 update_ops nd ~params:ctx.params ~table ~access ~post
+                   ~assignments ))
+      in
+      let outcome = Twopc.execute ctx.cl shard_ops in
+      ignore outcome;
+      { Runtime.columns; rows = [] }
+  | _ -> invalid_arg "Exec.exec_dml: not a DML plan"
+
+(* {2 Top level} *)
+
+let rec exec ctx plan : Runtime.result =
+  match plan with
+  | Physical.Limit { child; n } ->
+      let r = exec ctx child in
+      let rec take k = function
+        | [] -> []
+        | x :: tl -> if k <= 0 then [] else x :: take (k - 1) tl
+      in
+      { r with Runtime.rows = take n r.Runtime.rows }
+  | Physical.Sort { child; keys } ->
+      let r = exec ctx child in
+      let attrs = Physical.schema (node0 ctx).cat child in
+      let row_width =
+        Array.fold_left (fun acc a -> acc + Schema.stored_width a) 0 attrs
+      in
+      let rows =
+        Runtime.sort_rows ?hier:ctx.coord_hier ctx.coord_arena ~row_width ~keys
+          r.Runtime.rows
+      in
+      { r with Runtime.rows }
+  | Physical.Insert _ | Physical.Update _ -> exec_dml ctx plan
+  | _ -> (
+      match scan_pipe plan with
+      | Some _ -> gather ctx plan
+      | None -> (
+          match Parallel.peel_projections [] plan with
+          | post, Physical.Group_by { child; keys; aggs; n_groups }
+            when scan_pipe child <> None || join_parts child <> None ->
+              partial_agg ctx ~post ~keys ~aggs ~n_groups ~child plan
+          | _ ->
+              if join_parts plan <> None then gather ctx plan
+              else pull_all ctx plan))
+
+let make_ctx ?coord ~engine ~params cl =
+  let coord_hier = Option.bind coord Catalog.hier in
+  let coord_arena =
+    match coord with Some c -> Catalog.arena c | None -> Arena.create ()
+  in
+  { cl; engine; params; coord_hier; coord_arena }
+
+let run ?(engine = Engine.Jit) ?(params = [||]) ?coord cl plan =
+  exec (make_ctx ?coord ~engine ~params cl) plan
+
+type measured = {
+  stats : Memsim.Stats.t;
+      (** per-shard {!Memsim.Stats.merge}: traffic sums, slowest shard's
+          cycles (the simulated wall-clock) *)
+  net_messages : int;
+  net_bytes : int;
+  net_cycles : int;
+}
+
+let total_cycles m = Memsim.Stats.total_cycles m.stats + m.net_cycles
+
+let run_measured ?(cold = true) ?(engine = Engine.Jit) ?(params = [||]) ?coord
+    cl plan =
+  let nodes = Cluster.nodes cl in
+  Array.iter
+    (fun (nd : Cluster.node) ->
+      if cold then Memsim.Hierarchy.reset nd.hier
+      else Memsim.Hierarchy.reset_stats nd.hier)
+    nodes;
+  let net = Cluster.net cl in
+  let snap = Netsim.snapshot net in
+  let ctx = make_ctx ?coord ~engine ~params cl in
+  let r = exec ctx plan in
+  let stats =
+    match Array.to_list nodes with
+    | [] -> assert false
+    | n0 :: rest ->
+        List.fold_left
+          (fun acc (nd : Cluster.node) ->
+            Memsim.Stats.merge acc (Memsim.Hierarchy.snapshot nd.hier))
+          (Memsim.Hierarchy.snapshot n0.hier)
+          rest
+  in
+  let net_messages, net_bytes, net_cycles = Netsim.since net snap in
+  (* surface the interconnect as its own phase (and charge the coordinator
+     hierarchy) so [explain --analyze] shows a #net span *)
+  (match ctx.coord_hier with
+  | Some h ->
+      Obs.Profile.phase "#net" (fun () -> Memsim.Hierarchy.add_cpu h net_cycles)
+  | None -> ());
+  (r, { stats; net_messages; net_bytes; net_cycles })
+
+(* {2 Plan description (explain)} *)
+
+let describe cl plan =
+  let n = Cluster.shards cl in
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "shards: %d" n;
+  let rec go plan =
+    match plan with
+    | Physical.Limit { child; n } ->
+        line "limit %d: at coordinator" n;
+        go child
+    | Physical.Sort { child; _ } ->
+        line "sort: at coordinator, over the gathered union";
+        go child
+    | Physical.Insert _ ->
+        line "insert: hash-routed to one shard, two-phase commit"
+    | Physical.Update _ ->
+        line
+          "update: per-shard operation lists, two-phase commit across \
+           matching shards"
+    | _ -> (
+        match scan_pipe plan with
+        | Some table ->
+            line "gather: per-shard pipeline over %s, union at coordinator"
+              table
+        | None -> (
+            match Parallel.peel_projections [] plan with
+            | _, (Physical.Group_by { child; _ } as gb)
+              when scan_pipe child <> None || join_parts child <> None ->
+                let c = Cost.agg_costing cl ~child ~gb in
+                line
+                  "partial aggregation: decomposed per shard, merged at \
+                   coordinator";
+                line "  est naive gather %d B, partial %d B" c.Cost.naive_bytes
+                  c.Cost.partial_bytes;
+                (match join_parts child with
+                | Some (build, probe, _, _) -> join_lines build probe
+                | None -> ())
+            | _ -> (
+                match join_parts plan with
+                | Some (build, probe, _, _) -> join_lines build probe
+                | None ->
+                    line
+                      "pull-all fallback: every base table shipped to the \
+                       coordinator")))
+  and join_lines build probe =
+    let c = Cost.join_costing cl ~build ~probe in
+    line "distributed hash join: %s" (Cost.method_name c.Cost.chosen);
+    line "  shuffle   est %d B, %d msgs, %d net cycles" c.Cost.shuffle_bytes
+      c.Cost.shuffle_msgs c.Cost.shuffle_cycles;
+    line "  broadcast est %d B, %d msgs, %d cycles (net + extra build)"
+      c.Cost.broadcast_bytes c.Cost.broadcast_msgs c.Cost.broadcast_cycles
+  in
+  go plan;
+  Buffer.contents b

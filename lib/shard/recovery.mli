@@ -1,0 +1,44 @@
+(** Sharded crash recovery: per-node snapshot + WAL replay with in-doubt
+    transactions settled against the coordinator's decision log (presumed
+    abort — only COMMIT decisions are ever logged). *)
+
+val log_decision : Durability.Faultio.sink -> txid:int -> commit:bool -> unit
+(** Append one durable decision line (newline-terminated {!Exchange.Decide})
+    and flush.  The two-phase commit coordinator calls this exactly once per
+    committing transaction, before any participant learns the outcome. *)
+
+val decisions : Durability.Faultio.t -> (int * bool) list
+(** Parse the coordinator's durable decision log.  Only complete
+    newline-terminated lines count — a torn tail is an un-durable decision
+    and reads as absent (hence aborted). *)
+
+val in_doubt_txids : Durability.Faultio.t -> int list
+(** Transactions with a durable [Prepare] but no decision in the clean
+    prefix of a node's WAL, ascending. *)
+
+type settled = { txid : int; committed : bool }
+
+val recover_node :
+  ?hier:Memsim.Hierarchy.t ->
+  ?decisions:(int * bool) list ->
+  Durability.Faultio.t ->
+  Durability.Recover.result * settled list
+(** Recover one node: settle its in-doubt transactions against [decisions]
+    (appending the outcome to the node's own log so replay applies it),
+    then run single-node recovery.
+
+    @raise Mrdb_util.Errors.Txn_indoubt if the node has in-doubt
+    transactions and no decision log was supplied (coordinator
+    unreachable) — the shard must not guess. *)
+
+type cluster_result = {
+  results : Durability.Recover.result array;  (** per shard, in shard order *)
+  settled : (int * settled) list;  (** (shard, settlement) for in-doubt txns *)
+}
+
+val recover_cluster :
+  ?hier:Memsim.Hierarchy.t ->
+  Durability.Faultio.t array ->
+  Durability.Faultio.t ->
+  cluster_result
+(** Recover every shard env against the coordinator env's decision log. *)

@@ -30,12 +30,23 @@ exception Server_busy of string
 (** The server's admission gate shed this connection or request instead of
     letting the queue collapse. *)
 
+exception Shard_unavailable of string
+(** A distributed plan or two-phase commit needed a shard that is marked
+    down; the operation was not applied anywhere. *)
+
+exception Txn_indoubt of string
+(** Recovery found a prepared transaction whose coordinator decision is
+    unreachable: it can neither commit nor abort unilaterally without
+    risking cross-shard divergence. *)
+
 let to_diagnostic = function
   | Unknown_table t -> Some (Printf.sprintf "unknown table %S" t)
   | Corrupt_log msg -> Some (Printf.sprintf "corrupt durability file: %s" msg)
   | Txn_conflict msg -> Some (Printf.sprintf "transaction conflict: %s" msg)
   | Txn_timeout msg -> Some (Printf.sprintf "transaction timeout: %s" msg)
   | Server_busy msg -> Some (Printf.sprintf "server busy: %s" msg)
+  | Shard_unavailable msg -> Some (Printf.sprintf "shard unavailable: %s" msg)
+  | Txn_indoubt msg -> Some (Printf.sprintf "transaction in doubt: %s" msg)
   | Invalid_argument msg -> Some msg
   | Failure msg -> Some msg
   | _ -> None
@@ -45,6 +56,8 @@ let exit_code_of = function
   | Txn_conflict _ -> Some 3
   | Txn_timeout _ -> Some 4
   | Server_busy _ -> Some 5
+  | Shard_unavailable _ -> Some 6
+  | Txn_indoubt _ -> Some 7
   | _ -> None
 
 (* Wire tags used by the server protocol; one per taxonomy member so a
@@ -55,6 +68,8 @@ let wire_tag_of = function
   | Txn_conflict _ -> Some "CONFLICT"
   | Txn_timeout _ -> Some "TIMEOUT"
   | Server_busy _ -> Some "BUSY"
+  | Shard_unavailable _ -> Some "SHARD_UNAVAILABLE"
+  | Txn_indoubt _ -> Some "TXN_INDOUBT"
   | _ -> None
 
 let of_wire_tag tag msg =
@@ -64,4 +79,6 @@ let of_wire_tag tag msg =
   | "CONFLICT" -> Some (Txn_conflict msg)
   | "TIMEOUT" -> Some (Txn_timeout msg)
   | "BUSY" -> Some (Server_busy msg)
+  | "SHARD_UNAVAILABLE" -> Some (Shard_unavailable msg)
+  | "TXN_INDOUBT" -> Some (Txn_indoubt msg)
   | _ -> None

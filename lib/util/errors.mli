@@ -16,13 +16,21 @@ exception Txn_timeout of string
 exception Server_busy of string
 (** The server's admission gate shed this connection or request. *)
 
+exception Shard_unavailable of string
+(** A distributed plan or two-phase commit needed a shard that is down. *)
+
+exception Txn_indoubt of string
+(** Recovery found a prepared transaction whose coordinator decision is
+    unreachable — it can neither commit nor abort unilaterally. *)
+
 val to_diagnostic : exn -> string option
 (** A one-line human-readable description for user-facing errors;
     [None] for unexpected exceptions (which should keep their backtrace). *)
 
 val exit_code_of : exn -> int option
 (** Distinct process exit code per taxonomy member: generic user errors 1,
-    [Txn_conflict] 3, [Txn_timeout] 4, [Server_busy] 5 (2 is cmdliner's).
+    [Txn_conflict] 3, [Txn_timeout] 4, [Server_busy] 5,
+    [Shard_unavailable] 6, [Txn_indoubt] 7 (2 is cmdliner's).
     [None] for unexpected exceptions. *)
 
 val wire_tag_of : exn -> string option

@@ -298,6 +298,109 @@ let test_advisor_sweep () =
     failures
 
 (* ------------------------------------------------------------------ *)
+(* Pinned shard case                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-written case for the `fuzz --shards` axis: two tables sized so
+   that one distributed run exercises every exchange shape — a gathered
+   filter, a partially-aggregated group-by, a join (t1 is small enough
+   that broadcast wins), and a 2PC update between queries.  Replayed over
+   2 and 3 shards; answers, the final shard unions, and the post-recovery
+   digests must all match the single-node oracle. *)
+let shard_case =
+  let rows0 =
+    List.init 40 (fun i -> [| V.VInt i; V.VInt (i mod 6); V.VInt (i * 7 mod 53) |])
+  in
+  let rows1 = List.init 6 (fun i -> [| V.VInt i; V.VInt (i * 100) |]) in
+  {
+    Case.seed = 0;
+    tables =
+      [
+        {
+          Case.tname = "t0";
+          cols =
+            [
+              { Case.cname = "c0"; ty = V.Int; nullable = false };
+              { Case.cname = "c1"; ty = V.Int; nullable = false };
+              { Case.cname = "c2"; ty = V.Int; nullable = false };
+            ];
+          groups = [ [ 0; 1; 2 ] ];
+          rows = rows0;
+        };
+        {
+          Case.tname = "t1";
+          cols =
+            [
+              { Case.cname = "d0"; ty = V.Int; nullable = false };
+              { Case.cname = "d1"; ty = V.Int; nullable = false };
+            ];
+          groups = [ [ 0 ]; [ 1 ] ];
+          rows = rows1;
+        };
+      ];
+    episode =
+      [
+        Case.Query
+          (Plan.Select
+             (Plan.Scan "t0",
+              Expr.Cmp (Expr.Ge, Expr.Col 2, Expr.Const (V.VInt 20))));
+        Case.Query
+          (Plan.Group_by
+             {
+               child = Plan.Scan "t0";
+               keys = [ (Expr.Col 1, "k") ];
+               aggs =
+                 [
+                   Relalg.Aggregate.(make Sum ~expr:(Expr.Col 2) "s");
+                   Relalg.Aggregate.(make Count_star "n");
+                 ];
+             });
+        Case.Query
+          (Plan.Join
+             {
+               left = Plan.Scan "t1";
+               right = Plan.Scan "t0";
+               left_keys = [ 0 ];
+               right_keys = [ 1 ];
+             });
+        Case.Exec
+          (Plan.Update
+             {
+               table = "t0";
+               pred =
+                 Some (Expr.Cmp (Expr.Lt, Expr.Col 0, Expr.Const (V.VInt 10)));
+               assignments = [ (2, Expr.Const (V.VInt 424)) ];
+             });
+        Case.Query
+          (Plan.Group_by
+             {
+               child = Plan.Scan "t0";
+               keys = [ (Expr.Col 1, "k") ];
+               aggs = [ Relalg.Aggregate.(make Max ~expr:(Expr.Col 2) "m") ];
+             });
+      ];
+    params = [| V.VInt 0; V.VInt 0 |];
+  }
+
+let test_shard_case () =
+  List.iter
+    (fun shards ->
+      check_ok
+        (Printf.sprintf "pinned shard case over %d shards" shards)
+        (Harness.replay_shard ~shards shard_case))
+    [ 2; 3 ]
+
+(* A short fresh sweep on the shard axis too. *)
+let test_shard_sweep () =
+  let failures = Harness.fuzz_shard ~seed:9200 ~cases:5 ~max_rows:60 ~shards:2 () in
+  List.iter
+    (fun (r : Harness.report) ->
+      Alcotest.failf "shard seed %d failed: %s@.%s" r.Harness.seed
+        (outcome_label r.Harness.outcome)
+        (Case.to_ocaml r.Harness.minimized))
+    failures
+
+(* ------------------------------------------------------------------ *)
 (* Mutation self-check                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -333,6 +436,9 @@ let suite =
   :: Alcotest.test_case "pinned advisor case repartitions and stays correct"
        `Quick test_advisor_case
   :: Alcotest.test_case "fresh advisor sweep" `Slow test_advisor_sweep
+  :: Alcotest.test_case "pinned shard case over 2 and 3 shards" `Quick
+       test_shard_case
+  :: Alcotest.test_case "fresh shard sweep" `Slow test_shard_sweep
   :: Alcotest.test_case "Lt->Le mutation caught and shrunk" `Quick
        test_mutation_caught
   :: Helpers.across_engines "boundary case vs oracle" boundary_per_engine

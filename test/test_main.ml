@@ -26,6 +26,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("recovery", Test_recovery.suite);
       ("txn", Test_txn.suite);
+      ("shard", Test_shard.suite);
       ("fuzz_corpus", Fuzz_corpus.suite);
       ("db", Test_db.suite);
       ("obs", Test_obs.suite);
